@@ -1,0 +1,21 @@
+"""E6 — Section 2.3: Decay-based BFS (labels correct w.p. >= 1 - eps)."""
+
+from conftest import bench_config, emit, run_once
+
+from repro.experiments.exp_bfs import run_bfs_table
+from repro.graphs import grid
+from repro.protocols.decay_bfs import run_bfs
+
+
+def test_e6_bfs_table(benchmark):
+    config = bench_config(reps=30)
+    table = run_once(benchmark, run_bfs_table, config)
+    emit("e6_bfs", table)
+    assert all(table.column("claim_holds"))
+
+
+def test_micro_bfs_run(benchmark):
+    g = grid(6, 6)
+    counter = iter(range(10**9))
+    result = benchmark(lambda: run_bfs(g, 0, seed=next(counter), epsilon=0.1))
+    assert result.slots > 0

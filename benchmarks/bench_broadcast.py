@@ -1,0 +1,64 @@
+"""E2/E3 — Lemmas 2-3 and Theorem 4: randomized broadcast time.
+
+Regenerates: completion-slot statistics vs the Theorem-4 bound across
+four topology families (E2), the failure-rate-vs-ε table (E3), and the
+diameter-scaling shape check (E2b).  Micro-benchmarks one end-to-end
+broadcast run (the engine's hot loop).
+"""
+
+from conftest import bench_config, emit, run_once
+
+from repro.experiments.exp_broadcast import (
+    broadcast_family,
+    run_broadcast_time_table,
+    run_diameter_scaling_table,
+    run_success_rate_table,
+    run_upper_bound_sensitivity_table,
+)
+from repro.protocols.decay_broadcast import run_decay_broadcast
+
+
+def test_e2_broadcast_time_table(benchmark):
+    config = bench_config(reps=25)
+    table = run_once(benchmark, run_broadcast_time_table, config)
+    emit("e2_broadcast_time", table)
+    for frac, required in zip(
+        table.column("within_bound_frac"), table.column("required_frac")
+    ):
+        assert frac >= required
+
+
+def test_e3_success_rate_table(benchmark):
+    config = bench_config(reps=200)
+    table = run_once(benchmark, run_success_rate_table, config)
+    emit("e3_success_rate", table)
+    assert all(table.column("claim_holds"))
+
+
+def test_e2b_diameter_scaling_table(benchmark):
+    config = bench_config(reps=20)
+    table = run_once(benchmark, run_diameter_scaling_table, config)
+    emit("e2b_diameter_scaling", table)
+    per_d = table.column("slots_per_D")
+    assert max(per_d) <= 4 * min(per_d)
+
+
+def test_e2c_upper_bound_sensitivity(benchmark):
+    config = bench_config(reps=25)
+    table = run_once(benchmark, run_upper_bound_sensitivity_table, config)
+    emit("e2c_upper_bound_sensitivity", table)
+    # Polynomial N costs only a small constant factor, never correctness.
+    assert all(rate >= 0.85 for rate in table.column("success_rate"))
+    assert all(s <= 3.0 for s in table.column("slowdown"))
+
+
+def test_micro_single_broadcast_run(benchmark):
+    g = broadcast_family("gnp", 96, 1)
+
+    counter = iter(range(10**9))
+
+    def one_run():
+        return run_decay_broadcast(g, source=0, seed=next(counter), epsilon=0.1)
+
+    result = benchmark(one_run)
+    assert result.slots > 0

@@ -1,0 +1,19 @@
+"""E10 — Section 4: collision detection (4-slot C_n + tree splitting)."""
+
+from conftest import bench_config, emit, run_once
+
+from repro.experiments.exp_cd import run_cd_cn_table, run_tree_splitting_table
+
+
+def test_e10_cd_cn(benchmark):
+    config = bench_config(reps=10)
+    table = run_once(benchmark, run_cd_cn_table, config)
+    emit("e10_cd_cn", table)
+    assert all(table.column("claim_holds"))
+
+
+def test_e10b_tree_splitting(benchmark):
+    config = bench_config(reps=10)
+    table = run_once(benchmark, run_tree_splitting_table, config)
+    emit("e10b_tree_splitting", table)
+    assert all(table.column("all_resolved"))

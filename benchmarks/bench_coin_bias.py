@@ -1,0 +1,21 @@
+"""E8 — ablations: the Decay coin bias (Hofri [H87]) and phase alignment."""
+
+from conftest import bench_config, emit, run_once
+
+from repro.experiments.exp_coin_bias import run_alignment_table, run_coin_bias_table
+
+
+def test_e8_coin_bias(benchmark):
+    config = bench_config(reps=15)
+    table = run_once(benchmark, run_coin_bias_table, config)
+    emit("e8_coin_bias", table)
+    biases = table.column("p_continue")
+    reception = dict(zip(biases, table.column("P_k_d")))
+    assert reception[0.5] >= max(reception[min(biases)], reception[max(biases)])
+
+
+def test_e8b_phase_alignment(benchmark):
+    config = bench_config(reps=20)
+    table = run_once(benchmark, run_alignment_table, config)
+    emit("e8b_alignment", table)
+    assert all(rate > 0.5 for rate in table.column("success_rate"))

@@ -1,0 +1,34 @@
+"""E1 — Theorem 1: Decay reception probabilities (DESIGN.md §3).
+
+Regenerates the Theorem-1 "table": ``P(k, d)`` at ``k = 2⌈log d⌉`` via
+exact DP, Markov Monte-Carlo, and full-engine Monte-Carlo, plus the
+``P(∞, d) ≥ 2/3`` limit column.  Also micro-benchmarks the two Decay
+kernels (the simulator's hot paths).
+"""
+
+import random
+
+from conftest import bench_config, emit, run_once
+
+from repro.core.bounds import p_exact
+from repro.core.decay import simulate_decay_game
+from repro.experiments.exp_decay import run_theorem1_table
+
+
+def test_e1_theorem1_table(benchmark):
+    config = bench_config(reps=400)
+    table = run_once(benchmark, run_theorem1_table, config)
+    emit("e1_decay", table)
+    assert all(table.column("claim_ii_holds"))
+    assert all(table.column("claim_i_holds"))
+
+
+def test_micro_simulate_decay_game(benchmark):
+    rng = random.Random(7)
+    result = benchmark(lambda: simulate_decay_game(64, 12, rng))
+    assert result is None or 0 <= result < 12
+
+
+def test_micro_p_exact_dp(benchmark):
+    value = benchmark(lambda: p_exact(12, 64))
+    assert 0.5 < value < 1.0

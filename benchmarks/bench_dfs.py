@@ -1,0 +1,22 @@
+"""E11 — Section 3.4: DFS <= 2n, plus the deterministic-regime comparison."""
+
+from conftest import bench_config, emit, run_once
+
+from repro.experiments.exp_dfs import (
+    run_deterministic_comparison_table,
+    run_dfs_table,
+)
+
+
+def test_e11_dfs_2n(benchmark):
+    config = bench_config(reps=10)
+    table = run_once(benchmark, run_dfs_table, config)
+    emit("e11_dfs", table)
+    assert all(table.column("claim_holds"))
+
+
+def test_e11b_deterministic_comparison(benchmark):
+    config = bench_config(reps=10)
+    table = run_once(benchmark, run_deterministic_comparison_table, config)
+    emit("e11b_deterministic_comparison", table)
+    assert len(table) > 0

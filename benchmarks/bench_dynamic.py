@@ -1,0 +1,19 @@
+"""E9 — paper property 3: adaptiveness to fail/stop edge faults."""
+
+from conftest import bench_config, emit, run_once
+
+from repro.experiments.exp_dynamic import run_dynamic_table, run_mobility_table
+
+
+def test_e9_dynamic_topology(benchmark):
+    config = bench_config(reps=30)
+    table = run_once(benchmark, run_dynamic_table, config)
+    emit("e9_dynamic", table)
+    assert all(table.column("claim_holds"))
+
+
+def test_e9b_mobility(benchmark):
+    config = bench_config(reps=20)
+    table = run_once(benchmark, run_mobility_table, config)
+    emit("e9b_mobility", table)
+    assert all(table.column("claim_holds"))

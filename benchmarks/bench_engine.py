@@ -1,0 +1,33 @@
+"""Engine micro-benchmarks: simulator throughput (slots/sec scale).
+
+Not a paper result — these keep the substrate's performance honest so
+the full-scale experiment sweeps stay laptop-sized.
+"""
+
+import pytest
+
+from repro.graphs import complete, grid, random_gnp
+from repro.protocols.aloha import make_aloha_programs
+from repro.rng import spawn
+from repro.sim import Engine
+
+
+@pytest.mark.parametrize(
+    "name,factory",
+    [
+        ("grid-16x16", lambda: grid(16, 16)),
+        ("gnp-256", lambda: random_gnp(256, 0.05, spawn(0, "bench"))),
+        ("clique-64", lambda: complete(64)),
+    ],
+    ids=["grid", "gnp", "clique"],
+)
+def test_engine_slot_throughput(benchmark, name, factory):
+    g = factory()
+
+    def run_200_slots():
+        programs = make_aloha_programs(g, 0, p=0.2)
+        engine = Engine(g, programs, seed=1, initiators={0})
+        return engine.run(200)
+
+    result = benchmark(run_200_slots)
+    assert result.slots == 200

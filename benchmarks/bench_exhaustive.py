@@ -1,0 +1,17 @@
+"""E4d — Theorem 12 verified exhaustively on the real engine (small n)."""
+
+from conftest import bench_config, emit, run_once
+
+from repro.experiments.exp_exhaustive import run_exhaustive_table
+
+
+def test_e4d_exhaustive_theorem12(benchmark):
+    config = bench_config(reps=10)
+    table = run_once(benchmark, run_exhaustive_table, config)
+    emit("e4d_exhaustive", table)
+    assert all(table.column("thm12_holds"))
+    # Decay's average beats the deterministic worst case already here.
+    for worst, rand in zip(
+        table.column("worst_slots"), table.column("rand_mean_on_worst_set")
+    ):
+        assert rand <= worst + 1

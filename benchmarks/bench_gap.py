@@ -1,0 +1,44 @@
+"""E5 — Corollary 13: THE headline result.
+
+Regenerates the exponential-gap table on the ``C_n`` family:
+randomized Decay broadcast (polylog slots) vs round-robin TDMA and DFS
+token traversal (linear slots), plus the growth-law fits that classify
+the curves.
+"""
+
+from conftest import bench_config, emit, run_once
+
+from repro.analysis.tables import Table
+from repro.experiments.exp_gap import gap_growth_fits, run_gap_table
+
+
+def test_e5_exponential_gap(benchmark):
+    config = bench_config(reps=15)
+    table = run_once(benchmark, run_gap_table, config)
+    fits = gap_growth_fits(table)
+    fit_table = Table(
+        "E5 fits — growth-law classification (Corollary 13's shape)",
+        ["curve", "model", "slope", "r_squared"],
+    )
+    fit_table.add_row(
+        "randomized", "a + b*log2(n)^2",
+        fits["randomized_vs_log2sq"]["slope"], fits["randomized_vs_log2sq"]["r_squared"],
+    )
+    fit_table.add_row(
+        "randomized", "a + b*n",
+        fits["randomized_vs_n"]["slope"], fits["randomized_vs_n"]["r_squared"],
+    )
+    fit_table.add_row(
+        "round-robin", "a + b*n",
+        fits["round_robin_vs_n"]["slope"], fits["round_robin_vs_n"]["r_squared"],
+    )
+    fit_table.add_row(
+        "dfs", "a + b*n",
+        fits["dfs_vs_n"]["slope"], fits["dfs_vs_n"]["r_squared"],
+    )
+    emit("e5_gap", table, fit_table)
+    ratios = table.column("gap_rr_over_rand")
+    assert ratios[-1] > ratios[0]
+    assert fits["round_robin_vs_n"]["slope"] > 0.5
+    assert fits["dfs_vs_n"]["slope"] > 0.5
+    assert fits["randomized_vs_n"]["slope"] < fits["round_robin_vs_n"]["slope"] / 4

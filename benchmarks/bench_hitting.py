@@ -1,0 +1,50 @@
+"""E4 — the deterministic lower bound (Lemmas 9-10, Prop. 11, Thm 12).
+
+Regenerates: the adversary-vs-strategy table (every strategy stalled
+for n/2 moves), the compiled-protocol lower bound (≥ n/4 rounds), and
+the matching O(n) upper bounds.  Micro-benchmarks ``find_set``.
+"""
+
+import random
+
+from conftest import bench_config, emit, run_once
+
+from repro.experiments.exp_hitting import (
+    run_adversary_table,
+    run_protocol_lower_bound_table,
+    run_upper_bound_table,
+)
+from repro.lowerbound.adversary import find_set
+
+
+def test_e4_adversary_table(benchmark):
+    config = bench_config(reps=10)
+    table = run_once(benchmark, run_adversary_table, config)
+    emit("e4_adversary", table)
+    assert all(table.column("S_nonempty"))
+    assert all(table.column("survived_all"))
+
+
+def test_e4b_protocol_lower_bound(benchmark):
+    config = bench_config(reps=10)
+    table = run_once(benchmark, run_protocol_lower_bound_table, config)
+    emit("e4b_protocol_lower_bound", table)
+    assert all(table.column("claim_holds"))
+
+
+def test_e4c_upper_bounds(benchmark):
+    config = bench_config(reps=10)
+    table = run_once(benchmark, run_upper_bound_table, config)
+    emit("e4c_upper_bounds", table)
+    assert all(table.column("sweep_le_n"))
+    assert all(table.column("rr_le_n"))
+
+
+def test_micro_find_set(benchmark):
+    rng = random.Random(3)
+    n = 256
+    moves = [
+        set(rng.sample(range(1, n + 1), rng.randint(1, n))) for _ in range(n // 2)
+    ]
+    s = benchmark(lambda: find_set(moves, n))
+    assert s

@@ -1,0 +1,12 @@
+"""E7 — paper property 2: expected transmissions <= 2n*ceil(log(N/eps))."""
+
+from conftest import bench_config, emit, run_once
+
+from repro.experiments.exp_messages import run_message_complexity_table
+
+
+def test_e7_message_complexity(benchmark):
+    config = bench_config(reps=20)
+    table = run_once(benchmark, run_message_complexity_table, config)
+    emit("e7_messages", table)
+    assert all(table.column("mean_within_bound"))

@@ -1,0 +1,21 @@
+"""E12 — Section 3.5: spontaneous wakeup (3-round C_n trick; C*_n gap)."""
+
+from conftest import bench_config, emit, run_once
+
+from repro.experiments.exp_spontaneous import run_c_star_table, run_three_round_table
+
+
+def test_e12a_three_round(benchmark):
+    config = bench_config(reps=10)
+    table = run_once(benchmark, run_three_round_table, config)
+    emit("e12a_three_round", table)
+    assert all(table.column("always_informed"))
+    assert all(w <= 3 for w in table.column("worst_slots"))
+
+
+def test_e12b_c_star_gap(benchmark):
+    config = bench_config(reps=10)
+    table = run_once(benchmark, run_c_star_table, config)
+    emit("e12b_c_star", table)
+    gaps = table.column("gap")
+    assert gaps[-1] > 1.0

@@ -1,0 +1,65 @@
+"""Shared plumbing for the benchmark/reproduction harness.
+
+Every ``bench_*`` file reproduces one of the paper's results (see
+DESIGN.md §3): it runs the corresponding experiment from
+``repro.experiments`` exactly once under ``pytest-benchmark`` (so wall
+time is recorded), prints the result table, and writes it to
+``benchmarks/results/<name>.txt`` — those files are the source of the
+numbers in EXPERIMENTS.md.
+
+Scale is controlled by the ``REPRO_BENCH_SCALE`` environment variable:
+``quick`` (default: minutes for the whole harness) or ``full``
+(the EXPERIMENTS.md numbers).
+"""
+
+from __future__ import annotations
+
+import os
+import pathlib
+
+import pytest
+
+from repro.experiments.runner import ExperimentConfig
+
+#: Full-scale tables (the EXPERIMENTS.md numbers) live in results/;
+#: quick-scale smoke runs write to results-quick/ so they never clobber
+#: the published numbers.
+RESULTS_DIR = pathlib.Path(__file__).parent / "results"
+QUICK_RESULTS_DIR = pathlib.Path(__file__).parent / "results-quick"
+
+
+def bench_config(reps: int) -> ExperimentConfig:
+    """The experiment configuration for the current bench scale."""
+    scale = os.environ.get("REPRO_BENCH_SCALE", "quick")
+    if scale == "full":
+        return ExperimentConfig(reps=reps, master_seed=20260706, quick=False)
+    return ExperimentConfig(reps=max(5, reps // 4), master_seed=20260706, quick=True)
+
+
+def is_full_scale() -> bool:
+    return os.environ.get("REPRO_BENCH_SCALE", "quick") == "full"
+
+
+def emit(name: str, *tables) -> None:
+    """Print tables and persist them (scale-appropriate directory)."""
+    directory = RESULTS_DIR if is_full_scale() else QUICK_RESULTS_DIR
+    directory.mkdir(exist_ok=True)
+    rendered = "\n\n".join(t.render() for t in tables)
+    print()
+    print(rendered)
+    (directory / f"{name}.txt").write_text(rendered + "\n", encoding="utf-8")
+
+
+def run_once(benchmark, fn, *args, **kwargs):
+    """Run an experiment exactly once under the benchmark timer."""
+    return benchmark.pedantic(fn, args=args, kwargs=kwargs, iterations=1, rounds=1)
+
+
+@pytest.fixture
+def experiment(benchmark):
+    """Fixture bundling the one-shot benchmark runner."""
+
+    def runner(fn, *args, **kwargs):
+        return run_once(benchmark, fn, *args, **kwargs)
+
+    return runner

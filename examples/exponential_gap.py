@@ -1,0 +1,88 @@
+#!/usr/bin/env python3
+"""The headline result, live: randomization beats determinism exponentially.
+
+Reproduces Corollary 13's phenomenon at demo scale: on the paper's
+lower-bound networks ``C_n`` (diameter 3!), any deterministic protocol
+needs Ω(n) slots while the randomized Decay protocol finishes in
+O(log² n).  We race three protocols over growing ``n`` and print the
+slot counts side by side with a log-scale ASCII chart.
+
+Run:  python examples/exponential_gap.py
+"""
+
+import math
+
+from repro.analysis.stats import mean
+from repro.graphs import c_n
+from repro.protocols import (
+    make_dfs_programs,
+    make_round_robin_programs,
+    run_broadcast,
+    run_decay_broadcast,
+)
+
+
+def race(n: int, reps: int = 9) -> tuple[float, int, int]:
+    """Return (randomized mean, round-robin worst, dfs worst) slots."""
+    hidden_sets = [
+        frozenset({n}),
+        frozenset(range(n // 2 + 1, n + 1)),
+        frozenset(range(1, n + 1)),
+    ]
+    rand = []
+    for seed in range(reps):
+        g = c_n(n, hidden_sets[seed % len(hidden_sets)])
+        result = run_decay_broadcast(g, source=0, seed=seed, epsilon=0.1)
+        slot = result.broadcast_completion_slot(source=0)
+        if slot is not None:
+            rand.append(slot)
+    rr_worst = dfs_worst = 0
+    for s in hidden_sets:
+        g = c_n(n, s)
+        rr = run_broadcast(
+            g,
+            make_round_robin_programs(g, 0, frame_size=n + 2),
+            initiators={0},
+            max_slots=(n + 2) * 8,
+            stop="informed",
+        ).broadcast_completion_slot(source=0)
+        dfs = run_broadcast(
+            g,
+            make_dfs_programs(g, 0),
+            initiators={0},
+            max_slots=4 * (n + 2),
+            stop="informed",
+        ).broadcast_completion_slot(source=0)
+        rr_worst = max(rr_worst, rr if rr is not None else (n + 2) * 8)
+        dfs_worst = max(dfs_worst, dfs if dfs is not None else 4 * (n + 2))
+    return mean(rand), rr_worst, dfs_worst
+
+
+def bar(value: float, per_char: float = 0.35) -> str:
+    """Log-scale bar."""
+    return "#" * max(1, int(math.log2(max(2.0, value)) / per_char))
+
+
+def main() -> None:
+    print("Broadcast slots on the paper's C_n networks (diameter 3):\n")
+    print(f"{'n':>5} | {'randomized':>10} | {'round-robin':>11} | {'DFS':>5} | gap")
+    print("-" * 60)
+    rows = []
+    for n in (8, 16, 32, 64, 128, 256, 512):
+        rand, rr, dfs = race(n)
+        rows.append((n, rand, rr, dfs))
+        gap = min(rr, dfs) / rand
+        print(f"{n:>5} | {rand:>10.1f} | {rr:>11} | {dfs:>5} | {gap:>5.1f}x")
+    print("\nlog-scale view (each # is a factor of ~1.27):\n")
+    for n, rand, rr, dfs in rows:
+        print(f"n={n:<4} rand {bar(rand):<30} {rand:.0f}")
+        print(f"       det  {bar(min(rr, dfs)):<30} {min(rr, dfs)}")
+    print(
+        "\nThe deterministic bars grow with n; the randomized bar barely "
+        "moves.\nThat flat-vs-linear separation on diameter-3 networks is "
+        "Corollary 13."
+    )
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,81 @@
+#!/usr/bin/env python3
+"""Schedules: what the randomized protocol "finds", vs centralized planning.
+
+The paper observes its protocol decomposes into "a distributed
+algorithm for finding a broadcast schedule and a trivial protocol using
+the schedule", and contrasts with the centralized constructions of
+[CK85]/[CW87].  This example makes that concrete on one network:
+
+1. run the randomized broadcast with tracing and *extract* the schedule
+   it implicitly discovered (the transmissions that caused each first
+   delivery);
+2. build two centralized schedules — the trivial one-transmitter-per-
+   slot tree schedule (O(n)) and the greedy layered schedule
+   ([CW87]-flavoured, O(D log n)-ish);
+3. replay all three deterministically and compare lengths.
+
+Run:  python examples/schedule_discovery.py [n] [seed]
+"""
+
+import sys
+
+from repro.core.schedule import (
+    extract_schedule,
+    greedy_layer_schedule,
+    sequential_tree_schedule,
+    simulate_schedule,
+    verify_schedule,
+)
+from repro.graphs import random_gnp
+from repro.graphs.properties import diameter
+from repro.protocols import run_decay_broadcast
+from repro.rng import spawn
+
+
+def main() -> None:
+    n = int(sys.argv[1]) if len(sys.argv) > 1 else 96
+    seed = int(sys.argv[2]) if len(sys.argv) > 2 else 4
+
+    g = random_gnp(n, min(1.0, 7.0 / n), spawn(seed, "net"))
+    d = diameter(g)
+    print(f"network: n={n}, D={d}, edges={g.num_edges()}\n")
+
+    result = run_decay_broadcast(g, source=0, seed=seed, epsilon=0.05, record_trace=True)
+    if not result.broadcast_succeeded(source=0):
+        print("randomized run failed (prob <= 0.05); rerun with another seed")
+        return
+    discovered = extract_schedule(result.trace, 0)
+    tree = sequential_tree_schedule(g, 0)
+    greedy = greedy_layer_schedule(g, 0, rng=spawn(seed, "greedy"))
+
+    rows = [
+        ("randomized run itself", result.slots, "-"),
+        ("schedule extracted from that run", len(discovered),
+         "yes" if verify_schedule(g, 0, discovered) else "NO"),
+        ("centralized tree schedule (O(n))", len(tree),
+         "yes" if verify_schedule(g, 0, tree) else "NO"),
+        ("centralized greedy schedule ([CW87] flavour)", len(greedy),
+         "yes" if verify_schedule(g, 0, greedy) else "NO"),
+    ]
+    print(f"{'method':<46} {'slots':>6}  replayable")
+    print("-" * 66)
+    for name, slots, ok in rows:
+        print(f"{name:<46} {slots:>6}  {ok}")
+
+    informed = simulate_schedule(g, 0, greedy)
+    waves = {}
+    for node, slot in informed.items():
+        waves.setdefault(slot, 0)
+        waves[slot] += 1
+    print("\ngreedy schedule wavefront (slot -> newly informed nodes):")
+    for slot in sorted(waves):
+        print(f"  slot {slot:>3}: {'*' * waves[slot]} ({waves[slot]})")
+    print(
+        "\nThe extracted schedule shows the randomized protocol implicitly "
+        "solved the\n(NP-hard to optimise) scheduling problem — with no "
+        "topology knowledge at all."
+    )
+
+
+if __name__ == "__main__":
+    main()

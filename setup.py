@@ -1,0 +1,11 @@
+"""Setup shim.
+
+Kept alongside pyproject.toml so that ``pip install -e .`` works in
+fully offline environments whose setuptools lacks the PEP 517 editable
+hooks (no ``wheel`` package available).  All metadata lives in
+pyproject.toml.
+"""
+
+from setuptools import setup
+
+setup()

@@ -1,0 +1,45 @@
+"""Statistics and reporting helpers used by the experiment harness."""
+
+from repro.analysis.gof import (
+    chi_square_pvalue,
+    chi_square_statistic,
+    chi_square_test,
+    pool_small_bins,
+)
+from repro.analysis.stats import (
+    SummaryStats,
+    empirical_cdf,
+    mean,
+    mean_confidence_interval,
+    quantile,
+    stddev,
+    summarize,
+    wilson_interval,
+)
+from repro.analysis.tables import Table
+from repro.analysis.theory import (
+    chernoff_binomial_upper_tail,
+    fit_linear,
+    fit_loglinear,
+    hoeffding_lower_tail,
+)
+
+__all__ = [
+    "SummaryStats",
+    "mean",
+    "stddev",
+    "quantile",
+    "empirical_cdf",
+    "mean_confidence_interval",
+    "wilson_interval",
+    "summarize",
+    "Table",
+    "hoeffding_lower_tail",
+    "chernoff_binomial_upper_tail",
+    "fit_linear",
+    "fit_loglinear",
+    "chi_square_statistic",
+    "chi_square_pvalue",
+    "chi_square_test",
+    "pool_small_bins",
+]

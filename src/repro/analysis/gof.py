@@ -1,0 +1,130 @@
+"""Goodness-of-fit checks between simulation and theory.
+
+The reproduction's honesty hinges on the simulator matching the
+analytical model *in distribution*, not just in the mean.  This module
+provides a small chi-square machinery the statistical tests use to
+compare empirical histograms against the paper's exact laws (the
+geometric Decay transmission-count law; the ``P(k, d)`` Bernoulli):
+
+* :func:`chi_square_statistic` — Pearson's X² with small-expected-bin
+  pooling;
+* :func:`chi_square_pvalue` — the survival function of the χ²
+  distribution (via :mod:`scipy` when available, else a
+  Wilson–Hilferty normal approximation, which is accurate to a couple
+  of decimals for df ≥ 3 — plenty for pass/fail at α = 0.001).
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Mapping, Sequence
+
+from repro.errors import ExperimentError
+
+__all__ = [
+    "chi_square_statistic",
+    "chi_square_pvalue",
+    "chi_square_test",
+    "pool_small_bins",
+]
+
+
+def pool_small_bins(
+    observed: Sequence[float],
+    expected: Sequence[float],
+    *,
+    min_expected: float = 5.0,
+) -> tuple[list[float], list[float]]:
+    """Merge trailing bins until every expected count is ≥ ``min_expected``.
+
+    The classical validity condition for Pearson's test.  Bins are
+    pooled greedily from the right (where the tail mass lives in our
+    geometric laws).
+    """
+    if len(observed) != len(expected):
+        raise ExperimentError("observed and expected must align")
+    obs = list(observed)
+    exp = list(expected)
+    while len(exp) > 1 and exp[-1] < min_expected:
+        exp[-2] += exp[-1]
+        obs[-2] += obs[-1]
+        del exp[-1], obs[-1]
+    # A leading tiny bin can also occur; pool forward if needed.
+    while len(exp) > 1 and exp[0] < min_expected:
+        exp[1] += exp[0]
+        obs[1] += obs[0]
+        del exp[0], obs[0]
+    return obs, exp
+
+
+def chi_square_statistic(
+    observed: Sequence[float], expected: Sequence[float]
+) -> tuple[float, int]:
+    """Pearson's X² and its degrees of freedom (bins − 1)."""
+    if len(observed) != len(expected) or not observed:
+        raise ExperimentError("need equal-length, non-empty histograms")
+    if any(e <= 0 for e in expected):
+        raise ExperimentError("expected counts must be positive")
+    total_obs = sum(observed)
+    total_exp = sum(expected)
+    if total_exp <= 0:
+        raise ExperimentError("expected mass must be positive")
+    scale = total_obs / total_exp
+    statistic = sum(
+        (o - e * scale) ** 2 / (e * scale) for o, e in zip(observed, expected)
+    )
+    return statistic, len(observed) - 1
+
+
+def chi_square_pvalue(statistic: float, df: int) -> float:
+    """``P(Chi2_df >= statistic)``."""
+    if df < 1:
+        raise ExperimentError("df must be >= 1")
+    if statistic < 0:
+        raise ExperimentError("statistic must be non-negative")
+    try:
+        from scipy import stats
+
+        return float(stats.chi2.sf(statistic, df))
+    except ImportError:  # pragma: no cover - scipy is present in CI
+        # Wilson–Hilferty: (X/df)^(1/3) ~ Normal(1 - 2/(9df), 2/(9df)).
+        z = ((statistic / df) ** (1 / 3) - (1 - 2 / (9 * df))) / math.sqrt(
+            2 / (9 * df)
+        )
+        return 0.5 * math.erfc(z / math.sqrt(2))
+
+
+def chi_square_test(
+    observed_counts: Mapping[int, int] | Sequence[float],
+    expected_probs: Sequence[float],
+    *,
+    min_expected: float = 5.0,
+) -> dict[str, float]:
+    """Full pipeline: histogram → pooled bins → X² → p-value.
+
+    ``observed_counts`` is either a sequence aligned with
+    ``expected_probs`` or a mapping ``value -> count`` over
+    ``0..len(expected_probs)-1``.  ``expected_probs`` need not be
+    normalised (they are scaled to the observed total).
+    """
+    if isinstance(observed_counts, Mapping):
+        observed = [
+            float(observed_counts.get(i, 0)) for i in range(len(expected_probs))
+        ]
+    else:
+        observed = [float(x) for x in observed_counts]
+    total = sum(observed)
+    if total <= 0:
+        raise ExperimentError("no observations")
+    prob_total = sum(expected_probs)
+    expected = [p / prob_total * total for p in expected_probs]
+    pooled_obs, pooled_exp = pool_small_bins(
+        observed, expected, min_expected=min_expected
+    )
+    statistic, df = chi_square_statistic(pooled_obs, pooled_exp)
+    return {
+        "statistic": statistic,
+        "df": df,
+        "p_value": chi_square_pvalue(statistic, df),
+        "bins": len(pooled_obs),
+    }

@@ -1,0 +1,139 @@
+"""Small, dependency-free statistics helpers.
+
+The experiments deal in two kinds of data:
+
+* real-valued samples (completion slots, transmission counts), for
+  which we report mean, standard deviation, quantiles and a normal-
+  approximation confidence interval on the mean;
+* Bernoulli samples (did this run succeed?), for which we report the
+  Wilson score interval — much better behaved than the Wald interval
+  at the small failure probabilities the paper's ε bounds live at.
+
+Everything here is intentionally plain Python: the library's core has
+no third-party dependencies, and sample sizes are small enough that
+vectorisation buys nothing.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+from typing import Sequence
+
+from repro.errors import ExperimentError
+
+__all__ = [
+    "mean",
+    "stddev",
+    "quantile",
+    "empirical_cdf",
+    "mean_confidence_interval",
+    "wilson_interval",
+    "SummaryStats",
+    "summarize",
+]
+
+# Two-sided z for 95% confidence.
+_Z95 = 1.959963984540054
+
+
+def mean(samples: Sequence[float]) -> float:
+    """Arithmetic mean (raises on empty input)."""
+    if not samples:
+        raise ExperimentError("mean of an empty sample is undefined")
+    return sum(samples) / len(samples)
+
+
+def stddev(samples: Sequence[float]) -> float:
+    """Sample (n-1) standard deviation; 0.0 for a single sample."""
+    n = len(samples)
+    if n == 0:
+        raise ExperimentError("stddev of an empty sample is undefined")
+    if n == 1:
+        return 0.0
+    mu = mean(samples)
+    return math.sqrt(sum((x - mu) ** 2 for x in samples) / (n - 1))
+
+
+def quantile(samples: Sequence[float], q: float) -> float:
+    """Linear-interpolated quantile, ``0 <= q <= 1``."""
+    if not samples:
+        raise ExperimentError("quantile of an empty sample is undefined")
+    if not 0.0 <= q <= 1.0:
+        raise ExperimentError("q must be in [0, 1]")
+    ordered = sorted(samples)
+    position = q * (len(ordered) - 1)
+    low = math.floor(position)
+    high = math.ceil(position)
+    if low == high:
+        return float(ordered[low])
+    frac = position - low
+    return ordered[low] * (1 - frac) + ordered[high] * frac
+
+
+def empirical_cdf(samples: Sequence[float], x: float) -> float:
+    """Fraction of samples ``<= x``."""
+    if not samples:
+        raise ExperimentError("empirical CDF of an empty sample is undefined")
+    return sum(1 for s in samples if s <= x) / len(samples)
+
+
+def mean_confidence_interval(
+    samples: Sequence[float], *, z: float = _Z95
+) -> tuple[float, float]:
+    """Normal-approximation CI for the mean: ``mean ± z·s/√n``."""
+    mu = mean(samples)
+    half = z * stddev(samples) / math.sqrt(len(samples))
+    return (mu - half, mu + half)
+
+
+def wilson_interval(
+    successes: int, trials: int, *, z: float = _Z95
+) -> tuple[float, float]:
+    """Wilson score interval for a Bernoulli success probability."""
+    if trials <= 0:
+        raise ExperimentError("wilson_interval needs trials >= 1")
+    if not 0 <= successes <= trials:
+        raise ExperimentError("successes must be within [0, trials]")
+    p_hat = successes / trials
+    denom = 1 + z * z / trials
+    centre = (p_hat + z * z / (2 * trials)) / denom
+    half = (
+        z
+        * math.sqrt(p_hat * (1 - p_hat) / trials + z * z / (4 * trials * trials))
+        / denom
+    )
+    return (max(0.0, centre - half), min(1.0, centre + half))
+
+
+@dataclass(frozen=True)
+class SummaryStats:
+    """One row worth of descriptive statistics."""
+
+    count: int
+    mean: float
+    stddev: float
+    minimum: float
+    p50: float
+    p90: float
+    maximum: float
+
+    def __str__(self) -> str:
+        return (
+            f"n={self.count} mean={self.mean:.2f} sd={self.stddev:.2f} "
+            f"min={self.minimum:.0f} p50={self.p50:.0f} p90={self.p90:.0f} "
+            f"max={self.maximum:.0f}"
+        )
+
+
+def summarize(samples: Sequence[float]) -> SummaryStats:
+    """Descriptive statistics for a sample."""
+    return SummaryStats(
+        count=len(samples),
+        mean=mean(samples),
+        stddev=stddev(samples),
+        minimum=float(min(samples)),
+        p50=quantile(samples, 0.5),
+        p90=quantile(samples, 0.9),
+        maximum=float(max(samples)),
+    )

@@ -1,0 +1,95 @@
+"""Fixed-width tables for experiment output.
+
+Every experiment returns a :class:`Table`; benchmarks print it and
+EXPERIMENTS.md embeds the rendered text.  Cells are stored as raw
+values and formatted at render time, so tables are also usable as data
+(``table.column("slots")``) by tests asserting on experiment output.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Iterable, Sequence
+
+from repro.errors import ExperimentError
+
+__all__ = ["Table"]
+
+
+class Table:
+    """A titled table with named columns."""
+
+    def __init__(self, title: str, columns: Sequence[str]) -> None:
+        if not columns:
+            raise ExperimentError("a table needs at least one column")
+        if len(set(columns)) != len(columns):
+            raise ExperimentError("column names must be unique")
+        self.title = title
+        self.columns = list(columns)
+        self.rows: list[list[Any]] = []
+
+    def add_row(self, *values: Any, **named: Any) -> None:
+        """Append a row, positionally or by column name (not both)."""
+        if values and named:
+            raise ExperimentError("pass positional or named cells, not both")
+        if named:
+            unknown = set(named) - set(self.columns)
+            if unknown:
+                raise ExperimentError(f"unknown columns: {sorted(unknown)}")
+            row = [named.get(col, "") for col in self.columns]
+        else:
+            if len(values) != len(self.columns):
+                raise ExperimentError(
+                    f"expected {len(self.columns)} cells, got {len(values)}"
+                )
+            row = list(values)
+        self.rows.append(row)
+
+    def column(self, name: str) -> list[Any]:
+        """All values of one column."""
+        try:
+            index = self.columns.index(name)
+        except ValueError:
+            raise ExperimentError(f"no column named {name!r}") from None
+        return [row[index] for row in self.rows]
+
+    @staticmethod
+    def _format_cell(value: Any) -> str:
+        if isinstance(value, bool):
+            return "yes" if value else "no"
+        if isinstance(value, float):
+            if value != value:  # NaN
+                return "nan"
+            if abs(value) >= 1000 or (value != 0 and abs(value) < 0.01):
+                return f"{value:.3g}"
+            return f"{value:.3f}".rstrip("0").rstrip(".")
+        return str(value)
+
+    def render(self) -> str:
+        """The table as fixed-width text."""
+        cells = [[self._format_cell(v) for v in row] for row in self.rows]
+        widths = [
+            max(len(col), *(len(row[i]) for row in cells)) if cells else len(col)
+            for i, col in enumerate(self.columns)
+        ]
+        sep = "-+-".join("-" * w for w in widths)
+        header = " | ".join(col.ljust(w) for col, w in zip(self.columns, widths))
+        lines = [self.title, "=" * max(len(self.title), len(header)), header, sep]
+        for row in cells:
+            lines.append(" | ".join(cell.ljust(w) for cell, w in zip(row, widths)))
+        return "\n".join(lines)
+
+    def to_csv(self) -> str:
+        """Comma-separated rendering (no quoting; cells must be simple)."""
+        out = [",".join(self.columns)]
+        for row in self.rows:
+            out.append(",".join(self._format_cell(v) for v in row))
+        return "\n".join(out)
+
+    def __str__(self) -> str:
+        return self.render()
+
+    def __len__(self) -> int:
+        return len(self.rows)
+
+    def __iter__(self) -> Iterable[list[Any]]:
+        return iter(self.rows)

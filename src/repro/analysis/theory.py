@@ -1,0 +1,95 @@
+"""Theory-side helpers: tail bounds and growth-law fits.
+
+* :func:`hoeffding_lower_tail` — the Chernoff/Hoeffding bound used in
+  the proof of Lemma 3: for ``X ~ Binomial(T, p)``,
+  ``P(X <= a) <= exp(-2 (Tp - a)^2 / T)`` for ``a <= Tp``.  The E2
+  experiment checks the measured tail of the progress process against
+  it.
+* :func:`fit_linear` / :func:`fit_loglinear` — least-squares fits of
+  ``y = a + b·x`` and ``y = a + b·log2(x)``, used by the gap experiment
+  (E5) to classify each protocol's measured growth as linear vs
+  (poly)logarithmic in ``n``.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+from typing import Sequence
+
+from repro.errors import ExperimentError
+
+__all__ = [
+    "hoeffding_lower_tail",
+    "chernoff_binomial_upper_tail",
+    "LinearFit",
+    "fit_linear",
+    "fit_loglinear",
+]
+
+
+def hoeffding_lower_tail(trials: int, p: float, threshold: float) -> float:
+    """Upper bound on ``P(Binomial(trials, p) <= threshold)``.
+
+    Valid (and 1.0 otherwise) when ``threshold <= trials * p``.
+    """
+    if trials <= 0:
+        raise ExperimentError("trials must be >= 1")
+    if not 0.0 <= p <= 1.0:
+        raise ExperimentError("p must be in [0, 1]")
+    gap = trials * p - threshold
+    if gap <= 0:
+        return 1.0
+    return math.exp(-2.0 * gap * gap / trials)
+
+
+def chernoff_binomial_upper_tail(trials: int, p: float, threshold: float) -> float:
+    """Upper bound on ``P(Binomial(trials, p) >= threshold)`` (Hoeffding form)."""
+    if trials <= 0:
+        raise ExperimentError("trials must be >= 1")
+    if not 0.0 <= p <= 1.0:
+        raise ExperimentError("p must be in [0, 1]")
+    gap = threshold - trials * p
+    if gap <= 0:
+        return 1.0
+    return math.exp(-2.0 * gap * gap / trials)
+
+
+@dataclass(frozen=True)
+class LinearFit:
+    """Least-squares fit ``y ≈ intercept + slope·x`` with fit quality."""
+
+    slope: float
+    intercept: float
+    r_squared: float
+
+    def predict(self, x: float) -> float:
+        return self.intercept + self.slope * x
+
+
+def fit_linear(xs: Sequence[float], ys: Sequence[float]) -> LinearFit:
+    """Ordinary least squares for ``y = a + b·x``."""
+    if len(xs) != len(ys):
+        raise ExperimentError("xs and ys must have equal length")
+    n = len(xs)
+    if n < 2:
+        raise ExperimentError("need at least two points to fit a line")
+    mean_x = sum(xs) / n
+    mean_y = sum(ys) / n
+    sxx = sum((x - mean_x) ** 2 for x in xs)
+    if sxx == 0:
+        raise ExperimentError("xs are all identical; slope undefined")
+    sxy = sum((x - mean_x) * (y - mean_y) for x, y in zip(xs, ys))
+    slope = sxy / sxx
+    intercept = mean_y - slope * mean_x
+    ss_tot = sum((y - mean_y) ** 2 for y in ys)
+    ss_res = sum((y - (intercept + slope * x)) ** 2 for x, y in zip(xs, ys))
+    r_squared = 1.0 if ss_tot == 0 else 1.0 - ss_res / ss_tot
+    return LinearFit(slope=slope, intercept=intercept, r_squared=r_squared)
+
+
+def fit_loglinear(xs: Sequence[float], ys: Sequence[float]) -> LinearFit:
+    """OLS for ``y = a + b·log2(x)`` (xs must be positive)."""
+    if any(x <= 0 for x in xs):
+        raise ExperimentError("fit_loglinear requires positive xs")
+    return fit_linear([math.log2(x) for x in xs], ys)

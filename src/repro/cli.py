@@ -1,0 +1,269 @@
+"""Command-line interface: ``python -m repro <command>``.
+
+Subcommands:
+
+* ``broadcast`` — run one Decay broadcast on a chosen topology and
+  print the outcome (optionally with a timeline visualisation).
+* ``bfs`` — run the Decay BFS and print the distance labels.
+* ``gap`` — print the exponential-gap table (experiment E5).
+* ``experiment`` — run any experiment module by ID (e1..e12) and print
+  its table(s).
+* ``game`` — play the hitting game: foil a named strategy with the
+  ``find_set`` adversary.
+
+Every command takes ``--seed`` and is fully reproducible.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from typing import Callable
+
+from repro.experiments.runner import ExperimentConfig
+
+__all__ = ["main", "build_parser"]
+
+
+def _make_topology(kind: str, n: int, seed: int):
+    from repro.graphs import generators
+    from repro.rng import spawn
+
+    rng = spawn(seed, "cli-topology")
+    if kind == "line":
+        return generators.line(n)
+    if kind == "ring":
+        return generators.ring(max(3, n))
+    if kind == "grid":
+        side = max(1, int(n**0.5))
+        return generators.grid(side, (n + side - 1) // side)
+    if kind == "gnp":
+        return generators.random_gnp(n, min(1.0, 8.0 / n), rng)
+    if kind == "udg":
+        import math
+
+        radius = 1.7 * math.sqrt(math.log(max(2, n)) / n)
+        return generators.unit_disk(n, radius, rng)
+    if kind == "cn":
+        return generators.c_n(n, {n})
+    raise SystemExit(f"unknown topology {kind!r}")
+
+
+def _cmd_broadcast(args: argparse.Namespace) -> int:
+    from repro.protocols import run_decay_broadcast
+
+    g = _make_topology(args.topology, args.n, args.seed)
+    result = run_decay_broadcast(
+        g,
+        source=args.source,
+        seed=args.seed,
+        epsilon=args.epsilon,
+        record_trace=args.timeline,
+    )
+    completion = result.broadcast_completion_slot(source=args.source)
+    print(f"nodes={g.num_nodes()} slots_run={result.slots} "
+          f"transmissions={result.metrics.transmissions}")
+    if completion is None:
+        print("broadcast FAILED (within the epsilon budget)")
+        return 1
+    print(f"broadcast complete at slot {completion}")
+    if args.timeline and result.trace is not None:
+        from repro import viz
+
+        nodes = sorted(g.nodes, key=repr)[: args.timeline_nodes]
+        k = next(iter(result.programs.values())).k
+        print()
+        print(viz.phase_ruler(min(result.slots, 120), k,
+                              label_width=max(len(repr(v)) for v in nodes)))
+        print(viz.timeline(result.trace, nodes, max_slots=120))
+        print()
+        print(viz.reception_wave(result.trace))
+    return 0
+
+
+def _cmd_bfs(args: argparse.Namespace) -> int:
+    from repro.protocols import run_bfs
+
+    g = _make_topology(args.topology, args.n, args.seed)
+    result = run_bfs(g, args.source, seed=args.seed, epsilon=args.epsilon)
+    labels = result.node_results()
+    print(f"slots={result.slots}")
+    for node in sorted(labels, key=repr):
+        print(f"node {node}: distance {labels[node]}")
+    return 0
+
+
+def _cmd_gap(args: argparse.Namespace) -> int:
+    from repro.experiments.exp_gap import gap_growth_fits, run_gap_table
+
+    config = ExperimentConfig(reps=args.reps, master_seed=args.seed, quick=args.quick)
+    table = run_gap_table(config)
+    print(table.render())
+    fits = gap_growth_fits(table)
+    print()
+    for curve, fit in fits.items():
+        print(f"{curve}: slope={fit['slope']:.3f} R^2={fit['r_squared']:.3f}")
+    return 0
+
+
+_EXPERIMENTS: dict[str, tuple[str, list[str]]] = {
+    "e1": ("repro.experiments.exp_decay", ["run_theorem1_table"]),
+    "e2": ("repro.experiments.exp_broadcast",
+           ["run_broadcast_time_table", "run_diameter_scaling_table",
+            "run_upper_bound_sensitivity_table"]),
+    "e3": ("repro.experiments.exp_broadcast", ["run_success_rate_table"]),
+    "e4": ("repro.experiments.exp_hitting",
+           ["run_adversary_table", "run_protocol_lower_bound_table",
+            "run_upper_bound_table"]),
+    "e4d": ("repro.experiments.exp_exhaustive", ["run_exhaustive_table"]),
+    "e5": ("repro.experiments.exp_gap", ["run_gap_table"]),
+    "e6": ("repro.experiments.exp_bfs", ["run_bfs_table"]),
+    "e7": ("repro.experiments.exp_messages", ["run_message_complexity_table"]),
+    "e8": ("repro.experiments.exp_coin_bias",
+           ["run_coin_bias_table", "run_alignment_table"]),
+    "e9": ("repro.experiments.exp_dynamic",
+           ["run_dynamic_table", "run_mobility_table"]),
+    "e10": ("repro.experiments.exp_cd",
+            ["run_cd_cn_table", "run_tree_splitting_table"]),
+    "e11": ("repro.experiments.exp_dfs",
+            ["run_dfs_table", "run_deterministic_comparison_table"]),
+    "e12": ("repro.experiments.exp_spontaneous",
+            ["run_three_round_table", "run_c_star_table"]),
+}
+
+
+def _cmd_experiment(args: argparse.Namespace) -> int:
+    import importlib
+
+    key = args.id.lower()
+    if key not in _EXPERIMENTS:
+        raise SystemExit(
+            f"unknown experiment {args.id!r}; choose from {', '.join(_EXPERIMENTS)}"
+        )
+    module_name, functions = _EXPERIMENTS[key]
+    module = importlib.import_module(module_name)
+    config = ExperimentConfig(reps=args.reps, master_seed=args.seed, quick=args.quick)
+    for name in functions:
+        table = getattr(module, name)(config)
+        print(table.render())
+        print()
+    return 0
+
+
+def _cmd_game(args: argparse.Namespace) -> int:
+    from repro.lowerbound.adversary import foil_strategy
+    from repro.lowerbound.reduction import (
+        BinarySplitAbstractProtocol,
+        ProtocolStrategy,
+        RoundRobinAbstractProtocol,
+    )
+    from repro.lowerbound.strategies import (
+        BinarySplittingStrategy,
+        DoublingStrategy,
+        RandomStrategy,
+        SingletonSweepStrategy,
+    )
+
+    strategies: dict[str, Callable] = {
+        "sweep": SingletonSweepStrategy,
+        "doubling": DoublingStrategy,
+        "binary": BinarySplittingStrategy,
+        "random": lambda: RandomStrategy(args.seed),
+        "protocol-rr": lambda: ProtocolStrategy(RoundRobinAbstractProtocol),
+        "protocol-split": lambda: ProtocolStrategy(BinarySplitAbstractProtocol),
+    }
+    if args.strategy not in strategies:
+        raise SystemExit(
+            f"unknown strategy {args.strategy!r}; choose from {', '.join(strategies)}"
+        )
+    result = foil_strategy(strategies[args.strategy](), args.n, args.n // 2)
+    print(f"n={args.n} moves allowed={args.n // 2}")
+    print(f"adversarial |S|={len(result.hidden_set)}")
+    print(f"strategy survived {result.survived_moves} moves without a hit "
+          f"(consistent replay: {result.consistent})")
+    if args.show_set:
+        print(f"S = {sorted(result.hidden_set)}")
+    return 0
+
+
+def _cmd_report(args: argparse.Namespace) -> int:
+    from repro.experiments.report import build_report
+
+    text = build_report(args.results_dir)
+    if args.output:
+        import pathlib
+
+        pathlib.Path(args.output).write_text(text, encoding="utf-8")
+        print(f"wrote {args.output}")
+    else:
+        print(text)
+    return 0
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro",
+        description="BGI'87 radio-broadcast reproduction toolkit",
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    def add_common(p: argparse.ArgumentParser) -> None:
+        p.add_argument("--seed", type=int, default=0)
+
+    p_bcast = sub.add_parser("broadcast", help="run one Decay broadcast")
+    add_common(p_bcast)
+    p_bcast.add_argument("--topology", default="gnp",
+                         choices=["line", "ring", "grid", "gnp", "udg", "cn"])
+    p_bcast.add_argument("-n", type=int, default=64)
+    p_bcast.add_argument("--source", type=int, default=0)
+    p_bcast.add_argument("--epsilon", type=float, default=0.05)
+    p_bcast.add_argument("--timeline", action="store_true",
+                         help="render an ASCII action timeline")
+    p_bcast.add_argument("--timeline-nodes", type=int, default=16)
+    p_bcast.set_defaults(func=_cmd_broadcast)
+
+    p_bfs = sub.add_parser("bfs", help="run the Decay BFS")
+    add_common(p_bfs)
+    p_bfs.add_argument("--topology", default="grid",
+                       choices=["line", "ring", "grid", "gnp", "udg", "cn"])
+    p_bfs.add_argument("-n", type=int, default=25)
+    p_bfs.add_argument("--source", type=int, default=0)
+    p_bfs.add_argument("--epsilon", type=float, default=0.05)
+    p_bfs.set_defaults(func=_cmd_bfs)
+
+    p_gap = sub.add_parser("gap", help="print the exponential-gap table (E5)")
+    add_common(p_gap)
+    p_gap.add_argument("--reps", type=int, default=10)
+    p_gap.add_argument("--quick", action="store_true")
+    p_gap.set_defaults(func=_cmd_gap)
+
+    p_exp = sub.add_parser("experiment", help="run an experiment by id (e1..e12)")
+    add_common(p_exp)
+    p_exp.add_argument("id")
+    p_exp.add_argument("--reps", type=int, default=10)
+    p_exp.add_argument("--quick", action="store_true")
+    p_exp.set_defaults(func=_cmd_experiment)
+
+    p_report = sub.add_parser("report", help="assemble the reproduction report")
+    p_report.add_argument("--results-dir", default="benchmarks/results")
+    p_report.add_argument("--output", default=None)
+    p_report.set_defaults(func=_cmd_report)
+
+    p_game = sub.add_parser("game", help="foil a hitting-game strategy")
+    add_common(p_game)
+    p_game.add_argument("--strategy", default="sweep")
+    p_game.add_argument("-n", type=int, default=64)
+    p_game.add_argument("--show-set", action="store_true")
+    p_game.set_defaults(func=_cmd_game)
+
+    return parser
+
+
+def main(argv: list[str] | None = None) -> int:
+    parser = build_parser()
+    args = parser.parse_args(argv if argv is not None else sys.argv[1:])
+    return args.func(args)
+
+
+if __name__ == "__main__":  # pragma: no cover - exercised via __main__
+    raise SystemExit(main())

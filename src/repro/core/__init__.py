@@ -1,0 +1,37 @@
+"""The paper's primary contribution: Decay and its analysis.
+
+* :mod:`repro.core.decay` — the randomized conflict-resolution
+  procedure (Section 2.1) as a reusable state machine, plus a fast
+  closed-form simulator of the single-receiver "Decay game".
+* :mod:`repro.core.bounds` — every analytic quantity the paper defines:
+  the ``P(k, d)`` reception probabilities of Theorem 1 (exact dynamic
+  program and the limiting recurrence), ``M(ε)``, ``T(ε)``, and the
+  Theorem 4 slot bound.
+* :mod:`repro.core.schedule` — centralized broadcast-schedule
+  construction (the [CW87] contrast discussed in Related Work).
+"""
+
+from repro.core.bounds import (
+    decay_phase_length,
+    expected_transmissions_bound,
+    m_epsilon,
+    num_phases,
+    p_exact,
+    p_infinity,
+    t_epsilon,
+    theorem4_slot_bound,
+)
+from repro.core.decay import DecayProcess, simulate_decay_game
+
+__all__ = [
+    "DecayProcess",
+    "simulate_decay_game",
+    "decay_phase_length",
+    "num_phases",
+    "m_epsilon",
+    "t_epsilon",
+    "theorem4_slot_bound",
+    "expected_transmissions_bound",
+    "p_exact",
+    "p_infinity",
+]

@@ -1,0 +1,232 @@
+"""Analytic quantities from the paper.
+
+This module implements, exactly as defined in the paper:
+
+* ``P(k, d)`` — the probability that the shared receiver hears a lone
+  transmitter within ``k`` slots when ``d`` contenders run Decay
+  (:func:`p_exact`, an exact dynamic program over the Markov chain on
+  the number of active contenders), and its ``k → ∞`` limit
+  (:func:`p_infinity`, the recurrence (1) from the proof of Theorem 1).
+* ``M(ε) = ⌈log₂(n/ε)⌉`` and
+  ``T(ε) = 2·D + 5·M·max(√D, M)`` (Lemma 3's notation; ``T`` counts
+  *phases* of ``2⌈log Δ⌉`` slots each).
+* The Theorem 4 slot bound ``2⌈log Δ⌉ · T(ε)`` for reception by all
+  nodes, and the termination bound ``2⌈log Δ⌉ · (T + ⌈log(N/ε)⌉)``.
+* Protocol parameters: the Decay length ``k = 2⌈log Δ⌉`` and the
+  number of active phases per node, plus the expected-transmission
+  bound of paper property 2 (``2n⌈log(N/ε)⌉``).
+
+Note on the phase count: the PODC text sets ``t := ⌈2·log(N/ε)⌉`` in
+the Broadcast pseudocode, while Lemma 2's union bound only needs
+``⌈log₂(N/ε)⌉`` phases (each phase fails with probability ≤ 1/2 by
+Theorem 1(ii), so ``n·2^(−t) ≤ ε`` already at ``t = log₂(N/ε)`` when
+``N ≥ n``).  :func:`num_phases` exposes a ``multiplier`` so both
+readings are available; the protocol default is the safe paper value 2.
+"""
+
+from __future__ import annotations
+
+import math
+from functools import lru_cache
+
+from repro.errors import ReproError
+
+__all__ = [
+    "log2_ceil",
+    "decay_phase_length",
+    "num_phases",
+    "m_epsilon",
+    "t_epsilon",
+    "theorem4_slot_bound",
+    "theorem4_termination_bound",
+    "expected_transmissions_bound",
+    "bfs_slot_bound",
+    "p_exact",
+    "p_infinity",
+]
+
+
+def log2_ceil(x: float) -> int:
+    """``⌈log₂ x⌉`` for ``x ≥ 1`` (exact for powers of two)."""
+    if x < 1:
+        raise ReproError(f"log2_ceil requires x >= 1, got {x!r}")
+    if isinstance(x, int) or (isinstance(x, float) and x.is_integer()):
+        return (int(x) - 1).bit_length()
+    return math.ceil(math.log2(x))
+
+
+def decay_phase_length(max_degree: int) -> int:
+    """The paper's ``k = 2⌈log Δ⌉`` — slots per Decay call.
+
+    ``Δ`` is the a-priori upper bound on the maximum (in-)degree.  For
+    ``Δ = 1`` the formula gives 0, but Decay always sends at least
+    once, so the length is clamped to ≥ 1.
+    """
+    if max_degree < 1:
+        raise ReproError("max_degree must be >= 1")
+    return max(1, 2 * log2_ceil(max_degree))
+
+
+def num_phases(upper_bound_n: int, epsilon: float, *, multiplier: float = 2.0) -> int:
+    """Number of Decay phases each informed node executes.
+
+    Paper pseudocode: ``t := ⌈2·log(N/ε)⌉`` (``multiplier=2``, default).
+    Lemma 2's bound needs only ``⌈log₂(N/ε)⌉`` (``multiplier=1``).
+    """
+    _check_eps(epsilon)
+    if upper_bound_n < 1:
+        raise ReproError("upper_bound_n must be >= 1")
+    raw = multiplier * math.log2(upper_bound_n / epsilon)
+    return max(1, math.ceil(raw))
+
+
+def m_epsilon(n: int, epsilon: float) -> int:
+    """``M(ε) = ⌈log₂(n/ε)⌉`` (Lemma 3 notation)."""
+    _check_eps(epsilon)
+    if n < 1:
+        raise ReproError("n must be >= 1")
+    return max(1, math.ceil(math.log2(n / epsilon)))
+
+
+def t_epsilon(n: int, diameter: int, epsilon: float) -> int:
+    """``T(ε) = 2D + 5·M(ε)·max(√D, M(ε))`` — Lemma 3's phase bound."""
+    if diameter < 0:
+        raise ReproError("diameter must be non-negative")
+    m = m_epsilon(n, epsilon)
+    return math.ceil(2 * diameter + 5 * m * max(math.sqrt(diameter), m))
+
+
+def theorem4_slot_bound(n: int, diameter: int, max_degree: int, epsilon: float) -> int:
+    """Theorem 4: with probability ≥ 1 − 2ε all nodes have *received*
+    the message within ``2⌈log Δ⌉ · T(ε)`` time-slots."""
+    return decay_phase_length(max_degree) * t_epsilon(n, diameter, epsilon)
+
+
+def theorem4_termination_bound(
+    n: int,
+    diameter: int,
+    max_degree: int,
+    epsilon: float,
+    *,
+    upper_bound_n: int | None = None,
+) -> int:
+    """Theorem 4's second clause: all nodes have *terminated* within
+    ``2⌈log Δ⌉ · (T(ε) + ⌈log(N/ε)⌉)`` slots, w.p. ≥ 1 − 2ε."""
+    big_n = n if upper_bound_n is None else upper_bound_n
+    extra = m_epsilon(big_n, epsilon)
+    return decay_phase_length(max_degree) * (t_epsilon(n, diameter, epsilon) + extra)
+
+
+def expected_transmissions_bound(n: int, upper_bound_n: int, epsilon: float) -> float:
+    """Paper property 2: expected total transmissions ≤ ``2n⌈log(N/ε)⌉``."""
+    _check_eps(epsilon)
+    return 2.0 * n * math.ceil(math.log2(upper_bound_n / epsilon))
+
+
+def bfs_slot_bound(
+    n: int,
+    diameter: int,
+    max_degree: int,
+    epsilon: float,
+    *,
+    upper_bound_n: int | None = None,
+) -> int:
+    """Section 2.3: BFS completes within ``2D⌈log Δ⌉⌈log(N/ε)⌉`` slots w.p. ≥ 1 − ε."""
+    big_n = n if upper_bound_n is None else upper_bound_n
+    return diameter * decay_phase_length(max_degree) * m_epsilon(big_n, epsilon)
+
+
+# ---------------------------------------------------------------------------
+# Theorem 1: P(k, d) and its limit
+# ---------------------------------------------------------------------------
+
+
+def _binomial_pmf_row(count: int, p: float) -> list[float]:
+    """``[P(Binomial(count, p) = m) for m in 0..count]`` without bigints."""
+    row = [0.0] * (count + 1)
+    # Iterative: start from (1-p)^count and multiply across.
+    q = 1.0 - p
+    if q == 0.0:
+        row[count] = 1.0
+        return row
+    current = q**count
+    row[0] = current
+    for m in range(1, count + 1):
+        current *= (count - m + 1) / m * (p / q)
+        row[m] = current
+    return row
+
+
+def p_exact(k: int, d: int, *, p_continue: float = 0.5) -> float:
+    """Exact ``P(k, d)``: probability the receiver hears a lone
+    transmitter within ``k`` slots, ``d`` contenders running Decay.
+
+    Computed by evolving the distribution of the number of active
+    contenders.  States 0 (dead) and 1 (a lone transmitter next slot —
+    guaranteed reception) are absorbing for the purpose of success.
+    """
+    if k < 1:
+        raise ReproError("k must be >= 1")
+    if d < 0:
+        raise ReproError("d must be >= 0")
+    if d == 0:
+        return 0.0
+    if d == 1:
+        return 1.0
+    # dist[i] = probability exactly i contenders are active at the start
+    # of the current slot, conditioned on no lone-transmitter slot yet
+    # and i >= 2.  Success at slot t (0-indexed) means exactly one
+    # contender is active at the start of slot t; with d >= 2 this can
+    # first happen at slot 1, so k - 1 transitions cover slots 1..k-1.
+    dist = [0.0] * (d + 1)
+    dist[d] = 1.0
+    success = 0.0
+    for _ in range(k - 1):
+        nxt = [0.0] * (d + 1)
+        for i in range(2, d + 1):
+            mass = dist[i]
+            if mass == 0.0:
+                continue
+            row = _binomial_pmf_row(i, p_continue)
+            for m, pm in enumerate(row):
+                if pm:
+                    nxt[m] += mass * pm
+        success += nxt[1]
+        nxt[0] = 0.0  # all contenders dead: absorbed, never succeeds
+        nxt[1] = 0.0  # lone transmitter: absorbed into `success`
+        dist = nxt
+    return success
+
+
+def p_exact_table(k: int, max_d: int, *, p_continue: float = 0.5) -> dict[int, float]:
+    """``{d: P(k, d)}`` for d in 0..max_d (convenience for sweeps)."""
+    return {d: p_exact(k, d, p_continue=p_continue) for d in range(max_d + 1)}
+
+
+@lru_cache(maxsize=None)
+def p_infinity(d: int, *, p_continue: float = 0.5) -> float:
+    """``P(∞, d)`` — the limit of Theorem 1(i), via recurrence (1):
+
+    ``P(∞, d) = Σ_{i=0}^{d} C(d, i)·p^i·(1-p)^(d-i) · P(∞, i)``
+
+    solved for ``P(∞, d)`` (the ``i = d`` term is moved to the left).
+    ``P(∞, 0) = 0``, ``P(∞, 1) = 1``; Theorem 1(i) asserts the value is
+    ≥ 2/3 for every ``d ≥ 2`` (at the paper's ``p = 1/2``).
+    """
+    if d < 0:
+        raise ReproError("d must be >= 0")
+    if d == 0:
+        return 0.0
+    if d == 1:
+        return 1.0
+    row = _binomial_pmf_row(d, p_continue)
+    stay = row[d]
+    if stay >= 1.0:  # p_continue == 1: everyone transmits forever
+        return 0.0
+    total = sum(row[i] * p_infinity(i, p_continue=p_continue) for i in range(1, d))
+    return total / (1.0 - stay)
+
+
+def _check_eps(epsilon: float) -> None:
+    if not 0.0 < epsilon <= 1.0:
+        raise ReproError(f"epsilon must be in (0, 1], got {epsilon!r}")

@@ -1,0 +1,135 @@
+"""The Decay procedure (paper Section 2.1).
+
+The paper's pseudocode, executed by each competing transmitter::
+
+    procedure Decay(k, m);
+        repeat at most k times (but at least once!)
+            send m to all neighbors;
+            set coin to 0 or 1 with equal probability
+        until coin = 0.
+
+So a contender transmits in slot 0 of the procedure unconditionally,
+and keeps transmitting each subsequent slot while its coin comes up 1,
+for at most ``k`` transmissions total.  On average half the remaining
+contenders drop out each slot; Theorem 1 shows a lone survivor slot
+exists with probability > 1/2 within ``2 log d`` slots, and with
+probability ≥ 2/3 eventually.
+
+Two implementations are provided:
+
+* :class:`DecayProcess` — the per-node state machine used inside
+  engine protocols (:mod:`repro.protocols.decay_broadcast` etc.).
+* :func:`simulate_decay_game` — a direct simulation of the
+  single-receiver game of Theorem 1 (``d`` contenders, one receiver),
+  used by the E1 experiment where spinning up a full engine per sample
+  would dominate the measurement.
+
+The coin bias is a parameter (``p_continue``, paper value 1/2) to
+support the Hofri [H87] ablation (experiment E8).
+"""
+
+from __future__ import annotations
+
+import random
+
+from repro.errors import ProtocolError
+
+__all__ = ["DecayProcess", "simulate_decay_game"]
+
+
+class DecayProcess:
+    """State machine for one execution of ``Decay(k, m)`` by one node.
+
+    Call :meth:`wants_transmit` once per slot.  It returns ``True``
+    exactly for the slots in which the paper's procedure sends, and
+    flips the coin as a side effect — so call it exactly once per slot.
+
+    Parameters
+    ----------
+    k:
+        Maximum number of transmissions (the paper uses ``2⌈log Δ⌉``).
+    message:
+        The payload to send while active.
+    rng:
+        The node's private random stream.
+    p_continue:
+        Probability the coin says "keep transmitting" (paper: 0.5).
+    """
+
+    def __init__(
+        self,
+        k: int,
+        message: object,
+        rng: random.Random,
+        *,
+        p_continue: float = 0.5,
+    ) -> None:
+        if k < 1:
+            raise ProtocolError("Decay requires k >= 1 (it sends at least once)")
+        if not 0.0 <= p_continue <= 1.0:
+            raise ProtocolError("p_continue must be in [0, 1]")
+        self.k = k
+        self.message = message
+        self.p_continue = p_continue
+        self._rng = rng
+        self._sent = 0
+        self._active = True
+
+    @property
+    def active(self) -> bool:
+        """True while the procedure still has transmissions to make."""
+        return self._active
+
+    @property
+    def transmissions_made(self) -> int:
+        return self._sent
+
+    def wants_transmit(self) -> bool:
+        """Advance one slot; return whether this node transmits in it."""
+        if not self._active:
+            return False
+        self._sent += 1
+        if self._sent >= self.k:
+            self._active = False  # "at most k times"
+        elif self._rng.random() >= self.p_continue:
+            self._active = False  # coin = 0
+        return True
+
+
+def simulate_decay_game(
+    d: int,
+    k: int,
+    rng: random.Random,
+    *,
+    p_continue: float = 0.5,
+) -> int | None:
+    """Play the Theorem-1 game: ``d`` contenders run ``Decay(k, ·)``
+    simultaneously toward one shared receiver.
+
+    Returns the slot (0-based, < ``k``) at which the receiver first
+    hears a lone transmitter, or ``None`` if no such slot occurs within
+    the ``k``-slot window.
+
+    The simulation tracks only the number of still-active contenders:
+    in each slot all active contenders transmit (reception iff exactly
+    one), then each independently stays active with probability
+    ``p_continue``.  The per-contender cap of ``k`` transmissions never
+    binds inside a ``k``-slot window, so the count is a sufficient
+    statistic.
+    """
+    if d < 0:
+        raise ProtocolError("d must be non-negative")
+    if k < 1:
+        raise ProtocolError("k must be >= 1")
+    active = d
+    for slot in range(k):
+        if active == 0:
+            return None
+        if active == 1:
+            return slot
+        survivors = 0
+        for _ in range(active):
+            if rng.random() < p_continue:
+                survivors += 1
+        active = survivors
+    return None

@@ -1,0 +1,39 @@
+"""Single-hop-with-CD on multi-hop-without-CD: the [BGI89] emulation.
+
+The paper's Concluding Remarks: "*This point is further pursued in our
+emulation of single-hop radio network with collision detection on
+multi-hop radio networks without collision detection [BGI89].*"  The
+idea: one slot of a single-hop channel with collision detection has a
+three-way outcome (SILENCE / a message / COLLISION); an *epoch* of
+multi-initiator Broadcast_scheme can reproduce that outcome at every
+node of an arbitrary multi-hop network, with high probability.
+
+* :mod:`repro.emulation.singlehop` — the single-hop protocol
+  abstraction plus a reference executor (a clique with the CD medium).
+* :mod:`repro.emulation.emulator` — the epoch-based emulation that
+  runs the same protocols on any connected no-CD network.
+* :mod:`repro.emulation.protocols` — single-hop protocols to run on
+  either substrate: Willard-style maximum finding and binary-search
+  presence counting.
+"""
+
+from repro.emulation.emulator import EmulatedChannelProgram, run_emulated
+from repro.emulation.protocols import (
+    ActiveCountProtocol,
+    MaxFindingProtocol,
+)
+from repro.emulation.singlehop import (
+    ChannelFeedback,
+    SingleHopProtocol,
+    run_single_hop,
+)
+
+__all__ = [
+    "SingleHopProtocol",
+    "ChannelFeedback",
+    "run_single_hop",
+    "EmulatedChannelProgram",
+    "run_emulated",
+    "MaxFindingProtocol",
+    "ActiveCountProtocol",
+]

@@ -1,0 +1,142 @@
+"""Single-hop CD protocols to run directly or under the emulation.
+
+Both protocols drive their control flow entirely off the *common*
+channel feedback, so every station's termination decision is common
+knowledge — the property the emulator needs (all relays stay active
+until the computation ends everywhere).
+
+* :class:`MaxFindingProtocol` — Willard-style bit probing: the active
+  stations binary-search the ID space, MSB first; "someone transmitted"
+  (message or collision — CD's presence bit) decodes a 1.  After
+  ``id_bits`` rounds **every** station knows the maximum active ID.
+  This is exactly the primitive [BGI89] emulates to get multi-hop
+  leader election.
+* :class:`ActiveCountProtocol` — Capetanakis-style tree splitting used
+  as a *counter*: walk the ID-interval stack; SUCCESS pops and
+  increments, SILENCE pops, COLLISION splits.  Every station ends up
+  knowing the exact number of active stations (and the full roster).
+"""
+
+from __future__ import annotations
+
+from typing import Any, Hashable
+
+from repro.errors import ProtocolError
+from repro.emulation.singlehop import ChannelFeedback, SingleHopProtocol
+
+__all__ = ["MaxFindingProtocol", "ActiveCountProtocol"]
+
+Node = Hashable
+
+
+class MaxFindingProtocol(SingleHopProtocol):
+    """Find the maximum ID among the *active* stations (see module docs).
+
+    Round 0 is a *presence* round (all active stations transmit): it
+    disambiguates "only station 0 is active" from "nobody is active",
+    which pure bit probing cannot tell apart.  Rounds ``1..id_bits``
+    probe the ID bits, MSB first.  Total: ``id_bits + 1`` rounds.
+    """
+
+    def __init__(self, station: int, id_bits: int, *, active: bool = True) -> None:
+        super().__init__(station)
+        if station < 0 or station >= (1 << id_bits):
+            raise ProtocolError(f"station {station} does not fit in {id_bits} bits")
+        self.id_bits = id_bits
+        self.active = active
+        self.candidate = active
+        self.anyone_active: bool | None = None
+        self.prefix_bits: list[int] = []
+
+    def _bit(self, round_index: int) -> int:
+        return self.id_bits - round_index  # round 1 probes the MSB
+
+    def round_message(self, round_index: int) -> Any | None:
+        if round_index == 0:
+            return ("here", self.station) if self.active else None
+        bit = self._bit(round_index)
+        if self.candidate and self.station >> bit & 1:
+            return ("probe", bit, self.station)
+        return None
+
+    def on_feedback(self, round_index: int, feedback: ChannelFeedback) -> None:
+        present = feedback.kind in ("message", "collision")
+        if round_index == 0:
+            self.anyone_active = present
+            return
+        bit = self._bit(round_index)
+        self.prefix_bits.append(1 if present else 0)
+        if self.candidate and present != bool(self.station >> bit & 1):
+            self.candidate = False
+
+    def is_done(self, round_index: int) -> bool:
+        if self.anyone_active is False:
+            return True
+        return len(self.prefix_bits) >= self.id_bits
+
+    def result(self) -> dict[str, Any]:
+        if self.anyone_active is False:
+            return {"winner": None, "is_winner": False}
+        if self.anyone_active is None or len(self.prefix_bits) < self.id_bits:
+            return {"winner": None, "is_winner": False}
+        value = 0
+        for bit_value in self.prefix_bits:
+            value = value << 1 | bit_value
+        return {
+            "winner": value,
+            "is_winner": self.active and value == self.station,
+        }
+
+
+class ActiveCountProtocol(SingleHopProtocol):
+    """Count (and enumerate) the active stations by tree splitting."""
+
+    def __init__(
+        self,
+        station: int,
+        id_space: tuple[int, int],
+        *,
+        active: bool = True,
+    ) -> None:
+        super().__init__(station)
+        lo, hi = id_space
+        if lo >= hi:
+            raise ProtocolError("id_space must be a non-empty interval [lo, hi)")
+        if not lo <= station < hi:
+            raise ProtocolError(f"station {station} outside id_space {id_space}")
+        self.active = active
+        self._stack: list[tuple[int, int]] = [(lo, hi)]
+        self._resolved = False
+        self._i_transmitted = False
+        self.roster: list[int] = []
+
+    def round_message(self, round_index: int) -> Any | None:
+        if not self._stack:
+            return None
+        lo, hi = self._stack[-1]
+        mine = self.active and not self._resolved and lo <= self.station < hi
+        self._i_transmitted = mine
+        if mine:
+            return ("count", self.station)
+        return None
+
+    def on_feedback(self, round_index: int, feedback: ChannelFeedback) -> None:
+        if not self._stack:
+            return
+        lo, hi = self._stack.pop()
+        if feedback.kind == "message":
+            _tag, who = feedback.message
+            self.roster.append(who)
+            if self._i_transmitted:
+                self._resolved = True
+        elif feedback.kind == "collision":
+            mid = (lo + hi) // 2
+            self._stack.append((mid, hi))
+            self._stack.append((lo, mid))
+        # silence: plain pop
+
+    def is_done(self, round_index: int) -> bool:
+        return not self._stack
+
+    def result(self) -> dict[str, Any]:
+        return {"count": len(self.roster), "roster": sorted(self.roster)}

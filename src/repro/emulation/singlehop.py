@@ -1,0 +1,109 @@
+"""The single-hop channel abstraction and its reference executor.
+
+A *single-hop radio network with collision detection* ([A70]-style, the
+model of Willard [W86]) is one shared channel: in each round every
+station either transmits or listens, and every station observes the
+same three-way feedback:
+
+* ``("silence", None)`` — nobody transmitted;
+* ``("message", m)`` — exactly one station transmitted ``m``;
+* ``("collision", None)`` — two or more transmitted.
+
+(In the classical model transmitters also learn the outcome — e.g. via
+an acknowledging base station or full-duplex hardware; we adopt that
+convention, which is what Willard's protocol needs.)
+
+:class:`SingleHopProtocol` is the per-station state machine;
+:func:`run_single_hop` executes it directly on the abstract channel.
+The multi-hop emulator (:mod:`repro.emulation.emulator`) runs the very
+same protocol objects on an arbitrary no-CD network — the tests assert
+both substrates produce identical outputs (up to the emulator's ε).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Any, Hashable, Literal
+
+from repro.errors import ProtocolError
+
+__all__ = ["ChannelFeedback", "SingleHopProtocol", "run_single_hop"]
+
+Node = Hashable
+
+
+@dataclass(frozen=True)
+class ChannelFeedback:
+    """What every station observes at the end of a single-hop round."""
+
+    kind: Literal["silence", "message", "collision"]
+    message: Any = None
+
+    def __post_init__(self) -> None:
+        if self.kind == "message" and self.message is None:
+            raise ProtocolError("message feedback must carry the message")
+        if self.kind != "message" and self.message is not None:
+            raise ProtocolError(f"{self.kind} feedback carries no message")
+
+
+SILENCE_FEEDBACK = ChannelFeedback("silence")
+COLLISION_FEEDBACK = ChannelFeedback("collision")
+
+
+class SingleHopProtocol:
+    """Per-station logic for a single-hop CD channel.
+
+    Subclasses override :meth:`round_message` (return the message to
+    transmit this round, or ``None`` to listen) and
+    :meth:`on_feedback` (digest the common channel feedback).  The
+    driver — direct or emulated — calls them alternately until
+    :meth:`is_done`.
+    """
+
+    def __init__(self, station: Node) -> None:
+        self.station = station
+
+    def round_message(self, round_index: int) -> Any | None:
+        """The message to transmit in this round (None = listen)."""
+        raise NotImplementedError
+
+    def on_feedback(self, round_index: int, feedback: ChannelFeedback) -> None:
+        """Observe the round's common feedback."""
+
+    def is_done(self, round_index: int) -> bool:
+        return False
+
+    def result(self) -> Any:
+        return None
+
+
+def run_single_hop(
+    protocols: dict[Node, SingleHopProtocol],
+    max_rounds: int,
+) -> dict[Node, Any]:
+    """Execute the protocols directly on an ideal single-hop CD channel.
+
+    This is the reference semantics the emulator is validated against.
+    Returns each station's ``result()``.
+    """
+    if not protocols:
+        raise ProtocolError("need at least one station")
+    for round_index in range(max_rounds):
+        if all(p.is_done(round_index) for p in protocols.values()):
+            break
+        transmissions = {
+            node: message
+            for node, p in protocols.items()
+            if not p.is_done(round_index)
+            and (message := p.round_message(round_index)) is not None
+        }
+        if len(transmissions) == 0:
+            feedback = SILENCE_FEEDBACK
+        elif len(transmissions) == 1:
+            feedback = ChannelFeedback("message", next(iter(transmissions.values())))
+        else:
+            feedback = COLLISION_FEEDBACK
+        for p in protocols.values():
+            if not p.is_done(round_index):
+                p.on_feedback(round_index, feedback)
+    return {node: p.result() for node, p in protocols.items()}

@@ -1,0 +1,66 @@
+"""Exception hierarchy for the ``repro`` package.
+
+All exceptions raised intentionally by this library derive from
+:class:`ReproError`, so callers can distinguish library-level failures
+(bad parameters, malformed graphs, protocol misuse) from programming
+errors in their own code with a single ``except ReproError`` clause.
+"""
+
+from __future__ import annotations
+
+__all__ = [
+    "ReproError",
+    "GraphError",
+    "NodeNotFound",
+    "EdgeNotFound",
+    "SimulationError",
+    "ProtocolError",
+    "GameError",
+    "ExperimentError",
+]
+
+
+class ReproError(Exception):
+    """Base class for every error raised by the ``repro`` library."""
+
+
+class GraphError(ReproError):
+    """A graph operation received invalid input (duplicate node, self-loop, ...)."""
+
+
+class NodeNotFound(GraphError, KeyError):
+    """A node referenced by an operation does not exist in the graph."""
+
+    def __init__(self, node: object) -> None:
+        super().__init__(node)
+        self.node = node
+
+    def __str__(self) -> str:  # KeyError quotes its args; give a readable message.
+        return f"node {self.node!r} is not in the graph"
+
+
+class EdgeNotFound(GraphError, KeyError):
+    """An edge referenced by an operation does not exist in the graph."""
+
+    def __init__(self, u: object, v: object) -> None:
+        super().__init__((u, v))
+        self.edge = (u, v)
+
+    def __str__(self) -> str:
+        return f"edge {self.edge!r} is not in the graph"
+
+
+class SimulationError(ReproError):
+    """The simulation engine was driven into an invalid state."""
+
+
+class ProtocolError(ReproError):
+    """A protocol/node program violated the engine's contract."""
+
+
+class GameError(ReproError):
+    """The hitting game was played out of turn or with illegal moves."""
+
+
+class ExperimentError(ReproError):
+    """An experiment harness was configured inconsistently."""

@@ -1,0 +1,27 @@
+"""One module per reproduced result of the paper (see DESIGN.md §3).
+
+========  =====================================================
+module    paper claim
+========  =====================================================
+exp_decay       E1 — Theorem 1 (Decay reception probabilities)
+exp_broadcast   E2/E3 — Lemmas 2–3 and Theorem 4 (broadcast time)
+exp_hitting     E4 — Lemmas 9–10, Prop. 11, Theorem 12 (adversary)
+exp_gap         E5 — Corollary 13 (the exponential gap)
+exp_bfs         E6 — Section 2.3 BFS
+exp_messages    E7 — property 2 (message complexity)
+exp_coin_bias   E8 — Hofri [H87] coin-bias ablation
+exp_dynamic     E9 — property 3 (fault resilience)
+exp_cd          E10 — Section 4 collision-detection remark
+exp_dfs         E11 — Section 3.4 DFS upper bound
+exp_spontaneous E12 — Section 3.5 spontaneous wakeup / C*_n
+========  =====================================================
+
+Every module exposes a ``run_*`` function returning an
+:class:`~repro.analysis.tables.Table` (plus sometimes a summary dict);
+the files in ``benchmarks/`` call them and print the tables, and
+EXPERIMENTS.md records the measured numbers against the paper's.
+"""
+
+from repro.experiments.runner import ExperimentConfig, repeat_runs, sweep
+
+__all__ = ["ExperimentConfig", "repeat_runs", "sweep"]

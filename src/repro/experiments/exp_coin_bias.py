@@ -1,0 +1,105 @@
+"""E8 — ablation: the Decay coin bias (Hofri [H87]).
+
+The paper sets the per-slot continue probability to 1/2 and notes that
+"an analysis of the merits of using other probabilities was carried out
+by Hofri".  This experiment sweeps the bias and reports
+
+* the single-receiver reception probability ``P(k, d)`` (exact DP) at
+  the paper's window ``k = 2⌈log d⌉`` — the quantity Hofri optimises;
+* end-to-end broadcast completion slots with the biased Decay.
+
+Expected shape: a broad optimum around p ≈ 0.5–0.6 for moderate ``d``;
+extremes degrade sharply (p → 0: everyone drops out after one slot and
+collides in it; p → 1: flooding — everyone keeps colliding for the
+whole window).  The ``align_phases`` ablation (design decision 2 in
+DESIGN.md) rides along in :func:`run_alignment_table`.
+"""
+
+from __future__ import annotations
+
+from repro.analysis.stats import mean
+from repro.analysis.tables import Table
+from repro.core.bounds import decay_phase_length, p_exact
+from repro.experiments.runner import ExperimentConfig
+from repro.graphs.generators import random_gnp
+from repro.protocols.decay_broadcast import run_decay_broadcast
+from repro.rng import spawn
+
+__all__ = ["run_coin_bias_table", "run_alignment_table"]
+
+DEFAULT_BIASES = (0.1, 0.3, 0.4, 0.5, 0.6, 0.7, 0.9)
+
+
+def run_coin_bias_table(
+    config: ExperimentConfig | None = None,
+    *,
+    biases: tuple[float, ...] = DEFAULT_BIASES,
+    d: int = 16,
+    n: int = 96,
+    epsilon: float = 0.1,
+) -> Table:
+    """P(k, d) and broadcast time as a function of the coin bias."""
+    config = config or ExperimentConfig(reps=15)
+    if config.quick:
+        biases = (0.3, 0.5, 0.7)
+    k = decay_phase_length(d)
+    rng = spawn(config.master_seed, "bias-topology", n)
+    g = random_gnp(n, min(1.0, 8.0 / n), rng)
+    table = Table(
+        f"E8 / [H87] — coin bias ablation (d={d}, k={k}, n={g.num_nodes()})",
+        ["p_continue", "P_k_d", "bcast_mean_slots", "bcast_success_rate"],
+    )
+    for p in biases:
+        reception = p_exact(k, d, p_continue=p)
+        slots = []
+        successes = 0
+        seeds = config.seeds("bias", p)
+        for seed in seeds:
+            result = run_decay_broadcast(
+                g, source=0, seed=seed, epsilon=epsilon, p_continue=p
+            )
+            slot = result.broadcast_completion_slot(source=0)
+            if slot is not None:
+                successes += 1
+                slots.append(slot)
+        table.add_row(
+            p,
+            reception,
+            mean(slots) if slots else float("nan"),
+            successes / len(seeds),
+        )
+    return table
+
+
+def run_alignment_table(
+    config: ExperimentConfig | None = None,
+    *,
+    n: int = 96,
+    epsilon: float = 0.1,
+) -> Table:
+    """Ablation of design decision 2: phase-aligned vs free-running Decay."""
+    config = config or ExperimentConfig(reps=20)
+    rng = spawn(config.master_seed, "align-topology", n)
+    g = random_gnp(n, min(1.0, 8.0 / n), rng)
+    table = Table(
+        f"E8b — Decay phase alignment ablation (n={g.num_nodes()})",
+        ["variant", "mean_slots", "success_rate"],
+    )
+    for variant, aligned in (("aligned (paper)", True), ("free-running", False)):
+        slots = []
+        successes = 0
+        seeds = config.seeds("align", variant)
+        for seed in seeds:
+            result = run_decay_broadcast(
+                g, source=0, seed=seed, epsilon=epsilon, align_phases=aligned
+            )
+            slot = result.broadcast_completion_slot(source=0)
+            if slot is not None:
+                successes += 1
+                slots.append(slot)
+        table.add_row(
+            variant,
+            mean(slots) if slots else float("nan"),
+            successes / len(seeds),
+        )
+    return table

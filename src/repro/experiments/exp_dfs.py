@@ -1,0 +1,115 @@
+"""E11 — Section 3.4: the deterministic ``2n`` upper bound.
+
+Claim: DFS token traversal broadcasts within ``2n`` time-slots on any
+connected network (each DFS-tree edge traversed at most twice).  We
+measure the completion slot on assorted topologies — including the
+lower-bound family ``C_n`` itself, where DFS pins the gap from above:
+``n/8 ≤ T(n) ≤ 2n``.
+
+A companion table compares DFS with round-robin and a centralized
+greedy schedule (the [CW87]-style construction of
+:mod:`repro.core.schedule`) — the three deterministic regimes the
+paper discusses: topology-oblivious token passing (Θ(n)), TDMA
+(Θ(n·D)), and topology-*aware* scheduling (O(D·log²n), but requiring
+central knowledge the radio model does not grant).
+"""
+
+from __future__ import annotations
+
+from repro.analysis.tables import Table
+from repro.core.schedule import greedy_layer_schedule, sequential_tree_schedule
+from repro.experiments.runner import ExperimentConfig
+from repro.graphs.generators import c_n, grid, line, random_gnp, random_tree
+from repro.graphs.graph import Graph
+from repro.graphs.properties import diameter
+from repro.protocols.base import run_broadcast
+from repro.protocols.dfs_broadcast import make_dfs_programs
+from repro.protocols.round_robin import make_round_robin_programs
+from repro.protocols.scheduled import make_scheduled_programs
+from repro.rng import spawn
+
+__all__ = ["run_dfs_table", "run_deterministic_comparison_table"]
+
+
+def _dfs_workloads(config: ExperimentConfig) -> list[tuple[str, Graph]]:
+    rng = spawn(config.master_seed, "dfs-workloads")
+    workloads = [
+        ("line-32", line(32)),
+        ("grid-6x6", grid(6, 6)),
+        ("tree-48", random_tree(48, rng)),
+        ("gnp-64", random_gnp(64, 0.08, rng)),
+        ("c_n-32", c_n(32, set(range(9, 20)))),
+    ]
+    if not config.quick:
+        workloads += [
+            ("grid-12x12", grid(12, 12)),
+            ("gnp-200", random_gnp(200, 0.03, rng)),
+            ("c_n-128", c_n(128, set(range(40, 90)))),
+        ]
+    return workloads
+
+
+def run_dfs_table(config: ExperimentConfig | None = None) -> Table:
+    """DFS completion slots vs the ``2n`` bound."""
+    config = config or ExperimentConfig()
+    table = Table(
+        "E11 / Section 3.4 — DFS token broadcast completes within 2n slots",
+        ["workload", "n", "completion_slot", "bound_2n", "claim_holds"],
+    )
+    for name, g in _dfs_workloads(config):
+        n = g.num_nodes()
+        programs = make_dfs_programs(g, 0)
+        result = run_broadcast(
+            g, programs, initiators={0}, max_slots=4 * n, stop="informed"
+        )
+        slot = result.broadcast_completion_slot(source=0)
+        table.add_row(
+            name,
+            n,
+            slot if slot is not None else -1,
+            2 * n,
+            slot is not None and slot <= 2 * n,
+        )
+    return table
+
+
+def run_deterministic_comparison_table(
+    config: ExperimentConfig | None = None,
+) -> Table:
+    """Three deterministic regimes side by side (completion slots)."""
+    config = config or ExperimentConfig()
+    table = Table(
+        "E11b — deterministic regimes: DFS vs TDMA vs centralized greedy schedule",
+        ["workload", "n", "D", "dfs", "round_robin", "greedy_schedule", "tree_schedule"],
+    )
+    for name, g in _dfs_workloads(config):
+        if not all(isinstance(node, int) for node in g.nodes):
+            continue
+        n = g.num_nodes()
+        d = diameter(g)
+        dfs_programs = make_dfs_programs(g, 0)
+        dfs = run_broadcast(
+            g, dfs_programs, initiators={0}, max_slots=4 * n, stop="informed"
+        ).broadcast_completion_slot(source=0)
+        frame = max(g.nodes) + 1
+        rr_programs = make_round_robin_programs(g, 0, frame_size=frame)
+        rr = run_broadcast(
+            g, rr_programs, initiators={0}, max_slots=frame * (d + 2), stop="informed"
+        ).broadcast_completion_slot(source=0)
+        rng = spawn(config.master_seed, "greedy", name)
+        greedy = greedy_layer_schedule(g, 0, rng=rng)
+        greedy_programs = make_scheduled_programs(g, 0, greedy)
+        greedy_slot = run_broadcast(
+            g, greedy_programs, initiators={0}, max_slots=len(greedy) + 1, stop="informed"
+        ).broadcast_completion_slot(source=0)
+        tree_len = len(sequential_tree_schedule(g, 0))
+        table.add_row(
+            name,
+            n,
+            d,
+            dfs if dfs is not None else -1,
+            rr if rr is not None else -1,
+            greedy_slot if greedy_slot is not None else -1,
+            tree_len,
+        )
+    return table

@@ -1,0 +1,170 @@
+"""E5 — Corollary 13: the exponential gap, measured.
+
+On the paper's lower-bound family ``C_n`` (diameter 3), we measure:
+
+* the **randomized** Decay Broadcast_scheme's completion slots
+  (mean / p90 over seeds and over random hidden sets ``S``) — the
+  paper predicts ``O(log n · log(n/ε))`` = polylogarithmic;
+* two **deterministic** protocols' worst-case completion slots over
+  sampled hidden sets ``S`` — round-robin TDMA and DFS token traversal
+  — the paper proves *any* deterministic protocol needs ``≥ n/8`` and
+  these take Θ(n).
+
+The table reports the raw numbers plus the gap ratio; the companion
+fit summary classifies growth (randomized ≈ a + b·log²n, deterministic
+≈ a + b·n).  The *shape* to look for: the deterministic curves grow
+linearly while the randomized one barely moves — crossing somewhere
+below n ≈ 32 and exceeding an order of magnitude by n ≈ 1024.
+"""
+
+from __future__ import annotations
+
+import math
+
+from repro.analysis.stats import mean, quantile
+from repro.analysis.tables import Table
+from repro.analysis.theory import fit_linear
+from repro.experiments.runner import ExperimentConfig
+from repro.graphs.generators import c_n
+from repro.graphs.graph import Graph
+from repro.protocols.base import run_broadcast
+from repro.protocols.decay_broadcast import run_decay_broadcast
+from repro.protocols.dfs_broadcast import make_dfs_programs
+from repro.protocols.round_robin import make_round_robin_programs
+from repro.rng import spawn
+
+__all__ = ["run_gap_table", "gap_growth_fits", "sample_hidden_sets"]
+
+DEFAULT_SIZES = (8, 16, 32, 64, 128, 256, 512, 1024)
+QUICK_SIZES = (8, 16, 32, 64)
+
+
+def sample_hidden_sets(n: int, count: int, seed: int) -> list[frozenset[int]]:
+    """Hidden sets to evaluate protocols on: adversarial-ish extremes
+    (a far-away singleton, the second half, everything) plus random."""
+    rng = spawn(seed, "gap-hidden", n)
+    samples = [
+        frozenset({n}),
+        frozenset(range(n // 2 + 1, n + 1)),
+        frozenset(range(1, n + 1)),
+    ]
+    while len(samples) < count:
+        size = rng.randint(1, n)
+        samples.append(frozenset(rng.sample(range(1, n + 1), size)))
+    return samples[:count]
+
+
+def _deterministic_worst_case(
+    make_programs,
+    n: int,
+    hidden_sets: list[frozenset[int]],
+    max_slots: int,
+) -> int:
+    """Worst completion slot of a deterministic protocol over hidden sets."""
+    worst = 0
+    for s in hidden_sets:
+        g: Graph = c_n(n, s)
+        programs = make_programs(g)
+        result = run_broadcast(
+            g, programs, initiators={0}, max_slots=max_slots, stop="informed"
+        )
+        slot = result.broadcast_completion_slot(source=0)
+        if slot is None:
+            slot = max_slots  # did not finish within the budget
+        worst = max(worst, slot)
+    return worst
+
+
+def run_gap_table(
+    config: ExperimentConfig | None = None,
+    *,
+    sizes: tuple[int, ...] = DEFAULT_SIZES,
+    epsilon: float = 0.1,
+    hidden_set_count: int = 8,
+) -> Table:
+    """The headline exponential-gap table on the ``C_n`` family."""
+    config = config or ExperimentConfig(reps=15)
+    if config.quick:
+        sizes = QUICK_SIZES
+    table = Table(
+        f"E5 / Corollary 13 — randomized vs deterministic broadcast on C_n (epsilon={epsilon})",
+        [
+            "n",
+            "nodes",
+            "rand_mean",
+            "rand_p90",
+            "det_round_robin",
+            "det_dfs",
+            "gap_rr_over_rand",
+            "gap_dfs_over_rand",
+        ],
+    )
+    for n in sizes:
+        hidden_sets = sample_hidden_sets(n, hidden_set_count, config.master_seed)
+        # Randomized: over seeds AND hidden sets (its behaviour is S-independent
+        # by design — it never reads IDs — but we vary S anyway for fairness).
+        rand_slots: list[float] = []
+        seeds = config.seeds("gap-rand", n)
+        for i, seed in enumerate(seeds):
+            s = hidden_sets[i % len(hidden_sets)]
+            g = c_n(n, s)
+            result = run_decay_broadcast(g, source=0, seed=seed, epsilon=epsilon)
+            slot = result.broadcast_completion_slot(source=0)
+            if slot is not None:
+                rand_slots.append(slot)
+        frame = n + 2  # IDs 0..n+1
+        rr_worst = _deterministic_worst_case(
+            lambda g: make_round_robin_programs(g, 0, frame_size=frame),
+            n,
+            hidden_sets,
+            max_slots=frame * 8,
+        )
+        dfs_worst = _deterministic_worst_case(
+            lambda g: make_dfs_programs(g, 0),
+            n,
+            hidden_sets,
+            max_slots=4 * (n + 2),
+        )
+        rand_mean = mean(rand_slots) if rand_slots else float("nan")
+        rand_p90 = quantile(rand_slots, 0.9) if rand_slots else float("nan")
+        table.add_row(
+            n,
+            n + 2,
+            rand_mean,
+            rand_p90,
+            rr_worst,
+            dfs_worst,
+            rr_worst / rand_mean if rand_slots else float("nan"),
+            dfs_worst / rand_mean if rand_slots else float("nan"),
+        )
+    return table
+
+
+def gap_growth_fits(table: Table) -> dict[str, dict[str, float]]:
+    """Classify each curve's growth from a :func:`run_gap_table` result.
+
+    Fits randomized means against ``log₂²(n)`` and the deterministic
+    worst cases against ``n``; returns slopes and R² so callers (and
+    EXPERIMENTS.md) can verify the polylog-vs-linear separation.
+    """
+    ns = [float(v) for v in table.column("n")]
+    rand = [float(v) for v in table.column("rand_mean")]
+    rr = [float(v) for v in table.column("det_round_robin")]
+    dfs = [float(v) for v in table.column("det_dfs")]
+    log2sq = [math.log2(x) ** 2 for x in ns]
+    rand_fit = fit_linear(log2sq, rand)
+    rand_linear_fit = fit_linear(ns, rand)
+    rr_fit = fit_linear(ns, rr)
+    dfs_fit = fit_linear(ns, dfs)
+    return {
+        "randomized_vs_log2sq": {
+            "slope": rand_fit.slope,
+            "r_squared": rand_fit.r_squared,
+        },
+        "randomized_vs_n": {
+            "slope": rand_linear_fit.slope,
+            "r_squared": rand_linear_fit.r_squared,
+        },
+        "round_robin_vs_n": {"slope": rr_fit.slope, "r_squared": rr_fit.r_squared},
+        "dfs_vs_n": {"slope": dfs_fit.slope, "r_squared": dfs_fit.r_squared},
+    }

@@ -1,0 +1,179 @@
+"""E4 — the deterministic lower bound machinery (Section 3).
+
+Reproduced claims:
+
+* **Lemma 9** — ``find_set``'s output is consistent: no move has a
+  singleton intersection with S, and a singleton complement-
+  intersection occurs only for singleton moves (checked per strategy).
+* **Lemma 10 / Proposition 11** — for every strategy run for
+  ``t = ⌊n/2⌋`` induced moves, ``find_set`` returns a non-empty S; the
+  replayed game never hits: ``G(n) > n/2``.
+* **Theorem 12 via Lemma 7** — compiling deterministic abstract
+  broadcast protocols into explorers, the same adversary stalls the
+  *protocols* for ``≥ n/4`` rounds, while the DFS-style sweep shows
+  the matching O(n) upper bound.
+"""
+
+from __future__ import annotations
+
+from typing import Callable
+
+from repro.analysis.tables import Table
+from repro.experiments.runner import ExperimentConfig
+from repro.lowerbound.adversary import foil_strategy
+from repro.lowerbound.hitting_game import play_game
+from repro.lowerbound.reduction import (
+    BinarySplitAbstractProtocol,
+    ProtocolStrategy,
+    RoundRobinAbstractProtocol,
+    run_abstract_protocol,
+)
+from repro.lowerbound.strategies import (
+    BinarySplittingStrategy,
+    DoublingStrategy,
+    ExplorerStrategy,
+    RandomStrategy,
+    SingletonSweepStrategy,
+)
+
+__all__ = [
+    "strategy_suite",
+    "run_adversary_table",
+    "run_protocol_lower_bound_table",
+    "run_upper_bound_table",
+]
+
+
+def strategy_suite(seed: int = 11) -> dict[str, Callable[[], ExplorerStrategy]]:
+    """Fresh-instance factories for the explorer strategies under test."""
+    return {
+        "singleton-sweep": SingletonSweepStrategy,
+        "doubling": DoublingStrategy,
+        "binary-splitting": BinarySplittingStrategy,
+        "random-half": lambda: RandomStrategy(seed, density=0.5),
+        "protocol:round-robin": lambda: ProtocolStrategy(RoundRobinAbstractProtocol),
+        "protocol:binary-split": lambda: ProtocolStrategy(BinarySplitAbstractProtocol),
+    }
+
+
+def run_adversary_table(
+    config: ExperimentConfig | None = None,
+    *,
+    sizes: tuple[int, ...] = (8, 16, 32, 64, 128, 256),
+) -> Table:
+    """E4: the ``find_set`` adversary vs every strategy, at t = n/2 moves."""
+    config = config or ExperimentConfig()
+    if config.quick:
+        sizes = sizes[:3]
+    table = Table(
+        "E4 / Lemmas 9-10, Prop. 11 — find_set survives n/2 moves of every strategy",
+        [
+            "strategy",
+            "n",
+            "moves_allowed",
+            "S_size",
+            "S_nonempty",
+            "survived_all",
+            "replay_consistent",
+        ],
+    )
+    for name, factory in strategy_suite(config.master_seed).items():
+        for n in sizes:
+            t = n // 2
+            result = foil_strategy(factory(), n, t)
+            table.add_row(
+                name,
+                n,
+                t,
+                len(result.hidden_set),
+                bool(result.hidden_set),
+                result.survived_moves >= t,
+                result.consistent,
+            )
+    return table
+
+
+def run_protocol_lower_bound_table(
+    config: ExperimentConfig | None = None,
+    *,
+    sizes: tuple[int, ...] = (16, 32, 64, 128),
+) -> Table:
+    """Theorem 12 end-to-end: adversarial S stalls abstract protocols ≥ n/4 rounds."""
+    config = config or ExperimentConfig()
+    if config.quick:
+        sizes = sizes[:2]
+    protocols = {
+        "round-robin": RoundRobinAbstractProtocol,
+        "binary-split": BinarySplitAbstractProtocol,
+    }
+    table = Table(
+        "E4b / Theorem 12 — rounds an adversarial S forces on abstract protocols",
+        ["protocol", "n", "adversarial_S_size", "rounds_survived", "n_over_4", "claim_holds"],
+    )
+    for name, proto_factory in protocols.items():
+        for n in sizes:
+            strategy = ProtocolStrategy(proto_factory)
+            moves_budget = n // 2
+            foil = foil_strategy(strategy, n, moves_budget)
+            rounds = None
+            if foil.hidden_set:
+                rounds = run_abstract_protocol(
+                    proto_factory(n), foil.hidden_set, max_rounds=4 * n
+                )
+            survived = (rounds if rounds is not None else 4 * n) - 1
+            table.add_row(
+                name,
+                n,
+                len(foil.hidden_set),
+                survived,
+                n // 4,
+                survived >= n // 4,
+            )
+    return table
+
+
+def run_upper_bound_table(
+    config: ExperimentConfig | None = None,
+    *,
+    sizes: tuple[int, ...] = (8, 16, 32, 64, 128),
+) -> Table:
+    """The matching upper bounds: sweeps win the game in ≤ n moves and
+    round-robin completes abstract broadcast in ≤ n rounds, worst-case
+    over a spread of hidden sets."""
+    config = config or ExperimentConfig()
+    if config.quick:
+        sizes = sizes[:3]
+    table = Table(
+        "E4c — matching O(n) upper bounds (worst case over sampled hidden sets)",
+        ["n", "worst_sweep_moves", "sweep_le_n", "worst_rr_rounds", "rr_le_n"],
+    )
+    for n in sizes:
+        hidden_sets = _hidden_set_samples(n, config)
+        worst_game = 0
+        worst_rounds = 0
+        for s in hidden_sets:
+            outcome = play_game(SingletonSweepStrategy(), n, s, max_moves=2 * n)
+            assert outcome.won
+            worst_game = max(worst_game, outcome.moves_used)
+            rounds = run_abstract_protocol(RoundRobinAbstractProtocol(n), s, 2 * n)
+            assert rounds is not None
+            worst_rounds = max(worst_rounds, rounds)
+        table.add_row(n, worst_game, worst_game <= n, worst_rounds, worst_rounds <= n)
+    return table
+
+
+def _hidden_set_samples(n: int, config: ExperimentConfig) -> list[frozenset[int]]:
+    """A spread of hidden sets: extremes plus random ones."""
+    from repro.rng import spawn
+
+    rng = spawn(config.master_seed, "hidden-sets", n)
+    samples = [
+        frozenset({n}),
+        frozenset({1}),
+        frozenset(range(1, n + 1)),
+        frozenset(range(n // 2 + 1, n + 1)),
+    ]
+    for _ in range(min(10, config.reps)):
+        size = rng.randint(1, n)
+        samples.append(frozenset(rng.sample(range(1, n + 1), size)))
+    return samples

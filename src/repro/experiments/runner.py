@@ -1,0 +1,66 @@
+"""The experiment harness: seeded repetition and parameter sweeps.
+
+Disciplines enforced here so individual experiments stay honest:
+
+* every repetition gets an independent child seed derived from the
+  experiment's master seed and the sweep point's tag (see
+  :mod:`repro.rng`) — re-ordering sweep points never changes any run;
+* the graph for a sweep point is generated from a seed independent of
+  the protocol's coin flips, so all protocols at a sweep point face
+  the *same* topologies (paired comparison, as the gap experiment
+  needs).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any, Callable, Iterable, Sequence
+
+from repro import rng as rng_mod
+from repro.errors import ExperimentError
+
+__all__ = ["ExperimentConfig", "repeat_runs", "sweep"]
+
+
+@dataclass(frozen=True)
+class ExperimentConfig:
+    """Knobs shared by all experiments.
+
+    ``reps`` is the Monte-Carlo repetition count; ``master_seed`` the
+    root of the whole experiment's randomness; ``quick`` asks the
+    experiment for a reduced parameter grid (used by the CI-speed
+    benchmarks; full grids reproduce the EXPERIMENTS.md numbers).
+    """
+
+    reps: int = 30
+    master_seed: int = 20260706
+    quick: bool = False
+    extra: dict[str, Any] = field(default_factory=dict)
+
+    def seeds(self, *tags: object) -> list[int]:
+        """Independent per-repetition seeds for one sweep point."""
+        return list(rng_mod.seed_sequence(self.master_seed, self.reps, *tags))
+
+
+def repeat_runs(
+    config: ExperimentConfig,
+    tag: Sequence[object],
+    run_once: Callable[[int], Any],
+) -> list[Any]:
+    """Run ``run_once(seed)`` for each derived repetition seed."""
+    if config.reps < 1:
+        raise ExperimentError("reps must be >= 1")
+    return [run_once(seed) for seed in config.seeds(*tag)]
+
+
+def sweep(
+    config: ExperimentConfig,
+    points: Iterable[Any],
+    run_point: Callable[[Any, list[int]], Any],
+) -> list[Any]:
+    """Evaluate ``run_point(point, seeds)`` at every sweep point."""
+    results = []
+    for point in points:
+        seeds = config.seeds("sweep", point)
+        results.append(run_point(point, seeds))
+    return results

@@ -1,0 +1,61 @@
+"""Graph substrate: data structures, topology generators, and properties.
+
+The simulator in :mod:`repro.sim` runs on :class:`~repro.graphs.graph.Graph`
+(undirected) or :class:`~repro.graphs.graph.DiGraph` (directed, for the
+paper's asymmetric-link remark in Section 2.2).  The generators module
+provides the paper's lower-bound families ``C_n`` / ``C*_n`` plus standard
+test topologies.
+"""
+
+from repro.graphs.graph import DiGraph, Graph
+from repro.graphs.generators import (
+    barbell,
+    c_n,
+    c_star_n,
+    complete,
+    grid,
+    hypercube,
+    layered_random,
+    line,
+    random_gnp,
+    random_tree,
+    ring,
+    star,
+    unit_disk,
+    watts_strogatz,
+)
+from repro.graphs.properties import (
+    bfs_layers,
+    degree_histogram,
+    diameter,
+    distances_from,
+    eccentricity,
+    is_connected,
+    max_degree,
+)
+
+__all__ = [
+    "Graph",
+    "DiGraph",
+    "barbell",
+    "c_n",
+    "c_star_n",
+    "complete",
+    "grid",
+    "hypercube",
+    "layered_random",
+    "line",
+    "random_gnp",
+    "random_tree",
+    "ring",
+    "star",
+    "unit_disk",
+    "watts_strogatz",
+    "bfs_layers",
+    "degree_histogram",
+    "diameter",
+    "distances_from",
+    "eccentricity",
+    "is_connected",
+    "max_degree",
+]

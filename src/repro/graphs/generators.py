@@ -1,0 +1,390 @@
+"""Topology generators.
+
+The first two generators are the paper's lower-bound families:
+
+* :func:`c_n` — the class ``C_n`` of Section 3.1: source ``0`` connected
+  to a second layer ``1..n``, a subset ``S`` of which is connected to the
+  sink ``n+1``.  Diameter 3 (for proper ``S``), ``n + 2`` nodes.
+* :func:`c_star_n` — the class ``C*_n`` of Section 3.5 used to defeat
+  spontaneous transmissions: second layer ``1..n``, sinks ``n+1..2n``,
+  complete bipartite edges between ``S`` and ``R``.
+
+The rest are standard families used as broadcast workloads: paths,
+rings, grids, trees, cliques, stars, hypercubes, Erdős–Rényi graphs,
+unit-disk graphs (the classic wireless model), layered random graphs
+(controlled diameter *and* controlled conflict density), and barbells.
+
+Random generators take a :class:`random.Random` so callers control
+reproducibility (see :mod:`repro.rng`).
+"""
+
+from __future__ import annotations
+
+import itertools
+import random
+from typing import Iterable, Sequence
+
+from repro.errors import GraphError
+from repro.graphs.graph import Graph
+
+__all__ = [
+    "c_n",
+    "c_star_n",
+    "line",
+    "ring",
+    "grid",
+    "complete",
+    "star",
+    "hypercube",
+    "random_gnp",
+    "random_tree",
+    "unit_disk",
+    "watts_strogatz",
+    "layered_random",
+    "barbell",
+]
+
+
+def c_n(n: int, subset: Iterable[int]) -> Graph:
+    """The paper's lower-bound network ``G_S`` from the class ``C_n``.
+
+    Nodes are ``0`` (the source), ``1..n`` (the second layer) and
+    ``n + 1`` (the sink).  Edge set is ``E1 ∪ E2`` with
+    ``E1 = {(0, i) : 1 ≤ i ≤ n}`` and ``E2 = {(i, n+1) : i ∈ S}``.
+
+    Parameters
+    ----------
+    n:
+        Size of the second layer (the network has ``n + 2`` nodes).
+    subset:
+        The hidden set ``S`` — a non-empty subset of ``{1, .., n}``.
+    """
+    s = set(subset)
+    if n < 1:
+        raise GraphError("c_n requires n >= 1")
+    if not s:
+        raise GraphError("c_n requires a non-empty subset S")
+    if not s <= set(range(1, n + 1)):
+        raise GraphError(f"subset S must be within 1..{n}, got {sorted(s)!r}")
+    g = Graph(nodes=range(n + 2))
+    for i in range(1, n + 1):
+        g.add_edge(0, i)
+    sink = n + 1
+    for i in s:
+        g.add_edge(i, sink)
+    return g
+
+
+def c_star_n(n: int, subset_s: Iterable[int], subset_r: Iterable[int]) -> Graph:
+    """The paper's spontaneous-wakeup-resistant network ``G_{S,R}`` (``C*_n``).
+
+    Nodes ``0..2n``: source ``0``, second layer ``1..n``, sinks
+    ``n+1..2n``.  Edges: ``0`` to every second-layer node, plus the
+    complete bipartite graph between ``S ⊆ {1..n}`` and
+    ``R ⊆ {n+1..2n}``.
+    """
+    s = set(subset_s)
+    r = set(subset_r)
+    if n < 1:
+        raise GraphError("c_star_n requires n >= 1")
+    if not s or not r:
+        raise GraphError("c_star_n requires non-empty S and R")
+    if not s <= set(range(1, n + 1)):
+        raise GraphError(f"S must be within 1..{n}")
+    if not r <= set(range(n + 1, 2 * n + 1)):
+        raise GraphError(f"R must be within {n + 1}..{2 * n}")
+    g = Graph(nodes=range(2 * n + 1))
+    for i in range(1, n + 1):
+        g.add_edge(0, i)
+    for i in s:
+        for j in r:
+            g.add_edge(i, j)
+    return g
+
+
+def line(n: int) -> Graph:
+    """A path on ``n`` nodes ``0..n-1`` (diameter ``n - 1``)."""
+    if n < 1:
+        raise GraphError("line requires n >= 1")
+    g = Graph(nodes=range(n))
+    for i in range(n - 1):
+        g.add_edge(i, i + 1)
+    return g
+
+
+def ring(n: int) -> Graph:
+    """A cycle on ``n >= 3`` nodes."""
+    if n < 3:
+        raise GraphError("ring requires n >= 3")
+    g = line(n)
+    g.add_edge(n - 1, 0)
+    return g
+
+
+def grid(rows: int, cols: int) -> Graph:
+    """A ``rows x cols`` 2-D mesh; node ``(r, c)`` is labelled ``r * cols + c``."""
+    if rows < 1 or cols < 1:
+        raise GraphError("grid requires positive dimensions")
+    g = Graph(nodes=range(rows * cols))
+    for r in range(rows):
+        for c in range(cols):
+            node = r * cols + c
+            if c + 1 < cols:
+                g.add_edge(node, node + 1)
+            if r + 1 < rows:
+                g.add_edge(node, node + cols)
+    return g
+
+
+def complete(n: int) -> Graph:
+    """The clique ``K_n`` — the single-hop radio channel of [A70]."""
+    if n < 1:
+        raise GraphError("complete requires n >= 1")
+    g = Graph(nodes=range(n))
+    for u, v in itertools.combinations(range(n), 2):
+        g.add_edge(u, v)
+    return g
+
+
+def star(n_leaves: int) -> Graph:
+    """A star: centre ``0`` with ``n_leaves`` leaves ``1..n_leaves``.
+
+    This is the single-receiver Decay setting of Theorem 1: ``d``
+    transmitting leaves compete for the centre's attention (or the
+    centre broadcasts to the leaves).
+    """
+    if n_leaves < 1:
+        raise GraphError("star requires at least one leaf")
+    g = Graph(nodes=range(n_leaves + 1))
+    for leaf in range(1, n_leaves + 1):
+        g.add_edge(0, leaf)
+    return g
+
+
+def hypercube(dim: int) -> Graph:
+    """The ``dim``-dimensional hypercube on ``2**dim`` nodes."""
+    if dim < 1:
+        raise GraphError("hypercube requires dim >= 1")
+    n = 1 << dim
+    g = Graph(nodes=range(n))
+    for node in range(n):
+        for bit in range(dim):
+            other = node ^ (1 << bit)
+            if node < other:
+                g.add_edge(node, other)
+    return g
+
+
+def random_gnp(n: int, p: float, rng: random.Random, *, connect: bool = True) -> Graph:
+    """An Erdős–Rényi ``G(n, p)`` graph.
+
+    With ``connect=True`` (the default) any disconnected components are
+    stitched to the giant structure with single random edges, so the
+    result is always connected — broadcast is only defined on connected
+    graphs.
+    """
+    if n < 1:
+        raise GraphError("random_gnp requires n >= 1")
+    if not 0.0 <= p <= 1.0:
+        raise GraphError("edge probability must be in [0, 1]")
+    g = Graph(nodes=range(n))
+    for u, v in itertools.combinations(range(n), 2):
+        if rng.random() < p:
+            g.add_edge(u, v)
+    if connect:
+        _stitch_components(g, rng)
+    return g
+
+
+def random_tree(n: int, rng: random.Random) -> Graph:
+    """A uniform random recursive tree on ``n`` nodes (root 0)."""
+    if n < 1:
+        raise GraphError("random_tree requires n >= 1")
+    g = Graph(nodes=range(n))
+    for node in range(1, n):
+        g.add_edge(node, rng.randrange(node))
+    return g
+
+
+def unit_disk(
+    n: int,
+    radius: float,
+    rng: random.Random,
+    *,
+    area: float = 1.0,
+    connect: bool = True,
+) -> Graph:
+    """A unit-disk graph: ``n`` points uniform in an ``area x area`` square,
+    edges between points at Euclidean distance ``<= radius``.
+
+    This is the canonical geometric model of an ad-hoc radio network.
+    Positions are stored on the returned graph as the ``positions``
+    attribute (``dict[node, (x, y)]``) for visualisation and for
+    mobility experiments.
+    """
+    if n < 1:
+        raise GraphError("unit_disk requires n >= 1")
+    if radius <= 0:
+        raise GraphError("radius must be positive")
+    points = {i: (rng.uniform(0, area), rng.uniform(0, area)) for i in range(n)}
+    g = Graph(nodes=range(n))
+    r2 = radius * radius
+    for u, v in itertools.combinations(range(n), 2):
+        dx = points[u][0] - points[v][0]
+        dy = points[u][1] - points[v][1]
+        if dx * dx + dy * dy <= r2:
+            g.add_edge(u, v)
+    if connect:
+        _stitch_components(g, rng)
+    g.positions = points  # type: ignore[attr-defined]
+    return g
+
+
+def layered_random(
+    layer_sizes: Sequence[int],
+    p: float,
+    rng: random.Random,
+) -> Graph:
+    """A layered random graph with guaranteed diameter control.
+
+    Layer ``i`` nodes connect to layer ``i + 1`` nodes independently with
+    probability ``p``; every node is additionally wired to one uniformly
+    random node of the next layer so consecutive layers are always
+    connected.  This family lets experiments sweep the diameter
+    (``len(layer_sizes) - 1``) and the conflict density (``p``, which
+    controls in-degrees) independently — exactly the two terms of the
+    paper's ``O((D + log n/ε) · log n)`` bound.
+    """
+    if not layer_sizes or any(size < 1 for size in layer_sizes):
+        raise GraphError("layer_sizes must be non-empty positive ints")
+    if not 0.0 <= p <= 1.0:
+        raise GraphError("edge probability must be in [0, 1]")
+    offsets = [0]
+    for size in layer_sizes:
+        offsets.append(offsets[-1] + size)
+    g = Graph(nodes=range(offsets[-1]))
+    for layer in range(len(layer_sizes) - 1):
+        current = list(range(offsets[layer], offsets[layer + 1]))
+        nxt = list(range(offsets[layer + 1], offsets[layer + 2]))
+        for u in current:
+            g.add_edge(u, rng.choice(nxt))
+            for v in nxt:
+                if rng.random() < p:
+                    g.add_edge(u, v)
+        # Symmetric guarantee: every next-layer node also has at least
+        # one edge back, so no node is ever orphaned (relevant for the
+        # last layer, whose nodes otherwise rely on being chosen).
+        current_set = set(current)
+        for v in nxt:
+            if not (g.neighbors(v) & current_set):
+                g.add_edge(v, rng.choice(current))
+    return g
+
+
+def watts_strogatz(
+    n: int,
+    k: int,
+    beta: float,
+    rng: random.Random,
+) -> Graph:
+    """A Watts–Strogatz small-world graph.
+
+    Start from a ring lattice where each node links to its ``k``
+    nearest neighbours (``k`` even), then rewire each edge's far
+    endpoint with probability ``beta`` to a uniform random node.  Sweeping
+    ``beta`` trades a large-diameter lattice (β = 0) for a
+    logarithmic-diameter random graph (β → 1) at roughly constant
+    degree — a convenient one-knob workload for the
+    ``O((D + log n/ε)·log Δ)`` bound's two regimes.
+
+    Rewiring keeps the original lattice edge when the proposed new
+    endpoint would create a self-loop or duplicate, so the graph always
+    stays connected for ``k ≥ 2``.
+    """
+    if n < 3:
+        raise GraphError("watts_strogatz requires n >= 3")
+    if k < 2 or k % 2 != 0 or k >= n:
+        raise GraphError("k must be even with 2 <= k < n")
+    if not 0.0 <= beta <= 1.0:
+        raise GraphError("beta must be in [0, 1]")
+    g = Graph(nodes=range(n))
+    # Ring lattice.
+    for node in range(n):
+        for offset in range(1, k // 2 + 1):
+            g.add_edge(node, (node + offset) % n)
+    if beta == 0.0:
+        return g
+    for node in range(n):
+        for offset in range(1, k // 2 + 1):
+            neighbor = (node + offset) % n
+            if rng.random() >= beta:
+                continue
+            candidate = rng.randrange(n)
+            if candidate == node or g.has_edge(node, candidate):
+                continue
+            # Keep connectivity: never remove a node's last edge.
+            if g.degree(neighbor) <= 1 or not g.has_edge(node, neighbor):
+                continue
+            g.remove_edge(node, neighbor)
+            g.add_edge(node, candidate)
+    _stitch_components(g, rng)  # beta-heavy rewiring can rarely disconnect
+    return g
+
+
+def barbell(clique_size: int, path_length: int) -> Graph:
+    """Two ``K_m`` cliques joined by a path of ``path_length`` edges.
+
+    A classic stress topology: dense conflict zones at both ends, a long
+    thin bridge dominating the diameter.
+    """
+    if clique_size < 2:
+        raise GraphError("barbell requires clique_size >= 2")
+    if path_length < 1:
+        raise GraphError("barbell requires path_length >= 1")
+    m = clique_size
+    g = Graph(nodes=range(2 * m + path_length - 1))
+    for u, v in itertools.combinations(range(m), 2):
+        g.add_edge(u, v)
+    # Path from node m-1 through fresh nodes to the second clique.
+    path_nodes = [m - 1] + list(range(2 * m, 2 * m + path_length - 1)) + [m]
+    for u, v in zip(path_nodes, path_nodes[1:]):
+        g.add_edge(u, v)
+    for u, v in itertools.combinations(range(m, 2 * m), 2):
+        g.add_edge(u, v)
+    return g
+
+
+def _components(g: Graph) -> list[set]:
+    """Connected components via iterative DFS (no recursion limits)."""
+    seen: set = set()
+    comps: list[set] = []
+    for start in g.nodes:
+        if start in seen:
+            continue
+        comp = {start}
+        stack = [start]
+        while stack:
+            node = stack.pop()
+            for nbr in g.neighbors(node):
+                if nbr not in comp:
+                    comp.add(nbr)
+                    stack.append(nbr)
+        seen |= comp
+        comps.append(comp)
+    return comps
+
+
+def _stitch_components(g: Graph, rng: random.Random) -> None:
+    """Connect a possibly-disconnected graph with one random edge per gap."""
+    comps = _components(g)
+    base = comps[0]
+    for comp in comps[1:]:
+        u = rng.choice(sorted(base, key=_sort_key))
+        v = rng.choice(sorted(comp, key=_sort_key))
+        g.add_edge(u, v)
+        base |= comp
+
+
+def _sort_key(node: object) -> str:
+    """Stable ordering for heterogeneous node labels."""
+    return f"{type(node).__name__}:{node!r}"

@@ -1,0 +1,254 @@
+"""Lightweight graph data structures.
+
+The simulator's inner loop touches neighbour sets once per node per
+time-slot, so the structures here are thin wrappers over
+``dict[node, set[node]]`` with the validation the rest of the library
+relies on (no self-loops, explicit errors for missing nodes/edges).
+
+Two classes are provided:
+
+* :class:`Graph` — undirected; the model of Section 1 of the paper.
+* :class:`DiGraph` — directed; the asymmetric-link model the paper's
+  Section 2.2 remark allows ("*v can transmit to u does not imply that
+  u can transmit to v*").  ``neighbors_out(v)`` are the nodes that hear
+  ``v``; ``neighbors_in(v)`` are the nodes ``v`` hears.
+
+Both support edge addition/removal at any time, which is what the
+dynamic-topology experiments (paper property 3) exercise mid-run.
+
+Nodes may be any hashable object; the library conventionally uses
+integers 0..n-1 (and the paper's ``C_n`` uses 0..n+1).
+"""
+
+from __future__ import annotations
+
+from typing import Hashable, Iterable, Iterator
+
+from repro.errors import EdgeNotFound, GraphError, NodeNotFound
+
+__all__ = ["Graph", "DiGraph"]
+
+Node = Hashable
+
+
+class Graph:
+    """A simple undirected graph (no self-loops, no parallel edges)."""
+
+    def __init__(
+        self,
+        nodes: Iterable[Node] = (),
+        edges: Iterable[tuple[Node, Node]] = (),
+    ) -> None:
+        self._adj: dict[Node, set[Node]] = {}
+        for node in nodes:
+            self.add_node(node)
+        for u, v in edges:
+            self.add_edge(u, v)
+
+    # -- construction -------------------------------------------------
+
+    def add_node(self, node: Node) -> None:
+        """Add ``node``; adding an existing node is a no-op."""
+        self._adj.setdefault(node, set())
+
+    def add_edge(self, u: Node, v: Node) -> None:
+        """Add the undirected edge ``{u, v}``, creating endpoints as needed."""
+        if u == v:
+            raise GraphError(f"self-loop at {u!r} is not allowed")
+        self.add_node(u)
+        self.add_node(v)
+        self._adj[u].add(v)
+        self._adj[v].add(u)
+
+    def remove_edge(self, u: Node, v: Node) -> None:
+        """Remove the edge ``{u, v}``; raises :class:`EdgeNotFound` if absent."""
+        if not self.has_edge(u, v):
+            raise EdgeNotFound(u, v)
+        self._adj[u].discard(v)
+        self._adj[v].discard(u)
+
+    def remove_node(self, node: Node) -> None:
+        """Remove ``node`` and all incident edges."""
+        if node not in self._adj:
+            raise NodeNotFound(node)
+        for neighbor in self._adj.pop(node):
+            self._adj[neighbor].discard(node)
+
+    # -- queries ------------------------------------------------------
+
+    def has_node(self, node: Node) -> bool:
+        return node in self._adj
+
+    def has_edge(self, u: Node, v: Node) -> bool:
+        return u in self._adj and v in self._adj[u]
+
+    def neighbors(self, node: Node) -> frozenset[Node]:
+        """The neighbour set of ``node`` (a snapshot, safe to hold)."""
+        try:
+            return frozenset(self._adj[node])
+        except KeyError:
+            raise NodeNotFound(node) from None
+
+    def degree(self, node: Node) -> int:
+        try:
+            return len(self._adj[node])
+        except KeyError:
+            raise NodeNotFound(node) from None
+
+    @property
+    def nodes(self) -> list[Node]:
+        """All nodes, in insertion order."""
+        return list(self._adj)
+
+    @property
+    def edges(self) -> list[tuple[Node, Node]]:
+        """Each undirected edge exactly once."""
+        seen: set[frozenset[Node]] = set()
+        result: list[tuple[Node, Node]] = []
+        for u, nbrs in self._adj.items():
+            for v in nbrs:
+                key = frozenset((u, v))
+                if key not in seen:
+                    seen.add(key)
+                    result.append((u, v))
+        return result
+
+    def num_nodes(self) -> int:
+        return len(self._adj)
+
+    def num_edges(self) -> int:
+        return sum(len(nbrs) for nbrs in self._adj.values()) // 2
+
+    def copy(self) -> "Graph":
+        clone = Graph()
+        clone._adj = {node: set(nbrs) for node, nbrs in self._adj.items()}
+        return clone
+
+    def subgraph(self, keep: Iterable[Node]) -> "Graph":
+        """The induced subgraph on ``keep`` (missing nodes are ignored)."""
+        keep_set = {node for node in keep if node in self._adj}
+        sub = Graph(nodes=keep_set)
+        for u in keep_set:
+            for v in self._adj[u] & keep_set:
+                sub.add_edge(u, v)
+        return sub
+
+    def relabeled(self, mapping: dict[Node, Node]) -> "Graph":
+        """A copy with nodes renamed through ``mapping`` (must be injective)."""
+        if len(set(mapping.values())) != len(mapping):
+            raise GraphError("relabel mapping must be injective")
+        relabel = lambda x: mapping.get(x, x)  # noqa: E731 - tiny local helper
+        out = Graph(nodes=(relabel(n) for n in self._adj))
+        for u, v in self.edges:
+            out.add_edge(relabel(u), relabel(v))
+        return out
+
+    def __iter__(self) -> Iterator[Node]:
+        return iter(self._adj)
+
+    def __len__(self) -> int:
+        return len(self._adj)
+
+    def __contains__(self, node: Node) -> bool:
+        return node in self._adj
+
+    def __eq__(self, other: object) -> bool:
+        if not isinstance(other, Graph) or isinstance(other, DiGraph) != isinstance(self, DiGraph):
+            return NotImplemented
+        return self._adjacency_view() == other._adjacency_view()
+
+    def _adjacency_view(self) -> dict[Node, frozenset[Node]]:
+        return {node: frozenset(nbrs) for node, nbrs in self._adj.items()}
+
+    def __repr__(self) -> str:
+        return f"{type(self).__name__}(|V|={self.num_nodes()}, |E|={self.num_edges()})"
+
+    # -- radio-medium interface ---------------------------------------
+    # The simulator only needs "who hears a transmission from v" and
+    # "whom does v hear".  For undirected graphs both are neighbors().
+
+    def hearers(self, v: Node) -> frozenset[Node]:
+        """Nodes that receive energy when ``v`` transmits."""
+        return self.neighbors(v)
+
+    def audible(self, v: Node) -> frozenset[Node]:
+        """Nodes whose transmissions ``v`` can hear."""
+        return self.neighbors(v)
+
+
+class DiGraph(Graph):
+    """A simple directed graph for asymmetric radio links.
+
+    Edge ``(u, v)`` means *u's transmissions reach v*.  The undirected
+    API (``neighbors``/``degree``) is reinterpreted: ``neighbors`` is
+    the out-neighbourhood; use :meth:`neighbors_in` for the nodes a
+    processor hears.
+    """
+
+    def __init__(
+        self,
+        nodes: Iterable[Node] = (),
+        edges: Iterable[tuple[Node, Node]] = (),
+    ) -> None:
+        self._pred: dict[Node, set[Node]] = {}
+        super().__init__(nodes, edges)
+
+    def add_node(self, node: Node) -> None:
+        super().add_node(node)
+        self._pred.setdefault(node, set())
+
+    def add_edge(self, u: Node, v: Node) -> None:
+        if u == v:
+            raise GraphError(f"self-loop at {u!r} is not allowed")
+        self.add_node(u)
+        self.add_node(v)
+        self._adj[u].add(v)
+        self._pred[v].add(u)
+
+    def remove_edge(self, u: Node, v: Node) -> None:
+        if not self.has_edge(u, v):
+            raise EdgeNotFound(u, v)
+        self._adj[u].discard(v)
+        self._pred[v].discard(u)
+
+    def remove_node(self, node: Node) -> None:
+        if node not in self._adj:
+            raise NodeNotFound(node)
+        for succ in self._adj.pop(node):
+            self._pred[succ].discard(node)
+        for pred in self._pred.pop(node):
+            self._adj[pred].discard(node)
+
+    def neighbors_out(self, node: Node) -> frozenset[Node]:
+        return self.neighbors(node)
+
+    def neighbors_in(self, node: Node) -> frozenset[Node]:
+        try:
+            return frozenset(self._pred[node])
+        except KeyError:
+            raise NodeNotFound(node) from None
+
+    def in_degree(self, node: Node) -> int:
+        return len(self.neighbors_in(node))
+
+    def out_degree(self, node: Node) -> int:
+        return self.degree(node)
+
+    @property
+    def edges(self) -> list[tuple[Node, Node]]:
+        return [(u, v) for u, nbrs in self._adj.items() for v in nbrs]
+
+    def num_edges(self) -> int:
+        return sum(len(nbrs) for nbrs in self._adj.values())
+
+    def copy(self) -> "DiGraph":
+        clone = DiGraph()
+        clone._adj = {node: set(nbrs) for node, nbrs in self._adj.items()}
+        clone._pred = {node: set(nbrs) for node, nbrs in self._pred.items()}
+        return clone
+
+    def hearers(self, v: Node) -> frozenset[Node]:
+        return self.neighbors_out(v)
+
+    def audible(self, v: Node) -> frozenset[Node]:
+        return self.neighbors_in(v)

@@ -1,0 +1,190 @@
+"""The adversary of Section 3.3: ``find_set`` and strategy foiling.
+
+``find_set`` (the paper's ``procedure find_set``) takes a sequence of
+explorer moves and constructs a non-empty hidden set ``S`` on which
+*none* of those moves elicits a useful answer: every non-singleton move
+``M_i`` has both ``|M_i ∩ S| ≠ 1`` and ``|M_i ∩ S̄| ≠ 1``, and every
+singleton move lies outside ``S`` (Lemma 9).  The charging argument of
+Lemma 10 shows at most ``2(t-1)+1`` elements are ever removed from
+``S``, so for ``t ≤ n/2`` moves the output is non-empty.
+
+:func:`foil_strategy` lifts this to *adaptive* strategies via the
+paper's observation: feed the strategy the canonical answers it would
+receive on such an ``S`` — each singleton move ``{x}`` is answered
+"miss x", every other move "nothing" — which makes its move sequence
+oblivious, then run ``find_set`` on that induced sequence.  Replaying
+the real game against the constructed ``S`` confirms the strategy
+makes no progress (the E4 experiment does exactly this check).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Iterable, Sequence
+
+from repro.errors import GameError
+from repro.lowerbound.hitting_game import Answer, ExplorerStrategyProtocol, Referee
+
+__all__ = ["find_set", "foil_strategy", "FoilResult", "audit_charges"]
+
+
+def find_set(moves: Sequence[Iterable[int]], n: int) -> frozenset[int]:
+    """The paper's ``find_set``: a hidden set foiling ``moves``.
+
+    Returns the constructed ``S`` (possibly empty when ``t > n/2`` —
+    Lemma 10 only guarantees non-emptiness for ``t ≤ n/2``).
+
+    Implementation note: the paper removes, for each move whose
+    residual first shrinks, one *arbitrary* element of ``M_j ∩ S``; we
+    remove the smallest for determinism.
+    """
+    universe = frozenset(range(1, n + 1))
+    move_sets = [frozenset(m) for m in moves]
+    for i, m in enumerate(move_sets):
+        if not m <= universe:
+            raise GameError(f"move {i} is not a subset of 1..{n}")
+    s = set(universe)
+    # shrunk[j] marks that non-singleton move j already lost an element
+    # (its residual was "updated for the first time"), so its
+    # complement-intersection has been padded to size >= 2.
+    shrunk = [False] * len(move_sets)
+
+    def singleton_index() -> int | None:
+        for j, m in enumerate(move_sets):
+            inter = m & s
+            if len(inter) == 1:
+                return j
+        return None
+
+    def first_shrunk_index() -> int | None:
+        for j, m in enumerate(move_sets):
+            if shrunk[j] or len(m) <= 1:
+                continue
+            inter = m & s
+            if len(inter) == len(m) - 1 and inter:
+                return j
+        return None
+
+    while (i := singleton_index()) is not None:
+        (x,) = move_sets[i] & s
+        s.discard(x)
+        while (j := first_shrunk_index()) is not None:
+            shrunk[j] = True
+            inter = move_sets[j] & s
+            if len(inter) == 1:
+                # Removing any element would empty the move's residual;
+                # the outer loop handles singletons, so re-queue there.
+                break
+            p = min(inter)
+            s.discard(p)
+    return frozenset(s)
+
+
+@dataclass
+class FoilResult:
+    """Outcome of foiling one adaptive strategy."""
+
+    hidden_set: frozenset[int]
+    induced_moves: list[frozenset[int]]
+    survived_moves: int  # moves answered without a hit on replay
+    consistent: bool  # canonical answers matched the real referee's
+
+
+def foil_strategy(
+    strategy: ExplorerStrategyProtocol,
+    n: int,
+    max_moves: int,
+) -> FoilResult:
+    """Construct a hidden set defeating ``strategy`` for ``max_moves`` moves.
+
+    Follows the paper's recipe: induce the strategy's move sequence
+    under canonical answers, build ``S = find_set(moves)``, then replay
+    the genuine game against ``S`` and record how long the strategy
+    survives without hitting.  For ``max_moves ≤ n/2`` the replay is
+    guaranteed hit-free and fully consistent (Lemmas 9–10).
+    """
+    if max_moves < 1:
+        raise GameError("max_moves must be >= 1")
+    # Stage 1: induce the oblivious move sequence.
+    strategy.reset(n)
+    history: list[tuple[frozenset[int], Answer]] = []
+    induced: list[frozenset[int]] = []
+    for _ in range(max_moves):
+        move = frozenset(strategy.next_move(history))
+        induced.append(move)
+        if len(move) == 1:
+            answer = Answer("miss", next(iter(move)))
+        else:
+            answer = Answer("nothing")
+        history.append((move, answer))
+    # Stage 2: the adversarial hidden set.
+    hidden = find_set(induced, n)
+    if not hidden:
+        # find_set may drain S past n/2 moves; fall back to any
+        # element never probed usefully, else give up gracefully.
+        return FoilResult(hidden, induced, 0, consistent=False)
+    # Stage 3: replay for real and audit consistency.
+    referee = Referee(n, hidden)
+    strategy.reset(n)
+    replay_history: list[tuple[frozenset[int], Answer]] = []
+    survived = 0
+    consistent = True
+    for expected_move in induced:
+        move = frozenset(strategy.next_move(replay_history))
+        answer = referee.answer(move)
+        replay_history.append((move, answer))
+        if answer.kind == "hit":
+            break
+        survived += 1
+        if move != expected_move:
+            consistent = False
+            break
+    return FoilResult(hidden, induced, survived, consistent)
+
+
+def audit_charges(moves: Sequence[Iterable[int]], n: int) -> dict[str, int]:
+    """Instrumented re-run of the Lemma 10 charging argument.
+
+    Returns the number of removals charged per rule — at most one per
+    singleton-residual event and one per first-shrink event — so tests
+    can check ``removed ≤ 2·(t-1) + 1`` directly.
+    """
+    universe = frozenset(range(1, n + 1))
+    move_sets = [frozenset(m) for m in moves]
+    s = set(universe)
+    shrunk = [False] * len(move_sets)
+    charges_singleton = 0
+    charges_shrink = 0
+
+    def singleton_index() -> int | None:
+        for j, m in enumerate(move_sets):
+            if len(m & s) == 1:
+                return j
+        return None
+
+    def first_shrunk_index() -> int | None:
+        for j, m in enumerate(move_sets):
+            if shrunk[j] or len(m) <= 1:
+                continue
+            inter = m & s
+            if len(inter) == len(m) - 1 and inter:
+                return j
+        return None
+
+    while (i := singleton_index()) is not None:
+        (x,) = move_sets[i] & s
+        s.discard(x)
+        charges_singleton += 1
+        while (j := first_shrunk_index()) is not None:
+            shrunk[j] = True
+            inter = move_sets[j] & s
+            if len(inter) == 1:
+                break
+            s.discard(min(inter))
+            charges_shrink += 1
+    return {
+        "removed": n - len(s),
+        "charged_singleton": charges_singleton,
+        "charged_shrink": charges_shrink,
+        "final_size": len(s),
+    }

@@ -1,0 +1,148 @@
+"""The n-th hitting game (paper Definition 5).
+
+Two parties: an **explorer** and a **referee**.  The referee privately
+holds a non-empty set ``S ⊆ {1, .., n}``.  In each move the explorer
+names a set ``M ⊆ {1, .., n}``:
+
+* if ``|M ∩ S| = 1`` the referee reveals that element and the game
+  ends — the explorer has *hit*;
+* else if ``|M ∩ S̄| = 1`` the referee reveals that element (a *miss*)
+  and the game continues;
+* otherwise the referee says nothing.
+
+The referee's behaviour is fully determined by ``S`` and the moves, so
+:class:`Referee` is a pure function plus an "ended" flag.  An explorer
+strategy (see :mod:`repro.lowerbound.strategies`) maps game history to
+the next move; :func:`play_game` runs the interaction.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Iterable, Literal, Protocol
+
+from repro.errors import GameError
+
+__all__ = ["Answer", "Referee", "HittingGame", "play_game", "GameOutcome"]
+
+
+@dataclass(frozen=True)
+class Answer:
+    """The referee's reply to one move.
+
+    ``kind`` is ``"hit"`` (revealed an element of S — game over),
+    ``"miss"`` (revealed an element of S̄ — game continues) or
+    ``"nothing"``.
+    """
+
+    kind: Literal["hit", "miss", "nothing"]
+    element: int | None = None
+
+    def __post_init__(self) -> None:
+        if self.kind in ("hit", "miss") and self.element is None:
+            raise GameError(f"{self.kind} answers must carry an element")
+        if self.kind == "nothing" and self.element is not None:
+            raise GameError("'nothing' answers carry no element")
+
+
+NOTHING = Answer("nothing")
+
+
+class Referee:
+    """Answers explorer moves for a fixed hidden set ``S``."""
+
+    def __init__(self, n: int, hidden_set: Iterable[int]) -> None:
+        if n < 1:
+            raise GameError("the game needs n >= 1")
+        s = frozenset(hidden_set)
+        if not s:
+            raise GameError("the hidden set S must be non-empty")
+        if not s <= frozenset(range(1, n + 1)):
+            raise GameError(f"S must be a subset of 1..{n}")
+        self.n = n
+        self.hidden_set = s
+        self.complement = frozenset(range(1, n + 1)) - s
+        self.ended = False
+
+    def answer(self, move: Iterable[int]) -> Answer:
+        """Apply Definition 5's rules to one move."""
+        if self.ended:
+            raise GameError("the game has already ended")
+        m = frozenset(move)
+        if not m <= frozenset(range(1, self.n + 1)):
+            raise GameError(f"moves must be subsets of 1..{self.n}")
+        inter_s = m & self.hidden_set
+        if len(inter_s) == 1:
+            self.ended = True
+            return Answer("hit", next(iter(inter_s)))
+        inter_comp = m & self.complement
+        if len(inter_comp) == 1:
+            return Answer("miss", next(iter(inter_comp)))
+        return NOTHING
+
+
+class ExplorerStrategyProtocol(Protocol):
+    """Structural interface for explorer strategies."""
+
+    def reset(self, n: int) -> None: ...
+
+    def next_move(self, history: list[tuple[frozenset[int], Answer]]) -> frozenset[int]: ...
+
+
+@dataclass
+class GameOutcome:
+    """Result of one played game."""
+
+    won: bool
+    moves_used: int
+    history: list[tuple[frozenset[int], Answer]]
+    hit_element: int | None
+
+
+class HittingGame:
+    """A playable n-th hitting game against a fixed hidden set."""
+
+    def __init__(self, n: int, hidden_set: Iterable[int]) -> None:
+        self.n = n
+        self.referee = Referee(n, hidden_set)
+        self.history: list[tuple[frozenset[int], Answer]] = []
+
+    def move(self, move: Iterable[int]) -> Answer:
+        answer = self.referee.answer(move)
+        self.history.append((frozenset(move), answer))
+        return answer
+
+    @property
+    def moves_used(self) -> int:
+        return len(self.history)
+
+    @property
+    def won(self) -> bool:
+        return self.referee.ended
+
+
+def play_game(
+    strategy: ExplorerStrategyProtocol,
+    n: int,
+    hidden_set: Iterable[int],
+    max_moves: int,
+) -> GameOutcome:
+    """Run ``strategy`` against the referee for ``hidden_set``.
+
+    The game is cut off after ``max_moves`` moves (counting as a loss),
+    which is how the experiments measure "needs more than t moves".
+    """
+    game = HittingGame(n, hidden_set)
+    strategy.reset(n)
+    hit: int | None = None
+    while game.moves_used < max_moves and not game.won:
+        move = strategy.next_move(game.history)
+        answer = game.move(move)
+        if answer.kind == "hit":
+            hit = answer.element
+    return GameOutcome(
+        won=game.won,
+        moves_used=game.moves_used,
+        history=game.history,
+        hit_element=hit,
+    )

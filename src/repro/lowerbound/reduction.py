@@ -1,0 +1,198 @@
+"""The reduction chain of Section 3.2, made executable.
+
+The paper proves (Lemmas 5–7) that any deterministic broadcast protocol
+for the class ``C_n`` induces a winning explorer strategy for the
+hitting game using at most twice as many moves.  This module implements
+the forward direction so experiments can *run* it:
+
+* :class:`AbstractBroadcastProtocol` — Definition 4's abstract model,
+  captured by the paper's predicate ``π(p, χ, H)``: given a processor
+  ``p``, its S-indicator ``χ`` and the common history ``H``, should
+  ``p`` transmit this round?  Concrete subclasses provide two natural
+  deterministic protocols:
+
+  - :class:`RoundRobinAbstractProtocol` — processor ``p`` transmits in
+    round ``p`` (the abstract image of TDMA broadcast; hits in ≤ n
+    rounds);
+  - :class:`BinarySplitAbstractProtocol` — rounds probe ID-bit groups
+    (the abstract image of a binary-splitting protocol).
+
+* :func:`run_abstract_protocol` — execute an abstract protocol against
+  a hidden set ``S`` per Definition 4's round rules, returning the
+  round at which broadcast completes (first successful round whose
+  transmitter is in ``S``).
+
+* :func:`explorer_from_protocol` — Lemma 7's compilation: round ``i``
+  becomes game moves ``T_i^(1) = {p : π(p, 1, H)}`` and
+  ``T_i^(0) = {p : π(p, 0, H)}``.  Combined with the
+  :mod:`~repro.lowerbound.adversary`, this closes the loop: the
+  adversary defeats *the protocol itself* for ``n/4`` rounds.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable
+
+from repro.errors import GameError
+from repro.lowerbound.strategies import ExplorerStrategy, History
+
+__all__ = [
+    "AbstractBroadcastProtocol",
+    "RoundRobinAbstractProtocol",
+    "BinarySplitAbstractProtocol",
+    "run_abstract_protocol",
+    "explorer_from_protocol",
+    "ProtocolStrategy",
+]
+
+#: The common history: per round, either the transmitting processor's
+#: (ID, indicator) pair for a successful round, or None.
+AbstractHistory = tuple[tuple[int, int] | None, ...]
+
+
+class AbstractBroadcastProtocol:
+    """Definition 4 protocols, described by the predicate ``π``."""
+
+    def __init__(self, n: int) -> None:
+        if n < 1:
+            raise GameError("n must be >= 1")
+        self.n = n
+
+    def pi(self, p: int, indicator: int, history: AbstractHistory) -> bool:
+        """Does processor ``p`` (with S-indicator ``indicator``) transmit
+        in the round following ``history``?"""
+        raise NotImplementedError
+
+    def transmit_set(self, indicator: int, history: AbstractHistory) -> frozenset[int]:
+        """``T^(σ) = {p : π(p, σ, H)}`` — the paper's notation."""
+        return frozenset(
+            p for p in range(1, self.n + 1) if self.pi(p, indicator, history)
+        )
+
+
+class RoundRobinAbstractProtocol(AbstractBroadcastProtocol):
+    """Processor ``p`` transmits in round ``p`` (1-indexed), regardless
+    of its indicator — the abstract image of TDMA broadcast.  Always
+    completes within ``n`` rounds: the round of the smallest element of
+    ``S`` is successful with an ``S``-transmitter."""
+
+    def pi(self, p: int, indicator: int, history: AbstractHistory) -> bool:
+        return p == len(history) + 1
+
+
+class BinarySplitAbstractProtocol(AbstractBroadcastProtocol):
+    """Non-adaptive binary splitting by ID bits.
+
+    Round index enumerates (bit, value) pairs then single IDs: early
+    rounds transmit all ``p`` whose bit ``b`` equals ``v`` *and* whose
+    indicator is 1 (only processors that can complete the broadcast
+    bother), falling back to an indicator-1 singleton sweep.  A natural
+    "fast if lucky" deterministic attempt — the adversary's ``S`` makes
+    every group round collide and drives it to Θ(n).
+    """
+
+    def pi(self, p: int, indicator: int, history: AbstractHistory) -> bool:
+        round_index = len(history)
+        bits = max(1, (self.n).bit_length())
+        if round_index < 2 * bits:
+            bit, value = divmod(round_index, 2)
+            return indicator == 1 and (p >> bit) & 1 == value
+        return indicator == 1 and p == round_index - 2 * bits + 1
+
+
+def run_abstract_protocol(
+    protocol: AbstractBroadcastProtocol,
+    hidden_set: Iterable[int],
+    max_rounds: int,
+) -> int | None:
+    """Execute the abstract protocol against ``S``; return the round at
+    which broadcast completes, or None if ``max_rounds`` pass first.
+
+    Round semantics (the *strengthened* abstract model — strengthening
+    the protocol's feedback is legitimate in a lower-bound reduction,
+    which is the whole point of Lemma 6):
+
+    * the transmitters are ``T = (T^(1) ∩ S) ∪ (T^(0) ∩ S̄)`` where
+      ``T^(σ) = {p : π(p, σ, H)}``;
+    * if ``|T^(1) ∩ S| = 1`` the sink hears that lone ``S``-transmitter
+      and broadcast **completes**;
+    * else if ``|T^(0) ∩ S̄| = 1`` that transmitter's message reaches
+      the source side and is appended to the common history as
+      ``(p, 0)`` (the paper notes every successful round before the
+      last has indicator 0);
+    * otherwise the round fails and ``None`` is appended.
+
+    This feedback is, by construction, exactly what the hitting-game
+    referee reveals on the move pair ``(T^(1), T^(0))``, which makes
+    :class:`ProtocolStrategy`'s simulation exact: the compiled explorer
+    and the protocol see identical histories for as long as the game
+    continues.
+    """
+    s = frozenset(hidden_set)
+    if not s or not s <= frozenset(range(1, protocol.n + 1)):
+        raise GameError("S must be a non-empty subset of 1..n")
+    complement = frozenset(range(1, protocol.n + 1)) - s
+    history: list[tuple[int, int] | None] = []
+    for round_number in range(1, max_rounds + 1):
+        h = tuple(history)
+        t1 = protocol.transmit_set(1, h)
+        t0 = protocol.transmit_set(0, h)
+        if len(t1 & s) == 1:
+            return round_number
+        lone_zero = t0 & complement
+        if len(lone_zero) == 1:
+            history.append((next(iter(lone_zero)), 0))
+        else:
+            history.append(None)
+    return None
+
+
+class ProtocolStrategy(ExplorerStrategy):
+    """Lemma 7's compilation of an abstract protocol into an explorer.
+
+    Game move ``2i - 1`` is ``T_i^(1)`` and move ``2i`` is ``T_i^(0)``.
+    The protocol history is reconstructed from the referee's answers:
+    a hit ends the game; revealed misses and "nothing" answers are
+    folded into the abstract history exactly as in the paper's function
+    ``g`` (a revealed element of a round's transmitter pair becomes the
+    successful transmitter; two unrevealed moves mean the round failed).
+    """
+
+    def __init__(self, protocol_factory) -> None:
+        super().__init__()
+        self._factory = protocol_factory
+        self.protocol: AbstractBroadcastProtocol | None = None
+
+    def reset(self, n: int) -> None:
+        super().reset(n)
+        self.protocol = self._factory(n)
+
+    def next_move(self, history: History) -> frozenset[int]:
+        if self.protocol is None:
+            raise GameError("reset() must be called before next_move()")
+        abstract_history = self._abstract_history(history)
+        if len(history) % 2 == 0:
+            return self.protocol.transmit_set(1, abstract_history)
+        return self.protocol.transmit_set(0, abstract_history)
+
+    def _abstract_history(self, history: History) -> AbstractHistory:
+        """Fold pairs of game answers back into protocol rounds.
+
+        The paper's ``g``: a revealed lone element of ``T^(0) ∩ S̄`` is
+        the round's successful transmitter; anything else (including a
+        miss on the ``T^(1)`` move, which the protocol's channel never
+        reports) folds to an unsuccessful round.
+        """
+        rounds: list[tuple[int, int] | None] = []
+        for i in range(0, len(history) - len(history) % 2, 2):
+            _move0_set, answer0 = history[i + 1]  # T^(0) move's answer
+            if answer0.kind == "miss" and answer0.element is not None:
+                rounds.append((answer0.element, 0))
+            else:
+                rounds.append(None)
+        return tuple(rounds)
+
+
+def explorer_from_protocol(protocol_factory) -> ProtocolStrategy:
+    """Convenience wrapper matching the paper's Lemma 7 statement."""
+    return ProtocolStrategy(protocol_factory)

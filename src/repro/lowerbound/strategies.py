@@ -1,0 +1,157 @@
+"""Explorer strategies for the hitting game.
+
+None of these can beat the adversary in fewer than ``n/2`` moves —
+that is Proposition 11 — but they realise the natural attacks a
+protocol designer would try, and the E4 experiment measures how the
+``find_set`` adversary defeats each of them:
+
+* :class:`SingletonSweepStrategy` — probe ``{1}, {2}, ...``; the
+  optimal-order brute force (wins in ≤ n moves against *any* set, the
+  matching upper bound for the game).
+* :class:`DoublingStrategy` — deterministic blocks of sizes
+  ``1, 2, 4, ...`` cycling over the universe (the pattern a Decay-like
+  deterministic protocol would produce).
+* :class:`BinarySplittingStrategy` — adaptive group-testing-style
+  halving, pruning elements the referee reveals as misses.
+* :class:`RandomStrategy` — random subsets of a fixed density.
+
+All implement the structural interface
+:class:`~repro.lowerbound.hitting_game.ExplorerStrategyProtocol`:
+``reset(n)`` then ``next_move(history)``.
+"""
+
+from __future__ import annotations
+
+import random
+
+from repro.errors import GameError
+from repro.lowerbound.hitting_game import Answer
+
+__all__ = [
+    "ExplorerStrategy",
+    "SingletonSweepStrategy",
+    "DoublingStrategy",
+    "BinarySplittingStrategy",
+    "RandomStrategy",
+]
+
+History = list[tuple[frozenset[int], Answer]]
+
+
+class ExplorerStrategy:
+    """Base class: tracks ``n`` and elements revealed as misses."""
+
+    def __init__(self) -> None:
+        self.n = 0
+
+    def reset(self, n: int) -> None:
+        if n < 1:
+            raise GameError("n must be >= 1")
+        self.n = n
+
+    def next_move(self, history: History) -> frozenset[int]:
+        raise NotImplementedError
+
+    @staticmethod
+    def known_misses(history: History) -> frozenset[int]:
+        """Elements the referee has revealed to be outside S."""
+        return frozenset(
+            answer.element
+            for _move, answer in history
+            if answer.kind == "miss" and answer.element is not None
+        )
+
+
+class SingletonSweepStrategy(ExplorerStrategy):
+    """Probe singletons in increasing order, skipping revealed misses."""
+
+    def next_move(self, history: History) -> frozenset[int]:
+        misses = self.known_misses(history)
+        probed = frozenset().union(*(move for move, _ in history)) if history else frozenset()
+        for x in range(1, self.n + 1):
+            if x not in misses and x not in probed:
+                return frozenset({x})
+        return frozenset({self.n})  # exhausted: repeat the last element
+
+
+class DoublingStrategy(ExplorerStrategy):
+    """Fixed blocks of doubling sizes: {1}, {2,3}, {4..7}, ... wrapping."""
+
+    def reset(self, n: int) -> None:
+        super().reset(n)
+        self._cursor = 1
+        self._size = 1
+
+    def next_move(self, history: History) -> frozenset[int]:
+        move = frozenset(
+            (self._cursor + offset - 1) % self.n + 1 for offset in range(self._size)
+        )
+        self._cursor += self._size
+        self._size *= 2
+        if self._size > self.n:
+            self._size = 1
+        if self._cursor > self.n:
+            self._cursor = (self._cursor - 1) % self.n + 1
+        return move
+
+
+class BinarySplittingStrategy(ExplorerStrategy):
+    """Adaptive halving over a candidate pool.
+
+    Maintains a pool of elements not yet revealed as misses.  Each move
+    probes half the pool; a "nothing" answer is ambiguous (that is the
+    crux of the lower bound), so the strategy alternates which half it
+    probes and falls back to singletons when the pool is small.
+    """
+
+    def reset(self, n: int) -> None:
+        super().reset(n)
+        self._flip = False
+
+    def next_move(self, history: History) -> frozenset[int]:
+        pool = [x for x in range(1, self.n + 1) if x not in self.known_misses(history)]
+        if not pool:
+            return frozenset({1})
+        if len(pool) <= 2:
+            return frozenset({pool[0]})
+        half = len(pool) // 2
+        self._flip = not self._flip
+        chosen = pool[:half] if self._flip else pool[half:]
+        return frozenset(chosen)
+
+
+class RandomStrategy(ExplorerStrategy):
+    """Pseudo-random subsets of expected size ``density * n``.
+
+    Seeded at ``reset`` so the strategy is formally *deterministic*
+    (the coin sequence is part of its description) — which is what lets
+    the ``find_set`` adversary defeat it like any other deterministic
+    strategy, and keeps :func:`~repro.lowerbound.adversary.foil_strategy`'s
+    induce/replay stages consistent.
+    """
+
+    def __init__(self, seed: int, *, density: float = 0.5) -> None:
+        super().__init__()
+        if not 0.0 < density <= 1.0:
+            raise GameError("density must be in (0, 1]")
+        self.seed = seed
+        self.density = density
+        self._rng = random.Random(seed)
+
+    def reset(self, n: int) -> None:
+        super().reset(n)
+        self._rng = random.Random(self.seed)
+
+    def next_move(self, history: History) -> frozenset[int]:
+        misses = self.known_misses(history)
+        move = frozenset(
+            x
+            for x in range(1, self.n + 1)
+            if x not in misses and self._rng.random() < self.density
+        )
+        if move:
+            return move
+        candidates = [x for x in range(1, self.n + 1) if x not in misses]
+        if not candidates:
+            candidates = list(range(1, self.n + 1))
+        return frozenset({self._rng.choice(candidates)})

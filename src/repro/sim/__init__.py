@@ -1,0 +1,45 @@
+"""Synchronous radio-network simulator (the paper's model, Definition 1).
+
+Time proceeds in numbered slots.  In each slot every processor acts as a
+transmitter, a receiver, or is inactive.  A receiver hears a message in
+slot ``t`` iff **exactly one** of its neighbours transmits in slot ``t``;
+otherwise it hears nothing, and — in the default no-collision-detection
+medium — cannot distinguish silence from collision.
+
+Entry point: :class:`~repro.sim.engine.Engine`.
+"""
+
+from repro.sim.engine import Engine, RunResult
+from repro.sim.faults import CrashFault, EdgeFault, FaultSchedule
+from repro.sim.medium import (
+    COLLISION,
+    SILENCE,
+    CollisionDetectingMedium,
+    Medium,
+    RadioMedium,
+)
+from repro.sim.metrics import RunMetrics
+from repro.sim.node import Context, Idle, Intent, NodeProgram, Receive, Transmit
+from repro.sim.trace import SlotRecord, Trace
+
+__all__ = [
+    "Engine",
+    "RunResult",
+    "Context",
+    "NodeProgram",
+    "Intent",
+    "Transmit",
+    "Receive",
+    "Idle",
+    "Medium",
+    "RadioMedium",
+    "CollisionDetectingMedium",
+    "SILENCE",
+    "COLLISION",
+    "RunMetrics",
+    "Trace",
+    "SlotRecord",
+    "FaultSchedule",
+    "EdgeFault",
+    "CrashFault",
+]

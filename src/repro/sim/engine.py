@@ -1,0 +1,242 @@
+"""The synchronous slot engine.
+
+The engine implements the execution rules of the paper's Definition 1:
+
+1. Time advances in numbered slots (0, 1, 2, ...).
+2. In each slot every processor transmits, receives, or is inactive
+   (its :class:`~repro.sim.node.NodeProgram` decides via ``act``).
+3. A receiver is delivered a message iff exactly one of its neighbours
+   transmits that slot (delegated to the :class:`~repro.sim.medium.Medium`).
+4. A program's actions may depend only on its context and its past
+   observations (structurally enforced: programs only ever see their
+   :class:`~repro.sim.node.Context` and their own observations).
+5. No spontaneous transmissions: with ``enforce_no_spontaneous=True``
+   (the default) a non-initiator that transmits before receiving any
+   message trips a :class:`~repro.errors.ProtocolError`.  Experiments
+   for Section 3.5 pass ``False``.
+6. Broadcast completion is a property of the metrics
+   (:meth:`~repro.sim.metrics.RunMetrics.completion_slot`), not of the
+   engine: the engine runs until all programs report done, an optional
+   ``stop_when`` predicate fires, or ``max_slots`` is exhausted.
+
+The engine never copies messages; protocols exchange immutable payloads
+by convention (all protocols in this library send tuples/strings/ints).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Any, Callable, Hashable, Mapping
+
+from repro import rng as rng_mod
+from repro.errors import ProtocolError, SimulationError
+from repro.graphs.graph import DiGraph, Graph
+from repro.sim.faults import FaultSchedule
+from repro.sim.medium import Medium, RadioMedium
+from repro.sim.metrics import RunMetrics
+from repro.sim.node import Context, Idle, Intent, NodeProgram, Receive, Transmit
+from repro.sim.trace import SlotRecord, Trace
+
+__all__ = ["Engine", "RunResult"]
+
+Node = Hashable
+
+
+@dataclass
+class RunResult:
+    """Outcome of one simulated run."""
+
+    slots: int
+    metrics: RunMetrics
+    trace: Trace | None
+    programs: dict[Node, NodeProgram]
+    graph: Graph
+
+    def node_results(self) -> dict[Node, Any]:
+        """Per-node protocol outputs (``NodeProgram.result``)."""
+        return {node: prog.result() for node, prog in self.programs.items()}
+
+    def broadcast_completion_slot(self, *, source: Node | None = None) -> int | None:
+        """Slot by which all nodes other than ``source`` received a message."""
+        skip = frozenset() if source is None else frozenset({source})
+        return self.metrics.completion_slot(self.graph.nodes, skip=skip)
+
+    def broadcast_succeeded(self, *, source: Node | None = None) -> bool:
+        return self.broadcast_completion_slot(source=source) is not None
+
+
+class Engine:
+    """Drives a set of node programs over a graph, slot by slot."""
+
+    def __init__(
+        self,
+        graph: Graph,
+        programs: Mapping[Node, NodeProgram],
+        *,
+        medium: Medium | None = None,
+        seed: int = 0,
+        initiators: frozenset[Node] | set[Node] = frozenset(),
+        enforce_no_spontaneous: bool = True,
+        faults: FaultSchedule | None = None,
+        record_trace: bool = False,
+    ) -> None:
+        if set(programs) != set(graph.nodes):
+            missing = set(graph.nodes) ^ set(programs)
+            raise SimulationError(
+                f"programs must cover exactly the graph's nodes; mismatch on {sorted(map(repr, missing))}"
+            )
+        self.graph = graph.copy()
+        self.programs: dict[Node, NodeProgram] = dict(programs)
+        self.medium = medium if medium is not None else RadioMedium()
+        self.seed = seed
+        self.initiators = frozenset(initiators)
+        self.enforce_no_spontaneous = enforce_no_spontaneous
+        self.faults = faults if faults is not None else FaultSchedule()
+        self.metrics = RunMetrics()
+        self.trace: Trace | None = Trace() if record_trace else None
+        self.slot = 0
+        self._crashed: set[Node] = set()
+        self._has_received: set[Node] = set(self.initiators)
+        self._contexts: dict[Node, Context] = {
+            node: Context(
+                node=node,
+                neighbor_ids=self.graph.neighbors(node),
+                rng=rng_mod.spawn_for_node(seed, node),
+            )
+            for node in self.graph.nodes
+        }
+        self._started = False
+
+    # -- public API -----------------------------------------------------
+
+    def run(
+        self,
+        max_slots: int,
+        *,
+        stop_when: Callable[["Engine"], bool] | None = None,
+    ) -> RunResult:
+        """Run until done / stop condition / ``max_slots``; return the result."""
+        if max_slots < 0:
+            raise SimulationError("max_slots must be non-negative")
+        if not self._started:
+            for node, program in self.programs.items():
+                program.on_start(self._contexts[node])
+            self._started = True
+        while self.slot < max_slots:
+            if stop_when is not None and stop_when(self):
+                break
+            if self._all_done():
+                break
+            self.step()
+        return RunResult(
+            slots=self.slot,
+            metrics=self.metrics,
+            trace=self.trace,
+            programs=self.programs,
+            graph=self.graph,
+        )
+
+    def step(self) -> None:
+        """Execute exactly one time-slot."""
+        self._apply_faults()
+        intents = self._collect_intents()
+        self._resolve(intents)
+        self.slot += 1
+        self.metrics.slots = self.slot
+
+    # -- internals --------------------------------------------------------
+
+    def _apply_faults(self) -> None:
+        for fault in self.faults.edge_faults_at(self.slot):
+            fault.apply(self.graph)
+        for crash in self.faults.crashes_at(self.slot):
+            self._crashed.add(crash.node)
+
+    def _collect_intents(self) -> dict[Node, Intent]:
+        intents: dict[Node, Intent] = {}
+        for node, program in self.programs.items():
+            if node in self._crashed:
+                continue
+            ctx = self._contexts[node]
+            ctx.slot = self.slot
+            if program.is_done(ctx):
+                continue
+            intent = program.act(ctx)
+            if not isinstance(intent, (Transmit, Receive, Idle)):
+                raise ProtocolError(
+                    f"node {node!r} returned {intent!r}; expected Transmit/Receive/Idle"
+                )
+            if (
+                isinstance(intent, Transmit)
+                and self.enforce_no_spontaneous
+                and node not in self._has_received
+            ):
+                raise ProtocolError(
+                    f"node {node!r} transmitted spontaneously at slot {self.slot} "
+                    "(Definition 1, rule 5; pass enforce_no_spontaneous=False to allow)"
+                )
+            intents[node] = intent
+        return intents
+
+    def _resolve(self, intents: dict[Node, Intent]) -> None:
+        messages: dict[Node, Any] = {
+            node: intent.message
+            for node, intent in intents.items()
+            if isinstance(intent, Transmit)
+        }
+        receivers = [node for node, intent in intents.items() if isinstance(intent, Receive)]
+
+        for node in messages:
+            self.metrics.note_transmission(node)
+
+        heard: dict[Node, Any] = {}
+        deliveries: dict[Node, tuple[Node, Any]] = {}
+        conflict_counts: dict[Node, int] = {}
+        for receiver in receivers:
+            audible = self._audible_transmitters(receiver, messages)
+            conflict_counts[receiver] = len(audible)
+            observation = self.medium.resolve(receiver, audible, messages)
+            heard[receiver] = observation
+            if len(audible) == 1:
+                sender = audible[0]
+                deliveries[receiver] = (sender, messages[sender])
+                self.metrics.note_delivery(receiver, self.slot)
+                self._has_received.add(receiver)
+            elif len(audible) >= 2:
+                self.metrics.note_collision()
+
+        # Observations are delivered only after the whole slot resolves,
+        # preserving simultaneity.
+        for receiver in receivers:
+            self.programs[receiver].on_observe(self._contexts[receiver], heard[receiver])
+
+        if self.trace is not None:
+            self.trace.append(
+                SlotRecord(
+                    slot=self.slot,
+                    transmitters=messages,
+                    receivers=frozenset(receivers),
+                    heard=heard,
+                    deliveries=deliveries,
+                    conflict_counts=conflict_counts,
+                )
+            )
+
+    def _audible_transmitters(self, receiver: Node, messages: dict[Node, Any]) -> list[Node]:
+        if isinstance(self.graph, DiGraph):
+            neighborhood = self.graph.neighbors_in(receiver)
+        else:
+            neighborhood = self.graph.neighbors(receiver)
+        if len(messages) < len(neighborhood):
+            return [node for node in messages if node in neighborhood]
+        return [node for node in neighborhood if node in messages]
+
+    def _all_done(self) -> bool:
+        for node, program in self.programs.items():
+            if node in self._crashed:
+                continue
+            ctx = self._contexts[node]
+            ctx.slot = self.slot
+            if not program.is_done(ctx):
+                return False
+        return True

@@ -1,0 +1,106 @@
+"""Dynamic-topology and fault schedules.
+
+The paper's property 3 claims the Broadcast protocol is *"adaptive to
+changes in topology ... edges may be added or deleted at any time,
+provided that the network of unchanged edges remains connected"* —
+i.e. resilience to fail/stop edge faults.  This module provides the
+machinery the E9 experiment uses to exercise that claim:
+
+* :class:`EdgeFault` — add or remove one edge at a given slot;
+* :class:`CrashFault` — silence one node permanently from a given slot
+  (the node neither transmits nor receives afterwards);
+* :class:`FaultSchedule` — an ordered collection applied by the engine
+  at slot boundaries (before intents are gathered for that slot).
+
+A schedule is data, not behaviour, so experiments can generate, log and
+replay fault patterns deterministically.
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass, field
+from typing import Hashable, Literal
+
+from repro.errors import SimulationError
+from repro.graphs.graph import Graph
+
+__all__ = ["EdgeFault", "CrashFault", "FaultSchedule", "random_edge_kill_schedule"]
+
+Node = Hashable
+
+
+@dataclass(frozen=True)
+class EdgeFault:
+    """Add or remove the edge ``(u, v)`` at the start of slot ``slot``."""
+
+    slot: int
+    u: Node
+    v: Node
+    kind: Literal["remove", "add"] = "remove"
+
+    def apply(self, g: Graph) -> None:
+        if self.kind == "remove":
+            if g.has_edge(self.u, self.v):
+                g.remove_edge(self.u, self.v)
+        elif self.kind == "add":
+            g.add_edge(self.u, self.v)
+        else:  # pragma: no cover - guarded by Literal, defensive only
+            raise SimulationError(f"unknown edge fault kind {self.kind!r}")
+
+
+@dataclass(frozen=True)
+class CrashFault:
+    """Node ``node`` fail-stops at the start of slot ``slot``."""
+
+    slot: int
+    node: Node
+
+
+@dataclass
+class FaultSchedule:
+    """All faults for one run, queryable by slot."""
+
+    edge_faults: list[EdgeFault] = field(default_factory=list)
+    crash_faults: list[CrashFault] = field(default_factory=list)
+
+    def edge_faults_at(self, slot: int) -> list[EdgeFault]:
+        return [f for f in self.edge_faults if f.slot == slot]
+
+    def crashes_at(self, slot: int) -> list[CrashFault]:
+        return [f for f in self.crash_faults if f.slot == slot]
+
+    def is_empty(self) -> bool:
+        return not self.edge_faults and not self.crash_faults
+
+    @property
+    def last_slot(self) -> int:
+        slots = [f.slot for f in self.edge_faults] + [f.slot for f in self.crash_faults]
+        return max(slots) if slots else -1
+
+
+def random_edge_kill_schedule(
+    g: Graph,
+    keep: Graph,
+    kill_fraction: float,
+    max_slot: int,
+    rng: random.Random,
+) -> FaultSchedule:
+    """Build a schedule that removes random edges of ``g`` not present in ``keep``.
+
+    ``keep`` is a connected spanning subgraph whose edges are never
+    killed — this realises the paper's proviso that "the network of
+    unchanged edges remains connected".  Each killable edge is removed
+    with probability ``kill_fraction`` at a uniformly random slot in
+    ``[0, max_slot)``.
+    """
+    if not 0.0 <= kill_fraction <= 1.0:
+        raise SimulationError("kill_fraction must be in [0, 1]")
+    protected = {frozenset(edge) for edge in keep.edges}
+    faults = []
+    for u, v in g.edges:
+        if frozenset((u, v)) in protected:
+            continue
+        if rng.random() < kill_fraction:
+            faults.append(EdgeFault(slot=rng.randrange(max(1, max_slot)), u=u, v=v))
+    return FaultSchedule(edge_faults=faults)

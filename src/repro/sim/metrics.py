@@ -1,0 +1,69 @@
+"""Aggregate per-run metrics.
+
+:class:`RunMetrics` is always collected (it is cheap), unlike the full
+:class:`~repro.sim.trace.Trace`.  It carries everything the paper's
+experiments measure:
+
+* ``slots`` — total time-slots executed (the paper's complexity measure);
+* ``first_reception`` — per node, the slot of the first message delivery
+  (the random variable ``T_v`` of Lemma 3);
+* ``transmissions`` — total transmit events (paper property 2);
+* ``collisions`` — total (receiver, slot) conflict events;
+* ``deliveries`` — total successful message deliveries.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Hashable
+
+__all__ = ["RunMetrics"]
+
+Node = Hashable
+
+
+@dataclass
+class RunMetrics:
+    """Counters accumulated by the engine during one run."""
+
+    slots: int = 0
+    transmissions: int = 0
+    collisions: int = 0
+    deliveries: int = 0
+    first_reception: dict[Node, int] = field(default_factory=dict)
+    transmissions_per_node: dict[Node, int] = field(default_factory=dict)
+
+    def note_transmission(self, node: Node) -> None:
+        self.transmissions += 1
+        self.transmissions_per_node[node] = self.transmissions_per_node.get(node, 0) + 1
+
+    def note_delivery(self, node: Node, slot: int) -> None:
+        self.deliveries += 1
+        self.first_reception.setdefault(node, slot)
+
+    def note_collision(self) -> None:
+        self.collisions += 1
+
+    # -- derived quantities ---------------------------------------------
+
+    def completion_slot(self, nodes: list[Node], *, skip: frozenset[Node] = frozenset()) -> int | None:
+        """The slot by which every node in ``nodes`` (except ``skip``,
+        typically the source) had received a message — the broadcast
+        completion time — or ``None`` if some node never received.
+        """
+        times = []
+        for node in nodes:
+            if node in skip:
+                continue
+            if node not in self.first_reception:
+                return None
+            times.append(self.first_reception[node])
+        return max(times) if times else 0
+
+    def coverage(self, nodes: list[Node], *, skip: frozenset[Node] = frozenset()) -> float:
+        """Fraction of (non-skipped) nodes that received at least one message."""
+        counted = [node for node in nodes if node not in skip]
+        if not counted:
+            return 1.0
+        reached = sum(1 for node in counted if node in self.first_reception)
+        return reached / len(counted)

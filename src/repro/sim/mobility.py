@@ -1,0 +1,169 @@
+"""Node mobility for unit-disk networks.
+
+The paper stresses (property 3) that Decay broadcast is "*adaptive to
+changes in topology which occur throughout the execution*".  Edge-fault
+schedules model adversarial link churn; this module models the *benign*
+physical cause — node movement — and compiles it into the same
+:class:`~repro.sim.faults.FaultSchedule` machinery:
+
+1. a :class:`RandomWaypointModel` moves each node toward a random
+   waypoint at a node-specific speed, re-drawing the waypoint on
+   arrival (the classic ad-hoc-network mobility model);
+2. :func:`mobility_fault_schedule` samples positions every
+   ``resample_every`` slots, recomputes the unit-disk edge set, and
+   emits add/remove :class:`~repro.sim.faults.EdgeFault` events for the
+   differences.
+
+The engine then replays the churn deterministically — mobility becomes
+data, so experiments are reproducible and pausable like everything
+else.
+"""
+
+from __future__ import annotations
+
+import math
+import random
+from dataclasses import dataclass
+from typing import Hashable, Iterable
+
+from repro.errors import SimulationError
+from repro.sim.faults import EdgeFault, FaultSchedule
+
+__all__ = ["RandomWaypointModel", "edges_for_positions", "mobility_fault_schedule"]
+
+Node = Hashable
+Position = tuple[float, float]
+
+
+@dataclass
+class _NodeState:
+    position: Position
+    waypoint: Position
+    speed: float
+
+
+class RandomWaypointModel:
+    """Random-waypoint mobility inside an ``area × area`` square.
+
+    Parameters
+    ----------
+    positions:
+        Initial node positions (e.g. ``unit_disk(...).positions``).
+    rng:
+        Drives waypoint choices and per-node speeds.
+    speed:
+        Distance units travelled per *slot* (mean); per-node speeds are
+        drawn uniformly from ``[0.5·speed, 1.5·speed]``.
+    area:
+        Side length of the square arena.
+    """
+
+    def __init__(
+        self,
+        positions: dict[Node, Position],
+        rng: random.Random,
+        *,
+        speed: float = 0.01,
+        area: float = 1.0,
+    ) -> None:
+        if speed <= 0:
+            raise SimulationError("speed must be positive")
+        if not positions:
+            raise SimulationError("need at least one node")
+        self.area = area
+        self._rng = rng
+        self._states = {
+            node: _NodeState(
+                position=pos,
+                waypoint=self._draw_waypoint(),
+                speed=speed * rng.uniform(0.5, 1.5),
+            )
+            for node, pos in positions.items()
+        }
+
+    def _draw_waypoint(self) -> Position:
+        return (self._rng.uniform(0, self.area), self._rng.uniform(0, self.area))
+
+    @property
+    def positions(self) -> dict[Node, Position]:
+        return {node: state.position for node, state in self._states.items()}
+
+    def step(self, slots: int = 1) -> None:
+        """Advance every node ``slots`` time-slots along its trajectory."""
+        if slots < 0:
+            raise SimulationError("slots must be non-negative")
+        for state in self._states.values():
+            budget = state.speed * slots
+            while budget > 0:
+                dx = state.waypoint[0] - state.position[0]
+                dy = state.waypoint[1] - state.position[1]
+                dist = math.hypot(dx, dy)
+                if dist <= budget:
+                    state.position = state.waypoint
+                    state.waypoint = self._draw_waypoint()
+                    budget -= dist
+                    if dist == 0:
+                        break
+                else:
+                    frac = budget / dist
+                    state.position = (
+                        state.position[0] + dx * frac,
+                        state.position[1] + dy * frac,
+                    )
+                    budget = 0.0
+
+
+def edges_for_positions(
+    positions: dict[Node, Position], radius: float
+) -> set[frozenset]:
+    """The unit-disk edge set for a position snapshot."""
+    if radius <= 0:
+        raise SimulationError("radius must be positive")
+    nodes = list(positions)
+    r2 = radius * radius
+    edges: set[frozenset] = set()
+    for i, u in enumerate(nodes):
+        ux, uy = positions[u]
+        for v in nodes[i + 1 :]:
+            vx, vy = positions[v]
+            if (ux - vx) ** 2 + (uy - vy) ** 2 <= r2:
+                edges.add(frozenset((u, v)))
+    return edges
+
+
+def mobility_fault_schedule(
+    model: RandomWaypointModel,
+    radius: float,
+    horizon: int,
+    *,
+    resample_every: int = 8,
+    protected: Iterable[frozenset] = (),
+) -> FaultSchedule:
+    """Compile ``horizon`` slots of movement into an edge-fault schedule.
+
+    ``protected`` edges (e.g. a backbone kept connected, mirroring the
+    paper's proviso) are never removed even when their endpoints drift
+    out of range.  The model is advanced in place.
+    """
+    if horizon < 0:
+        raise SimulationError("horizon must be non-negative")
+    if resample_every < 1:
+        raise SimulationError("resample_every must be >= 1")
+    protected_set = set(protected)
+    current = edges_for_positions(model.positions, radius)
+    faults: list[EdgeFault] = []
+    slot = 0
+    while slot + resample_every <= horizon:
+        model.step(resample_every)
+        slot += resample_every
+        nxt = edges_for_positions(model.positions, radius)
+        for gone in current - nxt:
+            if gone in protected_set:
+                continue
+            u, v = tuple(gone)
+            faults.append(EdgeFault(slot=slot, u=u, v=v, kind="remove"))
+        for new in nxt - current:
+            u, v = tuple(new)
+            faults.append(EdgeFault(slot=slot, u=u, v=v, kind="add"))
+        current = (nxt | (current & protected_set))
+    return FaultSchedule(edge_faults=faults)

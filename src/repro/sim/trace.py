@@ -1,0 +1,107 @@
+"""Slot-by-slot execution traces.
+
+A :class:`Trace` records, for each simulated time-slot, who transmitted,
+who listened, what each listener heard, and how many transmitting
+neighbours each listener had.  Traces power the correctness tests
+(e.g. "a node was delivered a message iff exactly one neighbour
+transmitted"), the message-complexity experiment (paper property 2),
+and debugging output for the examples.
+
+Recording every slot of a long run on a big graph costs memory, so the
+engine only records when asked (``record_trace=True``).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any, Hashable, Iterator
+
+__all__ = ["SlotRecord", "Trace"]
+
+Node = Hashable
+
+
+@dataclass(frozen=True)
+class SlotRecord:
+    """What happened in one time-slot.
+
+    Attributes
+    ----------
+    slot:
+        The slot number.
+    transmitters:
+        Map from transmitting node to the message it sent.
+    receivers:
+        The set of nodes that acted as receivers.
+    heard:
+        Map from receiving node to what it observed
+        (a message, ``SILENCE``, or ``COLLISION``).
+    deliveries:
+        Map from receiving node to ``(sender, message)`` for the
+        receivers that actually got a message this slot.
+    conflict_counts:
+        Map from receiving node to the number of its neighbours that
+        transmitted this slot (0, 1, or more).
+    """
+
+    slot: int
+    transmitters: dict[Node, Any]
+    receivers: frozenset[Node]
+    heard: dict[Node, Any]
+    deliveries: dict[Node, tuple[Node, Any]]
+    conflict_counts: dict[Node, int]
+
+    @property
+    def collided_receivers(self) -> frozenset[Node]:
+        """Receivers with ≥ 2 transmitting neighbours this slot."""
+        return frozenset(
+            node for node, count in self.conflict_counts.items() if count >= 2
+        )
+
+
+@dataclass
+class Trace:
+    """An append-only sequence of :class:`SlotRecord`."""
+
+    records: list[SlotRecord] = field(default_factory=list)
+
+    def append(self, record: SlotRecord) -> None:
+        self.records.append(record)
+
+    def __len__(self) -> int:
+        return len(self.records)
+
+    def __iter__(self) -> Iterator[SlotRecord]:
+        return iter(self.records)
+
+    def __getitem__(self, index: int) -> SlotRecord:
+        return self.records[index]
+
+    # -- convenience queries -------------------------------------------
+
+    def total_transmissions(self) -> int:
+        """Total number of (node, slot) transmit events."""
+        return sum(len(rec.transmitters) for rec in self.records)
+
+    def total_collisions(self) -> int:
+        """Total number of (receiver, slot) conflict events."""
+        return sum(len(rec.collided_receivers) for rec in self.records)
+
+    def transmissions_by(self, node: Node) -> int:
+        return sum(1 for rec in self.records if node in rec.transmitters)
+
+    def first_delivery_slot(self, node: Node) -> int | None:
+        """First slot at which ``node`` was delivered a message, or None."""
+        for rec in self.records:
+            if node in rec.deliveries:
+                return rec.slot
+        return None
+
+    def deliveries_to(self, node: Node) -> list[tuple[int, Node, Any]]:
+        """All ``(slot, sender, message)`` deliveries to ``node``."""
+        out: list[tuple[int, Node, Any]] = []
+        for rec in self.records:
+            if node in rec.deliveries:
+                sender, message = rec.deliveries[node]
+                out.append((rec.slot, sender, message))
+        return out

@@ -1,0 +1,88 @@
+"""ASCII visualisation of simulation runs.
+
+Terminal-friendly renderings used by the examples and handy when
+debugging protocols:
+
+* :func:`timeline` — a node × slot matrix of actions:
+  ``T`` transmit, ``r`` receive-and-heard, ``.`` receive-but-silence,
+  ``x`` receive-into-collision, `` `` idle.  Reading a Decay broadcast
+  timeline makes the phase structure and the thinning of transmitter
+  sets visible at a glance.
+* :func:`reception_wave` — histogram of first receptions per slot
+  (the broadcast wavefront).
+* :func:`phase_ruler` — a header row marking phase boundaries.
+
+All functions are pure: they take a recorded
+:class:`~repro.sim.trace.Trace` (run the engine with
+``record_trace=True``) and return strings.
+"""
+
+from __future__ import annotations
+
+from typing import Hashable, Sequence
+
+from repro.errors import ReproError
+from repro.sim.trace import Trace
+
+__all__ = ["timeline", "reception_wave", "phase_ruler"]
+
+Node = Hashable
+
+
+def timeline(
+    trace: Trace,
+    nodes: Sequence[Node],
+    *,
+    max_slots: int | None = None,
+) -> str:
+    """Render a node × slot action matrix (see module docs for glyphs)."""
+    if not nodes:
+        raise ReproError("timeline needs at least one node")
+    records = trace.records if max_slots is None else trace.records[:max_slots]
+    label_width = max(len(str(node)) for node in nodes)
+    lines = []
+    for node in nodes:
+        cells = []
+        for rec in records:
+            if node in rec.transmitters:
+                cells.append("T")
+            elif node in rec.receivers:
+                if node in rec.deliveries:
+                    cells.append("r")
+                elif rec.conflict_counts.get(node, 0) >= 2:
+                    cells.append("x")
+                else:
+                    cells.append(".")
+            else:
+                cells.append(" ")
+        lines.append(f"{str(node):>{label_width}} |{''.join(cells)}|")
+    return "\n".join(lines)
+
+
+def phase_ruler(num_slots: int, phase_len: int, *, label_width: int = 0) -> str:
+    """A ruler row with ``|`` at each phase boundary (slot ≡ 0 mod k)."""
+    if phase_len < 1:
+        raise ReproError("phase_len must be >= 1")
+    marks = "".join(
+        "|" if slot % phase_len == 0 else "-" for slot in range(num_slots)
+    )
+    return f"{'':>{label_width}} |{marks}|"
+
+
+def reception_wave(trace: Trace, *, width: int = 50) -> str:
+    """Histogram of first receptions per slot (the broadcast wavefront)."""
+    first: dict[Node, int] = {}
+    for rec in trace:
+        for node in rec.deliveries:
+            first.setdefault(node, rec.slot)
+    if not first:
+        return "(no node ever received anything)"
+    counts: dict[int, int] = {}
+    for slot in first.values():
+        counts[slot] = counts.get(slot, 0) + 1
+    peak = max(counts.values())
+    lines = []
+    for slot in sorted(counts):
+        bar = "#" * max(1, round(counts[slot] / peak * width))
+        lines.append(f"slot {slot:>4} | {bar} {counts[slot]}")
+    return "\n".join(lines)

@@ -1,0 +1,147 @@
+"""Tests for the goodness-of-fit machinery, and the distributional
+checks it powers: the simulator must match the paper's exact laws in
+distribution, not just on average."""
+
+import random
+
+import pytest
+
+from repro.analysis.gof import (
+    chi_square_pvalue,
+    chi_square_statistic,
+    chi_square_test,
+    pool_small_bins,
+)
+from repro.errors import ExperimentError
+
+
+class TestPooling:
+    def test_pools_small_tail(self):
+        obs, exp = pool_small_bins([10, 10, 1, 1], [10, 10, 2, 2], min_expected=5)
+        assert exp == [10, 14]
+        assert obs == [10, 12]
+
+    def test_no_pooling_needed(self):
+        obs, exp = pool_small_bins([5, 5], [6, 6])
+        assert obs == [5, 5] and exp == [6, 6]
+
+    def test_mismatched_lengths(self):
+        with pytest.raises(ExperimentError):
+            pool_small_bins([1], [1, 2])
+
+
+class TestStatistic:
+    def test_perfect_fit_is_zero(self):
+        stat, df = chi_square_statistic([50, 50], [50, 50])
+        assert stat == 0.0 and df == 1
+
+    def test_known_value(self):
+        # Classic: observed [45,55] vs fair [50,50]: X^2 = 25/50*2 = 1.0
+        stat, _df = chi_square_statistic([45, 55], [50, 50])
+        assert stat == pytest.approx(1.0)
+
+    def test_scaling_of_expected(self):
+        # Expected given as probabilities scaled by total automatically.
+        a, _ = chi_square_statistic([45, 55], [0.5, 0.5])
+        b, _ = chi_square_statistic([45, 55], [50, 50])
+        assert a == pytest.approx(b)
+
+    def test_validation(self):
+        with pytest.raises(ExperimentError):
+            chi_square_statistic([], [])
+        with pytest.raises(ExperimentError):
+            chi_square_statistic([1], [0])
+
+
+class TestPValue:
+    def test_zero_statistic_pvalue_one(self):
+        assert chi_square_pvalue(0.0, 3) == pytest.approx(1.0)
+
+    def test_monotone_in_statistic(self):
+        assert chi_square_pvalue(1.0, 3) > chi_square_pvalue(10.0, 3)
+
+    def test_known_quantile(self):
+        # Chi2 with 1 df: P(X >= 3.841) ~ 0.05.
+        assert chi_square_pvalue(3.841, 1) == pytest.approx(0.05, abs=0.005)
+
+    def test_validation(self):
+        with pytest.raises(ExperimentError):
+            chi_square_pvalue(1.0, 0)
+        with pytest.raises(ExperimentError):
+            chi_square_pvalue(-1.0, 2)
+
+
+class TestDecayDistributionMatchesTheory:
+    """The simulator's laws vs the paper's exact laws, α = 0.001."""
+
+    def test_decay_transmission_counts_are_geometric(self):
+        from repro.core.decay import DecayProcess
+
+        k = 8
+        rng = random.Random(2024)
+        counts: dict[int, int] = {}
+        for _ in range(20000):
+            proc = DecayProcess(k, "m", rng)
+            n = 0
+            while proc.wants_transmit():
+                n += 1
+            counts[n] = counts.get(n, 0) + 1
+        # P(N = j) = 2^-j for j < k; P(N = k) = 2^-(k-1); index 0 unused.
+        probs = [0.0] + [2.0**-j for j in range(1, k)] + [2.0 ** -(k - 1)]
+        # Drop the impossible 0 bin before testing.
+        out = chi_square_test(
+            {j - 1: counts.get(j, 0) for j in range(1, k + 1)}, probs[1:]
+        )
+        assert out["p_value"] > 0.001
+
+    def test_decay_game_success_rate_matches_p_exact(self):
+        from repro.core.bounds import p_exact
+        from repro.core.decay import simulate_decay_game
+
+        d, k = 10, 8
+        rng = random.Random(77)
+        reps = 20000
+        hits = sum(
+            1 for _ in range(reps) if simulate_decay_game(d, k, rng) is not None
+        )
+        p = p_exact(k, d)
+        out = chi_square_test([hits, reps - hits], [p, 1 - p])
+        assert out["p_value"] > 0.001
+
+    def test_engine_reception_times_match_markov_chain(self):
+        # The slot of first reception in the Theorem-1 game, engine vs
+        # the direct Markov simulation, must agree in distribution.
+        from repro.core.decay import simulate_decay_game
+        from repro.experiments.exp_decay import engine_decay_game
+        from repro.graphs import star
+        from repro.rng import spawn
+        from repro.sim import Engine
+        from repro.experiments.exp_decay import _DecayLeaf, _Hub
+
+        d, k = 6, 6
+        reps = 1500
+        markov: dict[int, int] = {}
+        rng = random.Random(5)
+        for _ in range(reps * 4):
+            slot = simulate_decay_game(d, k, rng)
+            key = k if slot is None else slot
+            markov[key] = markov.get(key, 0) + 1
+        engine_counts: dict[int, int] = {}
+        for seed in range(reps):
+            g = star(d)
+            programs = {0: _Hub(k)}
+            for leaf in range(1, d + 1):
+                programs[leaf] = _DecayLeaf(k)
+            engine = Engine(
+                g, programs, seed=seed, initiators=frozenset(range(1, d + 1))
+            )
+            result = engine.run(k)
+            slot = result.metrics.first_reception.get(0)
+            key = k if slot is None else slot
+            engine_counts[key] = engine_counts.get(key, 0) + 1
+        probs = [markov.get(i, 0) / (reps * 4) for i in range(k + 1)]
+        out = chi_square_test(
+            {i: engine_counts.get(i, 0) for i in range(k + 1)},
+            [max(p, 1e-9) for p in probs],
+        )
+        assert out["p_value"] > 0.001

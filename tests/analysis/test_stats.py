@@ -1,0 +1,112 @@
+"""Tests for the statistics helpers."""
+
+import math
+
+import pytest
+
+from repro.analysis.stats import (
+    empirical_cdf,
+    mean,
+    mean_confidence_interval,
+    quantile,
+    stddev,
+    summarize,
+    wilson_interval,
+)
+from repro.errors import ExperimentError
+
+
+class TestMeanStd:
+    def test_mean(self):
+        assert mean([1, 2, 3, 4]) == 2.5
+
+    def test_mean_empty(self):
+        with pytest.raises(ExperimentError):
+            mean([])
+
+    def test_stddev_known_value(self):
+        assert stddev([2, 4, 4, 4, 5, 5, 7, 9]) == pytest.approx(
+            math.sqrt(32 / 7)
+        )
+
+    def test_stddev_single_sample(self):
+        assert stddev([5]) == 0.0
+
+    def test_stddev_empty(self):
+        with pytest.raises(ExperimentError):
+            stddev([])
+
+
+class TestQuantile:
+    def test_median_odd(self):
+        assert quantile([3, 1, 2], 0.5) == 2
+
+    def test_median_even_interpolates(self):
+        assert quantile([1, 2, 3, 4], 0.5) == 2.5
+
+    def test_extremes(self):
+        data = [5, 1, 9]
+        assert quantile(data, 0.0) == 1
+        assert quantile(data, 1.0) == 9
+
+    def test_bad_q(self):
+        with pytest.raises(ExperimentError):
+            quantile([1], 1.5)
+
+    def test_empty(self):
+        with pytest.raises(ExperimentError):
+            quantile([], 0.5)
+
+
+class TestCdf:
+    def test_values(self):
+        data = [1, 2, 3, 4]
+        assert empirical_cdf(data, 2.5) == 0.5
+        assert empirical_cdf(data, 0) == 0.0
+        assert empirical_cdf(data, 10) == 1.0
+
+    def test_empty(self):
+        with pytest.raises(ExperimentError):
+            empirical_cdf([], 1)
+
+
+class TestIntervals:
+    def test_mean_ci_contains_mean(self):
+        lo, hi = mean_confidence_interval([1.0, 2.0, 3.0, 4.0])
+        assert lo <= 2.5 <= hi
+
+    def test_mean_ci_shrinks_with_samples(self):
+        narrow = mean_confidence_interval([1, 2] * 100)
+        wide = mean_confidence_interval([1, 2] * 2)
+        assert narrow[1] - narrow[0] < wide[1] - wide[0]
+
+    def test_wilson_basics(self):
+        lo, hi = wilson_interval(50, 100)
+        assert lo < 0.5 < hi
+        assert 0.0 <= lo and hi <= 1.0
+
+    def test_wilson_extremes_stay_in_unit_interval(self):
+        lo, hi = wilson_interval(0, 20)
+        assert lo == 0.0 and hi < 0.3
+        lo, hi = wilson_interval(20, 20)
+        assert lo > 0.7 and hi == 1.0
+
+    def test_wilson_validation(self):
+        with pytest.raises(ExperimentError):
+            wilson_interval(1, 0)
+        with pytest.raises(ExperimentError):
+            wilson_interval(5, 3)
+
+
+class TestSummarize:
+    def test_fields(self):
+        s = summarize([1, 2, 3, 4, 5, 6, 7, 8, 9, 10])
+        assert s.count == 10
+        assert s.mean == 5.5
+        assert s.minimum == 1
+        assert s.maximum == 10
+        assert s.p50 == 5.5
+
+    def test_str_renders(self):
+        text = str(summarize([1.0, 2.0]))
+        assert "n=2" in text and "mean=1.50" in text

@@ -1,0 +1,108 @@
+"""Tests for the table renderer."""
+
+import pytest
+
+from repro.analysis.tables import Table
+from repro.errors import ExperimentError
+
+
+class TestConstruction:
+    def test_needs_columns(self):
+        with pytest.raises(ExperimentError):
+            Table("t", [])
+
+    def test_duplicate_columns_rejected(self):
+        with pytest.raises(ExperimentError):
+            Table("t", ["a", "a"])
+
+
+class TestRows:
+    def test_positional(self):
+        t = Table("t", ["a", "b"])
+        t.add_row(1, 2)
+        assert t.rows == [[1, 2]]
+
+    def test_named(self):
+        t = Table("t", ["a", "b"])
+        t.add_row(b=2, a=1)
+        assert t.rows == [[1, 2]]
+
+    def test_named_missing_defaults_empty(self):
+        t = Table("t", ["a", "b"])
+        t.add_row(a=1)
+        assert t.rows == [[1, ""]]
+
+    def test_unknown_named_rejected(self):
+        t = Table("t", ["a"])
+        with pytest.raises(ExperimentError):
+            t.add_row(z=1)
+
+    def test_wrong_arity_rejected(self):
+        t = Table("t", ["a", "b"])
+        with pytest.raises(ExperimentError):
+            t.add_row(1)
+
+    def test_mixed_rejected(self):
+        t = Table("t", ["a", "b"])
+        with pytest.raises(ExperimentError):
+            t.add_row(1, b=2)
+
+    def test_column_access(self):
+        t = Table("t", ["a", "b"])
+        t.add_row(1, "x")
+        t.add_row(2, "y")
+        assert t.column("a") == [1, 2]
+        assert t.column("b") == ["x", "y"]
+
+    def test_missing_column(self):
+        t = Table("t", ["a"])
+        with pytest.raises(ExperimentError):
+            t.column("zzz")
+
+    def test_len_and_iter(self):
+        t = Table("t", ["a"])
+        t.add_row(1)
+        t.add_row(2)
+        assert len(t) == 2
+        assert [row[0] for row in t] == [1, 2]
+
+
+class TestRendering:
+    def test_render_contains_everything(self):
+        t = Table("My Title", ["name", "value"])
+        t.add_row("alpha", 3.14159)
+        text = t.render()
+        assert "My Title" in text
+        assert "name" in text and "value" in text
+        assert "alpha" in text
+        assert "3.142" in text
+
+    def test_bool_formatting(self):
+        t = Table("t", ["ok"])
+        t.add_row(True)
+        t.add_row(False)
+        assert "yes" in t.render() and "no" in t.render()
+
+    def test_float_formats(self):
+        t = Table("t", ["x"])
+        t.add_row(123456.0)
+        t.add_row(0.0001)
+        t.add_row(float("nan"))
+        text = t.render()
+        assert "1.23e+05" in text
+        assert "0.0001" in text
+        assert "nan" in text
+
+    def test_empty_table_renders(self):
+        t = Table("t", ["a", "b"])
+        assert "a" in t.render()
+
+    def test_csv(self):
+        t = Table("t", ["a", "b"])
+        t.add_row(1, 2)
+        assert t.to_csv() == "a,b\n1,2"
+
+    def test_str_is_render(self):
+        t = Table("t", ["a"])
+        t.add_row(1)
+        assert str(t) == t.render()

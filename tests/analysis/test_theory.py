@@ -1,0 +1,99 @@
+"""Tests for tail bounds and fits."""
+
+import math
+import random
+
+import pytest
+
+from repro.analysis.theory import (
+    chernoff_binomial_upper_tail,
+    fit_linear,
+    fit_loglinear,
+    hoeffding_lower_tail,
+)
+from repro.errors import ExperimentError
+
+
+class TestHoeffding:
+    def test_trivial_when_threshold_above_mean(self):
+        assert hoeffding_lower_tail(100, 0.5, 60) == 1.0
+
+    def test_known_value(self):
+        # P(X <= 40), X ~ Bin(100, 0.5): bound exp(-2*100*(0.1)^2) = exp(-2)
+        assert hoeffding_lower_tail(100, 0.5, 40) == pytest.approx(math.exp(-2))
+
+    def test_actually_bounds_the_tail(self):
+        rng = random.Random(0)
+        trials, p, threshold = 60, 0.5, 20
+        reps = 20000
+        hits = sum(
+            1
+            for _ in range(reps)
+            if sum(rng.random() < p for _ in range(trials)) <= threshold
+        )
+        assert hits / reps <= hoeffding_lower_tail(trials, p, threshold) + 0.01
+
+    def test_validation(self):
+        with pytest.raises(ExperimentError):
+            hoeffding_lower_tail(0, 0.5, 1)
+        with pytest.raises(ExperimentError):
+            hoeffding_lower_tail(10, 1.5, 1)
+
+
+class TestChernoffUpper:
+    def test_symmetry_with_lower(self):
+        assert chernoff_binomial_upper_tail(100, 0.5, 60) == pytest.approx(
+            hoeffding_lower_tail(100, 0.5, 40)
+        )
+
+    def test_trivial_region(self):
+        assert chernoff_binomial_upper_tail(10, 0.9, 5) == 1.0
+
+
+class TestFits:
+    def test_perfect_line(self):
+        fit = fit_linear([1, 2, 3, 4], [3, 5, 7, 9])
+        assert fit.slope == pytest.approx(2.0)
+        assert fit.intercept == pytest.approx(1.0)
+        assert fit.r_squared == pytest.approx(1.0)
+
+    def test_predict(self):
+        fit = fit_linear([0, 1], [1, 3])
+        assert fit.predict(10) == pytest.approx(21.0)
+
+    def test_noisy_line_r2_below_one(self):
+        fit = fit_linear([1, 2, 3, 4, 5], [2.1, 3.9, 6.2, 7.8, 10.1])
+        assert 0.9 < fit.r_squared <= 1.0
+
+    def test_loglinear_fits_log_growth(self):
+        xs = [2**i for i in range(1, 8)]
+        ys = [5 + 3 * math.log2(x) for x in xs]
+        fit = fit_loglinear(xs, ys)
+        assert fit.slope == pytest.approx(3.0)
+        assert fit.intercept == pytest.approx(5.0)
+
+    def test_loglinear_rejects_nonpositive(self):
+        with pytest.raises(ExperimentError):
+            fit_loglinear([0, 1], [1, 2])
+
+    def test_validation(self):
+        with pytest.raises(ExperimentError):
+            fit_linear([1], [2])
+        with pytest.raises(ExperimentError):
+            fit_linear([1, 2], [3])
+        with pytest.raises(ExperimentError):
+            fit_linear([2, 2], [1, 5])
+
+    def test_constant_ys_r2_one(self):
+        fit = fit_linear([1, 2, 3], [4, 4, 4])
+        assert fit.slope == pytest.approx(0.0)
+        assert fit.r_squared == 1.0
+
+    def test_linear_separates_growth_classes(self):
+        # The gap experiment's discriminator: linear data fits x far
+        # better than log2(x) fits it.
+        xs = [2**i for i in range(3, 10)]
+        linear_ys = [3 * x + 1 for x in xs]
+        fit_as_linear = fit_linear(xs, linear_ys)
+        fit_as_log = fit_loglinear(xs, linear_ys)
+        assert fit_as_linear.r_squared > fit_as_log.r_squared

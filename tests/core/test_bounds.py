@@ -1,0 +1,188 @@
+"""Tests for the paper's analytic quantities (Theorem 1, Lemma 3, Theorem 4)."""
+
+import math
+import random
+
+import pytest
+
+from repro.core.bounds import (
+    bfs_slot_bound,
+    decay_phase_length,
+    expected_transmissions_bound,
+    log2_ceil,
+    m_epsilon,
+    num_phases,
+    p_exact,
+    p_infinity,
+    t_epsilon,
+    theorem4_slot_bound,
+    theorem4_termination_bound,
+)
+from repro.core.decay import simulate_decay_game
+from repro.errors import ReproError
+
+
+class TestLog2Ceil:
+    @pytest.mark.parametrize(
+        "x,expected",
+        [(1, 0), (2, 1), (3, 2), (4, 2), (5, 3), (8, 3), (9, 4), (1024, 10), (1025, 11)],
+    )
+    def test_integers(self, x, expected):
+        assert log2_ceil(x) == expected
+
+    def test_float(self):
+        assert log2_ceil(2.5) == 2
+        assert log2_ceil(4.0) == 2
+
+    def test_below_one_rejected(self):
+        with pytest.raises(ReproError):
+            log2_ceil(0.5)
+
+
+class TestProtocolParameters:
+    def test_decay_phase_length(self):
+        # k = 2*ceil(log Delta)
+        assert decay_phase_length(2) == 2
+        assert decay_phase_length(4) == 4
+        assert decay_phase_length(5) == 6
+        assert decay_phase_length(16) == 8
+
+    def test_decay_phase_length_degenerate(self):
+        assert decay_phase_length(1) == 1  # clamped: Decay sends at least once
+
+    def test_num_phases_paper_default(self):
+        # t = ceil(2*log2(N/eps))
+        assert num_phases(16, 1.0) == 2 * 4
+        assert num_phases(16, 0.5) == 10
+
+    def test_num_phases_lemma2_variant(self):
+        assert num_phases(16, 1.0, multiplier=1.0) == 4
+
+    def test_num_phases_validation(self):
+        with pytest.raises(ReproError):
+            num_phases(0, 0.5)
+        with pytest.raises(ReproError):
+            num_phases(4, 0.0)
+        with pytest.raises(ReproError):
+            num_phases(4, 2.0)
+
+    def test_m_epsilon(self):
+        assert m_epsilon(16, 1.0) == 4
+        assert m_epsilon(16, 0.25) == 6
+        assert m_epsilon(1, 1.0) == 1  # clamped to >= 1
+
+    def test_t_epsilon_dominant_terms(self):
+        # For huge D the 2D term dominates; for tiny D the M^2 term does.
+        n, eps = 256, 0.1
+        m = m_epsilon(n, eps)
+        assert t_epsilon(n, 10_000, eps) >= 2 * 10_000
+        assert t_epsilon(n, 0, eps) == 5 * m * m
+
+    def test_t_epsilon_matches_formula(self):
+        n, d, eps = 128, 9, 0.1
+        m = m_epsilon(n, eps)
+        expected = math.ceil(2 * d + 5 * m * max(math.sqrt(d), m))
+        assert t_epsilon(n, d, eps) == expected
+
+    def test_theorem4_bounds_scale(self):
+        base = theorem4_slot_bound(64, 4, 8, 0.1)
+        assert theorem4_slot_bound(64, 8, 8, 0.1) > base  # more diameter
+        assert theorem4_slot_bound(64, 4, 64, 0.1) > base  # more degree
+        assert theorem4_slot_bound(64, 4, 8, 0.01) > base  # tighter eps
+
+    def test_termination_bound_exceeds_reception_bound(self):
+        assert theorem4_termination_bound(64, 4, 8, 0.1) > theorem4_slot_bound(
+            64, 4, 8, 0.1
+        )
+
+    def test_expected_transmissions_bound(self):
+        assert expected_transmissions_bound(10, 16, 1.0) == 2 * 10 * 4
+
+    def test_bfs_slot_bound(self):
+        # 2 * D * ceil(log Delta) * ceil(log(N/eps))
+        assert bfs_slot_bound(16, 3, 4, 1.0) == 3 * 4 * 4
+
+
+class TestPExact:
+    def test_degenerate_cases(self):
+        assert p_exact(5, 0) == 0.0
+        assert p_exact(5, 1) == 1.0
+
+    def test_d2_k2_is_half(self):
+        assert p_exact(2, 2) == pytest.approx(0.5)
+
+    def test_monotone_in_k(self):
+        for d in (2, 3, 8, 17):
+            values = [p_exact(k, d) for k in range(1, 15)]
+            assert all(a <= b + 1e-12 for a, b in zip(values, values[1:]))
+
+    def test_theorem1_ii_at_k_2logd(self):
+        # P(k, d) >= 1/2 for k = 2*ceil(log d) (equality at d = 2).
+        for d in (2, 3, 4, 5, 6, 10, 16, 33, 64, 100):
+            k = decay_phase_length(d)
+            assert p_exact(k, d) >= 0.5 - 1e-12, d
+
+    def test_converges_to_p_infinity(self):
+        for d in (2, 3, 5, 8, 20):
+            assert p_exact(60, d) == pytest.approx(p_infinity(d), abs=1e-6)
+
+    def test_probability_range(self):
+        for d in range(0, 30):
+            for k in (1, 2, 5, 9):
+                p = p_exact(k, d)
+                assert 0.0 <= p <= 1.0
+
+    def test_k1_only_d1_succeeds(self):
+        assert p_exact(1, 1) == 1.0
+        assert p_exact(1, 2) == 0.0
+        assert p_exact(1, 7) == 0.0
+
+    def test_matches_monte_carlo(self):
+        rng = random.Random(123)
+        d, k = 12, 8
+        reps = 30000
+        hits = sum(
+            1 for _ in range(reps) if simulate_decay_game(d, k, rng) is not None
+        )
+        assert hits / reps == pytest.approx(p_exact(k, d), abs=0.01)
+
+    def test_biased_coin(self):
+        # With p_continue = 0 or 1 nothing resolves (d >= 2).
+        assert p_exact(10, 4, p_continue=0.0) == 0.0
+        assert p_exact(10, 4, p_continue=1.0) == 0.0
+
+    def test_validation(self):
+        with pytest.raises(ReproError):
+            p_exact(0, 2)
+        with pytest.raises(ReproError):
+            p_exact(2, -1)
+
+
+class TestPInfinity:
+    def test_base_cases(self):
+        assert p_infinity(0) == 0.0
+        assert p_infinity(1) == 1.0
+
+    def test_paper_induction_basis(self):
+        # The paper computes P(inf, 2) = 2/3 explicitly.
+        assert p_infinity(2) == pytest.approx(2 / 3)
+
+    def test_theorem1_i_two_thirds_bound(self):
+        for d in range(2, 200):
+            assert p_infinity(d) >= 2 / 3 - 1e-12, d
+
+    def test_limit_value_known(self):
+        # The limit for large d is ~0.72135 (well known for this process).
+        assert p_infinity(150) == pytest.approx(0.7213, abs=0.001)
+
+    def test_dominates_exact(self):
+        for d in (2, 5, 12):
+            assert p_infinity(d) >= p_exact(10, d) - 1e-12
+
+    def test_degenerate_bias(self):
+        assert p_infinity(3, p_continue=0.0) == 0.0
+        assert p_infinity(3, p_continue=1.0) == 0.0
+
+    def test_validation(self):
+        with pytest.raises(ReproError):
+            p_infinity(-1)

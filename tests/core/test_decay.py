@@ -1,0 +1,105 @@
+"""Tests for the Decay procedure state machine and game simulator."""
+
+import random
+
+import pytest
+
+from repro.core.decay import DecayProcess, simulate_decay_game
+from repro.errors import ProtocolError
+
+
+class TestDecayProcess:
+    def test_transmits_at_least_once(self):
+        # p_continue=0: the coin says stop immediately, but the paper's
+        # procedure sends "at least once!".
+        proc = DecayProcess(5, "m", random.Random(0), p_continue=0.0)
+        assert proc.wants_transmit() is True
+        assert proc.wants_transmit() is False
+        assert proc.transmissions_made == 1
+
+    def test_transmits_at_most_k_times(self):
+        # p_continue=1: the coin never says stop; the cap must bind.
+        proc = DecayProcess(4, "m", random.Random(0), p_continue=1.0)
+        pattern = [proc.wants_transmit() for _ in range(10)]
+        assert pattern == [True] * 4 + [False] * 6
+        assert proc.transmissions_made == 4
+
+    def test_transmissions_contiguous_prefix(self):
+        rng = random.Random(42)
+        for _ in range(50):
+            proc = DecayProcess(8, "m", rng)
+            pattern = [proc.wants_transmit() for _ in range(8)]
+            # Once False, always False.
+            first_false = pattern.index(False) if False in pattern else 8
+            assert all(pattern[:first_false])
+            assert not any(pattern[first_false:])
+
+    def test_geometric_distribution_of_length(self):
+        # P(exactly j transmissions) = 2^-j for j < k.
+        rng = random.Random(7)
+        counts = {j: 0 for j in range(1, 11)}
+        reps = 20000
+        for _ in range(reps):
+            proc = DecayProcess(10, "m", rng)
+            while proc.wants_transmit():
+                pass
+            counts[proc.transmissions_made] += 1
+        assert counts[1] / reps == pytest.approx(0.5, abs=0.02)
+        assert counts[2] / reps == pytest.approx(0.25, abs=0.02)
+        assert counts[3] / reps == pytest.approx(0.125, abs=0.015)
+
+    def test_active_flag(self):
+        proc = DecayProcess(1, "m", random.Random(0))
+        assert proc.active
+        proc.wants_transmit()
+        assert not proc.active
+
+    def test_invalid_k(self):
+        with pytest.raises(ProtocolError):
+            DecayProcess(0, "m", random.Random(0))
+
+    def test_invalid_bias(self):
+        with pytest.raises(ProtocolError):
+            DecayProcess(3, "m", random.Random(0), p_continue=1.5)
+        with pytest.raises(ProtocolError):
+            DecayProcess(3, "m", random.Random(0), p_continue=-0.1)
+
+    def test_message_stored(self):
+        proc = DecayProcess(3, ("payload", 1), random.Random(0))
+        assert proc.message == ("payload", 1)
+
+
+class TestSimulateDecayGame:
+    def test_zero_contenders_never_receive(self):
+        assert simulate_decay_game(0, 10, random.Random(0)) is None
+
+    def test_one_contender_receives_at_slot_zero(self):
+        for seed in range(10):
+            assert simulate_decay_game(1, 5, random.Random(seed)) == 0
+
+    def test_two_contenders_never_slot_zero(self):
+        for seed in range(50):
+            result = simulate_decay_game(2, 8, random.Random(seed))
+            assert result is None or result >= 1
+
+    def test_result_within_window(self):
+        rng = random.Random(1)
+        for _ in range(200):
+            result = simulate_decay_game(16, 8, rng)
+            assert result is None or 0 <= result < 8
+
+    def test_p_continue_zero_kills_everyone(self):
+        # All d >= 2 contenders transmit once (collision) then stop.
+        for seed in range(20):
+            assert simulate_decay_game(4, 10, random.Random(seed), p_continue=0.0) is None
+
+    def test_p_continue_one_floods_forever(self):
+        # Nobody ever drops out: permanent collision.
+        for seed in range(20):
+            assert simulate_decay_game(4, 10, random.Random(seed), p_continue=1.0) is None
+
+    def test_validation(self):
+        with pytest.raises(ProtocolError):
+            simulate_decay_game(-1, 5, random.Random(0))
+        with pytest.raises(ProtocolError):
+            simulate_decay_game(2, 0, random.Random(0))

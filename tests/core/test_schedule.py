@@ -1,0 +1,135 @@
+"""Tests for centralized broadcast schedules."""
+
+import random
+
+import pytest
+
+from repro.core.schedule import (
+    extract_schedule,
+    greedy_layer_schedule,
+    schedule_length,
+    sequential_tree_schedule,
+    simulate_schedule,
+    verify_schedule,
+)
+from repro.errors import GraphError, ReproError
+from repro.graphs import Graph, c_n, complete, grid, line, random_gnp, star
+from repro.protocols.decay_broadcast import run_decay_broadcast
+
+
+class TestSimulateSchedule:
+    def test_line_sequential(self):
+        g = line(3)
+        schedule = [frozenset({0}), frozenset({1})]
+        informed = simulate_schedule(g, 0, schedule)
+        assert informed == {0: -1, 1: 0, 2: 1}
+
+    def test_collision_blocks_delivery(self):
+        # Source 3 informs 1 and 2 at slot 0; both transmit at slot 1
+        # and collide at hub 0, which therefore stays uninformed.
+        g = Graph(edges=[(3, 1), (3, 2), (0, 1), (0, 2)])
+        schedule = [frozenset({3}), frozenset({1, 2})]
+        informed = simulate_schedule(g, 3, schedule)
+        assert informed == {3: -1, 1: 0, 2: 0}
+
+    def test_uninformed_transmitter_rejected(self):
+        g = line(3)
+        with pytest.raises(ReproError, match="before being informed"):
+            simulate_schedule(g, 0, [frozenset({2})])
+
+    def test_same_slot_informed_cannot_transmit(self):
+        # Node 1 is informed at slot 0 and may transmit at slot 1, not 0.
+        g = line(3)
+        with pytest.raises(ReproError):
+            simulate_schedule(g, 0, [frozenset({0, 1})])
+
+
+class TestVerifySchedule:
+    def test_valid(self):
+        g = line(4)
+        schedule = [frozenset({0}), frozenset({1}), frozenset({2})]
+        assert verify_schedule(g, 0, schedule)
+
+    def test_incomplete(self):
+        g = line(4)
+        assert not verify_schedule(g, 0, [frozenset({0})])
+
+    def test_invalid(self):
+        g = line(4)
+        assert not verify_schedule(g, 0, [frozenset({3})])
+
+
+class TestSequentialTreeSchedule:
+    @pytest.mark.parametrize(
+        "g",
+        [line(8), grid(4, 4), star(6), complete(5), c_n(10, {2, 7})],
+        ids=["line", "grid", "star", "clique", "c_n"],
+    )
+    def test_always_valid(self, g):
+        schedule = sequential_tree_schedule(g, 0)
+        assert verify_schedule(g, 0, schedule)
+
+    def test_length_at_most_n(self):
+        for seed in range(3):
+            g = random_gnp(40, 0.15, random.Random(seed))
+            schedule = sequential_tree_schedule(g, 0)
+            assert schedule_length(schedule) <= g.num_nodes()
+
+    def test_single_node(self):
+        g = Graph(nodes=[0])
+        schedule = sequential_tree_schedule(g, 0)
+        assert verify_schedule(g, 0, schedule)
+
+    def test_disconnected_rejected(self):
+        g = Graph(nodes=[0, 1])
+        with pytest.raises(GraphError):
+            sequential_tree_schedule(g, 0)
+
+
+class TestGreedyLayerSchedule:
+    @pytest.mark.parametrize(
+        "g",
+        [line(8), grid(5, 5), star(9), complete(6), c_n(12, {3, 4, 9})],
+        ids=["line", "grid", "star", "clique", "c_n"],
+    )
+    def test_always_valid(self, g):
+        schedule = greedy_layer_schedule(g, 0)
+        assert verify_schedule(g, 0, schedule)
+
+    def test_valid_with_rng(self):
+        g = random_gnp(50, 0.1, random.Random(4))
+        schedule = greedy_layer_schedule(g, 0, rng=random.Random(9))
+        assert verify_schedule(g, 0, schedule)
+
+    def test_beats_sequential_on_dense_layers(self):
+        # On a star, greedy needs 1 slot; sequential also 1. Use a
+        # bipartite-ish dense random graph where parallelism pays off.
+        g = random_gnp(60, 0.15, random.Random(2))
+        greedy = greedy_layer_schedule(g, 0)
+        sequential = sequential_tree_schedule(g, 0)
+        assert schedule_length(greedy) <= schedule_length(sequential)
+
+    def test_disconnected_rejected(self):
+        g = Graph(nodes=[0, 1])
+        with pytest.raises(GraphError):
+            greedy_layer_schedule(g, 0)
+
+
+class TestExtractSchedule:
+    def test_extracted_schedule_replays(self):
+        g = random_gnp(30, 0.15, random.Random(11))
+        result = run_decay_broadcast(
+            g, source=0, seed=5, epsilon=0.05, record_trace=True
+        )
+        assert result.broadcast_succeeded(source=0)
+        schedule = extract_schedule(result.trace, 0)
+        assert verify_schedule(g, 0, schedule)
+
+    def test_extracted_is_compact(self):
+        g = grid(4, 4)
+        result = run_decay_broadcast(
+            g, source=0, seed=3, epsilon=0.05, record_trace=True
+        )
+        assert result.broadcast_succeeded(source=0)
+        schedule = extract_schedule(result.trace, 0)
+        assert schedule_length(schedule) <= result.slots

@@ -1,0 +1,219 @@
+"""Smoke + claim tests for every experiment module (quick configs).
+
+Each test runs an experiment at reduced scale and asserts the *paper's
+claim column* — these double as end-to-end reproduction checks, while
+the full-scale numbers live in the benchmarks and EXPERIMENTS.md.
+"""
+
+import pytest
+
+from repro.experiments.runner import ExperimentConfig
+
+
+def quick(reps=10, seed=99):
+    return ExperimentConfig(reps=reps, master_seed=seed, quick=True)
+
+
+class TestE1Decay:
+    def test_theorem1_claims(self):
+        from repro.experiments.exp_decay import run_theorem1_table
+
+        table = run_theorem1_table(quick(reps=80))
+        assert len(table) > 0
+        assert all(table.column("claim_ii_holds"))
+        assert all(table.column("claim_i_holds"))
+        # Monte-Carlo agrees with the exact DP within the Wilson band.
+        for exact, lo, hi in zip(
+            table.column("P_exact"), table.column("mc_lo"), table.column("mc_hi")
+        ):
+            assert lo - 0.05 <= exact <= hi + 0.05
+
+
+class TestE2E3Broadcast:
+    def test_completion_times_and_bound(self):
+        from repro.experiments.exp_broadcast import run_broadcast_time_table
+
+        table = run_broadcast_time_table(quick(reps=8))
+        assert len(table) > 0
+        for frac, required in zip(
+            table.column("within_bound_frac"), table.column("required_frac")
+        ):
+            assert frac >= required
+
+    def test_success_rates(self):
+        from repro.experiments.exp_broadcast import run_success_rate_table
+
+        table = run_success_rate_table(quick(reps=25))
+        assert all(table.column("claim_holds"))
+
+    def test_diameter_scaling_roughly_linear(self):
+        from repro.experiments.exp_broadcast import run_diameter_scaling_table
+
+        table = run_diameter_scaling_table(quick(reps=6))
+        per_d = table.column("slots_per_D")
+        # Slots per unit diameter must stabilise (not blow up with depth).
+        assert max(per_d) <= 4 * min(per_d)
+
+
+class TestE4Hitting:
+    def test_adversary_beats_all_strategies(self):
+        from repro.experiments.exp_hitting import run_adversary_table
+
+        table = run_adversary_table(quick())
+        assert all(table.column("S_nonempty"))
+        assert all(table.column("survived_all"))
+        assert all(table.column("replay_consistent"))
+
+    def test_protocol_lower_bound(self):
+        from repro.experiments.exp_hitting import run_protocol_lower_bound_table
+
+        table = run_protocol_lower_bound_table(quick())
+        assert all(table.column("claim_holds"))
+
+    def test_upper_bounds(self):
+        from repro.experiments.exp_hitting import run_upper_bound_table
+
+        table = run_upper_bound_table(quick())
+        assert all(table.column("sweep_le_n"))
+        assert all(table.column("rr_le_n"))
+
+
+class TestE2cUpperBound:
+    def test_polynomial_n_costs_constant(self):
+        from repro.experiments.exp_broadcast import run_upper_bound_sensitivity_table
+
+        table = run_upper_bound_sensitivity_table(quick(reps=8))
+        assert all(rate >= 0.8 for rate in table.column("success_rate"))
+        assert all(s <= 3.0 for s in table.column("slowdown"))
+
+
+class TestE4dExhaustive:
+    def test_theorem12_exhaustively(self):
+        from repro.experiments.exp_exhaustive import run_exhaustive_table
+
+        table = run_exhaustive_table(quick(reps=5))
+        assert all(table.column("thm12_holds"))
+
+
+class TestE9bMobility:
+    def test_mobile_broadcast(self):
+        from repro.experiments.exp_dynamic import run_mobility_table
+
+        table = run_mobility_table(quick(reps=6))
+        assert all(table.column("claim_holds"))
+
+
+class TestE5Gap:
+    def test_gap_widens_with_n(self):
+        from repro.experiments.exp_gap import gap_growth_fits, run_gap_table
+
+        table = run_gap_table(quick(reps=6))
+        ratios = table.column("gap_rr_over_rand")
+        assert ratios[-1] > ratios[0]  # the gap grows
+        assert ratios[-1] > 2.0
+        fits = gap_growth_fits(table)
+        # Deterministic curves grow linearly (healthy slope, good fit);
+        # the randomized curve's linear slope is tiny by comparison.
+        assert fits["round_robin_vs_n"]["slope"] > 0.5
+        assert fits["round_robin_vs_n"]["r_squared"] > 0.9
+        assert (
+            fits["randomized_vs_n"]["slope"]
+            < fits["round_robin_vs_n"]["slope"] / 4
+        )
+
+
+class TestE6BFS:
+    def test_bfs_claims(self):
+        from repro.experiments.exp_bfs import run_bfs_table
+
+        table = run_bfs_table(quick(reps=10))
+        assert all(table.column("claim_holds"))
+
+
+class TestE7Messages:
+    def test_message_bound(self):
+        from repro.experiments.exp_messages import run_message_complexity_table
+
+        table = run_message_complexity_table(quick(reps=5))
+        assert all(table.column("mean_within_bound"))
+        # Expected per-(informed node, phase) transmissions are < 2
+        # (allow Monte-Carlo slack on the sample mean).
+        assert all(v <= 2.1 for v in table.column("mean_tx_per_node_phase"))
+
+
+class TestE8CoinBias:
+    def test_half_near_optimal(self):
+        from repro.experiments.exp_coin_bias import run_coin_bias_table
+
+        table = run_coin_bias_table(quick(reps=6))
+        biases = table.column("p_continue")
+        receptions = table.column("P_k_d")
+        by_bias = dict(zip(biases, receptions))
+        # p = 1/2 at least matches the extremes by a wide margin.
+        assert by_bias[0.5] >= max(by_bias[min(biases)], by_bias[max(biases)])
+
+    def test_alignment_ablation_runs(self):
+        from repro.experiments.exp_coin_bias import run_alignment_table
+
+        table = run_alignment_table(quick(reps=6))
+        assert len(table) == 2
+        assert all(rate > 0.5 for rate in table.column("success_rate"))
+
+
+class TestE9Dynamic:
+    def test_fault_resilience(self):
+        from repro.experiments.exp_dynamic import run_dynamic_table
+
+        table = run_dynamic_table(quick(reps=10))
+        assert all(table.column("claim_holds"))
+
+
+class TestE10CD:
+    def test_cn_four_slots(self):
+        from repro.experiments.exp_cd import run_cd_cn_table
+
+        table = run_cd_cn_table(quick())
+        assert all(table.column("claim_holds"))
+        assert all(w <= 4 for w in table.column("worst_slots"))
+
+    def test_tree_splitting(self):
+        from repro.experiments.exp_cd import run_tree_splitting_table
+
+        table = run_tree_splitting_table(quick())
+        assert all(table.column("all_resolved"))
+        slots = table.column("engine_slots")
+        assert slots == sorted(slots)  # more contenders, more slots
+
+
+class TestE11DFS:
+    def test_dfs_2n_bound(self):
+        from repro.experiments.exp_dfs import run_dfs_table
+
+        table = run_dfs_table(quick())
+        assert all(table.column("claim_holds"))
+
+    def test_deterministic_comparison(self):
+        from repro.experiments.exp_dfs import run_deterministic_comparison_table
+
+        table = run_deterministic_comparison_table(quick())
+        assert len(table) > 0
+        for greedy, tree in zip(
+            table.column("greedy_schedule"), table.column("tree_schedule")
+        ):
+            assert greedy <= tree + 1  # centralized greedy never much worse
+
+
+class TestE12Spontaneous:
+    def test_three_round_protocol(self):
+        from repro.experiments.exp_spontaneous import run_three_round_table
+
+        table = run_three_round_table(quick())
+        assert all(table.column("always_informed"))
+        assert all(w <= 3 for w in table.column("worst_slots"))
+
+    def test_c_star_gap_persists(self):
+        from repro.experiments.exp_spontaneous import run_c_star_table
+
+        table = run_c_star_table(quick(reps=5))
+        gaps = table.column("gap")
+        assert gaps[-1] > 1.0

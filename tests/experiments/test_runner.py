@@ -1,0 +1,59 @@
+"""Tests for the experiment harness."""
+
+import pytest
+
+from repro.errors import ExperimentError
+from repro.experiments.runner import ExperimentConfig, repeat_runs, sweep
+
+
+class TestConfig:
+    def test_seeds_deterministic(self):
+        cfg = ExperimentConfig(reps=5, master_seed=1)
+        assert cfg.seeds("x") == cfg.seeds("x")
+
+    def test_seeds_differ_per_tag(self):
+        cfg = ExperimentConfig(reps=5, master_seed=1)
+        assert cfg.seeds("x") != cfg.seeds("y")
+
+    def test_seeds_differ_per_master(self):
+        assert (
+            ExperimentConfig(reps=3, master_seed=1).seeds("x")
+            != ExperimentConfig(reps=3, master_seed=2).seeds("x")
+        )
+
+    def test_reps_length(self):
+        assert len(ExperimentConfig(reps=7).seeds("t")) == 7
+
+
+class TestRepeatRuns:
+    def test_calls_once_per_seed(self):
+        cfg = ExperimentConfig(reps=4)
+        seen = []
+        repeat_runs(cfg, ("tag",), lambda seed: seen.append(seed))
+        assert len(seen) == 4
+        assert len(set(seen)) == 4
+
+    def test_rejects_zero_reps(self):
+        cfg = ExperimentConfig(reps=0)
+        with pytest.raises(ExperimentError):
+            repeat_runs(cfg, ("t",), lambda s: s)
+
+
+class TestSweep:
+    def test_point_order_does_not_change_seeds(self):
+        cfg = ExperimentConfig(reps=2)
+        collected = {}
+
+        def run_point(point, seeds):
+            collected[point] = list(seeds)
+
+        sweep(cfg, [1, 2, 3], run_point)
+        forward = dict(collected)
+        collected.clear()
+        sweep(cfg, [3, 1, 2], run_point)
+        assert collected == forward
+
+    def test_results_in_point_order(self):
+        cfg = ExperimentConfig(reps=1)
+        results = sweep(cfg, ["a", "b"], lambda p, s: p.upper())
+        assert results == ["A", "B"]

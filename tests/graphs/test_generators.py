@@ -1,0 +1,235 @@
+"""Tests for topology generators, above all the paper's C_n family."""
+
+import itertools
+import random
+
+import pytest
+
+from repro.errors import GraphError
+from repro.graphs import (
+    barbell,
+    c_n,
+    c_star_n,
+    complete,
+    diameter,
+    grid,
+    hypercube,
+    is_connected,
+    layered_random,
+    line,
+    random_gnp,
+    random_tree,
+    ring,
+    star,
+    unit_disk,
+)
+
+
+class TestCn:
+    """The lower-bound family of Section 3.1."""
+
+    def test_structure_matches_paper(self):
+        s = {2, 5}
+        g = c_n(6, s)
+        assert g.num_nodes() == 8  # n + 2 processors
+        # E1: source to all of the second layer.
+        for i in range(1, 7):
+            assert g.has_edge(0, i)
+        # E2: exactly S to the sink.
+        for i in range(1, 7):
+            assert g.has_edge(i, 7) == (i in s)
+        # No other edges.
+        assert g.num_edges() == 6 + len(s)
+
+    def test_diameter_is_three_for_proper_subset(self):
+        g = c_n(8, {3})
+        assert diameter(g) == 3
+
+    def test_full_subset_diameter_two(self):
+        g = c_n(8, set(range(1, 9)))
+        assert diameter(g) == 2
+
+    def test_empty_subset_rejected(self):
+        with pytest.raises(GraphError):
+            c_n(5, set())
+
+    def test_out_of_range_subset_rejected(self):
+        with pytest.raises(GraphError):
+            c_n(5, {0})
+        with pytest.raises(GraphError):
+            c_n(5, {6})
+
+    def test_n_zero_rejected(self):
+        with pytest.raises(GraphError):
+            c_n(0, {1})
+
+    def test_second_layer_is_independent_set(self):
+        g = c_n(10, {1, 5, 9})
+        for i, j in itertools.combinations(range(1, 11), 2):
+            assert not g.has_edge(i, j)
+
+    def test_source_sink_not_adjacent(self):
+        g = c_n(10, {4})
+        assert not g.has_edge(0, 11)
+
+
+class TestCStarN:
+    """Section 3.5's family."""
+
+    def test_structure(self):
+        g = c_star_n(4, {1, 3}, {6, 8})
+        assert g.num_nodes() == 9  # 2n + 1
+        for i in range(1, 5):
+            assert g.has_edge(0, i)
+        # Complete bipartite S x R.
+        for i in (1, 3):
+            for j in (6, 8):
+                assert g.has_edge(i, j)
+        assert not g.has_edge(2, 6)
+        assert g.num_edges() == 4 + 4
+
+    def test_validation(self):
+        with pytest.raises(GraphError):
+            c_star_n(4, set(), {6})
+        with pytest.raises(GraphError):
+            c_star_n(4, {1}, set())
+        with pytest.raises(GraphError):
+            c_star_n(4, {5}, {6})  # S out of range
+        with pytest.raises(GraphError):
+            c_star_n(4, {1}, {3})  # R out of range
+
+
+class TestDeterministicFamilies:
+    def test_line(self):
+        g = line(5)
+        assert g.num_edges() == 4
+        assert diameter(g) == 4
+
+    def test_line_single_node(self):
+        assert line(1).num_nodes() == 1
+
+    def test_ring(self):
+        g = ring(6)
+        assert g.num_edges() == 6
+        assert all(g.degree(v) == 2 for v in g.nodes)
+        assert diameter(g) == 3
+
+    def test_ring_minimum_size(self):
+        with pytest.raises(GraphError):
+            ring(2)
+
+    def test_grid(self):
+        g = grid(3, 4)
+        assert g.num_nodes() == 12
+        assert g.num_edges() == 3 * 3 + 2 * 4  # vertical + horizontal
+        assert diameter(g) == 2 + 3
+
+    def test_complete(self):
+        g = complete(6)
+        assert g.num_edges() == 15
+        assert diameter(g) == 1
+
+    def test_star(self):
+        g = star(7)
+        assert g.degree(0) == 7
+        assert all(g.degree(v) == 1 for v in range(1, 8))
+
+    def test_hypercube(self):
+        g = hypercube(4)
+        assert g.num_nodes() == 16
+        assert all(g.degree(v) == 4 for v in g.nodes)
+        assert diameter(g) == 4
+
+    def test_barbell(self):
+        g = barbell(4, 3)
+        assert is_connected(g)
+        assert g.degree(0) == 3  # inside the first clique
+
+    def test_validation_errors(self):
+        with pytest.raises(GraphError):
+            line(0)
+        with pytest.raises(GraphError):
+            grid(0, 3)
+        with pytest.raises(GraphError):
+            complete(0)
+        with pytest.raises(GraphError):
+            star(0)
+        with pytest.raises(GraphError):
+            hypercube(0)
+        with pytest.raises(GraphError):
+            barbell(1, 2)
+
+
+class TestRandomFamilies:
+    def test_gnp_connected_by_default(self):
+        for seed in range(5):
+            g = random_gnp(30, 0.02, random.Random(seed))
+            assert is_connected(g)
+
+    def test_gnp_without_stitching_can_disconnect(self):
+        g = random_gnp(30, 0.0, random.Random(0), connect=False)
+        assert g.num_edges() == 0
+
+    def test_gnp_p_one_is_complete(self):
+        g = random_gnp(10, 1.0, random.Random(0))
+        assert g.num_edges() == 45
+
+    def test_gnp_validation(self):
+        with pytest.raises(GraphError):
+            random_gnp(0, 0.5, random.Random(0))
+        with pytest.raises(GraphError):
+            random_gnp(5, 1.5, random.Random(0))
+
+    def test_gnp_reproducible(self):
+        a = random_gnp(20, 0.2, random.Random(42))
+        b = random_gnp(20, 0.2, random.Random(42))
+        assert a == b
+
+    def test_random_tree_is_tree(self):
+        g = random_tree(40, random.Random(3))
+        assert g.num_edges() == 39
+        assert is_connected(g)
+
+    def test_unit_disk_connected_and_positioned(self):
+        g = unit_disk(25, 0.4, random.Random(1))
+        assert is_connected(g)
+        assert len(g.positions) == 25
+        for x, y in g.positions.values():
+            assert 0 <= x <= 1 and 0 <= y <= 1
+
+    def test_unit_disk_radius_validation(self):
+        with pytest.raises(GraphError):
+            unit_disk(5, 0.0, random.Random(0))
+
+    def test_unit_disk_geometry_respected(self):
+        g = unit_disk(30, 0.3, random.Random(2), connect=False)
+        for u, v in g.edges:
+            ux, uy = g.positions[u]
+            vx, vy = g.positions[v]
+            assert (ux - vx) ** 2 + (uy - vy) ** 2 <= 0.3**2 + 1e-12
+
+    def test_layered_random_layers_and_connectivity(self):
+        g = layered_random([3, 4, 5], 0.3, random.Random(7))
+        assert g.num_nodes() == 12
+        assert is_connected(g)
+        # No intra-layer or layer-skipping edges.
+        offsets = [0, 3, 7, 12]
+
+        def layer_of(v):
+            for i in range(3):
+                if offsets[i] <= v < offsets[i + 1]:
+                    return i
+            raise AssertionError
+
+        for u, v in g.edges:
+            assert abs(layer_of(u) - layer_of(v)) == 1
+
+    def test_layered_diameter_controlled(self):
+        g = layered_random([4] * 10, 0.5, random.Random(5))
+        assert diameter(g) >= 9
+
+    def test_layered_validation(self):
+        with pytest.raises(GraphError):
+            layered_random([], 0.5, random.Random(0))
+        with pytest.raises(GraphError):
+            layered_random([2, 0], 0.5, random.Random(0))

@@ -1,0 +1,192 @@
+"""Tests for Graph and DiGraph."""
+
+import pytest
+
+from repro.errors import EdgeNotFound, GraphError, NodeNotFound
+from repro.graphs import DiGraph, Graph
+
+
+class TestGraphConstruction:
+    def test_empty(self):
+        g = Graph()
+        assert g.num_nodes() == 0
+        assert g.num_edges() == 0
+        assert len(g) == 0
+
+    def test_nodes_and_edges_in_constructor(self):
+        g = Graph(nodes=[1, 2], edges=[(2, 3)])
+        assert set(g.nodes) == {1, 2, 3}
+        assert g.has_edge(2, 3)
+
+    def test_add_node_idempotent(self):
+        g = Graph()
+        g.add_node(1)
+        g.add_node(1)
+        assert g.num_nodes() == 1
+
+    def test_add_edge_creates_endpoints(self):
+        g = Graph()
+        g.add_edge("a", "b")
+        assert g.has_node("a") and g.has_node("b")
+
+    def test_self_loop_rejected(self):
+        g = Graph()
+        with pytest.raises(GraphError):
+            g.add_edge(1, 1)
+
+    def test_parallel_edge_collapses(self):
+        g = Graph()
+        g.add_edge(1, 2)
+        g.add_edge(2, 1)
+        assert g.num_edges() == 1
+
+
+class TestGraphQueries:
+    def setup_method(self):
+        self.g = Graph(edges=[(0, 1), (1, 2), (0, 2), (2, 3)])
+
+    def test_neighbors(self):
+        assert self.g.neighbors(2) == frozenset({0, 1, 3})
+
+    def test_neighbors_missing_node(self):
+        with pytest.raises(NodeNotFound):
+            self.g.neighbors(99)
+
+    def test_degree(self):
+        assert self.g.degree(3) == 1
+        assert self.g.degree(2) == 3
+
+    def test_degree_missing_node(self):
+        with pytest.raises(NodeNotFound):
+            self.g.degree(99)
+
+    def test_edge_symmetry(self):
+        assert self.g.has_edge(0, 1) and self.g.has_edge(1, 0)
+
+    def test_edges_listed_once(self):
+        assert len(self.g.edges) == self.g.num_edges() == 4
+
+    def test_contains_and_iter(self):
+        assert 3 in self.g
+        assert set(iter(self.g)) == {0, 1, 2, 3}
+
+    def test_hearers_equal_audible_for_undirected(self):
+        assert self.g.hearers(1) == self.g.audible(1) == self.g.neighbors(1)
+
+
+class TestGraphMutation:
+    def test_remove_edge(self):
+        g = Graph(edges=[(1, 2)])
+        g.remove_edge(1, 2)
+        assert not g.has_edge(1, 2)
+        assert g.has_node(1) and g.has_node(2)
+
+    def test_remove_missing_edge(self):
+        g = Graph(nodes=[1, 2])
+        with pytest.raises(EdgeNotFound):
+            g.remove_edge(1, 2)
+
+    def test_remove_node_cleans_incident_edges(self):
+        g = Graph(edges=[(1, 2), (2, 3)])
+        g.remove_node(2)
+        assert not g.has_node(2)
+        assert g.neighbors(1) == frozenset()
+        assert g.neighbors(3) == frozenset()
+
+    def test_remove_missing_node(self):
+        g = Graph()
+        with pytest.raises(NodeNotFound):
+            g.remove_node(1)
+
+
+class TestGraphCopyAndViews:
+    def test_copy_is_independent(self):
+        g = Graph(edges=[(1, 2)])
+        h = g.copy()
+        h.add_edge(2, 3)
+        assert not g.has_node(3)
+        assert h.has_edge(2, 3)
+
+    def test_neighbors_snapshot_stable_under_mutation(self):
+        g = Graph(edges=[(1, 2)])
+        snapshot = g.neighbors(1)
+        g.add_edge(1, 3)
+        assert snapshot == frozenset({2})
+
+    def test_subgraph(self):
+        g = Graph(edges=[(0, 1), (1, 2), (2, 3)])
+        sub = g.subgraph([1, 2, 99])
+        assert set(sub.nodes) == {1, 2}
+        assert sub.has_edge(1, 2)
+        assert sub.num_edges() == 1
+
+    def test_relabeled(self):
+        g = Graph(edges=[(0, 1)])
+        h = g.relabeled({0: "zero", 1: "one"})
+        assert h.has_edge("zero", "one")
+        assert not h.has_node(0)
+
+    def test_relabeled_requires_injective(self):
+        g = Graph(edges=[(0, 1)])
+        with pytest.raises(GraphError):
+            g.relabeled({0: "x", 1: "x"})
+
+    def test_equality(self):
+        a = Graph(edges=[(1, 2), (2, 3)])
+        b = Graph(edges=[(2, 3), (1, 2)])
+        assert a == b
+        b.add_edge(1, 3)
+        assert a != b
+
+    def test_repr_mentions_sizes(self):
+        assert "|V|=3" in repr(Graph(edges=[(1, 2), (2, 3)]))
+
+
+class TestDiGraph:
+    def setup_method(self):
+        self.g = DiGraph(edges=[(0, 1), (1, 2), (2, 0), (0, 2)])
+
+    def test_directed_edges(self):
+        assert self.g.has_edge(0, 1)
+        assert not self.g.has_edge(1, 0)
+
+    def test_in_out_neighbors(self):
+        assert self.g.neighbors_out(0) == frozenset({1, 2})
+        assert self.g.neighbors_in(0) == frozenset({2})
+
+    def test_in_out_degree(self):
+        assert self.g.out_degree(0) == 2
+        assert self.g.in_degree(2) == 2
+
+    def test_num_edges_counts_directed(self):
+        assert self.g.num_edges() == 4
+
+    def test_remove_edge_one_direction(self):
+        self.g.remove_edge(0, 2)
+        assert not self.g.has_edge(0, 2)
+        assert self.g.has_edge(2, 0)
+
+    def test_remove_node(self):
+        self.g.remove_node(2)
+        assert not self.g.has_node(2)
+        assert self.g.neighbors_out(1) == frozenset()
+        assert self.g.neighbors_in(0) == frozenset()
+
+    def test_self_loop_rejected(self):
+        with pytest.raises(GraphError):
+            self.g.add_edge(3, 3)
+
+    def test_copy_independent(self):
+        h = self.g.copy()
+        h.add_edge(5, 6)
+        assert not self.g.has_node(5)
+        assert h.neighbors_in(6) == frozenset({5})
+
+    def test_hearers_is_out_audible_is_in(self):
+        assert self.g.hearers(0) == frozenset({1, 2})
+        assert self.g.audible(0) == frozenset({2})
+
+    def test_graph_and_digraph_not_equal(self):
+        a = Graph(edges=[(0, 1)])
+        b = DiGraph(edges=[(0, 1), (1, 0)])
+        assert (a == b) is not True

@@ -1,0 +1,85 @@
+"""Tests for the Watts-Strogatz small-world generator."""
+
+import random
+
+import pytest
+
+from repro.errors import GraphError
+from repro.graphs import diameter, is_connected, watts_strogatz
+
+
+class TestStructure:
+    def test_beta_zero_is_ring_lattice(self):
+        g = watts_strogatz(12, 4, 0.0, random.Random(0))
+        assert g.num_edges() == 12 * 2
+        for node in range(12):
+            assert g.degree(node) == 4
+            assert g.has_edge(node, (node + 1) % 12)
+            assert g.has_edge(node, (node + 2) % 12)
+
+    def test_edge_count_preserved_under_rewiring(self):
+        for beta in (0.1, 0.5, 1.0):
+            g = watts_strogatz(30, 4, beta, random.Random(3))
+            # Rewiring may occasionally keep an edge (duplicate target)
+            # but never creates extras; stitching can add a few.
+            assert 30 * 2 <= g.num_edges() <= 30 * 2 + 3
+
+    def test_always_connected(self):
+        for seed in range(10):
+            for beta in (0.0, 0.3, 0.9):
+                g = watts_strogatz(40, 4, beta, random.Random(seed))
+                assert is_connected(g)
+
+    def test_small_world_effect(self):
+        lattice = watts_strogatz(64, 4, 0.0, random.Random(1))
+        rewired = watts_strogatz(64, 4, 0.5, random.Random(1))
+        assert diameter(rewired) < diameter(lattice)
+
+    def test_reproducible(self):
+        a = watts_strogatz(30, 4, 0.4, random.Random(9))
+        b = watts_strogatz(30, 4, 0.4, random.Random(9))
+        assert a == b
+
+
+class TestValidation:
+    def test_n_too_small(self):
+        with pytest.raises(GraphError):
+            watts_strogatz(2, 2, 0.1, random.Random(0))
+
+    def test_k_constraints(self):
+        with pytest.raises(GraphError):
+            watts_strogatz(10, 3, 0.1, random.Random(0))  # odd k
+        with pytest.raises(GraphError):
+            watts_strogatz(10, 0, 0.1, random.Random(0))
+        with pytest.raises(GraphError):
+            watts_strogatz(10, 10, 0.1, random.Random(0))  # k >= n
+
+    def test_beta_range(self):
+        with pytest.raises(GraphError):
+            watts_strogatz(10, 2, 1.5, random.Random(0))
+
+
+class TestAsBroadcastWorkload:
+    def test_decay_broadcast_completes(self):
+        from repro.protocols import run_decay_broadcast
+
+        g = watts_strogatz(50, 4, 0.3, random.Random(5))
+        result = run_decay_broadcast(g, source=0, seed=1, epsilon=0.05)
+        assert result.broadcast_succeeded(source=0)
+
+    def test_diameter_knob_changes_broadcast_time(self):
+        from repro.analysis.stats import mean
+        from repro.protocols import run_decay_broadcast
+
+        def mean_time(beta):
+            g = watts_strogatz(64, 4, beta, random.Random(2))
+            slots = []
+            for seed in range(8):
+                r = run_decay_broadcast(g, source=0, seed=seed, epsilon=0.1)
+                s = r.broadcast_completion_slot(source=0)
+                if s is not None:
+                    slots.append(s)
+            return mean(slots)
+
+        # The high-diameter lattice takes longer than the small world.
+        assert mean_time(0.0) > mean_time(0.9)

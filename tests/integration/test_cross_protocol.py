@@ -1,0 +1,116 @@
+"""Cross-module integration tests.
+
+These tie the substrates together the way the paper's narrative does:
+the same topology is attacked by every protocol; schedules extracted
+from randomized runs replay deterministically; the C_n family behaves
+per-theory for all protocols at once.
+"""
+
+import pytest
+
+from repro.core.schedule import extract_schedule, verify_schedule
+from repro.graphs import c_n, grid, random_gnp
+from repro.graphs.properties import diameter, distances_from
+from repro.protocols.base import run_broadcast
+from repro.protocols.decay_bfs import run_bfs
+from repro.protocols.decay_broadcast import run_decay_broadcast
+from repro.protocols.dfs_broadcast import make_dfs_programs
+from repro.protocols.round_robin import make_round_robin_programs
+from repro.rng import spawn
+
+
+@pytest.fixture(scope="module")
+def topology():
+    return random_gnp(48, 0.1, spawn(2024, "integration"))
+
+
+class TestAllProtocolsSameTopology:
+    def test_every_protocol_completes(self, topology):
+        g = topology
+        outcomes = {}
+        outcomes["decay"] = run_decay_broadcast(
+            g, source=0, seed=1, epsilon=0.05
+        ).broadcast_succeeded(source=0)
+        dfs = run_broadcast(
+            g, make_dfs_programs(g, 0), initiators={0},
+            max_slots=4 * g.num_nodes(), stop="informed",
+        )
+        outcomes["dfs"] = dfs.broadcast_succeeded(source=0)
+        rr = run_broadcast(
+            g, make_round_robin_programs(g, 0), initiators={0},
+            max_slots=g.num_nodes() * (diameter(g) + 2), stop="informed",
+        )
+        outcomes["round-robin"] = rr.broadcast_succeeded(source=0)
+        assert all(outcomes.values()), outcomes
+
+    def test_deterministic_protocols_agree_on_reachability(self, topology):
+        g = topology
+        dfs = run_broadcast(
+            g, make_dfs_programs(g, 0), initiators={0},
+            max_slots=4 * g.num_nodes(), stop="informed",
+        )
+        rr = run_broadcast(
+            g, make_round_robin_programs(g, 0), initiators={0},
+            max_slots=g.num_nodes() * (diameter(g) + 2), stop="informed",
+        )
+        reached_dfs = set(dfs.metrics.first_reception) | {0}
+        reached_rr = set(rr.metrics.first_reception) | {0}
+        assert reached_dfs == reached_rr == set(g.nodes)
+
+
+class TestScheduleRoundTrip:
+    def test_randomized_run_yields_replayable_schedule(self, topology):
+        g = topology
+        result = run_decay_broadcast(
+            g, source=0, seed=11, epsilon=0.05, record_trace=True
+        )
+        assert result.broadcast_succeeded(source=0)
+        schedule = extract_schedule(result.trace, 0)
+        assert verify_schedule(g, 0, schedule)
+        # The paper's observation: the distributed protocol has *found*
+        # a short schedule — far shorter than its own running time.
+        assert len(schedule) < result.slots
+
+
+class TestBFSConsistentWithBroadcast:
+    def test_bfs_distances_lower_bound_broadcast_times(self):
+        # A node at distance d cannot receive before phase d; check the
+        # measured first-reception slot respects the layered structure.
+        g = grid(5, 5)
+        truth = distances_from(g, 0)
+        result = run_decay_broadcast(g, source=0, seed=7, epsilon=0.05)
+        k = result.programs[0].k
+        for node, slot in result.metrics.first_reception.items():
+            # Reaching layer d takes at least d slots (one hop per slot
+            # at absolute best).
+            assert slot >= truth[node] - 1
+
+    def test_bfs_and_truth_agree_on_cn(self):
+        g = c_n(12, {5, 9})
+        truth = distances_from(g, 0)
+        result = run_bfs(g, 0, seed=5, epsilon=0.05)
+        assert result.node_results() == truth
+
+
+class TestCnFamilyTheory:
+    def test_three_protocols_on_cn(self):
+        n = 24
+        g = c_n(n, {n})  # worst-case S for deterministic sweeps
+        decay = run_decay_broadcast(g, source=0, seed=1, epsilon=0.05)
+        assert decay.broadcast_succeeded(source=0)
+        dfs = run_broadcast(
+            g, make_dfs_programs(g, 0), initiators={0},
+            max_slots=4 * (n + 2), stop="informed",
+        )
+        rr = run_broadcast(
+            g, make_round_robin_programs(g, 0), initiators={0},
+            max_slots=(n + 2) * 6, stop="informed",
+        )
+        decay_slot = decay.broadcast_completion_slot(source=0)
+        dfs_slot = dfs.broadcast_completion_slot(source=0)
+        rr_slot = rr.broadcast_completion_slot(source=0)
+        # Deterministic protocols pay Θ(n) on this instance.
+        assert dfs_slot >= n / 2
+        assert rr_slot >= n / 2
+        # The randomized protocol is much faster already at n=24.
+        assert decay_slot < min(dfs_slot, rr_slot)

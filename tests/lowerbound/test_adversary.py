@@ -1,0 +1,154 @@
+"""Tests for find_set (Lemmas 9-10) and strategy foiling (Prop. 11)."""
+
+import random
+
+import pytest
+
+from repro.errors import GameError
+from repro.lowerbound.adversary import audit_charges, find_set, foil_strategy
+from repro.lowerbound.hitting_game import Referee
+from repro.lowerbound.strategies import (
+    BinarySplittingStrategy,
+    DoublingStrategy,
+    RandomStrategy,
+    SingletonSweepStrategy,
+)
+
+
+def assert_lemma9(moves, s, n):
+    """Both Lemma 9 conditions for every move."""
+    complement = set(range(1, n + 1)) - set(s)
+    for m in map(set, moves):
+        assert len(m & set(s)) != 1, (m, s)
+        assert (len(m & complement) == 1) == (len(m) == 1), (m, s)
+
+
+class TestFindSet:
+    def test_no_singleton_moves_leaves_s_full(self):
+        moves = [{1, 2, 3}, {4, 5}, {2, 6}]
+        s = find_set(moves, 8)
+        assert s == frozenset(range(1, 9))
+
+    def test_singleton_moves_removed(self):
+        moves = [{3}, {5}]
+        s = find_set(moves, 8)
+        assert 3 not in s and 5 not in s
+        assert_lemma9(moves, s, 8)
+
+    def test_cascading_removal(self):
+        # Removing a singleton creates a singleton residual elsewhere.
+        moves = [{1}, {1, 2}]
+        s = find_set(moves, 6)
+        assert_lemma9(moves, s, 6)
+        assert s  # Lemma 10: t=2 <= n/2=3
+
+    def test_paper_charging_bound(self):
+        rng = random.Random(0)
+        for n in (8, 16, 30):
+            for trial in range(20):
+                t = n // 2
+                moves = [
+                    set(rng.sample(range(1, n + 1), rng.randint(1, n)))
+                    for _ in range(t)
+                ]
+                audit = audit_charges(moves, n)
+                assert audit["removed"] <= 2 * t - 1 if audit["removed"] else True
+                assert audit["final_size"] >= n - (2 * t - 1)
+
+    def test_lemma10_nonempty_at_half_n(self):
+        rng = random.Random(1)
+        for n in (8, 16, 32, 64):
+            t = n // 2
+            for trial in range(10):
+                moves = [
+                    set(rng.sample(range(1, n + 1), rng.randint(1, n)))
+                    for _ in range(t)
+                ]
+                s = find_set(moves, n)
+                assert s, (n, trial)
+                assert_lemma9(moves, s, n)
+
+    def test_lemma9_holds_even_with_many_moves(self):
+        # Past n/2 moves S may empty out, but if it doesn't, Lemma 9
+        # must still hold.
+        rng = random.Random(2)
+        n = 12
+        moves = [
+            set(rng.sample(range(1, n + 1), rng.randint(1, 4))) for _ in range(20)
+        ]
+        s = find_set(moves, n)
+        if s:
+            assert_lemma9(moves, s, n)
+
+    def test_all_singletons_worst_case(self):
+        n = 10
+        moves = [{i} for i in range(1, 6)]  # t = n/2 singletons
+        s = find_set(moves, n)
+        assert s == frozenset(range(6, 11))
+        assert_lemma9(moves, s, n)
+
+    def test_pathological_nested_moves(self):
+        n = 12
+        moves = [{1}, {1, 2}, {1, 2, 3}, {1, 2, 3, 4}, {1, 2, 3, 4, 5}, {6}]
+        s = find_set(moves, n)
+        assert s
+        assert_lemma9(moves, s, n)
+
+    def test_move_outside_universe_rejected(self):
+        with pytest.raises(GameError):
+            find_set([{99}], 5)
+
+    def test_referee_says_nothing_useful_on_found_set(self):
+        # End-to-end Lemma 9 reading: with S = find_set(moves), the
+        # referee's answers on those moves are exactly the canonical
+        # ones (miss for singletons, nothing otherwise) — never a hit.
+        rng = random.Random(3)
+        n = 20
+        moves = [
+            set(rng.sample(range(1, n + 1), rng.randint(1, n // 2)))
+            for _ in range(n // 2)
+        ]
+        s = find_set(moves, n)
+        referee = Referee(n, s)
+        for m in moves:
+            answer = referee.answer(m)
+            if len(m) == 1:
+                assert answer.kind == "miss"
+                assert answer.element == next(iter(m))
+            else:
+                assert answer.kind == "nothing"
+
+
+class TestFoilStrategy:
+    @pytest.mark.parametrize(
+        "strategy_factory",
+        [
+            SingletonSweepStrategy,
+            DoublingStrategy,
+            BinarySplittingStrategy,
+            lambda: RandomStrategy(17),
+        ],
+        ids=["sweep", "doubling", "binary", "random"],
+    )
+    @pytest.mark.parametrize("n", [8, 20, 50])
+    def test_every_strategy_foiled_at_half_n(self, strategy_factory, n):
+        result = foil_strategy(strategy_factory(), n, n // 2)
+        assert result.hidden_set
+        assert result.survived_moves >= n // 2
+        assert result.consistent
+
+    def test_foiled_set_consistent_with_lemma9(self):
+        result = foil_strategy(SingletonSweepStrategy(), 30, 15)
+        assert_lemma9(result.induced_moves, result.hidden_set, 30)
+
+    def test_max_moves_validation(self):
+        with pytest.raises(GameError):
+            foil_strategy(SingletonSweepStrategy(), 10, 0)
+
+    def test_proposition_11_quantitative(self):
+        # G(n) > n/2: every strategy in the suite needs more than n/2
+        # moves against its adversarial set.
+        n = 40
+        for factory in (SingletonSweepStrategy, DoublingStrategy):
+            result = foil_strategy(factory(), n, n // 2)
+            assert result.survived_moves >= n // 2

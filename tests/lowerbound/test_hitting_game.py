@@ -1,0 +1,108 @@
+"""Tests for the hitting game (Definition 5)."""
+
+import pytest
+
+from repro.errors import GameError
+from repro.lowerbound.hitting_game import Answer, HittingGame, Referee, play_game
+from repro.lowerbound.strategies import SingletonSweepStrategy
+
+
+class TestAnswer:
+    def test_hit_needs_element(self):
+        with pytest.raises(GameError):
+            Answer("hit")
+
+    def test_nothing_carries_no_element(self):
+        with pytest.raises(GameError):
+            Answer("nothing", 3)
+
+    def test_valid_answers(self):
+        assert Answer("hit", 2).element == 2
+        assert Answer("miss", 5).kind == "miss"
+        assert Answer("nothing").element is None
+
+
+class TestReferee:
+    def test_validation(self):
+        with pytest.raises(GameError):
+            Referee(0, {1})
+        with pytest.raises(GameError):
+            Referee(5, set())
+        with pytest.raises(GameError):
+            Referee(5, {6})
+
+    def test_hit_on_singleton_s_intersection(self):
+        ref = Referee(10, {4, 7})
+        answer = ref.answer({4, 9})  # {4,9} ∩ S = {4}; note 9 ∉ S so comp∩ = {9}
+        assert answer.kind == "hit"
+        assert answer.element == 4
+        assert ref.ended
+
+    def test_game_over_after_hit(self):
+        ref = Referee(10, {4})
+        ref.answer({4})
+        with pytest.raises(GameError):
+            ref.answer({5})
+
+    def test_miss_on_singleton_complement_intersection(self):
+        ref = Referee(5, {1, 2, 3, 4})  # complement = {5}
+        answer = ref.answer({3, 4, 5})  # M∩S = {3,4} (not singleton), M∩comp = {5}
+        assert answer.kind == "miss"
+        assert answer.element == 5
+        assert not ref.ended
+
+    def test_nothing_when_both_ambiguous(self):
+        ref = Referee(10, {1, 2, 3})
+        answer = ref.answer({1, 2, 4, 5})  # 2 in S, 2 out
+        assert answer.kind == "nothing"
+
+    def test_empty_move_answered_nothing(self):
+        ref = Referee(10, {1})
+        assert ref.answer(set()).kind == "nothing"
+
+    def test_hit_takes_precedence_over_miss(self):
+        # |M∩S| = 1 and |M∩comp| = 1 simultaneously → Definition 5's
+        # first rule applies: hit, terminate.
+        ref = Referee(4, {1, 2, 3})  # complement {4}
+        answer = ref.answer({3, 4})
+        assert answer.kind == "hit"
+        assert answer.element == 3
+
+    def test_moves_outside_universe_rejected(self):
+        ref = Referee(5, {1})
+        with pytest.raises(GameError):
+            ref.answer({7})
+
+    def test_full_universe_move(self):
+        ref = Referee(6, {2})
+        answer = ref.answer(set(range(1, 7)))
+        assert answer.kind == "hit"  # |S| = 1 means M∩S singleton
+
+
+class TestHittingGameWrapper:
+    def test_history_recorded(self):
+        game = HittingGame(6, {5})
+        game.move({1})
+        game.move({5})
+        assert game.moves_used == 2
+        assert game.won
+        assert game.history[0][1].kind == "miss"
+        assert game.history[1][1].kind == "hit"
+
+
+class TestPlayGame:
+    def test_sweep_wins(self):
+        outcome = play_game(SingletonSweepStrategy(), 12, {9}, max_moves=20)
+        assert outcome.won
+        assert outcome.hit_element == 9
+        assert outcome.moves_used == 9
+
+    def test_cutoff_counts_as_loss(self):
+        outcome = play_game(SingletonSweepStrategy(), 12, {9}, max_moves=3)
+        assert not outcome.won
+        assert outcome.moves_used == 3
+        assert outcome.hit_element is None
+
+    def test_history_length_matches(self):
+        outcome = play_game(SingletonSweepStrategy(), 8, {8}, max_moves=20)
+        assert len(outcome.history) == outcome.moves_used

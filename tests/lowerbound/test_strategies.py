@@ -1,0 +1,120 @@
+"""Tests for explorer strategies."""
+
+import pytest
+
+from repro.errors import GameError
+from repro.lowerbound.hitting_game import Answer, play_game
+from repro.lowerbound.strategies import (
+    BinarySplittingStrategy,
+    DoublingStrategy,
+    RandomStrategy,
+    SingletonSweepStrategy,
+)
+
+
+class TestSingletonSweep:
+    def test_moves_are_singletons_in_order(self):
+        strat = SingletonSweepStrategy()
+        strat.reset(5)
+        history = []
+        for expected in (1, 2, 3):
+            move = strat.next_move(history)
+            assert move == frozenset({expected})
+            history.append((move, Answer("miss", expected)))
+
+    def test_skips_known_misses(self):
+        strat = SingletonSweepStrategy()
+        strat.reset(5)
+        history = [(frozenset({1}), Answer("miss", 1))]
+        assert strat.next_move(history) == frozenset({2})
+
+    def test_wins_within_n_for_any_set(self):
+        for s in ({1}, {10}, {3, 7}, set(range(1, 11))):
+            outcome = play_game(SingletonSweepStrategy(), 10, s, max_moves=10)
+            assert outcome.won
+            assert outcome.moves_used <= 10
+            assert outcome.hit_element in s
+
+    def test_reset_required(self):
+        strat = SingletonSweepStrategy()
+        with pytest.raises(GameError):
+            strat.reset(0)
+
+
+class TestDoubling:
+    def test_sizes_double_then_wrap(self):
+        strat = DoublingStrategy()
+        strat.reset(16)
+        sizes = [len(strat.next_move([])) for _ in range(5)]
+        assert sizes == [1, 2, 4, 8, 16]
+        assert len(strat.next_move([])) == 1  # wrapped
+
+    def test_moves_within_universe(self):
+        strat = DoublingStrategy()
+        strat.reset(10)
+        for _ in range(20):
+            move = strat.next_move([])
+            assert move <= frozenset(range(1, 11))
+            assert move
+
+    def test_wins_eventually_on_singleton_set(self):
+        outcome = play_game(DoublingStrategy(), 16, {13}, max_moves=200)
+        assert outcome.won
+
+
+class TestBinarySplitting:
+    def test_halves_the_pool(self):
+        strat = BinarySplittingStrategy()
+        strat.reset(16)
+        move = strat.next_move([])
+        assert len(move) == 8
+
+    def test_prunes_misses(self):
+        strat = BinarySplittingStrategy()
+        strat.reset(6)
+        history = [(frozenset({1}), Answer("miss", 1)), (frozenset({2}), Answer("miss", 2))]
+        move = strat.next_move(history)
+        assert 1 not in move and 2 not in move
+
+    def test_falls_back_to_singletons_on_small_pool(self):
+        strat = BinarySplittingStrategy()
+        strat.reset(2)
+        move = strat.next_move([])
+        assert len(move) == 1
+
+    def test_wins_on_lucky_sets(self):
+        outcome = play_game(BinarySplittingStrategy(), 16, {5}, max_moves=64)
+        assert outcome.won
+
+
+class TestRandomStrategy:
+    def test_density_validation(self):
+        with pytest.raises(GameError):
+            RandomStrategy(0, density=0.0)
+
+    def test_deterministic_given_seed(self):
+        a = RandomStrategy(5)
+        b = RandomStrategy(5)
+        a.reset(20)
+        b.reset(20)
+        assert [a.next_move([]) for _ in range(5)] == [
+            b.next_move([]) for _ in range(5)
+        ]
+
+    def test_reset_restarts_stream(self):
+        strat = RandomStrategy(5)
+        strat.reset(20)
+        first = [strat.next_move([]) for _ in range(3)]
+        strat.reset(20)
+        again = [strat.next_move([]) for _ in range(3)]
+        assert first == again
+
+    def test_moves_nonempty(self):
+        strat = RandomStrategy(3, density=0.01)
+        strat.reset(10)
+        for _ in range(30):
+            assert strat.next_move([])
+
+    def test_wins_eventually(self):
+        outcome = play_game(RandomStrategy(1), 12, {7}, max_moves=500)
+        assert outcome.won

@@ -1,0 +1,89 @@
+"""Property-based tests for the lower-bound machinery.
+
+These are the paper's Lemmas 9 and 10 as executable properties: for
+*arbitrary* move sequences, ``find_set`` must produce a consistent set,
+and for at most ``n/2`` moves a non-empty one.
+"""
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.lowerbound.adversary import audit_charges, find_set
+from repro.lowerbound.hitting_game import Referee
+
+
+@st.composite
+def moves_and_n(draw, max_n=24, half_bound=True):
+    n = draw(st.integers(2, max_n))
+    t_max = n // 2 if half_bound else 2 * n
+    t = draw(st.integers(1, max(1, t_max)))
+    moves = [
+        draw(st.sets(st.integers(1, n), min_size=1, max_size=n)) for _ in range(t)
+    ]
+    return n, moves
+
+
+@settings(max_examples=120)
+@given(moves_and_n())
+def test_lemma10_nonempty_within_half_n(case):
+    n, moves = case
+    s = find_set(moves, n)
+    assert s, (n, moves)
+
+
+@settings(max_examples=120)
+@given(moves_and_n())
+def test_lemma9_consistency(case):
+    n, moves = case
+    s = find_set(moves, n)
+    complement = set(range(1, n + 1)) - set(s)
+    for m in moves:
+        assert len(set(m) & set(s)) != 1
+        assert (len(set(m) & complement) == 1) == (len(m) == 1)
+
+
+@settings(max_examples=120)
+@given(moves_and_n())
+def test_referee_gives_only_canonical_answers(case):
+    n, moves = case
+    s = find_set(moves, n)
+    referee = Referee(n, s)
+    for m in moves:
+        answer = referee.answer(m)
+        assert answer.kind != "hit"
+        if len(m) == 1:
+            assert answer.kind == "miss"
+        else:
+            assert answer.kind == "nothing"
+
+
+@settings(max_examples=120)
+@given(moves_and_n())
+def test_charging_bound_2t_minus_1(case):
+    n, moves = case
+    audit = audit_charges(moves, n)
+    t = len(moves)
+    if audit["removed"] > 0:
+        assert audit["removed"] <= 2 * t - 1
+    assert audit["final_size"] == n - audit["removed"]
+
+
+@settings(max_examples=60)
+@given(moves_and_n(half_bound=False))
+def test_find_set_safe_beyond_half_n(case):
+    # Past n/2 moves emptiness is allowed, but consistency must hold
+    # whenever the output is non-empty, and the call must not crash.
+    n, moves = case
+    s = find_set(moves, n)
+    if s:
+        complement = set(range(1, n + 1)) - set(s)
+        for m in moves:
+            assert len(set(m) & set(s)) != 1
+            assert (len(set(m) & complement) == 1) == (len(m) == 1)
+
+
+@settings(max_examples=60)
+@given(moves_and_n())
+def test_find_set_deterministic(case):
+    n, moves = case
+    assert find_set(moves, n) == find_set(moves, n)

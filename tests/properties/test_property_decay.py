@@ -1,0 +1,70 @@
+"""Property-based tests for Decay and the Theorem-1 quantities."""
+
+import random
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.bounds import decay_phase_length, p_exact, p_infinity
+from repro.core.decay import DecayProcess, simulate_decay_game
+
+
+@given(st.integers(1, 20), st.integers(0, 10**6), st.floats(0.0, 1.0))
+def test_decay_process_respects_cap_and_prefix(k, seed, p_continue):
+    proc = DecayProcess(k, "m", random.Random(seed), p_continue=p_continue)
+    pattern = [proc.wants_transmit() for _ in range(k + 5)]
+    # Sends at least once, at most k times, as a contiguous prefix.
+    assert pattern[0] is True
+    count = sum(pattern)
+    assert 1 <= count <= k
+    assert all(pattern[:count]) and not any(pattern[count:])
+    assert proc.transmissions_made == count
+
+
+@given(st.integers(0, 40), st.integers(1, 16), st.integers(0, 10**6))
+def test_game_result_in_window_or_none(d, k, seed):
+    result = simulate_decay_game(d, k, random.Random(seed))
+    assert result is None or 0 <= result < k
+    if d == 1:
+        assert result == 0
+    if d == 0:
+        assert result is None
+    if d >= 2 and result is not None:
+        assert result >= 1
+
+
+@settings(max_examples=30)
+@given(st.integers(2, 40))
+def test_p_exact_monotone_in_k(d):
+    values = [p_exact(k, d) for k in range(1, 12)]
+    assert all(b >= a - 1e-12 for a, b in zip(values, values[1:]))
+    assert all(0.0 <= v <= 1.0 for v in values)
+
+
+@settings(max_examples=30)
+@given(st.integers(2, 60))
+def test_theorem1_claims_hold_for_all_d(d):
+    k = decay_phase_length(d)
+    assert p_exact(k, d) >= 0.5 - 1e-12  # Theorem 1(ii)
+    assert p_infinity(d) >= 2 / 3 - 1e-12  # Theorem 1(i)
+    assert p_infinity(d) >= p_exact(k, d) - 1e-12
+
+
+@settings(max_examples=20)
+@given(st.integers(2, 20), st.floats(0.05, 0.95))
+def test_p_exact_bounded_by_limit_for_any_bias(d, bias):
+    assert p_exact(8, d, p_continue=bias) <= p_infinity(d, p_continue=bias) + 1e-9
+
+
+@settings(max_examples=15)
+@given(st.integers(2, 12), st.integers(2, 10))
+def test_p_exact_agrees_with_direct_enumeration(d, k):
+    # Cross-validate the DP against brute-force Monte Carlo with a
+    # fixed, generous sample (cheap for these sizes).
+    rng = random.Random(1234)
+    reps = 4000
+    hits = sum(1 for _ in range(reps) if simulate_decay_game(d, k, rng) is not None)
+    expected = p_exact(k, d)
+    # 4000 samples: 4-sigma tolerance.
+    sigma = (expected * (1 - expected) / reps) ** 0.5
+    assert abs(hits / reps - expected) <= 4 * sigma + 1e-9

@@ -1,0 +1,101 @@
+"""Property-based tests for the graph substrate."""
+
+import random
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.graphs import (
+    Graph,
+    bfs_layers,
+    c_n,
+    distances_from,
+    is_connected,
+    random_gnp,
+)
+
+edge_lists = st.lists(
+    st.tuples(st.integers(0, 15), st.integers(0, 15)).filter(lambda e: e[0] != e[1]),
+    max_size=40,
+)
+
+
+@given(edge_lists)
+def test_graph_edge_symmetry_invariant(edges):
+    g = Graph(edges=edges)
+    for u, v in g.edges:
+        assert g.has_edge(v, u)
+        assert u in g.neighbors(v) and v in g.neighbors(u)
+
+
+@given(edge_lists)
+def test_degree_sum_equals_twice_edges(edges):
+    g = Graph(edges=edges)
+    assert sum(g.degree(v) for v in g.nodes) == 2 * g.num_edges()
+
+
+@given(edge_lists)
+def test_copy_equals_original(edges):
+    g = Graph(edges=edges)
+    assert g.copy() == g
+
+
+@given(edge_lists, st.randoms(use_true_random=False))
+def test_remove_then_add_edge_roundtrip(edges, rnd):
+    g = Graph(edges=edges)
+    if not g.edges:
+        return
+    u, v = rnd.choice(g.edges)
+    g2 = g.copy()
+    g2.remove_edge(u, v)
+    assert not g2.has_edge(u, v)
+    g2.add_edge(u, v)
+    assert g2 == g
+
+
+@given(edge_lists)
+def test_distances_satisfy_triangle_step(edges):
+    g = Graph(edges=edges)
+    if g.num_nodes() == 0:
+        return
+    source = g.nodes[0]
+    dist = distances_from(g, source)
+    # Every edge changes distance by at most 1 between reachable nodes.
+    for u, v in g.edges:
+        if u in dist and v in dist:
+            assert abs(dist[u] - dist[v]) <= 1
+
+
+@given(edge_lists)
+def test_bfs_layers_are_a_partition(edges):
+    g = Graph(edges=edges)
+    if g.num_nodes() == 0:
+        return
+    source = g.nodes[0]
+    layers = bfs_layers(g, source)
+    flat = [v for layer in layers for v in layer]
+    assert len(flat) == len(set(flat))
+    dist = distances_from(g, source)
+    for depth, layer in enumerate(layers):
+        for v in layer:
+            assert dist[v] == depth
+
+
+@given(st.integers(2, 30), st.data())
+def test_c_n_always_diameter_le_3_and_connected(n, data):
+    subset = data.draw(
+        st.sets(st.integers(1, n), min_size=1, max_size=n)
+    )
+    g = c_n(n, subset)
+    assert is_connected(g)
+    dist = distances_from(g, 0)
+    assert max(dist.values()) <= 3
+    assert dist[n + 1] in (2, 3)
+
+
+@settings(max_examples=25)
+@given(st.integers(2, 25), st.floats(0.0, 1.0), st.integers(0, 10**6))
+def test_random_gnp_connected_when_stitched(n, p, seed):
+    g = random_gnp(n, p, random.Random(seed))
+    assert is_connected(g)
+    assert g.num_nodes() == n

@@ -1,0 +1,82 @@
+"""Property-based tests for broadcast schedules and protocols."""
+
+import random
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.schedule import (
+    greedy_layer_schedule,
+    sequential_tree_schedule,
+    verify_schedule,
+)
+from repro.graphs import random_gnp
+from repro.protocols.base import run_broadcast
+from repro.protocols.dfs_broadcast import make_dfs_programs
+from repro.protocols.round_robin import make_round_robin_programs
+
+
+connected_graph = st.builds(
+    lambda n, p, seed: random_gnp(n, p, random.Random(seed)),
+    st.integers(2, 28),
+    st.floats(0.0, 0.6),
+    st.integers(0, 10**6),
+)
+
+
+@settings(max_examples=40, deadline=None)
+@given(connected_graph)
+def test_tree_schedule_always_valid_and_short(g):
+    schedule = sequential_tree_schedule(g, 0)
+    assert verify_schedule(g, 0, schedule)
+    assert len(schedule) <= g.num_nodes()
+
+
+@settings(max_examples=40, deadline=None)
+@given(connected_graph, st.integers(0, 100))
+def test_greedy_schedule_always_valid(g, shuffle_seed):
+    schedule = greedy_layer_schedule(g, 0, rng=random.Random(shuffle_seed))
+    assert verify_schedule(g, 0, schedule)
+
+
+@settings(max_examples=30, deadline=None)
+@given(connected_graph)
+def test_dfs_always_completes_within_2n(g):
+    n = g.num_nodes()
+    result = run_broadcast(
+        g, make_dfs_programs(g, 0), initiators={0}, max_slots=2 * n + 2,
+        stop="informed",
+    )
+    slot = result.broadcast_completion_slot(source=0)
+    assert slot is not None
+    assert slot <= 2 * n
+
+
+@settings(max_examples=30, deadline=None)
+@given(connected_graph)
+def test_round_robin_never_collides_and_completes(g):
+    from repro.sim import Engine
+
+    n = g.num_nodes()
+    programs = make_round_robin_programs(g, 0)
+    engine = Engine(g, programs, initiators={0}, record_trace=True)
+    result = engine.run(n * (n + 2))
+    assert result.metrics.collisions == 0
+    informed = set(result.metrics.first_reception) | {0}
+    assert informed == set(g.nodes)
+
+
+@settings(max_examples=25, deadline=None)
+@given(connected_graph, st.integers(0, 10**6))
+def test_decay_broadcast_honest_outcome(g, seed):
+    # The run either reaches everyone (and says so) or reports failure;
+    # reported first receptions are causally sane (>= BFS distance - 1).
+    from repro.graphs.properties import distances_from
+    from repro.protocols.decay_broadcast import run_decay_broadcast
+
+    result = run_decay_broadcast(g, source=0, seed=seed, epsilon=0.2)
+    truth = distances_from(g, 0)
+    for node, slot in result.metrics.first_reception.items():
+        assert slot >= truth[node] - 1
+    if result.broadcast_succeeded(source=0):
+        assert set(result.metrics.first_reception) | {0} == set(g.nodes)

@@ -1,0 +1,153 @@
+"""Tests for collision-detection protocols (Section 4 + related work)."""
+
+import pytest
+
+from repro.errors import ProtocolError
+from repro.graphs import c_n, star
+from repro.protocols.cd_protocols import (
+    FourSlotCnProgram,
+    TreeSplittingProgram,
+    make_four_slot_cn_programs,
+    make_tree_splitting_programs,
+)
+from repro.rng import spawn
+from repro.sim import CollisionDetectingMedium, Engine, RadioMedium
+
+
+def run_four_slot(n, subset, medium=None):
+    g = c_n(n, subset)
+    programs = make_four_slot_cn_programs(g, n)
+    engine = Engine(
+        g,
+        programs,
+        medium=medium if medium is not None else CollisionDetectingMedium(),
+        initiators={0},
+        enforce_no_spontaneous=False,
+    )
+    return engine.run(8)
+
+
+class TestFourSlotCn:
+    def test_role_validation(self):
+        with pytest.raises(ProtocolError):
+            FourSlotCnProgram("router", 5)
+
+    def test_singleton_s_two_slots(self):
+        result = run_four_slot(8, {3})
+        assert result.programs[9].message == "m"
+        assert result.metrics.first_reception[9] == 1
+
+    def test_large_s_four_slots(self):
+        result = run_four_slot(8, {2, 5, 7})
+        assert result.programs[9].message == "m"
+        assert result.metrics.first_reception[9] == 3
+
+    def test_full_s(self):
+        n = 16
+        result = run_four_slot(n, set(range(1, n + 1)))
+        assert result.programs[n + 1].message == "m"
+
+    def test_all_second_layer_informed_at_slot_zero(self):
+        n = 6
+        result = run_four_slot(n, {2, 4})
+        for i in range(1, n + 1):
+            assert result.metrics.first_reception[i] == 0
+
+    def test_poll_targets_min_id(self):
+        # With S = {5, 2, 7} the sink polls processor 2.
+        result = run_four_slot(8, {5, 2, 7})
+        # Processor 2 transmitted at slot 3 (its poll response).
+        assert result.metrics.transmissions_per_node.get(2, 0) == 2  # slot 1 + slot 3
+        assert result.metrics.transmissions_per_node.get(5, 0) == 1
+        assert result.metrics.first_reception[9] == 3
+
+    def test_fails_without_collision_detection(self):
+        # The same protocol on the paper's no-CD medium cannot work for
+        # |S| >= 2: the sink never observes the collision, never polls.
+        result = run_four_slot(8, {2, 5}, medium=RadioMedium())
+        assert result.programs[9].message is None
+
+    def test_scales_to_large_n(self):
+        n = 512
+        result = run_four_slot(n, set(range(100, 300)))
+        assert result.programs[n + 1].message == "m"
+        assert result.metrics.first_reception[n + 1] <= 3
+
+
+class TestTreeSplitting:
+    def run_splitting(self, n_leaves, contender_ids):
+        g = star(n_leaves)
+        contenders = {i: f"msg-{i}" for i in contender_ids}
+        programs = make_tree_splitting_programs(g, 0, contenders)
+        engine = Engine(
+            g,
+            programs,
+            medium=CollisionDetectingMedium(),
+            initiators=set(g.nodes),
+            enforce_no_spontaneous=False,
+        )
+        result = engine.run(40 * n_leaves + 20)
+        return result, contenders
+
+    def test_single_contender(self):
+        result, contenders = self.run_splitting(8, [5])
+        assert result.programs[0].received_messages == ["msg-5"]
+
+    def test_all_resolved(self):
+        result, contenders = self.run_splitting(16, [1, 2, 7, 8, 16])
+        assert sorted(result.programs[0].received_messages) == sorted(
+            contenders.values()
+        )
+
+    def test_each_message_exactly_once(self):
+        result, contenders = self.run_splitting(16, [3, 4, 5, 6])
+        received = result.programs[0].received_messages
+        assert len(received) == len(set(received)) == 4
+
+    def test_adjacent_ids_resolved(self):
+        # Adjacent IDs need the deepest splits.
+        result, contenders = self.run_splitting(16, [7, 8])
+        assert sorted(result.programs[0].received_messages) == sorted(
+            contenders.values()
+        )
+
+    def test_no_contenders_terminates_fast(self):
+        g = star(8)
+        programs = make_tree_splitting_programs(g, 0, {})
+        engine = Engine(
+            g,
+            programs,
+            medium=CollisionDetectingMedium(),
+            initiators=set(g.nodes),
+            enforce_no_spontaneous=False,
+        )
+        result = engine.run(100)
+        assert result.programs[0].received_messages == []
+        assert result.slots <= 4
+
+    def test_full_contention(self):
+        result, contenders = self.run_splitting(8, list(range(1, 9)))
+        assert sorted(result.programs[0].received_messages) == sorted(
+            contenders.values()
+        )
+
+    def test_slots_scale_with_contenders(self):
+        few, _ = self.run_splitting(32, [5])
+        many, _ = self.run_splitting(32, list(range(1, 33)))
+        assert few.slots < many.slots
+
+    def test_contender_marks_resolved(self):
+        result, _ = self.run_splitting(8, [2, 6])
+        assert result.programs[2].result()["resolved"]
+        assert result.programs[6].result()["resolved"]
+        assert not result.programs[3].result()["resolved"]
+
+    def test_validation(self):
+        g = star(4)
+        with pytest.raises(ProtocolError):
+            TreeSplittingProgram(is_base=True, id_space=(5, 5))
+        from repro.graphs import Graph
+
+        bad = Graph(edges=[("base", "x")])
+        with pytest.raises(ProtocolError):
+            make_tree_splitting_programs(bad, "base", {})

@@ -1,0 +1,108 @@
+"""Tests for the Decay-based BFS (Section 2.3)."""
+
+import pytest
+
+from repro.errors import ProtocolError
+from repro.graphs import grid, line, random_tree, ring, star
+from repro.graphs.properties import distances_from
+from repro.protocols.decay_bfs import DecayBFSProgram, make_bfs_programs, run_bfs
+from repro.rng import spawn
+
+
+class TestProgramBasics:
+    def test_root_labels_itself_zero(self):
+        prog = DecayBFSProgram(2, 3, is_root=True)
+        assert prog.distance == 0
+        assert prog.result() == 0
+
+    def test_non_root_unlabelled_until_informed(self):
+        prog = DecayBFSProgram(2, 3)
+        assert prog.result() is None
+
+    def test_distance_from_superphase_of_reception(self):
+        from repro.sim import Context
+
+        prog = DecayBFSProgram(k=2, decays_per_superphase=3)  # superphase = 6
+        ctx = Context(node=1, neighbor_ids=frozenset(), rng=spawn(0, "x"), slot=13)
+        prog.on_observe(ctx, "bfs")
+        assert prog.distance == 13 // 6 + 1 == 3
+
+    def test_validation(self):
+        with pytest.raises(ProtocolError):
+            DecayBFSProgram(0, 1)
+        with pytest.raises(ProtocolError):
+            DecayBFSProgram(2, 0)
+
+
+class TestMakePrograms:
+    def test_parameters(self):
+        g = star(8)
+        programs, params = make_bfs_programs(g, 0, epsilon=1.0)
+        assert params["k"] == 6
+        assert params["superphase_len"] == params["k"] * params["decays_per_superphase"]
+        assert programs[0].distance == 0
+
+    def test_rejects_bad_upper_bound(self):
+        with pytest.raises(ProtocolError):
+            make_bfs_programs(line(5), 0, upper_bound_n=2)
+
+
+class TestEndToEnd:
+    @pytest.mark.parametrize(
+        "g,root",
+        [
+            (line(10), 0),
+            (line(10), 4),
+            (grid(4, 5), 0),
+            (ring(9), 3),
+            (star(7), 0),
+            (star(7), 3),
+            (random_tree(30, spawn(1, "t")), 0),
+        ],
+        ids=["line-end", "line-mid", "grid", "ring", "star-hub", "star-leaf", "tree"],
+    )
+    def test_labels_equal_true_distances(self, g, root):
+        truth = distances_from(g, root)
+        result = run_bfs(g, root, seed=2, epsilon=0.05)
+        labels = result.node_results()
+        assert labels == truth
+
+    def test_slot_count_within_bound(self):
+        from repro.core.bounds import bfs_slot_bound
+        from repro.graphs.properties import diameter, max_degree
+
+        g = grid(5, 5)
+        result = run_bfs(g, 0, seed=1, epsilon=0.1)
+        bound = bfs_slot_bound(
+            g.num_nodes(), diameter(g), max_degree(g), 0.1
+        )
+        # The run may stop early at quiescence, never later than bound
+        # plus one superphase of slack for the tail.
+        _programs, params = make_bfs_programs(g, 0, epsilon=0.1)
+        assert result.slots <= bound + params["superphase_len"]
+
+    def test_layer_one_deterministic(self):
+        # The root is the only transmitter of superphase 0, so all its
+        # neighbours are informed at slot 0 — deterministically.
+        g = star(6)
+        result = run_bfs(g, 0, seed=9)
+        for leaf in range(1, 7):
+            assert result.metrics.first_reception[leaf] == 0
+
+    def test_reproducible(self):
+        g = grid(4, 4)
+        a = run_bfs(g, 0, seed=5)
+        b = run_bfs(g, 0, seed=5)
+        assert a.node_results() == b.node_results()
+        assert a.slots == b.slots
+
+    def test_failure_probability_small(self):
+        g = grid(4, 4)
+        truth = distances_from(g, 0)
+        wrong = 0
+        runs = 25
+        for seed in range(runs):
+            labels = run_bfs(g, 0, seed=seed, epsilon=0.1).node_results()
+            if labels != truth:
+                wrong += 1
+        assert wrong / runs <= 0.1 + 0.1  # epsilon plus Monte-Carlo slack

@@ -1,0 +1,118 @@
+"""Tests for the deterministic DFS token broadcast (Section 3.4)."""
+
+import pytest
+
+from repro.graphs import Graph, c_n, complete, grid, line, random_gnp, ring, star
+from repro.protocols.base import run_broadcast
+from repro.protocols.dfs_broadcast import make_dfs_programs
+from repro.rng import spawn
+
+
+def run_dfs(g, source=0, max_slots=None):
+    programs = make_dfs_programs(g, source)
+    cap = max_slots if max_slots is not None else 4 * g.num_nodes() + 4
+    return run_broadcast(g, programs, initiators={source}, max_slots=cap, stop="informed")
+
+
+class TestCorrectness:
+    @pytest.mark.parametrize(
+        "g",
+        [
+            line(10),
+            ring(9),
+            grid(4, 4),
+            star(8),
+            complete(7),
+            c_n(10, {4, 7}),
+        ],
+        ids=["line", "ring", "grid", "star", "clique", "c_n"],
+    )
+    def test_reaches_everyone(self, g):
+        result = run_dfs(g)
+        assert result.broadcast_succeeded(source=0)
+
+    def test_random_graphs(self):
+        for seed in range(5):
+            g = random_gnp(40, 0.1, spawn(seed, "dfs-g"))
+            assert run_dfs(g).broadcast_succeeded(source=0)
+
+    def test_single_node(self):
+        g = Graph(nodes=[0])
+        result = run_dfs(g)
+        assert result.broadcast_succeeded(source=0)
+
+    def test_deterministic(self):
+        g = random_gnp(30, 0.15, spawn(3, "dfs-g"))
+        a = run_dfs(g)
+        b = run_dfs(g)
+        assert a.metrics.first_reception == b.metrics.first_reception
+
+
+class TestTwoNBound:
+    """Section 3.4: completion within 2n slots."""
+
+    @pytest.mark.parametrize(
+        "g",
+        [line(15), grid(5, 5), complete(10), c_n(20, set(range(5, 15)))],
+        ids=["line", "grid", "clique", "c_n"],
+    )
+    def test_within_2n(self, g):
+        result = run_dfs(g)
+        slot = result.broadcast_completion_slot(source=0)
+        assert slot is not None
+        assert slot <= 2 * g.num_nodes()
+
+    def test_random_graphs_within_2n(self):
+        for seed in range(5):
+            g = random_gnp(50, 0.08, spawn(seed, "dfs-b"))
+            slot = run_dfs(g).broadcast_completion_slot(source=0)
+            assert slot is not None and slot <= 2 * g.num_nodes()
+
+
+class TestNoCollisions:
+    def test_exactly_one_transmitter_per_active_slot(self):
+        g = random_gnp(25, 0.2, spawn(7, "dfs-c"))
+        programs = make_dfs_programs(g, 0)
+        from repro.sim import Engine
+
+        engine = Engine(g, programs, initiators={0}, record_trace=True)
+        result = engine.run(4 * g.num_nodes())
+        for rec in result.trace:
+            assert len(rec.transmitters) <= 1
+        assert result.metrics.collisions == 0
+
+
+class TestTokenSemantics:
+    def test_line_token_order(self):
+        # On a path the token marches down; node i first hears at slot i-1.
+        g = line(6)
+        result = run_dfs(g)
+        for node in range(1, 6):
+            assert result.metrics.first_reception[node] == node - 1
+
+    def test_visited_counts_complete(self):
+        g = grid(3, 3)
+        programs = make_dfs_programs(g, 0)
+        # Run to full termination (not just all-informed) so the token
+        # finishes its traversal and returns to the source.
+        result = run_broadcast(
+            g, programs, initiators={0}, max_slots=4 * g.num_nodes() + 4,
+            stop="terminated",
+        )
+        assert result.programs[0].result()["visited_count"] == g.num_nodes()
+
+    def test_parent_pointers_form_tree(self):
+        g = random_gnp(20, 0.25, spawn(9, "dfs-t"))
+        result = run_dfs(g, max_slots=200)
+        parents = {
+            node: res["parent"] for node, res in result.node_results().items()
+        }
+        assert parents[0] is None
+        # Following parents from any visited node reaches the source.
+        for node in g.nodes:
+            seen = set()
+            current = node
+            while current != 0 and parents.get(current) is not None:
+                assert current not in seen
+                seen.add(current)
+                current = parents[current]

@@ -1,0 +1,85 @@
+"""Directed-network tests — the paper's Section 2.2 remark.
+
+"Our protocol does not use acknowledgements. Thus it may be applied
+even when the communication links are not symmetric ... The appropriate
+network model is, therefore, a directed graph."
+"""
+
+import pytest
+
+from repro.graphs import DiGraph
+from repro.graphs.properties import distances_from, max_degree
+from repro.protocols.decay_broadcast import (
+    make_broadcast_programs,
+    run_decay_broadcast,
+)
+from repro.rng import spawn
+
+
+def directed_cycle(n: int) -> DiGraph:
+    g = DiGraph(nodes=range(n))
+    for i in range(n):
+        g.add_edge(i, (i + 1) % n)
+    return g
+
+
+def directed_layered(widths, seed) -> DiGraph:
+    """Forward-only layered digraph (no way to acknowledge backwards)."""
+    rng = spawn(seed, "dir-layered")
+    g = DiGraph()
+    offsets = [0]
+    for w in widths:
+        offsets.append(offsets[-1] + w)
+    for node in range(offsets[-1]):
+        g.add_node(node)
+    for layer in range(len(widths) - 1):
+        current = range(offsets[layer], offsets[layer + 1])
+        nxt = list(range(offsets[layer + 1], offsets[layer + 2]))
+        for u in current:
+            g.add_edge(u, rng.choice(nxt))
+            for v in nxt:
+                if rng.random() < 0.5:
+                    g.add_edge(u, v)
+        for v in nxt:  # no orphans: every node is reachable forward
+            if not g.neighbors_in(v):
+                g.add_edge(rng.choice(list(current)), v)
+    return g
+
+
+class TestDirectedBroadcast:
+    def test_directed_cycle_completes(self):
+        g = directed_cycle(9)
+        result = run_decay_broadcast(g, source=0, seed=1, epsilon=0.05)
+        assert result.broadcast_succeeded(source=0)
+
+    def test_forward_only_layers_complete(self):
+        g = directed_layered([1, 4, 4, 4], seed=2)
+        result = run_decay_broadcast(g, source=0, seed=3, epsilon=0.05)
+        assert result.broadcast_succeeded(source=0)
+
+    def test_asymmetric_star_one_direction_only(self):
+        # Strong transmitter at the hub: hub -> leaves but not back.
+        g = DiGraph(edges=[(0, i) for i in range(1, 6)])
+        result = run_decay_broadcast(g, source=0, seed=1)
+        assert result.broadcast_succeeded(source=0)
+        # Reverse: leaves cannot reach anyone; broadcast from a leaf
+        # informs nobody.
+        g2 = DiGraph(edges=[(0, i) for i in range(1, 6)])
+        result2 = run_decay_broadcast(g2, source=1, seed=1, max_slots=300)
+        assert not result2.broadcast_succeeded(source=1)
+        assert result2.metrics.first_reception == {}
+
+    def test_delta_uses_in_degree(self):
+        # Receiver 3 hears three transmitters; Delta (the Decay k
+        # parameter's base) must reflect in-degree, not out-degree.
+        g = DiGraph(edges=[(0, 3), (1, 3), (2, 3), (0, 1), (0, 2)])
+        assert max_degree(g) == 3
+        programs, params = make_broadcast_programs(g, {0})
+        assert params["k"] == 4  # 2 * ceil(log2 3)
+
+    def test_distances_respected(self):
+        g = directed_cycle(7)
+        truth = distances_from(g, 0)
+        result = run_decay_broadcast(g, source=0, seed=5, epsilon=0.02)
+        for node, slot in result.metrics.first_reception.items():
+            assert slot >= truth[node] - 1

@@ -1,0 +1,81 @@
+"""Tests for the multi-message broadcast extension ([BII89]-style)."""
+
+import pytest
+
+from repro.errors import ProtocolError
+from repro.graphs import grid, line, star
+from repro.protocols.multi_broadcast import MultiBroadcastProgram, run_multi_broadcast
+from repro.rng import spawn
+
+
+def all_received(result, count):
+    return all(
+        len(prog.received_at) >= count for prog in result.programs.values()
+    )
+
+
+class TestValidation:
+    def test_mode(self):
+        with pytest.raises(ProtocolError):
+            run_multi_broadcast(line(3), 0, ["a"], mode="warp")
+
+    def test_payloads_required(self):
+        with pytest.raises(ProtocolError):
+            run_multi_broadcast(line(3), 0, [])
+
+    def test_program_params(self):
+        with pytest.raises(ProtocolError):
+            MultiBroadcastProgram(0, 2)
+        with pytest.raises(ProtocolError):
+            MultiBroadcastProgram(2, 0)
+
+
+class TestDelivery:
+    @pytest.mark.parametrize("mode", ["pipelined", "sequential"])
+    def test_single_message(self, mode):
+        result = run_multi_broadcast(line(6), 0, ["only"], mode=mode, seed=1)
+        assert all_received(result, 1)
+
+    @pytest.mark.parametrize("mode", ["pipelined", "sequential"])
+    def test_multiple_messages_all_arrive(self, mode):
+        payloads = [f"m{i}" for i in range(4)]
+        result = run_multi_broadcast(grid(3, 3), 0, payloads, mode=mode, seed=2)
+        assert all_received(result, 4)
+        for prog in result.programs.values():
+            assert prog.payloads == {i: f"m{i}" for i in range(4)}
+
+    def test_star_topology(self):
+        result = run_multi_broadcast(star(6), 0, ["a", "b"], seed=3)
+        assert all_received(result, 2)
+
+    def test_reproducible(self):
+        a = run_multi_broadcast(grid(3, 3), 0, ["x", "y"], seed=9)
+        b = run_multi_broadcast(grid(3, 3), 0, ["x", "y"], seed=9)
+        assert a.slots == b.slots
+
+    def test_order_of_reception_monotone_at_source(self):
+        result = run_multi_broadcast(line(5), 0, ["a", "b", "c"], seed=4)
+        source = result.programs[0]
+        times = [source.received_at[i] for i in range(3)]
+        assert times == sorted(times)
+
+
+class TestPipelineAdvantage:
+    def test_pipelined_beats_sequential_for_many_messages(self):
+        payloads = [f"m{i}" for i in range(5)]
+        g = grid(4, 4)
+        pipe = run_multi_broadcast(g, 0, payloads, mode="pipelined", seed=5)
+        seq = run_multi_broadcast(g, 0, payloads, mode="sequential", seed=5)
+        assert all_received(pipe, 5) and all_received(seq, 5)
+        assert pipe.slots < seq.slots
+
+    def test_gap_parameter_respected(self):
+        g = line(4)
+        tight = run_multi_broadcast(
+            g, 0, ["a", "b", "c"], mode="pipelined", gap_phases=2, seed=6
+        )
+        loose = run_multi_broadcast(
+            g, 0, ["a", "b", "c"], mode="pipelined", gap_phases=30, seed=6
+        )
+        assert all_received(tight, 3) and all_received(loose, 3)
+        assert tight.slots <= loose.slots

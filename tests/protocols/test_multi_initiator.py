@@ -1,0 +1,74 @@
+"""Tests for the Remark after Theorem 4: multi-initiator Broadcast_scheme.
+
+"Theorem 4 remains valid also in the case that Broadcast is initiated
+by a non-empty set of processors at the same time with the same initial
+message. ... In case [they have] arbitrary (i.e., not necessarily
+identical) messages then, with high probability, each processor
+terminates getting at least one of these messages."
+"""
+
+import pytest
+
+from repro.graphs import grid, line, random_gnp
+from repro.protocols.base import run_broadcast
+from repro.protocols.decay_broadcast import make_broadcast_programs
+from repro.rng import spawn
+
+
+def run_multi_initiator(g, initiators, *, seed=0, epsilon=0.05, max_slots=4000):
+    programs, params = make_broadcast_programs(g, initiators, epsilon=epsilon)
+    return run_broadcast(
+        g,
+        programs,
+        initiators=set(initiators),
+        max_slots=max_slots,
+        seed=seed,
+        stop="informed",
+    )
+
+
+class TestIdenticalMessages:
+    def test_two_initiators_same_message(self):
+        g = grid(4, 4)
+        result = run_multi_initiator(g, {0, 15})
+        informed = set(result.metrics.first_reception) | {0, 15}
+        assert informed == set(g.nodes)
+        for res in result.node_results().values():
+            assert res["message"] in (None, "m") or res["message"] == "m"
+
+    def test_many_initiators_faster_than_one(self):
+        g = line(40)
+        single = run_multi_initiator(g, {0}, seed=3)
+        multi = run_multi_initiator(g, {0, 20, 39}, seed=3)
+        t_single = single.metrics.completion_slot(g.nodes, skip=frozenset({0}))
+        t_multi = multi.metrics.completion_slot(g.nodes, skip=frozenset({0, 20, 39}))
+        assert t_multi is not None and t_single is not None
+        assert t_multi < t_single
+
+    def test_all_nodes_initiators_trivially_done(self):
+        g = grid(3, 3)
+        result = run_multi_initiator(g, set(g.nodes))
+        assert result.slots == 0  # everyone already informed
+
+
+class TestArbitraryMessages:
+    def test_everyone_gets_some_message(self):
+        g = random_gnp(36, 0.12, spawn(4, "mi"))
+        initiators = {0: "alpha", 7: "beta", 13: "gamma"}
+        result = run_multi_initiator(g, initiators, seed=9)
+        payloads = set(initiators.values())
+        for node, res in result.node_results().items():
+            if node in initiators:
+                assert res["message"] == initiators[node]
+            else:
+                assert res["message"] in payloads
+
+    def test_messages_partition_the_network(self):
+        # Far-apart sources on a line split the territory near the middle.
+        g = line(30)
+        initiators = {0: "west", 29: "east"}
+        result = run_multi_initiator(g, initiators, seed=2)
+        got = {n: r["message"] for n, r in result.node_results().items()}
+        assert got[1] == "west"
+        assert got[28] == "east"
+        assert set(got.values()) == {"west", "east"}

@@ -1,0 +1,90 @@
+"""Tests for the deterministic round-robin (TDMA) broadcast."""
+
+import pytest
+
+from repro.errors import ProtocolError
+from repro.graphs import Graph, c_n, grid, line, random_gnp
+from repro.graphs.properties import diameter
+from repro.protocols.base import run_broadcast
+from repro.protocols.round_robin import RoundRobinProgram, make_round_robin_programs
+from repro.rng import spawn
+
+
+def run_rr(g, source=0, frame_size=None):
+    programs = make_round_robin_programs(g, source, frame_size=frame_size)
+    frame = frame_size if frame_size is not None else max(g.nodes) + 1
+    cap = frame * (diameter(g) + 2)
+    return run_broadcast(g, programs, initiators={source}, max_slots=cap, stop="informed")
+
+
+class TestProgram:
+    def test_slot_index_validation(self):
+        with pytest.raises(ProtocolError):
+            RoundRobinProgram(5, 5)
+        with pytest.raises(ProtocolError):
+            RoundRobinProgram(-1, 5)
+
+    def test_transmits_only_in_own_slot(self):
+        from repro.sim import Context, Receive, Transmit
+
+        prog = RoundRobinProgram(2, 5, initial_message="m")
+        ctx = lambda s: Context(node=2, neighbor_ids=frozenset(), rng=spawn(0, "r"), slot=s)  # noqa: E731
+        kinds = [type(prog.act(ctx(s))).__name__ for s in range(10)]
+        assert kinds == ["Receive", "Receive", "Transmit", "Receive", "Receive"] * 2
+
+    def test_max_frames_stops(self):
+        from repro.sim import Context, Idle
+
+        prog = RoundRobinProgram(0, 3, initial_message="m", max_frames=2)
+        ctx = lambda s: Context(node=0, neighbor_ids=frozenset(), rng=spawn(0, "r"), slot=s)  # noqa: E731
+        for s in range(6):
+            prog.act(ctx(s))
+        assert isinstance(prog.act(ctx(6)), Idle)
+        assert prog.is_done(ctx(7))
+
+
+class TestEndToEnd:
+    @pytest.mark.parametrize(
+        "g", [line(8), grid(3, 4), c_n(10, {3, 8})], ids=["line", "grid", "c_n"]
+    )
+    def test_reaches_everyone(self, g):
+        assert run_rr(g).broadcast_succeeded(source=0)
+
+    def test_never_collides(self):
+        from repro.sim import Engine
+
+        g = random_gnp(20, 0.3, spawn(1, "rr"))
+        programs = make_round_robin_programs(g, 0)
+        engine = Engine(g, programs, initiators={0}, record_trace=True)
+        result = engine.run(20 * (diameter(g) + 2))
+        assert result.metrics.collisions == 0
+        for rec in result.trace:
+            assert len(rec.transmitters) <= 1
+
+    def test_completion_within_frame_times_diameter(self):
+        g = grid(4, 4)
+        result = run_rr(g)
+        slot = result.broadcast_completion_slot(source=0)
+        assert slot is not None
+        assert slot < 16 * (diameter(g) + 1)
+
+    def test_linear_on_cn(self):
+        # On C_n completion needs at least min(S) slots (the sink's
+        # unique informant transmits at its own slot): Theta(n) when S
+        # is far down the frame.
+        n = 40
+        g = c_n(n, {n})
+        result = run_rr(g, frame_size=n + 2)
+        slot = result.broadcast_completion_slot(source=0)
+        assert slot is not None
+        assert slot >= n  # linear in n
+
+    def test_requires_integer_ids(self):
+        g = Graph(edges=[("a", "b")])
+        with pytest.raises(ProtocolError):
+            make_round_robin_programs(g, "a")
+
+    def test_larger_frame_still_correct(self):
+        g = line(6)
+        result = run_rr(g, frame_size=50)
+        assert result.broadcast_succeeded(source=0)

@@ -1,0 +1,109 @@
+"""Tests for the scheduled-replay protocol and the ALOHA baseline."""
+
+import pytest
+
+from repro.errors import ProtocolError
+from repro.graphs import grid, line, random_gnp, star
+from repro.core.schedule import greedy_layer_schedule, sequential_tree_schedule
+from repro.protocols.aloha import AlohaBroadcastProgram, make_aloha_programs
+from repro.protocols.base import run_broadcast
+from repro.protocols.scheduled import ScheduledProgram, make_scheduled_programs
+from repro.rng import spawn
+
+
+class TestScheduledProgram:
+    def test_slots_outside_schedule_rejected(self):
+        with pytest.raises(ProtocolError):
+            ScheduledProgram([5], 3)
+
+    def test_uninformed_transmission_raises(self):
+        from repro.sim import Context
+
+        prog = ScheduledProgram([0], 2)  # must transmit at 0, never informed
+        ctx = Context(node=1, neighbor_ids=frozenset(), rng=spawn(0, "s"), slot=0)
+        with pytest.raises(ProtocolError, match="invalid schedule"):
+            prog.act(ctx)
+
+    def test_unknown_node_in_schedule(self):
+        g = line(3)
+        with pytest.raises(ProtocolError):
+            make_scheduled_programs(g, 0, [frozenset({99})])
+
+    @pytest.mark.parametrize(
+        "g", [line(7), grid(4, 4), star(6)], ids=["line", "grid", "star"]
+    )
+    def test_replaying_tree_schedule_informs_all(self, g):
+        schedule = sequential_tree_schedule(g, 0)
+        programs = make_scheduled_programs(g, 0, schedule)
+        result = run_broadcast(
+            g, programs, initiators={0}, max_slots=len(schedule) + 1, stop="terminated"
+        )
+        assert result.broadcast_succeeded(source=0)
+
+    def test_replaying_greedy_schedule_informs_all(self):
+        g = random_gnp(40, 0.12, spawn(2, "sched"))
+        schedule = greedy_layer_schedule(g, 0)
+        programs = make_scheduled_programs(g, 0, schedule)
+        result = run_broadcast(
+            g, programs, initiators={0}, max_slots=len(schedule) + 1, stop="terminated"
+        )
+        assert result.broadcast_succeeded(source=0)
+
+    def test_done_after_schedule(self):
+        from repro.sim import Context
+
+        prog = ScheduledProgram([0], 2, initial_message="m")
+        ctx = Context(node=0, neighbor_ids=frozenset(), rng=spawn(0, "s"), slot=2)
+        assert prog.is_done(ctx)
+
+
+class TestAloha:
+    def test_probability_validated(self):
+        with pytest.raises(ProtocolError):
+            AlohaBroadcastProgram(0.0)
+        with pytest.raises(ProtocolError):
+            AlohaBroadcastProgram(1.5)
+
+    def test_p_one_always_transmits_once_informed(self):
+        from repro.sim import Context, Transmit
+
+        prog = AlohaBroadcastProgram(1.0, initial_message="m")
+        ctx = Context(node=0, neighbor_ids=frozenset(), rng=spawn(0, "a"), slot=0)
+        assert isinstance(prog.act(ctx), Transmit)
+
+    def test_broadcast_on_line_completes(self):
+        g = line(8)
+        programs = make_aloha_programs(g, 0, p=0.5)
+        result = run_broadcast(g, programs, initiators={0}, max_slots=2000)
+        assert result.broadcast_succeeded(source=0)
+
+    def test_p_one_floods_and_stalls_on_shared_receiver(self):
+        # hub-and-leaves: with p=1 both informed leaves always collide at
+        # the next hop, so the far side never hears anything.
+        g = star(2)  # 0 hub, leaves 1, 2
+        g.add_edge(1, 3)
+        g.add_edge(2, 3)  # node 3 hears leaves 1 and 2
+        programs = make_aloha_programs(g, 3, p=1.0)
+        # 3 informs 1 and 2 (single transmitter); then both flood: hub 0
+        # gets permanent collision.
+        result = run_broadcast(g, programs, initiators={3}, max_slots=300)
+        assert not result.broadcast_succeeded(source=3)
+        assert 0 not in result.metrics.first_reception
+
+    def test_active_slots_bound_terminates(self):
+        g = line(3)
+        programs = make_aloha_programs(g, 0, p=0.6, active_slots=5)
+        result = run_broadcast(
+            g, programs, initiators={0}, max_slots=500, stop="terminated"
+        )
+        assert result.slots < 500
+
+    def test_reproducible(self):
+        g = random_gnp(20, 0.2, spawn(0, "al"))
+        r1 = run_broadcast(
+            g, make_aloha_programs(g, 0, 0.3), initiators={0}, max_slots=500, seed=5
+        )
+        r2 = run_broadcast(
+            g, make_aloha_programs(g, 0, 0.3), initiators={0}, max_slots=500, seed=5
+        )
+        assert r1.metrics.first_reception == r2.metrics.first_reception

@@ -1,0 +1,389 @@
+"""Tests for the synchronous slot engine against Definition 1's rules."""
+
+from typing import Any
+
+import pytest
+
+from repro.errors import ProtocolError, SimulationError
+from repro.graphs import DiGraph, Graph, line, star
+from repro.sim import (
+    SILENCE,
+    Context,
+    CrashFault,
+    EdgeFault,
+    Engine,
+    FaultSchedule,
+    Idle,
+    NodeProgram,
+    Receive,
+    Transmit,
+)
+
+
+class Beacon(NodeProgram):
+    """Transmits a fixed message every slot."""
+
+    def __init__(self, message: Any = "b") -> None:
+        self.message = message
+
+    def act(self, ctx: Context) -> Any:
+        return Transmit(self.message)
+
+
+class Listener(NodeProgram):
+    """Receives every slot and logs observations."""
+
+    def __init__(self) -> None:
+        self.heard: list[Any] = []
+
+    def act(self, ctx: Context) -> Any:
+        return Receive()
+
+    def on_observe(self, ctx: Context, heard: Any) -> None:
+        self.heard.append(heard)
+
+
+class Sleeper(NodeProgram):
+    def act(self, ctx: Context) -> Any:
+        return Idle()
+
+
+class OneShot(NodeProgram):
+    """Transmits exactly at a chosen slot, else idle."""
+
+    def __init__(self, at_slot: int, message: Any = "m") -> None:
+        self.at_slot = at_slot
+        self.message = message
+
+    def act(self, ctx: Context) -> Any:
+        return Transmit(self.message) if ctx.slot == self.at_slot else Idle()
+
+
+class TestEngineBasics:
+    def test_programs_must_cover_nodes(self):
+        g = line(3)
+        with pytest.raises(SimulationError):
+            Engine(g, {0: Beacon(), 1: Beacon()}, initiators={0})
+
+    def test_engine_copies_graph(self):
+        g = line(2)
+        engine = Engine(g, {0: Beacon(), 1: Listener()}, initiators={0})
+        engine.graph.add_edge(1, 5)  # mutate the engine's copy... invalid node set
+        assert not g.has_node(5)
+
+    def test_run_zero_slots(self):
+        g = line(2)
+        engine = Engine(g, {0: Beacon(), 1: Listener()}, initiators={0})
+        result = engine.run(0)
+        assert result.slots == 0
+
+    def test_negative_max_slots(self):
+        g = line(2)
+        engine = Engine(g, {0: Beacon(), 1: Listener()}, initiators={0})
+        with pytest.raises(SimulationError):
+            engine.run(-1)
+
+    def test_slot_counter_advances(self):
+        g = line(2)
+        engine = Engine(g, {0: Beacon(), 1: Listener()}, initiators={0})
+        result = engine.run(5)
+        assert result.slots == 5
+        assert result.metrics.slots == 5
+
+
+class TestReceptionRule:
+    """Rule 3: receive iff exactly one neighbour transmits."""
+
+    def test_single_transmitter_delivered(self):
+        g = line(2)
+        listener = Listener()
+        engine = Engine(g, {0: Beacon("hi"), 1: listener}, initiators={0})
+        engine.run(1)
+        assert listener.heard == ["hi"]
+
+    def test_two_transmitters_collide(self):
+        g = star(2)  # hub 0, leaves 1 and 2
+        listener = Listener()
+        engine = Engine(
+            g,
+            {0: listener, 1: Beacon("a"), 2: Beacon("b")},
+            initiators={1, 2},
+        )
+        engine.run(1)
+        assert listener.heard == [SILENCE]
+
+    def test_non_neighbor_transmission_not_heard(self):
+        g = line(3)  # 0-1-2; node 2 can't hear node 0
+        listener = Listener()
+        engine = Engine(
+            g, {0: Beacon("far"), 1: Sleeper(), 2: listener}, initiators={0}
+        )
+        engine.run(1)
+        assert listener.heard == [SILENCE]
+
+    def test_transmitter_does_not_hear_anything(self):
+        # A node acting as transmitter gets no observation that slot.
+        g = line(2)
+        b = Beacon("x")
+        observations = []
+        b.on_observe = lambda ctx, heard: observations.append(heard)  # type: ignore[method-assign]
+        engine = Engine(g, {0: b, 1: Beacon("y")}, initiators={0, 1})
+        engine.run(3)
+        assert observations == []
+
+    def test_collision_on_one_receiver_not_another(self):
+        # 1 and 2 both transmit; 0 neighbours both (collision) while 3
+        # neighbours only 2 (clean reception).
+        g = Graph(edges=[(0, 1), (0, 2), (3, 2)])
+        l0, l3 = Listener(), Listener()
+        engine = Engine(
+            g,
+            {0: l0, 1: Beacon("a"), 2: Beacon("b"), 3: l3},
+            initiators={1, 2},
+        )
+        engine.run(1)
+        assert l0.heard == [SILENCE]
+        assert l3.heard == ["b"]
+
+    def test_directed_reception(self):
+        g = DiGraph(edges=[(0, 1)])  # 0 can talk to 1, not vice versa
+        l0, l1 = Listener(), Listener()
+        engine = Engine(g, {0: Beacon("fwd"), 1: l1}, initiators={0})
+        engine.run(1)
+        assert l1.heard == ["fwd"]
+        g2 = DiGraph(edges=[(0, 1)])
+        engine2 = Engine(g2, {0: l0, 1: Beacon("back")}, initiators={1})
+        engine2.run(1)
+        assert l0.heard == [SILENCE]
+
+
+class TestRuleFive:
+    """Rule 5: no spontaneous transmissions."""
+
+    def test_spontaneous_transmission_rejected(self):
+        g = line(2)
+        engine = Engine(g, {0: Beacon(), 1: Listener()})  # no initiators
+        with pytest.raises(ProtocolError, match="spontaneous"):
+            engine.run(1)
+
+    def test_initiator_may_transmit(self):
+        g = line(2)
+        engine = Engine(g, {0: Beacon(), 1: Listener()}, initiators={0})
+        engine.run(1)  # no error
+
+    def test_informed_node_may_transmit(self):
+        # Node 1 receives at slot 0 and transmits from slot 1 on.
+        class RelayAfterReceive(NodeProgram):
+            def __init__(self) -> None:
+                self.got = None
+
+            def act(self, ctx):
+                return Transmit(self.got) if self.got is not None else Receive()
+
+            def on_observe(self, ctx, heard):
+                if heard is not SILENCE:
+                    self.got = heard
+
+        g = line(3)
+        relay = RelayAfterReceive()
+        tail = Listener()
+        engine = Engine(g, {0: OneShot(0, "m"), 1: relay, 2: tail}, initiators={0})
+        engine.run(3)
+        assert tail.heard[0] is SILENCE
+        assert tail.heard[1] == "m"
+
+    def test_enforcement_can_be_disabled(self):
+        g = line(2)
+        engine = Engine(
+            g, {0: Beacon(), 1: Listener()}, enforce_no_spontaneous=False
+        )
+        engine.run(1)  # no error
+
+    def test_bad_intent_type_rejected(self):
+        class Broken(NodeProgram):
+            def act(self, ctx):
+                return "transmit"
+
+        g = line(2)
+        engine = Engine(g, {0: Broken(), 1: Listener()}, initiators={0})
+        with pytest.raises(ProtocolError, match="expected Transmit"):
+            engine.run(1)
+
+
+class TestTermination:
+    def test_all_done_stops_early(self):
+        class DoneAfter(NodeProgram):
+            def __init__(self, when: int) -> None:
+                self.when = when
+
+            def act(self, ctx):
+                return Idle()
+
+            def is_done(self, ctx):
+                return ctx.slot >= self.when
+
+        g = line(2)
+        engine = Engine(g, {0: DoneAfter(3), 1: DoneAfter(2)}, initiators={0})
+        result = engine.run(100)
+        assert result.slots == 3
+
+    def test_stop_when_predicate(self):
+        g = line(2)
+        engine = Engine(g, {0: Beacon(), 1: Listener()}, initiators={0})
+        result = engine.run(100, stop_when=lambda e: e.slot >= 7)
+        assert result.slots == 7
+
+
+class TestMetricsCollection:
+    def test_transmissions_counted(self):
+        g = line(2)
+        engine = Engine(g, {0: Beacon(), 1: Listener()}, initiators={0})
+        result = engine.run(4)
+        assert result.metrics.transmissions == 4
+        assert result.metrics.transmissions_per_node[0] == 4
+
+    def test_first_reception_recorded_once(self):
+        g = line(2)
+        engine = Engine(g, {0: Beacon(), 1: Listener()}, initiators={0})
+        result = engine.run(5)
+        assert result.metrics.first_reception[1] == 0
+        assert result.metrics.deliveries == 5
+
+    def test_collisions_counted(self):
+        g = star(2)
+        engine = Engine(
+            g, {0: Listener(), 1: Beacon(), 2: Beacon()}, initiators={1, 2}
+        )
+        result = engine.run(3)
+        assert result.metrics.collisions == 3
+
+    def test_run_result_broadcast_helpers(self):
+        g = line(3)
+
+        class Relay(NodeProgram):
+            def __init__(self):
+                self.got = None
+
+            def act(self, ctx):
+                return Transmit(self.got) if self.got else Receive()
+
+            def on_observe(self, ctx, heard):
+                if heard is not SILENCE:
+                    self.got = heard
+
+        engine = Engine(
+            g, {0: Beacon("m"), 1: Relay(), 2: Relay()}, initiators={0}
+        )
+        result = engine.run(10)
+        assert result.broadcast_succeeded(source=0)
+        assert result.broadcast_completion_slot(source=0) == 1
+
+
+class TestFaultsInEngine:
+    def test_edge_removal_cuts_delivery(self):
+        g = line(2)
+        listener = Listener()
+        faults = FaultSchedule(edge_faults=[EdgeFault(slot=2, u=0, v=1)])
+        engine = Engine(
+            g, {0: Beacon(), 1: listener}, initiators={0}, faults=faults
+        )
+        engine.run(4)
+        assert listener.heard == ["b", "b", SILENCE, SILENCE]
+
+    def test_edge_addition_enables_delivery(self):
+        g = Graph(nodes=[0, 1])
+        listener = Listener()
+        faults = FaultSchedule(
+            edge_faults=[EdgeFault(slot=2, u=0, v=1, kind="add")]
+        )
+        engine = Engine(
+            g, {0: Beacon(), 1: listener}, initiators={0}, faults=faults
+        )
+        engine.run(4)
+        assert listener.heard == [SILENCE, SILENCE, "b", "b"]
+
+    def test_crash_silences_node(self):
+        g = line(2)
+        listener = Listener()
+        faults = FaultSchedule(crash_faults=[CrashFault(slot=1, node=0)])
+        engine = Engine(
+            g, {0: Beacon(), 1: listener}, initiators={0}, faults=faults
+        )
+        engine.run(3)
+        assert listener.heard == ["b", SILENCE, SILENCE]
+
+    def test_crashed_node_ignored_for_done_check(self):
+        class NeverDone(NodeProgram):
+            def act(self, ctx):
+                return Idle()
+
+        g = line(2)
+        faults = FaultSchedule(crash_faults=[CrashFault(slot=0, node=1)])
+
+        class DoneNow(NodeProgram):
+            def act(self, ctx):
+                return Idle()
+
+            def is_done(self, ctx):
+                return True
+
+        engine = Engine(
+            g, {0: DoneNow(), 1: NeverDone()}, initiators={0}, faults=faults
+        )
+        result = engine.run(10)
+        # The crash is applied at the slot-0 boundary (inside the first
+        # step); from slot 1 on the only live program is done.
+        assert result.slots == 1
+
+
+class TestContext:
+    def test_neighbor_ids_are_initial_input(self):
+        captured = {}
+
+        class Introspect(NodeProgram):
+            def act(self, ctx):
+                captured[ctx.node] = ctx.neighbor_ids
+                return Idle()
+
+        g = line(3)
+        engine = Engine(
+            g, {i: Introspect() for i in range(3)}, initiators={0}
+        )
+        engine.run(1)
+        assert captured[0] == frozenset({1})
+        assert captured[1] == frozenset({0, 2})
+
+    def test_per_node_rngs_differ(self):
+        draws = {}
+
+        class Draw(NodeProgram):
+            def act(self, ctx):
+                draws.setdefault(ctx.node, ctx.rng.random())
+                return Idle()
+
+        g = line(3)
+        engine = Engine(g, {i: Draw() for i in range(3)}, initiators={0})
+        engine.run(1)
+        assert len(set(draws.values())) == 3
+
+    def test_same_seed_same_run(self):
+        def run_once():
+            g = star(3)
+            listener = Listener()
+
+            class MaybeBeacon(NodeProgram):
+                def act(self, ctx):
+                    if ctx.rng.random() < 0.5:
+                        return Transmit(ctx.slot)
+                    return Idle()
+
+            engine = Engine(
+                g,
+                {0: listener, 1: MaybeBeacon(), 2: MaybeBeacon(), 3: MaybeBeacon()},
+                seed=1234,
+                initiators={1, 2, 3},
+            )
+            engine.run(20)
+            return list(listener.heard)
+
+        assert run_once() == run_once()

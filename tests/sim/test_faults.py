@@ -1,0 +1,111 @@
+"""Tests for fault schedules."""
+
+import random
+
+import pytest
+
+from repro.errors import SimulationError
+from repro.graphs import Graph, line, random_gnp
+from repro.sim import CrashFault, EdgeFault, FaultSchedule
+from repro.sim.faults import random_edge_kill_schedule
+from repro.experiments.exp_dynamic import spanning_tree
+from repro.graphs.properties import is_connected
+
+
+class TestEdgeFault:
+    def test_remove(self):
+        g = line(3)
+        EdgeFault(slot=0, u=0, v=1).apply(g)
+        assert not g.has_edge(0, 1)
+
+    def test_remove_missing_edge_is_noop(self):
+        g = line(2)
+        EdgeFault(slot=0, u=0, v=5).apply(g)  # no error
+
+    def test_add(self):
+        g = Graph(nodes=[0, 1])
+        EdgeFault(slot=0, u=0, v=1, kind="add").apply(g)
+        assert g.has_edge(0, 1)
+
+
+class TestFaultSchedule:
+    def test_query_by_slot(self):
+        schedule = FaultSchedule(
+            edge_faults=[EdgeFault(slot=2, u=0, v=1), EdgeFault(slot=5, u=1, v=2)],
+            crash_faults=[CrashFault(slot=2, node=3)],
+        )
+        assert len(schedule.edge_faults_at(2)) == 1
+        assert schedule.edge_faults_at(3) == []
+        assert len(schedule.crashes_at(2)) == 1
+        assert schedule.crashes_at(0) == []
+
+    def test_empty(self):
+        schedule = FaultSchedule()
+        assert schedule.is_empty()
+        assert schedule.last_slot == -1
+
+    def test_last_slot(self):
+        schedule = FaultSchedule(
+            edge_faults=[EdgeFault(slot=2, u=0, v=1)],
+            crash_faults=[CrashFault(slot=9, node=3)],
+        )
+        assert schedule.last_slot == 9
+
+
+class TestRandomEdgeKillSchedule:
+    def test_protected_tree_never_killed(self):
+        rng = random.Random(0)
+        g = random_gnp(30, 0.3, rng)
+        tree = spanning_tree(g, 0)
+        schedule = random_edge_kill_schedule(g, tree, 1.0, 100, rng)
+        protected = {frozenset(e) for e in tree.edges}
+        for fault in schedule.edge_faults:
+            assert frozenset((fault.u, fault.v)) not in protected
+
+    def test_kill_fraction_zero_empty(self):
+        rng = random.Random(0)
+        g = random_gnp(20, 0.3, rng)
+        tree = spanning_tree(g, 0)
+        schedule = random_edge_kill_schedule(g, tree, 0.0, 100, rng)
+        assert schedule.is_empty()
+
+    def test_kill_fraction_one_kills_all_nontree(self):
+        rng = random.Random(1)
+        g = random_gnp(20, 0.4, rng)
+        tree = spanning_tree(g, 0)
+        schedule = random_edge_kill_schedule(g, tree, 1.0, 50, rng)
+        assert len(schedule.edge_faults) == g.num_edges() - tree.num_edges()
+
+    def test_surviving_graph_stays_connected(self):
+        rng = random.Random(2)
+        g = random_gnp(25, 0.3, rng)
+        tree = spanning_tree(g, 0)
+        schedule = random_edge_kill_schedule(g, tree, 1.0, 50, rng)
+        survivor = g.copy()
+        for fault in schedule.edge_faults:
+            fault.apply(survivor)
+        assert is_connected(survivor)
+
+    def test_invalid_fraction(self):
+        rng = random.Random(0)
+        g = line(5)
+        with pytest.raises(SimulationError):
+            random_edge_kill_schedule(g, g, 1.5, 10, rng)
+
+    def test_slots_within_horizon(self):
+        rng = random.Random(3)
+        g = random_gnp(20, 0.5, rng)
+        tree = spanning_tree(g, 0)
+        schedule = random_edge_kill_schedule(g, tree, 1.0, 37, rng)
+        assert all(0 <= f.slot < 37 for f in schedule.edge_faults)
+
+
+def test_spanning_tree_is_spanning_tree():
+    rng = random.Random(5)
+    g = random_gnp(40, 0.2, rng)
+    tree = spanning_tree(g, 0)
+    assert tree.num_nodes() == g.num_nodes()
+    assert tree.num_edges() == g.num_nodes() - 1
+    assert is_connected(tree)
+    for u, v in tree.edges:
+        assert g.has_edge(u, v)

@@ -1,0 +1,64 @@
+"""Tests for the radio medium semantics (Definition 1, rule 3)."""
+
+import pickle
+
+from repro.sim import COLLISION, SILENCE, CollisionDetectingMedium, RadioMedium
+
+
+class TestRadioMedium:
+    def setup_method(self):
+        self.medium = RadioMedium()
+
+    def test_single_transmitter_delivers(self):
+        assert self.medium.resolve(0, [1], {1: "hello"}) == "hello"
+
+    def test_no_transmitter_is_silence(self):
+        assert self.medium.resolve(0, [], {}) is SILENCE
+
+    def test_collision_is_silence_indistinguishable(self):
+        # The paper's core assumption: conflicts are NOT detectable.
+        two = self.medium.resolve(0, [1, 2], {1: "a", 2: "b"})
+        zero = self.medium.resolve(0, [], {})
+        assert two is SILENCE and zero is SILENCE
+        assert two is zero
+
+    def test_flag(self):
+        assert RadioMedium.detects_collisions is False
+
+    def test_none_payload_distinguishable_from_silence(self):
+        # Protocols may legally send None as a message.
+        assert self.medium.resolve(0, [1], {1: None}) is None
+        assert self.medium.resolve(0, [1], {1: None}) is not SILENCE
+
+
+class TestCollisionDetectingMedium:
+    def setup_method(self):
+        self.medium = CollisionDetectingMedium()
+
+    def test_single_transmitter_delivers(self):
+        assert self.medium.resolve(0, [1], {1: "x"}) == "x"
+
+    def test_silence(self):
+        assert self.medium.resolve(0, [], {}) is SILENCE
+
+    def test_collision_detected(self):
+        assert self.medium.resolve(0, [1, 2], {1: "a", 2: "b"}) is COLLISION
+
+    def test_collision_vs_silence_distinguishable(self):
+        assert self.medium.resolve(0, [1, 2], {1: "a", 2: "b"}) is not SILENCE
+
+    def test_flag(self):
+        assert CollisionDetectingMedium.detects_collisions is True
+
+
+class TestSentinels:
+    def test_repr(self):
+        assert repr(SILENCE) == "<SILENCE>"
+        assert repr(COLLISION) == "<COLLISION>"
+
+    def test_pickle_preserves_identity(self):
+        assert pickle.loads(pickle.dumps(SILENCE)) is SILENCE
+        assert pickle.loads(pickle.dumps(COLLISION)) is COLLISION
+
+    def test_distinct(self):
+        assert SILENCE is not COLLISION

@@ -1,0 +1,51 @@
+"""Tests for RunMetrics."""
+
+from repro.sim import RunMetrics
+
+
+class TestCounters:
+    def test_note_transmission(self):
+        m = RunMetrics()
+        m.note_transmission("a")
+        m.note_transmission("a")
+        m.note_transmission("b")
+        assert m.transmissions == 3
+        assert m.transmissions_per_node == {"a": 2, "b": 1}
+
+    def test_note_delivery_records_first_only(self):
+        m = RunMetrics()
+        m.note_delivery("a", 4)
+        m.note_delivery("a", 9)
+        assert m.deliveries == 2
+        assert m.first_reception["a"] == 4
+
+    def test_note_collision(self):
+        m = RunMetrics()
+        m.note_collision()
+        assert m.collisions == 1
+
+
+class TestCompletion:
+    def test_completion_slot(self):
+        m = RunMetrics()
+        m.note_delivery("b", 3)
+        m.note_delivery("c", 7)
+        assert m.completion_slot(["a", "b", "c"], skip=frozenset({"a"})) == 7
+
+    def test_completion_none_when_missing(self):
+        m = RunMetrics()
+        m.note_delivery("b", 3)
+        assert m.completion_slot(["a", "b", "c"], skip=frozenset({"a"})) is None
+
+    def test_completion_all_skipped(self):
+        m = RunMetrics()
+        assert m.completion_slot(["a"], skip=frozenset({"a"})) == 0
+
+    def test_coverage(self):
+        m = RunMetrics()
+        m.note_delivery("b", 0)
+        assert m.coverage(["a", "b", "c"], skip=frozenset({"a"})) == 0.5
+
+    def test_coverage_empty(self):
+        m = RunMetrics()
+        assert m.coverage(["a"], skip=frozenset({"a"})) == 1.0

@@ -1,0 +1,134 @@
+"""Tests for the random-waypoint mobility substrate."""
+
+import math
+import random
+
+import pytest
+
+from repro.errors import SimulationError
+from repro.graphs import unit_disk
+from repro.sim.faults import FaultSchedule
+from repro.sim.mobility import (
+    RandomWaypointModel,
+    edges_for_positions,
+    mobility_fault_schedule,
+)
+
+
+def make_model(n=12, seed=0, speed=0.05):
+    rng = random.Random(seed)
+    g = unit_disk(n, 0.4, rng)
+    return g, RandomWaypointModel(dict(g.positions), random.Random(seed + 1), speed=speed)
+
+
+class TestModel:
+    def test_positions_stay_in_arena(self):
+        _g, model = make_model()
+        for _ in range(50):
+            model.step(10)
+            for x, y in model.positions.values():
+                assert 0 <= x <= 1 and 0 <= y <= 1
+
+    def test_nodes_actually_move(self):
+        _g, model = make_model()
+        before = model.positions
+        model.step(20)
+        after = model.positions
+        moved = sum(1 for node in before if before[node] != after[node])
+        assert moved == len(before)
+
+    def test_step_distance_bounded_by_speed(self):
+        _g, model = make_model(speed=0.02)
+        before = model.positions
+        model.step(1)
+        after = model.positions
+        for node in before:
+            dist = math.hypot(
+                after[node][0] - before[node][0], after[node][1] - before[node][1]
+            )
+            assert dist <= 0.02 * 1.5 + 1e-9
+
+    def test_zero_step_is_noop(self):
+        _g, model = make_model()
+        before = model.positions
+        model.step(0)
+        assert model.positions == before
+
+    def test_validation(self):
+        with pytest.raises(SimulationError):
+            RandomWaypointModel({}, random.Random(0))
+        with pytest.raises(SimulationError):
+            RandomWaypointModel({0: (0.5, 0.5)}, random.Random(0), speed=0)
+        _g, model = make_model()
+        with pytest.raises(SimulationError):
+            model.step(-1)
+
+    def test_deterministic_given_rng(self):
+        _g, a = make_model(seed=5)
+        _g2, b = make_model(seed=5)
+        a.step(30)
+        b.step(30)
+        assert a.positions == b.positions
+
+
+class TestEdgesForPositions:
+    def test_matches_geometry(self):
+        positions = {0: (0.0, 0.0), 1: (0.2, 0.0), 2: (0.9, 0.9)}
+        edges = edges_for_positions(positions, 0.3)
+        assert edges == {frozenset((0, 1))}
+
+    def test_radius_validation(self):
+        with pytest.raises(SimulationError):
+            edges_for_positions({0: (0, 0)}, 0)
+
+
+class TestFaultScheduleCompilation:
+    def test_schedule_reflects_movement(self):
+        _g, model = make_model(speed=0.08)
+        schedule = mobility_fault_schedule(model, 0.4, horizon=160, resample_every=8)
+        assert isinstance(schedule, FaultSchedule)
+        assert schedule.edge_faults  # with this much movement churn is certain
+        kinds = {f.kind for f in schedule.edge_faults}
+        assert kinds <= {"add", "remove"}
+        assert all(0 < f.slot <= 160 for f in schedule.edge_faults)
+
+    def test_protected_edges_never_removed(self):
+        g, model = make_model(speed=0.1)
+        protected = {frozenset(e) for e in list(map(tuple, g.edges))[:5]}
+        schedule = mobility_fault_schedule(
+            model, 0.4, horizon=200, resample_every=10, protected=protected
+        )
+        for fault in schedule.edge_faults:
+            if fault.kind == "remove":
+                assert frozenset((fault.u, fault.v)) not in protected
+
+    def test_zero_speed_like_static(self):
+        _g, model = make_model(speed=1e-9)
+        schedule = mobility_fault_schedule(model, 0.4, horizon=64)
+        assert not schedule.edge_faults
+
+    def test_validation(self):
+        _g, model = make_model()
+        with pytest.raises(SimulationError):
+            mobility_fault_schedule(model, 0.4, horizon=-1)
+        with pytest.raises(SimulationError):
+            mobility_fault_schedule(model, 0.4, horizon=10, resample_every=0)
+
+
+class TestEndToEndMobileBroadcast:
+    def test_broadcast_over_mobile_network(self):
+        # Protect a spanning tree (the paper's proviso) and let every
+        # other link churn with movement: broadcast must still succeed.
+        from repro.experiments.exp_dynamic import spanning_tree
+        from repro.protocols.decay_broadcast import run_decay_broadcast
+
+        rng = random.Random(3)
+        g = unit_disk(40, 0.45, rng)
+        tree = spanning_tree(g, 0)
+        protected = {frozenset(e) for e in tree.edges}
+        model = RandomWaypointModel(dict(g.positions), random.Random(4), speed=0.01)
+        schedule = mobility_fault_schedule(
+            model, 0.45, horizon=400, resample_every=8, protected=protected
+        )
+        result = run_decay_broadcast(g, source=0, seed=9, epsilon=0.05, faults=schedule)
+        assert result.broadcast_succeeded(source=0)

@@ -1,0 +1,52 @@
+"""Tests for the NodeProgram abstraction and intents."""
+
+import pytest
+
+from repro.rng import spawn
+from repro.sim import Context, Idle, NodeProgram, Receive, Transmit
+
+
+class TestIntents:
+    def test_transmit_carries_message(self):
+        t = Transmit(("hello", 1))
+        assert t.message == ("hello", 1)
+
+    def test_intents_are_frozen(self):
+        with pytest.raises(AttributeError):
+            Transmit("m").message = "other"
+
+    def test_equality(self):
+        assert Transmit("m") == Transmit("m")
+        assert Receive() == Receive()
+        assert Idle() == Idle()
+        assert Transmit("m") != Transmit("n")
+
+
+class TestContext:
+    def test_fields(self):
+        ctx = Context(node=3, neighbor_ids=frozenset({1, 2}), rng=spawn(0, "c"))
+        assert ctx.node == 3
+        assert ctx.neighbor_ids == frozenset({1, 2})
+        assert ctx.slot == 0
+        assert ctx.extras == {}
+
+    def test_extras_are_per_context(self):
+        a = Context(node=0, neighbor_ids=frozenset(), rng=spawn(0, "a"))
+        b = Context(node=1, neighbor_ids=frozenset(), rng=spawn(0, "b"))
+        a.extras["x"] = 1
+        assert "x" not in b.extras
+
+
+class TestNodeProgramDefaults:
+    def test_act_is_abstract(self):
+        ctx = Context(node=0, neighbor_ids=frozenset(), rng=spawn(0, "d"))
+        with pytest.raises(NotImplementedError):
+            NodeProgram().act(ctx)
+
+    def test_default_hooks_are_noops(self):
+        prog = NodeProgram()
+        ctx = Context(node=0, neighbor_ids=frozenset(), rng=spawn(0, "d"))
+        prog.on_start(ctx)
+        prog.on_observe(ctx, "anything")
+        assert prog.is_done(ctx) is False
+        assert prog.result() is None

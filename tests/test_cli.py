@@ -1,0 +1,90 @@
+"""Tests for the command-line interface."""
+
+import pytest
+
+from repro.cli import build_parser, main
+
+
+class TestParser:
+    def test_requires_command(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args([])
+
+    def test_broadcast_defaults(self):
+        args = build_parser().parse_args(["broadcast"])
+        assert args.topology == "gnp"
+        assert args.n == 64
+        assert args.seed == 0
+
+
+class TestBroadcastCommand:
+    def test_runs_and_reports(self, capsys):
+        code = main(["broadcast", "--topology", "grid", "-n", "16", "--seed", "3"])
+        out = capsys.readouterr().out
+        assert code == 0
+        assert "broadcast complete at slot" in out
+
+    def test_timeline_rendering(self, capsys):
+        code = main(
+            ["broadcast", "--topology", "line", "-n", "6", "--timeline", "--seed", "1"]
+        )
+        out = capsys.readouterr().out
+        assert code == 0
+        assert "|" in out and "T" in out
+
+    def test_cn_topology(self, capsys):
+        code = main(["broadcast", "--topology", "cn", "-n", "16", "--seed", "2"])
+        assert code == 0
+
+
+class TestBfsCommand:
+    def test_prints_distances(self, capsys):
+        code = main(["bfs", "--topology", "line", "-n", "5", "--seed", "1"])
+        out = capsys.readouterr().out
+        assert code == 0
+        assert "node 4: distance 4" in out
+
+
+class TestGapCommand:
+    def test_prints_table_and_fits(self, capsys):
+        code = main(["gap", "--quick", "--reps", "4", "--seed", "5"])
+        out = capsys.readouterr().out
+        assert code == 0
+        assert "Corollary 13" in out
+        assert "round_robin_vs_n" in out
+
+
+class TestExperimentCommand:
+    def test_e1(self, capsys):
+        code = main(["experiment", "e1", "--quick", "--reps", "30"])
+        out = capsys.readouterr().out
+        assert code == 0
+        assert "Theorem 1" in out
+
+    def test_unknown_id(self):
+        with pytest.raises(SystemExit):
+            main(["experiment", "e99"])
+
+    def test_e10(self, capsys):
+        code = main(["experiment", "e10", "--quick", "--reps", "5"])
+        out = capsys.readouterr().out
+        assert code == 0
+        assert "4 slots" in out or "C_n" in out
+
+
+class TestGameCommand:
+    def test_foils_sweep(self, capsys):
+        code = main(["game", "--strategy", "sweep", "-n", "20", "--show-set"])
+        out = capsys.readouterr().out
+        assert code == 0
+        assert "survived 10 moves" in out
+        assert "S = [" in out
+
+    def test_unknown_strategy(self):
+        with pytest.raises(SystemExit):
+            main(["game", "--strategy", "psychic"])
+
+    def test_protocol_strategies(self, capsys):
+        for strat in ("protocol-rr", "protocol-split"):
+            code = main(["game", "--strategy", strat, "-n", "16"])
+            assert code == 0

@@ -1,0 +1,151 @@
+"""Tests for the [BGI89]-style single-hop-on-multi-hop emulation."""
+
+import pytest
+
+from repro.emulation import (
+    ActiveCountProtocol,
+    ChannelFeedback,
+    MaxFindingProtocol,
+    run_emulated,
+    run_single_hop,
+)
+from repro.errors import ProtocolError
+from repro.graphs import Graph, grid, line, ring
+
+
+class TestChannelFeedback:
+    def test_message_requires_payload(self):
+        with pytest.raises(ProtocolError):
+            ChannelFeedback("message")
+
+    def test_silence_carries_nothing(self):
+        with pytest.raises(ProtocolError):
+            ChannelFeedback("silence", "m")
+
+
+class TestDirectSingleHop:
+    def test_max_finding_various_active_sets(self):
+        for active in ({0}, {7}, {2, 5}, set(range(8))):
+            protos = {
+                i: MaxFindingProtocol(i, 3, active=(i in active)) for i in range(8)
+            }
+            out = run_single_hop(protos, 10)
+            winners = {v["winner"] for v in out.values()}
+            assert winners == {max(active)}
+            leaders = [i for i, v in out.items() if v["is_winner"]]
+            assert leaders == [max(active)]
+
+    def test_max_finding_no_active_stations(self):
+        protos = {i: MaxFindingProtocol(i, 3, active=False) for i in range(8)}
+        out = run_single_hop(protos, 10)
+        assert all(v["winner"] is None for v in out.values())
+
+    def test_count_exact_for_every_subset_size(self):
+        import itertools
+
+        for active in [set(), {3}, {0, 7}, {1, 2, 3}, set(range(8))]:
+            protos = {
+                i: ActiveCountProtocol(i, (0, 8), active=(i in active))
+                for i in range(8)
+            }
+            out = run_single_hop(protos, 200)
+            for v in out.values():
+                assert v["count"] == len(active)
+                assert v["roster"] == sorted(active)
+
+    def test_all_stations_agree(self):
+        protos = {i: ActiveCountProtocol(i, (0, 16), active=(i % 3 == 0))
+                  for i in range(16)}
+        out = run_single_hop(protos, 400)
+        rosters = {tuple(v["roster"]) for v in out.values()}
+        assert len(rosters) == 1
+
+    def test_empty_station_set_rejected(self):
+        with pytest.raises(ProtocolError):
+            run_single_hop({}, 5)
+
+    def test_protocol_validation(self):
+        with pytest.raises(ProtocolError):
+            MaxFindingProtocol(8, 3)
+        with pytest.raises(ProtocolError):
+            ActiveCountProtocol(9, (0, 8))
+        with pytest.raises(ProtocolError):
+            ActiveCountProtocol(0, (4, 4))
+
+
+class TestEmulatedChannel:
+    """The headline property: the emulated channel computes the same
+    answers as the ideal single-hop CD channel, on multi-hop networks
+    with no collision detection at all."""
+
+    @pytest.mark.parametrize(
+        "g", [line(6), ring(7), grid(3, 3)], ids=["line", "ring", "grid"]
+    )
+    def test_max_finding_matches_direct(self, g):
+        nodes = list(g.nodes)
+        active = {nodes[1], nodes[-1]}
+        bits = max(1, (max(nodes) + 1 - 1).bit_length())
+        direct = run_single_hop(
+            {i: MaxFindingProtocol(i, bits, active=(i in active)) for i in nodes},
+            bits + 1,
+        )
+        emulated = run_emulated(
+            g,
+            {i: MaxFindingProtocol(i, bits, active=(i in active)) for i in nodes},
+            max_rounds=bits + 1,  # presence round + one per bit
+            seed=3,
+            epsilon=0.1,
+        ).node_results()
+        for node in nodes:
+            assert emulated[node]["winner"] == direct[node]["winner"]
+
+    def test_count_matches_direct(self):
+        g = grid(3, 3)
+        active = {2, 5, 8}
+        direct = run_single_hop(
+            {i: ActiveCountProtocol(i, (0, 9), active=(i in active)) for i in g.nodes},
+            100,
+        )
+        emulated = run_emulated(
+            g,
+            {i: ActiveCountProtocol(i, (0, 9), active=(i in active)) for i in g.nodes},
+            max_rounds=40,
+            seed=5,
+            epsilon=0.1,
+        ).node_results()
+        for node in g.nodes:
+            assert emulated[node] == direct[node]
+
+    def test_silence_round_is_exact(self):
+        # Zero transmitters: silence must be reported deterministically
+        # (no transmissions exist anywhere to be lost).
+        g = line(5)
+        protos = {i: MaxFindingProtocol(i, 3, active=False) for i in g.nodes}
+        result = run_emulated(g, protos, max_rounds=3, seed=1)
+        assert result.metrics.transmissions == 0
+        for out in result.node_results().values():
+            assert out["winner"] is None
+
+    def test_requires_integer_ids(self):
+        g = Graph(edges=[("a", "b")])
+        protos = {
+            "a": MaxFindingProtocol(0, 2),
+            "b": MaxFindingProtocol(1, 2),
+        }
+        with pytest.raises(ProtocolError):
+            run_emulated(g, protos, max_rounds=1)
+
+    def test_protocol_coverage_required(self):
+        g = line(3)
+        with pytest.raises(ProtocolError):
+            run_emulated(g, {0: MaxFindingProtocol(0, 2)}, max_rounds=1)
+
+    def test_reproducible(self):
+        g = ring(6)
+        make = lambda: {  # noqa: E731
+            i: MaxFindingProtocol(i, 3, active=(i in {1, 4})) for i in g.nodes
+        }
+        a = run_emulated(g, make(), max_rounds=3, seed=11)
+        b = run_emulated(g, make(), max_rounds=3, seed=11)
+        assert a.node_results() == b.node_results()
+        assert a.slots == b.slots

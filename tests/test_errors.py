@@ -1,0 +1,36 @@
+"""Tests for the exception hierarchy."""
+
+import pytest
+
+from repro import errors
+
+
+def test_all_errors_derive_from_repro_error():
+    for name in errors.__all__:
+        cls = getattr(errors, name)
+        assert issubclass(cls, errors.ReproError)
+
+
+def test_node_not_found_is_key_error():
+    err = errors.NodeNotFound(7)
+    assert isinstance(err, KeyError)
+    assert "7" in str(err)
+    assert err.node == 7
+
+
+def test_edge_not_found_message_and_payload():
+    err = errors.EdgeNotFound(1, 2)
+    assert err.edge == (1, 2)
+    assert "(1, 2)" in str(err)
+
+
+def test_catching_base_catches_all():
+    with pytest.raises(errors.ReproError):
+        raise errors.SimulationError("boom")
+    with pytest.raises(errors.ReproError):
+        raise errors.GameError("boom")
+
+
+def test_graph_errors_are_graph_error_subclasses():
+    assert issubclass(errors.NodeNotFound, errors.GraphError)
+    assert issubclass(errors.EdgeNotFound, errors.GraphError)

@@ -1,0 +1,89 @@
+"""Tests for the ASCII visualisation helpers."""
+
+import pytest
+
+from repro import viz
+from repro.errors import ReproError
+from repro.graphs import line, star
+from repro.protocols.decay_broadcast import run_decay_broadcast
+from repro.sim import Engine, NodeProgram, Receive, Transmit
+
+
+class Beacon(NodeProgram):
+    def act(self, ctx):
+        return Transmit("b")
+
+
+class Listener(NodeProgram):
+    def act(self, ctx):
+        return Receive()
+
+
+def traced(graph, programs, initiators, slots):
+    engine = Engine(graph, programs, initiators=initiators, record_trace=True)
+    result = engine.run(slots)
+    return result.trace
+
+
+class TestTimeline:
+    def test_glyphs(self):
+        # 0 transmits, 1 receives-and-hears.
+        trace = traced(line(2), {0: Beacon(), 1: Listener()}, {0}, 3)
+        out = viz.timeline(trace, [0, 1])
+        lines = out.splitlines()
+        assert lines[0].endswith("|TTT|")
+        assert lines[1].endswith("|rrr|")
+
+    def test_collision_glyph(self):
+        trace = traced(
+            star(2), {0: Listener(), 1: Beacon(), 2: Beacon()}, {1, 2}, 2
+        )
+        out = viz.timeline(trace, [0])
+        assert out.endswith("|xx|")
+
+    def test_silence_glyph(self):
+        trace = traced(line(2), {0: Listener(), 1: Listener()}, set(), 2)
+        out = viz.timeline(trace, [0])
+        assert out.endswith("|..|")
+
+    def test_max_slots_clips(self):
+        trace = traced(line(2), {0: Beacon(), 1: Listener()}, {0}, 10)
+        out = viz.timeline(trace, [0], max_slots=4)
+        assert out.endswith("|TTTT|")
+
+    def test_needs_nodes(self):
+        trace = traced(line(2), {0: Beacon(), 1: Listener()}, {0}, 1)
+        with pytest.raises(ReproError):
+            viz.timeline(trace, [])
+
+
+class TestRuler:
+    def test_marks_phase_boundaries(self):
+        ruler = viz.phase_ruler(8, 4)
+        assert ruler.endswith("||---|---|")
+
+    def test_validation(self):
+        with pytest.raises(ReproError):
+            viz.phase_ruler(4, 0)
+
+
+class TestReceptionWave:
+    def test_empty_trace(self):
+        trace = traced(line(2), {0: Listener(), 1: Listener()}, set(), 2)
+        assert "no node" in viz.reception_wave(trace)
+
+    def test_broadcast_wave_counts_all_nodes(self):
+        from repro.graphs import random_gnp
+        from repro.rng import spawn
+
+        g = random_gnp(30, 0.15, spawn(1, "viz"))
+        result = run_decay_broadcast(g, source=0, seed=2, epsilon=0.05, record_trace=True)
+        wave = viz.reception_wave(result.trace)
+        total = sum(int(line.rsplit(" ", 1)[1]) for line in wave.splitlines())
+        assert total == len(result.metrics.first_reception)
+
+    def test_histogram_shape(self):
+        trace = traced(line(2), {0: Beacon(), 1: Listener()}, {0}, 3)
+        wave = viz.reception_wave(trace)
+        assert wave.startswith("slot    0 |")
+        assert wave.endswith(" 1")
