@@ -1,27 +1,91 @@
 """Engine micro-benchmarks: simulator throughput (slots/sec scale).
 
 Not a paper result — these keep the substrate's performance honest so
-the full-scale experiment sweeps stay laptop-sized.
+the full-scale experiment sweeps stay laptop-sized.  Besides the
+pytest-benchmark timings, :func:`write_bench_json` records slots/sec
+per reference topology in ``BENCH_engine.json`` at the repo root, so
+successive PRs have a machine-readable perf trajectory to regress
+against::
+
+    PYTHONPATH=src python benchmarks/bench_engine.py            # quick
+    REPRO_BENCH_SCALE=full PYTHONPATH=src python benchmarks/bench_engine.py
 """
 
-import pytest
+from __future__ import annotations
+
+import json
+import os
+import pathlib
+import time
 
 from repro.graphs import complete, grid, random_gnp
 from repro.protocols.aloha import make_aloha_programs
 from repro.rng import spawn
 from repro.sim import Engine
 
+#: Reference topologies: low-degree lattice, sparse random, dense clique.
+TOPOLOGIES = [
+    ("grid-16x16", lambda: grid(16, 16)),
+    ("gnp-256", lambda: random_gnp(256, 0.05, spawn(0, "bench"))),
+    ("clique-64", lambda: complete(64)),
+]
 
-@pytest.mark.parametrize(
-    "name,factory",
-    [
-        ("grid-16x16", lambda: grid(16, 16)),
-        ("gnp-256", lambda: random_gnp(256, 0.05, spawn(0, "bench"))),
-        ("clique-64", lambda: complete(64)),
-    ],
-    ids=["grid", "gnp", "clique"],
-)
-def test_engine_slot_throughput(benchmark, name, factory):
+DEFAULT_JSON_PATH = pathlib.Path(__file__).resolve().parent.parent / "BENCH_engine.json"
+
+
+def _run(graph, slots: int) -> float:
+    """One timed engine run over ``slots`` slots; returns seconds."""
+    programs = make_aloha_programs(graph, 0, p=0.2)
+    engine = Engine(graph, programs, seed=1, initiators={0})
+    start = time.perf_counter()
+    result = engine.run(slots)
+    elapsed = time.perf_counter() - start
+    assert result.slots == slots
+    return elapsed
+
+
+def measure_slots_per_sec(*, slots: int | None = None, rounds: int | None = None) -> dict:
+    """Best-of-``rounds`` slots/sec per reference topology."""
+    scale = os.environ.get("REPRO_BENCH_SCALE", "quick")
+    if slots is None:
+        slots = 500 if scale == "full" else 200
+    if rounds is None:
+        rounds = 5 if scale == "full" else 3
+    topologies = {}
+    total_time = 0.0
+    for name, factory in TOPOLOGIES:
+        graph = factory()
+        best = min(_run(graph, slots) for _ in range(rounds))
+        total_time += best
+        topologies[name] = {
+            "nodes": graph.num_nodes(),
+            "edges": graph.num_edges(),
+            "slots_per_sec": round(slots / best, 1),
+            "ms_per_run": round(best * 1e3, 2),
+        }
+    return {
+        "schema": "repro-bench-engine/1",
+        "scale": scale,
+        "slots_per_run": slots,
+        "rounds": rounds,
+        "topologies": topologies,
+        "combined_slots_per_sec": round(slots * len(topologies) / total_time, 1),
+    }
+
+
+def write_bench_json(path: str | os.PathLike | None = None, **measure_kwargs) -> dict:
+    """Measure and persist the slots/sec record (``BENCH_engine.json``)."""
+    if path is None:
+        path = os.environ.get("REPRO_BENCH_JSON", DEFAULT_JSON_PATH)
+    payload = measure_slots_per_sec(**measure_kwargs)
+    pathlib.Path(path).write_text(
+        json.dumps(payload, indent=2, sort_keys=True) + "\n", encoding="utf-8"
+    )
+    return payload
+
+
+def test_engine_slot_throughput(benchmark, engine_topology):
+    name, factory = engine_topology
     g = factory()
 
     def run_200_slots():
@@ -31,3 +95,28 @@ def test_engine_slot_throughput(benchmark, name, factory):
 
     result = benchmark(run_200_slots)
     assert result.slots == 200
+
+
+def test_engine_bench_json():
+    """Emit the perf-trajectory record as part of the bench harness."""
+    payload = write_bench_json()
+    assert payload["combined_slots_per_sec"] > 0
+    print()
+    print(json.dumps(payload, indent=2, sort_keys=True))
+
+
+def pytest_generate_tests(metafunc):
+    if "engine_topology" in metafunc.fixturenames:
+        metafunc.parametrize(
+            "engine_topology", TOPOLOGIES, ids=[name for name, _ in TOPOLOGIES]
+        )
+
+
+if __name__ == "__main__":
+    import argparse
+
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("--json", default=None, help="output path (default: repo root)")
+    args = parser.parse_args()
+    report = write_bench_json(args.json)
+    print(json.dumps(report, indent=2, sort_keys=True))

@@ -1,0 +1,68 @@
+"""Parallel execution layer: serial-vs-pool speedup and equivalence.
+
+Not a paper result — this benchmarks the :mod:`repro.parallel`
+process-pool backend.  Two properties are recorded:
+
+* **Equivalence** (asserted, not just printed): for the same derived
+  seeds, ``jobs=N`` returns element-for-element the same results as
+  ``jobs=1``.  This is the whole point of order-independent seeding.
+* **Speedup** (informational): wall-clock ratio of the serial loop to
+  the pooled run.  On a single-core container the ratio hovers around
+  or below 1.0 — pool overhead with no extra cores — which is expected
+  and does not fail the bench.
+"""
+
+from __future__ import annotations
+
+import os
+import time
+from functools import partial
+
+from conftest import bench_config, emit, run_once
+
+from repro.analysis.tables import Table
+from repro.experiments.exp_decay import engine_decay_game
+from repro.parallel import parallel_map, resolve_jobs
+
+#: Workload: the full-engine Theorem-1 game, heavy enough per repetition
+#: that chunked dispatch amortises IPC.
+_D, _K = (32, 10)
+
+
+def _timed_map(fn, seeds, jobs):
+    start = time.perf_counter()
+    results = parallel_map(fn, seeds, jobs=jobs)
+    return results, time.perf_counter() - start
+
+
+def run_parallel_speedup_table(reps: int, job_counts: tuple[int, ...]) -> Table:
+    """Time ``reps`` engine decay games serially and per worker count."""
+    config = bench_config(reps)
+    seeds = config.seeds("bench-parallel", _D, _K)
+    fn = partial(engine_decay_game, _D, _K)
+    serial_results, serial_time = _timed_map(fn, seeds, jobs=1)
+    table = Table(
+        f"parallel backend — engine_decay_game(d={_D}, k={_K}) x {len(seeds)}",
+        ["jobs", "wall_sec", "speedup", "identical_to_serial"],
+    )
+    table.add_row(1, round(serial_time, 3), 1.0, True)
+    for jobs in job_counts:
+        pooled_results, pooled_time = _timed_map(fn, seeds, jobs=jobs)
+        identical = pooled_results == serial_results
+        assert identical, f"jobs={jobs} diverged from serial results"
+        table.add_row(
+            jobs,
+            round(pooled_time, 3),
+            round(serial_time / pooled_time, 2),
+            identical,
+        )
+    return table
+
+
+def test_parallel_speedup(benchmark):
+    cpus = os.cpu_count() or 1
+    job_counts = tuple(sorted({2, min(4, max(2, cpus)), resolve_jobs(0)}))
+    table = run_once(
+        benchmark, run_parallel_speedup_table, reps=200, job_counts=job_counts
+    )
+    emit("bench_parallel", table)

@@ -15,6 +15,8 @@ Public surface (see README for a guided tour):
 * ``repro.lowerbound`` — the hitting game, the ``find_set`` adversary,
   and the protocol-to-game reduction behind Theorem 12.
 * ``repro.experiments`` — one module per reproduced result (E1–E12).
+* ``repro.parallel`` — the process-pool backend for Monte-Carlo
+  repetition (``ExperimentConfig(jobs=N)`` / ``REPRO_JOBS``).
 
 Quick start::
 

@@ -11,7 +11,11 @@ Subcommands:
 * ``game`` — play the hitting game: foil a named strategy with the
   ``find_set`` adversary.
 
-Every command takes ``--seed`` and is fully reproducible.
+Every command takes ``--seed`` and is fully reproducible.  The
+experiment-style commands additionally take ``--jobs N`` (or honour
+``REPRO_JOBS``) to fan Monte-Carlo repetitions out to a process pool —
+without changing any result, since repetition seeds are derived
+order-independently (see :mod:`repro.parallel`).
 """
 
 from __future__ import annotations
@@ -96,7 +100,9 @@ def _cmd_bfs(args: argparse.Namespace) -> int:
 def _cmd_gap(args: argparse.Namespace) -> int:
     from repro.experiments.exp_gap import gap_growth_fits, run_gap_table
 
-    config = ExperimentConfig(reps=args.reps, master_seed=args.seed, quick=args.quick)
+    config = ExperimentConfig(
+        reps=args.reps, master_seed=args.seed, quick=args.quick, jobs=args.jobs
+    )
     table = run_gap_table(config)
     print(table.render())
     fits = gap_growth_fits(table)
@@ -142,7 +148,9 @@ def _cmd_experiment(args: argparse.Namespace) -> int:
         )
     module_name, functions = _EXPERIMENTS[key]
     module = importlib.import_module(module_name)
-    config = ExperimentConfig(reps=args.reps, master_seed=args.seed, quick=args.quick)
+    config = ExperimentConfig(
+        reps=args.reps, master_seed=args.seed, quick=args.quick, jobs=args.jobs
+    )
     for name in functions:
         table = getattr(module, name)(config)
         print(table.render())
@@ -231,10 +239,19 @@ def build_parser() -> argparse.ArgumentParser:
     p_bfs.add_argument("--epsilon", type=float, default=0.05)
     p_bfs.set_defaults(func=_cmd_bfs)
 
+    def add_jobs(p: argparse.ArgumentParser) -> None:
+        p.add_argument(
+            "--jobs", type=int, default=None, metavar="N",
+            help="worker processes for Monte-Carlo repetitions "
+                 "(default: $REPRO_JOBS or 1; 0 = all CPUs); results are "
+                 "identical to serial runs",
+        )
+
     p_gap = sub.add_parser("gap", help="print the exponential-gap table (E5)")
     add_common(p_gap)
     p_gap.add_argument("--reps", type=int, default=10)
     p_gap.add_argument("--quick", action="store_true")
+    add_jobs(p_gap)
     p_gap.set_defaults(func=_cmd_gap)
 
     p_exp = sub.add_parser("experiment", help="run an experiment by id (e1..e12)")
@@ -242,6 +259,7 @@ def build_parser() -> argparse.ArgumentParser:
     p_exp.add_argument("id")
     p_exp.add_argument("--reps", type=int, default=10)
     p_exp.add_argument("--quick", action="store_true")
+    add_jobs(p_exp)
     p_exp.set_defaults(func=_cmd_experiment)
 
     p_report = sub.add_parser("report", help="assemble the reproduction report")

@@ -22,6 +22,7 @@ from __future__ import annotations
 
 import math
 from dataclasses import dataclass
+from functools import partial
 
 from repro.analysis.stats import summarize, wilson_interval
 from repro.analysis.tables import Table
@@ -30,6 +31,7 @@ from repro.experiments.runner import ExperimentConfig
 from repro.graphs.generators import layered_random, line, random_gnp, unit_disk
 from repro.graphs.graph import Graph
 from repro.graphs.properties import diameter, max_degree
+from repro.parallel import parallel_map
 from repro.protocols.decay_broadcast import run_decay_broadcast
 from repro.rng import spawn
 
@@ -74,24 +76,30 @@ def broadcast_family(name: str, n: int, seed: int) -> Graph:
     raise ValueError(f"unknown family {name!r}")
 
 
+def _completion_once(
+    g: Graph, epsilon: float, max_slots: int | None, seed: int
+) -> int | None:
+    """One seeded broadcast; completion slot or None.  Module-level so
+    a ``partial`` over the (picklable) graph can cross process
+    boundaries; only the small slot number travels back."""
+    result = run_decay_broadcast(
+        g, source=0, seed=seed, epsilon=epsilon, max_slots=max_slots
+    )
+    return result.broadcast_completion_slot(source=0)
+
+
 def _measure(
-    g: Graph, epsilon: float, seeds: list[int]
+    g: Graph, epsilon: float, seeds: list[int], *, jobs: int | None = None
 ) -> tuple[list[int], int, int, int]:
     """Run broadcast per seed; return (completion slots, failures, D, Δ)."""
     d = diameter(g)
     delta = max_degree(g)
     bound = theorem4_slot_bound(g.num_nodes(), d, delta, epsilon)
-    completions: list[int] = []
-    failures = 0
-    for seed in seeds:
-        result = run_decay_broadcast(
-            g, source=0, seed=seed, epsilon=epsilon, max_slots=bound * 8
-        )
-        slot = result.broadcast_completion_slot(source=0)
-        if slot is None:
-            failures += 1
-        else:
-            completions.append(slot)
+    slots = parallel_map(
+        partial(_completion_once, g, epsilon, bound * 8), seeds, jobs=jobs
+    )
+    completions = [slot for slot in slots if slot is not None]
+    failures = sum(1 for slot in slots if slot is None)
     return completions, failures, d, delta
 
 
@@ -126,7 +134,9 @@ def run_broadcast_time_table(
         for n in sizes:
             g = broadcast_family(family, n, config.master_seed)
             seeds = config.seeds("bcast", family, n)
-            completions, failures, d, delta = _measure(g, epsilon, seeds)
+            completions, failures, d, delta = _measure(
+                g, epsilon, seeds, jobs=config.effective_jobs()
+            )
             bound = theorem4_slot_bound(g.num_nodes(), d, delta, epsilon)
             total = len(seeds)
             within = sum(1 for s in completions if s <= bound)
@@ -164,11 +174,19 @@ def run_success_rate_table(
     )
     for epsilon in epsilons:
         seeds = config.seeds("success", family, n, epsilon)
-        _, failures, _, _ = _measure(g, epsilon, seeds)
+        _, failures, _, _ = _measure(g, epsilon, seeds, jobs=config.effective_jobs())
         rate = failures / len(seeds)
         _lo, hi = wilson_interval(failures, len(seeds))
         table.add_row(epsilon, len(seeds), failures, rate, hi, rate <= epsilon)
     return table
+
+
+def _nbound_once(g: Graph, epsilon: float, big_n: int, seed: int) -> int | None:
+    """One broadcast with the paper's upper bound N = ``big_n``."""
+    result = run_decay_broadcast(
+        g, source=0, seed=seed, epsilon=epsilon, upper_bound_n=big_n
+    )
+    return result.broadcast_completion_slot(source=0)
 
 
 def run_upper_bound_sensitivity_table(
@@ -195,17 +213,13 @@ def run_upper_bound_sensitivity_table(
     )
     baseline_mean: float | None = None
     for big_n in bounds:
-        slots: list[int] = []
-        failures = 0
-        for seed in config.seeds("nbound", big_n):
-            result = run_decay_broadcast(
-                g, source=0, seed=seed, epsilon=epsilon, upper_bound_n=big_n
-            )
-            slot = result.broadcast_completion_slot(source=0)
-            if slot is None:
-                failures += 1
-            else:
-                slots.append(slot)
+        outcomes = parallel_map(
+            partial(_nbound_once, g, epsilon, big_n),
+            config.seeds("nbound", big_n),
+            jobs=config.effective_jobs(),
+        )
+        slots = [slot for slot in outcomes if slot is not None]
+        failures = sum(1 for slot in outcomes if slot is None)
         mean_slots = sum(slots) / len(slots) if slots else float("nan")
         if baseline_mean is None:
             baseline_mean = mean_slots
@@ -242,7 +256,9 @@ def run_diameter_scaling_table(
         rng = spawn(config.master_seed, "layered-scaling", depth)
         g = layered_random([width] * depth, 0.5, rng)
         seeds = config.seeds("depth", depth)
-        completions, _failures, d, _delta = _measure(g, epsilon, seeds)
+        completions, _failures, d, _delta = _measure(
+            g, epsilon, seeds, jobs=config.effective_jobs()
+        )
         mean_slots = sum(completions) / len(completions) if completions else float("nan")
         table.add_row(depth, g.num_nodes(), d, mean_slots, mean_slots / max(1, d))
     return table

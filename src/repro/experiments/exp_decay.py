@@ -21,12 +21,15 @@ and a long-horizon ``p_exact``.
 
 from __future__ import annotations
 
+from functools import partial
+
 from repro.analysis.stats import wilson_interval
 from repro.analysis.tables import Table
 from repro.core.bounds import decay_phase_length, p_exact, p_infinity
 from repro.core.decay import DecayProcess, simulate_decay_game
 from repro.experiments.runner import ExperimentConfig
 from repro.graphs.generators import star
+from repro.parallel import parallel_map
 from repro.rng import spawn
 from repro.sim.engine import Engine
 from repro.sim.node import Context, Idle, Intent, NodeProgram, Receive, Transmit
@@ -69,6 +72,14 @@ class _Hub(NodeProgram):
         return ctx.slot >= self.k
 
 
+def _markov_decay_hit(d: int, k: int, seed: int) -> bool:
+    """One fast-Markov Theorem-1 game; True iff some slot had a sole
+    transmitter.  Module-level (picklable) so repetitions can fan out
+    to the process pool."""
+    rng = spawn(seed, "decay-game")
+    return simulate_decay_game(d, k, rng) is not None
+
+
 def engine_decay_game(d: int, k: int, seed: int, *, p_continue: float = 0.5) -> bool:
     """One full-engine Theorem-1 game; True iff the hub received."""
     g = star(d)
@@ -104,20 +115,20 @@ def run_theorem1_table(config: ExperimentConfig | None = None) -> Table:
             "claim_i_holds",
         ],
     )
+    jobs = config.effective_jobs()
     for d in ds:
         k = decay_phase_length(d)
         exact = p_exact(k, d)
-        markov_hits = 0
-        for seed in config.seeds("markov", d):
-            rng = spawn(seed, "decay-game")
-            if simulate_decay_game(d, k, rng) is not None:
-                markov_hits += 1
+        markov_hits = sum(
+            parallel_map(
+                partial(_markov_decay_hit, d, k), config.seeds("markov", d), jobs=jobs
+            )
+        )
         engine_reps = max(60, config.reps // 2)  # engine runs are pricier but need signal
-        engine_hits = 0
         engine_seeds = config.seeds("engine", d)[:engine_reps]
-        for seed in engine_seeds:
-            if engine_decay_game(d, k, seed):
-                engine_hits += 1
+        engine_hits = sum(
+            parallel_map(partial(engine_decay_game, d, k), engine_seeds, jobs=jobs)
+        )
         lo, hi = wilson_interval(markov_hits, config.reps)
         p_inf = p_infinity(d)
         table.add_row(

@@ -8,7 +8,12 @@ Disciplines enforced here so individual experiments stay honest:
 * the graph for a sweep point is generated from a seed independent of
   the protocol's coin flips, so all protocols at a sweep point face
   the *same* topologies (paired comparison, as the gap experiment
-  needs).
+  needs);
+* repetition results never depend on execution order, so
+  :func:`repeat_runs` and :func:`sweep` may fan work out to a process
+  pool (``ExperimentConfig(jobs=N)`` or the ``REPRO_JOBS`` environment
+  variable — see :mod:`repro.parallel`) and still return exactly what
+  the serial loop would.
 """
 
 from __future__ import annotations
@@ -18,6 +23,7 @@ from typing import Any, Callable, Iterable, Sequence
 
 from repro import rng as rng_mod
 from repro.errors import ExperimentError
+from repro.parallel import parallel_map, parallel_starmap, resolve_jobs
 
 __all__ = ["ExperimentConfig", "repeat_runs", "sweep"]
 
@@ -30,16 +36,27 @@ class ExperimentConfig:
     root of the whole experiment's randomness; ``quick`` asks the
     experiment for a reduced parameter grid (used by the CI-speed
     benchmarks; full grids reproduce the EXPERIMENTS.md numbers).
+    ``jobs`` selects the execution backend for repetitions: ``None``
+    defers to the ``REPRO_JOBS`` environment variable, ``1`` runs
+    serially, ``N > 1`` uses a pool of N worker processes and ``0``
+    uses every CPU.  Because per-repetition seeds are derived (not
+    drawn from a shared stream), the result tables are identical for
+    every ``jobs`` value.
     """
 
     reps: int = 30
     master_seed: int = 20260706
     quick: bool = False
+    jobs: int | None = None
     extra: dict[str, Any] = field(default_factory=dict)
 
     def seeds(self, *tags: object) -> list[int]:
         """Independent per-repetition seeds for one sweep point."""
         return list(rng_mod.seed_sequence(self.master_seed, self.reps, *tags))
+
+    def effective_jobs(self) -> int:
+        """The concrete worker count (resolves ``REPRO_JOBS``/CPUs)."""
+        return resolve_jobs(self.jobs)
 
 
 def repeat_runs(
@@ -47,10 +64,16 @@ def repeat_runs(
     tag: Sequence[object],
     run_once: Callable[[int], Any],
 ) -> list[Any]:
-    """Run ``run_once(seed)`` for each derived repetition seed."""
+    """Run ``run_once(seed)`` for each derived repetition seed.
+
+    With ``config.jobs > 1`` (or ``REPRO_JOBS`` set) and a picklable
+    ``run_once``, repetitions execute on a process pool; the returned
+    list is element-for-element identical to the serial result either
+    way.
+    """
     if config.reps < 1:
         raise ExperimentError("reps must be >= 1")
-    return [run_once(seed) for seed in config.seeds(*tag)]
+    return parallel_map(run_once, config.seeds(*tag), jobs=config.effective_jobs())
 
 
 def sweep(
@@ -58,9 +81,11 @@ def sweep(
     points: Iterable[Any],
     run_point: Callable[[Any, list[int]], Any],
 ) -> list[Any]:
-    """Evaluate ``run_point(point, seeds)`` at every sweep point."""
-    results = []
-    for point in points:
-        seeds = config.seeds("sweep", point)
-        results.append(run_point(point, seeds))
-    return results
+    """Evaluate ``run_point(point, seeds)`` at every sweep point.
+
+    Sweep points are independent by the seeding discipline, so they are
+    dispatched through the same process-pool backend as
+    :func:`repeat_runs`; results come back in point order regardless.
+    """
+    tasks = [(point, config.seeds("sweep", point)) for point in points]
+    return parallel_starmap(run_point, tasks, jobs=config.effective_jobs())

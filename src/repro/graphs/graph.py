@@ -32,7 +32,16 @@ Node = Hashable
 
 
 class Graph:
-    """A simple undirected graph (no self-loops, no parallel edges)."""
+    """A simple undirected graph (no self-loops, no parallel edges).
+
+    Neighbour sets are handed out as cached ``frozenset`` snapshots:
+    repeated :meth:`neighbors` calls for an unchanged node return the
+    *same* object, so the simulator's per-slot queries cost a dict
+    lookup instead of a fresh allocation.  Every mutation invalidates
+    the affected entries and bumps :attr:`version`, which lets callers
+    holding derived structures (e.g. the engine's audibility map)
+    detect staleness cheaply.
+    """
 
     def __init__(
         self,
@@ -40,16 +49,25 @@ class Graph:
         edges: Iterable[tuple[Node, Node]] = (),
     ) -> None:
         self._adj: dict[Node, set[Node]] = {}
+        self._nbr_cache: dict[Node, frozenset[Node]] = {}
+        self._version = 0
         for node in nodes:
             self.add_node(node)
         for u, v in edges:
             self.add_edge(u, v)
 
+    @property
+    def version(self) -> int:
+        """Monotone counter bumped by every mutation (cache fencing)."""
+        return self._version
+
     # -- construction -------------------------------------------------
 
     def add_node(self, node: Node) -> None:
         """Add ``node``; adding an existing node is a no-op."""
-        self._adj.setdefault(node, set())
+        if node not in self._adj:
+            self._adj[node] = set()
+            self._version += 1
 
     def add_edge(self, u: Node, v: Node) -> None:
         """Add the undirected edge ``{u, v}``, creating endpoints as needed."""
@@ -59,6 +77,9 @@ class Graph:
         self.add_node(v)
         self._adj[u].add(v)
         self._adj[v].add(u)
+        self._nbr_cache.pop(u, None)
+        self._nbr_cache.pop(v, None)
+        self._version += 1
 
     def remove_edge(self, u: Node, v: Node) -> None:
         """Remove the edge ``{u, v}``; raises :class:`EdgeNotFound` if absent."""
@@ -66,6 +87,9 @@ class Graph:
             raise EdgeNotFound(u, v)
         self._adj[u].discard(v)
         self._adj[v].discard(u)
+        self._nbr_cache.pop(u, None)
+        self._nbr_cache.pop(v, None)
+        self._version += 1
 
     def remove_node(self, node: Node) -> None:
         """Remove ``node`` and all incident edges."""
@@ -73,6 +97,9 @@ class Graph:
             raise NodeNotFound(node)
         for neighbor in self._adj.pop(node):
             self._adj[neighbor].discard(node)
+            self._nbr_cache.pop(neighbor, None)
+        self._nbr_cache.pop(node, None)
+        self._version += 1
 
     # -- queries ------------------------------------------------------
 
@@ -84,10 +111,15 @@ class Graph:
 
     def neighbors(self, node: Node) -> frozenset[Node]:
         """The neighbour set of ``node`` (a snapshot, safe to hold)."""
+        cached = self._nbr_cache.get(node)
+        if cached is not None:
+            return cached
         try:
-            return frozenset(self._adj[node])
+            snapshot = frozenset(self._adj[node])
         except KeyError:
             raise NodeNotFound(node) from None
+        self._nbr_cache[node] = snapshot
+        return snapshot
 
     def degree(self, node: Node) -> int:
         try:
@@ -191,6 +223,7 @@ class DiGraph(Graph):
         edges: Iterable[tuple[Node, Node]] = (),
     ) -> None:
         self._pred: dict[Node, set[Node]] = {}
+        self._pred_cache: dict[Node, frozenset[Node]] = {}
         super().__init__(nodes, edges)
 
     def add_node(self, node: Node) -> None:
@@ -204,29 +237,45 @@ class DiGraph(Graph):
         self.add_node(v)
         self._adj[u].add(v)
         self._pred[v].add(u)
+        self._nbr_cache.pop(u, None)
+        self._pred_cache.pop(v, None)
+        self._version += 1
 
     def remove_edge(self, u: Node, v: Node) -> None:
         if not self.has_edge(u, v):
             raise EdgeNotFound(u, v)
         self._adj[u].discard(v)
         self._pred[v].discard(u)
+        self._nbr_cache.pop(u, None)
+        self._pred_cache.pop(v, None)
+        self._version += 1
 
     def remove_node(self, node: Node) -> None:
         if node not in self._adj:
             raise NodeNotFound(node)
         for succ in self._adj.pop(node):
             self._pred[succ].discard(node)
+            self._pred_cache.pop(succ, None)
         for pred in self._pred.pop(node):
             self._adj[pred].discard(node)
+            self._nbr_cache.pop(pred, None)
+        self._nbr_cache.pop(node, None)
+        self._pred_cache.pop(node, None)
+        self._version += 1
 
     def neighbors_out(self, node: Node) -> frozenset[Node]:
         return self.neighbors(node)
 
     def neighbors_in(self, node: Node) -> frozenset[Node]:
+        cached = self._pred_cache.get(node)
+        if cached is not None:
+            return cached
         try:
-            return frozenset(self._pred[node])
+            snapshot = frozenset(self._pred[node])
         except KeyError:
             raise NodeNotFound(node) from None
+        self._pred_cache[node] = snapshot
+        return snapshot
 
     def in_degree(self, node: Node) -> int:
         return len(self.neighbors_in(node))

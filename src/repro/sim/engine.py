@@ -25,6 +25,7 @@ by convention (all protocols in this library send tuples/strings/ints).
 
 from __future__ import annotations
 
+from collections import Counter
 from dataclasses import dataclass
 from typing import Any, Callable, Hashable, Mapping
 
@@ -32,9 +33,9 @@ from repro import rng as rng_mod
 from repro.errors import ProtocolError, SimulationError
 from repro.graphs.graph import DiGraph, Graph
 from repro.sim.faults import FaultSchedule
-from repro.sim.medium import Medium, RadioMedium
+from repro.sim.medium import SILENCE, Medium, RadioMedium
 from repro.sim.metrics import RunMetrics
-from repro.sim.node import Context, Idle, Intent, NodeProgram, Receive, Transmit
+from repro.sim.node import Context, Idle, NodeProgram, Receive, Transmit
 from repro.sim.trace import SlotRecord, Trace
 
 __all__ = ["Engine", "RunResult"]
@@ -66,7 +67,20 @@ class RunResult:
 
 
 class Engine:
-    """Drives a set of node programs over a graph, slot by slot."""
+    """Drives a set of node programs over a graph, slot by slot.
+
+    Two contracts the hot path relies on:
+
+    * ``NodeProgram.is_done`` is monotone (its docstring: "True once
+      this node will never act again"), so done-ness is cached in a
+      persistent done-set and each live program is polled exactly once
+      per slot.
+    * the ``faults`` schedule is snapshotted at construction; mutating
+      the :class:`FaultSchedule` object after the engine is built has
+      no effect on the run.  Mid-run topology changes always go through
+      the schedule (or mutate ``engine.graph``, whose version counter
+      invalidates the cached audibility map).
+    """
 
     def __init__(
         self,
@@ -106,6 +120,31 @@ class Engine:
             for node in self.graph.nodes
         }
         self._started = False
+        # Done-set: nodes whose is_done() has returned True.  is_done is
+        # documented as monotone ("True once this node will never act
+        # again"), so each program is asked at most once per slot and
+        # never again after reporting done.  The engine iterates the
+        # pre-bound active list instead of re-filtering programs.
+        self._done: set[Node] = set()
+        self._done_slot = -1  # slot the done-set was last refreshed at
+        self._all_done_cached = False
+        self._active: list[tuple[Node, NodeProgram, Context]] = [
+            (node, program, self._contexts[node])
+            for node, program in self.programs.items()
+        ]
+        # The fault schedule is snapshotted at construction and indexed
+        # by slot, so fault-free runs pay one attribute check per slot.
+        self._edge_faults_by_slot, self._crashes_by_slot = self.faults.by_slot()
+        self._have_faults = not self.faults.is_empty()
+        # Adjacency maps: per node, the frozenset it can hear (audible)
+        # and the frozenset that hears it (hearers).  Rebuilt lazily
+        # whenever the graph's version moves (edge faults, or any
+        # out-of-band mutation of ``self.graph``).
+        self._fast_medium = type(self.medium) is RadioMedium
+        self._audible: dict[Node, frozenset[Node]] = {}
+        self._hearers: dict[Node, frozenset[Node]] = {}
+        self._audible_version = -1
+        self._audible_map()
 
     # -- public API -----------------------------------------------------
 
@@ -139,83 +178,215 @@ class Engine:
     def step(self) -> None:
         """Execute exactly one time-slot."""
         self._apply_faults()
-        intents = self._collect_intents()
-        self._resolve(intents)
+        messages, receivers = self._collect_intents()
+        self._resolve(messages, receivers)
         self.slot += 1
         self.metrics.slots = self.slot
 
     # -- internals --------------------------------------------------------
 
     def _apply_faults(self) -> None:
-        for fault in self.faults.edge_faults_at(self.slot):
+        if not self._have_faults:
+            return
+        crashes = self._crashes_by_slot.get(self.slot)
+        for fault in self._edge_faults_by_slot.get(self.slot, ()):
             fault.apply(self.graph)
-        for crash in self.faults.crashes_at(self.slot):
-            self._crashed.add(crash.node)
+        if crashes:
+            for crash in crashes:
+                self._crashed.add(crash.node)
+            crashed = self._crashed
+            self._active = [e for e in self._active if e[0] not in crashed]
 
-    def _collect_intents(self) -> dict[Node, Intent]:
-        intents: dict[Node, Intent] = {}
-        for node, program in self.programs.items():
-            if node in self._crashed:
-                continue
-            ctx = self._contexts[node]
-            ctx.slot = self.slot
-            if program.is_done(ctx):
-                continue
-            intent = program.act(ctx)
-            if not isinstance(intent, (Transmit, Receive, Idle)):
+    def _audible_map(self) -> dict[Node, frozenset[Node]]:
+        """Per-node audibility sets, refreshed when the graph changes."""
+        graph = self.graph
+        if self._audible_version != graph.version:
+            audible = graph.audible
+            self._audible = {node: audible(node) for node in graph}
+            if isinstance(graph, DiGraph):
+                hearers = graph.hearers
+                self._hearers = {node: hearers(node) for node in graph}
+            else:
+                self._hearers = self._audible  # symmetric links
+            self._audible_version = graph.version
+        return self._audible
+
+    def _refresh_done(self) -> bool:
+        """Evaluate ``is_done`` once per live node for the current slot.
+
+        Updates the persistent done-set, prunes the active list, and
+        returns True iff every non-crashed node is done.  Idempotent
+        within a slot, so the run-loop's termination check and
+        :meth:`_collect_intents` share a single evaluation per node per
+        slot.
+        """
+        slot = self.slot
+        if self._done_slot == slot:
+            return self._all_done_cached
+        done = self._done
+        active: list[tuple[Node, NodeProgram, Context]] = []
+        for entry in self._active:
+            ctx = entry[2]
+            ctx.slot = slot
+            if entry[1].is_done(ctx):
+                done.add(entry[0])
+            else:
+                active.append(entry)
+        self._active = active
+        self._done_slot = slot
+        self._all_done_cached = not active
+        return self._all_done_cached
+
+    def _collect_intents(
+        self,
+    ) -> tuple[dict[Node, Any], list[tuple[Node, NodeProgram, Context]]]:
+        """Ask every live, not-done program to act; split the intents.
+
+        Returns ``(messages, receivers)``: the map transmitter → payload
+        and the ``(node, program, context)`` entries of nodes listening
+        this slot (idlers appear in neither).
+        """
+        self._refresh_done()
+        slot = self.slot
+        enforce = self.enforce_no_spontaneous
+        has_received = self._has_received
+        messages: dict[Node, Any] = {}
+        receivers: list[tuple[Node, NodeProgram, Context]] = []
+        for entry in self._active:
+            intent = entry[1].act(entry[2])
+            if isinstance(intent, Receive):
+                receivers.append(entry)
+            elif isinstance(intent, Transmit):
+                node = entry[0]
+                if enforce and node not in has_received:
+                    raise ProtocolError(
+                        f"node {node!r} transmitted spontaneously at slot {slot} "
+                        "(Definition 1, rule 5; pass enforce_no_spontaneous=False to allow)"
+                    )
+                messages[node] = intent.message
+            elif not isinstance(intent, Idle):
                 raise ProtocolError(
-                    f"node {node!r} returned {intent!r}; expected Transmit/Receive/Idle"
+                    f"node {entry[0]!r} returned {intent!r}; expected Transmit/Receive/Idle"
                 )
-            if (
-                isinstance(intent, Transmit)
-                and self.enforce_no_spontaneous
-                and node not in self._has_received
-            ):
-                raise ProtocolError(
-                    f"node {node!r} transmitted spontaneously at slot {self.slot} "
-                    "(Definition 1, rule 5; pass enforce_no_spontaneous=False to allow)"
+        return messages, receivers
+
+    def _resolve(
+        self,
+        messages: dict[Node, Any],
+        receivers: list[tuple[Node, NodeProgram, Context]],
+    ) -> None:
+        metrics = self.metrics
+        num_transmitters = len(messages)
+        if num_transmitters:
+            metrics.transmissions += num_transmitters
+            per_node = metrics.transmissions_per_node
+            for node in messages:
+                per_node[node] = per_node.get(node, 0) + 1
+
+        slot = self.slot
+        tracing = self.trace is not None
+        if not receivers:
+            if tracing:
+                self.trace.append(
+                    SlotRecord(
+                        slot=slot,
+                        transmitters=messages,
+                        receivers=frozenset(),
+                        heard={},
+                        deliveries={},
+                        conflict_counts={},
+                    )
                 )
-            intents[node] = intent
-        return intents
+            return
 
-    def _resolve(self, intents: dict[Node, Intent]) -> None:
-        messages: dict[Node, Any] = {
-            node: intent.message
-            for node, intent in intents.items()
-            if isinstance(intent, Transmit)
-        }
-        receivers = [node for node, intent in intents.items() if isinstance(intent, Receive)]
-
-        for node in messages:
-            self.metrics.note_transmission(node)
-
-        heard: dict[Node, Any] = {}
+        audible_map = self._audible_map()
+        medium = self.medium
+        fast_medium = self._fast_medium
+        first_reception = metrics.first_reception
+        has_received = self._has_received
         deliveries: dict[Node, tuple[Node, Any]] = {}
         conflict_counts: dict[Node, int] = {}
-        for receiver in receivers:
-            audible = self._audible_transmitters(receiver, messages)
-            conflict_counts[receiver] = len(audible)
-            observation = self.medium.resolve(receiver, audible, messages)
-            heard[receiver] = observation
-            if len(audible) == 1:
-                sender = audible[0]
-                deliveries[receiver] = (sender, messages[sender])
-                self.metrics.note_delivery(receiver, self.slot)
-                self._has_received.add(receiver)
-            elif len(audible) >= 2:
-                self.metrics.note_collision()
+        heard: dict[Node, Any] = {}
+        collisions = 0
+        observations: list[Any] = []
+
+        # Transmitter-side scatter beats per-receiver set intersection
+        # when contention is sparse (the common broadcast regime): the
+        # energy counts come from one C-speed Counter.update pass over
+        # Σ deg(transmitter) hearers, then each receiver is O(1); the
+        # sender is recovered by intersection only on clean deliveries.
+        if fast_medium and 0 < num_transmitters <= len(receivers):
+            counts: Counter[Node] = Counter()
+            count_hearers = counts.update
+            hearers_map = self._hearers
+            for transmitter in messages:
+                count_hearers(hearers_map[transmitter])
+            counts_get = counts.get
+            for entry in receivers:
+                receiver = entry[0]
+                num_audible = counts_get(receiver, 0)
+                if num_audible == 1:
+                    neighborhood = audible_map[receiver]
+                    if num_transmitters < len(neighborhood):
+                        sender = next(t for t in messages if t in neighborhood)
+                    else:
+                        sender = next(t for t in neighborhood if t in messages)
+                    observation = messages[sender]
+                    metrics.deliveries += 1
+                    if receiver not in first_reception:
+                        first_reception[receiver] = slot
+                    has_received.add(receiver)
+                    if tracing:
+                        deliveries[receiver] = (sender, observation)
+                else:
+                    observation = SILENCE
+                    if num_audible >= 2:
+                        collisions += 1
+                observations.append(observation)
+                if tracing:
+                    conflict_counts[receiver] = num_audible
+                    heard[receiver] = observation
+        else:
+            for entry in receivers:
+                receiver = entry[0]
+                neighborhood = audible_map[receiver]
+                # Intersect from the smaller side.
+                if num_transmitters < len(neighborhood):
+                    audible = [node for node in messages if node in neighborhood]
+                else:
+                    audible = [node for node in neighborhood if node in messages]
+                num_audible = len(audible)
+                if fast_medium:  # inlined RadioMedium.resolve
+                    observation = messages[audible[0]] if num_audible == 1 else SILENCE
+                else:
+                    observation = medium.resolve(receiver, audible, messages)
+                if num_audible == 1:
+                    sender = audible[0]
+                    metrics.deliveries += 1
+                    if receiver not in first_reception:
+                        first_reception[receiver] = slot
+                    has_received.add(receiver)
+                    if tracing:
+                        deliveries[receiver] = (sender, messages[sender])
+                elif num_audible >= 2:
+                    collisions += 1
+                observations.append(observation)
+                if tracing:
+                    conflict_counts[receiver] = num_audible
+                    heard[receiver] = observation
+        metrics.collisions += collisions
 
         # Observations are delivered only after the whole slot resolves,
         # preserving simultaneity.
-        for receiver in receivers:
-            self.programs[receiver].on_observe(self._contexts[receiver], heard[receiver])
+        for entry, observation in zip(receivers, observations):
+            entry[1].on_observe(entry[2], observation)
 
-        if self.trace is not None:
+        if tracing:
             self.trace.append(
                 SlotRecord(
-                    slot=self.slot,
+                    slot=slot,
                     transmitters=messages,
-                    receivers=frozenset(receivers),
+                    receivers=frozenset(entry[0] for entry in receivers),
                     heard=heard,
                     deliveries=deliveries,
                     conflict_counts=conflict_counts,
@@ -223,20 +394,10 @@ class Engine:
             )
 
     def _audible_transmitters(self, receiver: Node, messages: dict[Node, Any]) -> list[Node]:
-        if isinstance(self.graph, DiGraph):
-            neighborhood = self.graph.neighbors_in(receiver)
-        else:
-            neighborhood = self.graph.neighbors(receiver)
+        neighborhood = self._audible_map()[receiver]
         if len(messages) < len(neighborhood):
             return [node for node in messages if node in neighborhood]
         return [node for node in neighborhood if node in messages]
 
     def _all_done(self) -> bool:
-        for node, program in self.programs.items():
-            if node in self._crashed:
-                continue
-            ctx = self._contexts[node]
-            ctx.slot = self.slot
-            if not program.is_done(ctx):
-                return False
-        return True
+        return self._refresh_done()

@@ -70,6 +70,22 @@ class FaultSchedule:
     def crashes_at(self, slot: int) -> list[CrashFault]:
         return [f for f in self.crash_faults if f.slot == slot]
 
+    def by_slot(self) -> tuple[dict[int, list[EdgeFault]], dict[int, list[CrashFault]]]:
+        """Index the schedule by slot (one scan instead of one per slot).
+
+        Relative order of same-slot faults is preserved, so replaying
+        the index is equivalent to calling :meth:`edge_faults_at` /
+        :meth:`crashes_at` slot by slot.  The index is a snapshot:
+        faults added afterwards are not reflected.
+        """
+        edge_index: dict[int, list[EdgeFault]] = {}
+        for fault in self.edge_faults:
+            edge_index.setdefault(fault.slot, []).append(fault)
+        crash_index: dict[int, list[CrashFault]] = {}
+        for fault in self.crash_faults:
+            crash_index.setdefault(fault.slot, []).append(fault)
+        return edge_index, crash_index
+
     def is_empty(self) -> bool:
         return not self.edge_faults and not self.crash_faults
 

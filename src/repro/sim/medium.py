@@ -55,6 +55,8 @@ def _sentinel_lookup(name: str) -> _Sentinel:
 class Medium:
     """Resolution policy mapping transmitting neighbours to an observation."""
 
+    __slots__ = ()
+
     #: whether receivers can distinguish collision from silence
     detects_collisions: bool = False
 
@@ -79,7 +81,15 @@ class Medium:
 
 
 class RadioMedium(Medium):
-    """The paper's medium: no collision detection."""
+    """The paper's medium: no collision detection.
+
+    The engine inlines this exact class's resolution rule in its hot
+    loop (deliver iff exactly one audible transmitter, else
+    :data:`SILENCE`); subclasses with a different :meth:`resolve` are
+    dispatched normally.
+    """
+
+    __slots__ = ()
 
     detects_collisions = False
 
@@ -96,6 +106,8 @@ class RadioMedium(Medium):
 
 class CollisionDetectingMedium(Medium):
     """Section-4 variant: collisions are observable as :data:`COLLISION`."""
+
+    __slots__ = ()
 
     detects_collisions = True
 

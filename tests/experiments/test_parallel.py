@@ -1,0 +1,152 @@
+"""Tests for the process-pool execution layer (:mod:`repro.parallel`).
+
+The load-bearing property is *equivalence*: for any ``jobs`` value the
+results are element-for-element what the serial loop produces, because
+repetition seeds are derived order-independently.  The flagship
+experiment tables are checked byte-for-byte here.
+"""
+
+import pytest
+
+from repro.errors import ExperimentError
+from repro.experiments.runner import ExperimentConfig, repeat_runs, sweep
+from repro.parallel import (
+    default_chunksize,
+    parallel_map,
+    parallel_starmap,
+    resolve_jobs,
+)
+
+
+def _square(x):
+    return x * x
+
+
+def _add(a, b):
+    return a + b
+
+
+def _seed_echo(seed):
+    return ("echo", seed)
+
+
+def _point_sum(point, seeds):
+    return (point, sum(seeds))
+
+
+def _explode(x):
+    raise ValueError(f"boom {x}")
+
+
+class TestResolveJobs:
+    def test_default_is_serial(self, monkeypatch):
+        monkeypatch.delenv("REPRO_JOBS", raising=False)
+        assert resolve_jobs(None) == 1
+
+    def test_explicit_value_wins(self, monkeypatch):
+        monkeypatch.setenv("REPRO_JOBS", "8")
+        assert resolve_jobs(3) == 3
+
+    def test_env_var_used_when_unset(self, monkeypatch):
+        monkeypatch.setenv("REPRO_JOBS", "5")
+        assert resolve_jobs(None) == 5
+
+    def test_zero_means_all_cpus(self):
+        import os
+
+        assert resolve_jobs(0) == (os.cpu_count() or 1)
+
+    def test_negative_rejected(self):
+        with pytest.raises(ExperimentError):
+            resolve_jobs(-2)
+
+    def test_bad_env_var_rejected(self, monkeypatch):
+        monkeypatch.setenv("REPRO_JOBS", "many")
+        with pytest.raises(ExperimentError):
+            resolve_jobs(None)
+
+    def test_config_defers_to_env(self, monkeypatch):
+        monkeypatch.setenv("REPRO_JOBS", "4")
+        assert ExperimentConfig().effective_jobs() == 4
+        assert ExperimentConfig(jobs=2).effective_jobs() == 2
+
+
+class TestDefaultChunksize:
+    def test_chunks_amortise_dispatch(self):
+        # 100 items over 4 workers, 4 chunks each -> ceil(100/16) = 7.
+        assert default_chunksize(100, 4) == 7
+
+    def test_never_below_one(self):
+        assert default_chunksize(1, 8) == 1
+        assert default_chunksize(0, 8) == 1
+
+
+class TestParallelMap:
+    def test_matches_serial_and_preserves_order(self):
+        items = list(range(50))
+        serial = [_square(x) for x in items]
+        assert parallel_map(_square, items, jobs=1) == serial
+        assert parallel_map(_square, items, jobs=4) == serial
+
+    def test_empty_items(self):
+        assert parallel_map(_square, [], jobs=4) == []
+
+    def test_unpicklable_fn_falls_back_to_serial(self):
+        seen = []
+
+        def record(x):  # closure: unpicklable, must run in-process
+            seen.append(x)
+            return x
+
+        assert parallel_map(record, [1, 2, 3], jobs=4) == [1, 2, 3]
+        assert seen == [1, 2, 3]
+
+    def test_worker_exceptions_propagate(self):
+        with pytest.raises(ValueError, match="boom"):
+            parallel_map(_explode, [1, 2, 3, 4], jobs=2)
+
+    def test_starmap_matches_serial(self):
+        tasks = [(a, a + 1) for a in range(20)]
+        serial = [_add(a, b) for a, b in tasks]
+        assert parallel_starmap(_add, tasks, jobs=1) == serial
+        assert parallel_starmap(_add, tasks, jobs=3) == serial
+
+
+class TestHarnessEquivalence:
+    def test_repeat_runs_identical_across_jobs(self):
+        serial = repeat_runs(
+            ExperimentConfig(reps=12, master_seed=7, jobs=1), ("t",), _seed_echo
+        )
+        pooled = repeat_runs(
+            ExperimentConfig(reps=12, master_seed=7, jobs=4), ("t",), _seed_echo
+        )
+        assert pooled == serial
+
+    def test_sweep_identical_across_jobs(self):
+        points = ["a", "b", "c"]
+        serial = sweep(ExperimentConfig(reps=3, jobs=1), points, _point_sum)
+        pooled = sweep(ExperimentConfig(reps=3, jobs=4), points, _point_sum)
+        assert pooled == serial
+
+
+class TestExperimentEquivalence:
+    """Flagship tables must be byte-identical for jobs=1 and jobs=4."""
+
+    def _render(self, run_table, **config_kwargs):
+        return run_table(ExperimentConfig(**config_kwargs)).render()
+
+    def test_exp_decay_table_identical(self):
+        from repro.experiments.exp_decay import run_theorem1_table
+
+        kwargs = dict(reps=8, master_seed=11, quick=True)
+        serial = self._render(run_theorem1_table, jobs=1, **kwargs)
+        pooled = self._render(run_theorem1_table, jobs=4, **kwargs)
+        assert pooled == serial
+
+    def test_exp_broadcast_table_identical(self):
+        from repro.experiments.exp_broadcast import run_success_rate_table
+
+        kwargs = dict(reps=8, master_seed=11, quick=True)
+        serial = self._render(run_success_rate_table, jobs=1, **kwargs)
+        pooled = self._render(run_success_rate_table, jobs=4, **kwargs)
+        assert pooled == serial

@@ -142,6 +142,67 @@ class TestGraphCopyAndViews:
         assert "|V|=3" in repr(Graph(edges=[(1, 2), (2, 3)]))
 
 
+class TestNeighborCaching:
+    """``neighbors`` returns a cached frozenset invalidated on mutation."""
+
+    def test_repeated_calls_share_the_snapshot(self):
+        g = Graph(edges=[(0, 1), (1, 2)])
+        assert g.neighbors(1) is g.neighbors(1)
+
+    def test_add_edge_invalidates_both_endpoints(self):
+        g = Graph(edges=[(0, 1)])
+        g.neighbors(0), g.neighbors(1)
+        g.add_edge(1, 2)
+        assert g.neighbors(1) == frozenset({0, 2})
+        assert g.neighbors(2) == frozenset({1})
+
+    def test_remove_edge_invalidates_both_endpoints(self):
+        g = Graph(edges=[(0, 1), (1, 2)])
+        g.neighbors(0), g.neighbors(1)
+        g.remove_edge(0, 1)
+        assert g.neighbors(0) == frozenset()
+        assert g.neighbors(1) == frozenset({2})
+
+    def test_remove_node_invalidates_former_neighbors(self):
+        g = Graph(edges=[(0, 1), (1, 2)])
+        g.neighbors(0), g.neighbors(2)
+        g.remove_node(1)
+        assert g.neighbors(0) == frozenset()
+        assert g.neighbors(2) == frozenset()
+
+    def test_version_counter_moves_on_mutation_only(self):
+        g = Graph(edges=[(0, 1)])
+        before = g.version
+        g.neighbors(0)
+        assert g.version == before
+        g.add_edge(1, 2)
+        assert g.version > before
+
+    def test_existing_node_add_keeps_version(self):
+        g = Graph(nodes=[1])
+        before = g.version
+        g.add_node(1)
+        assert g.version == before
+
+    def test_copy_cache_is_independent(self):
+        g = Graph(edges=[(0, 1)])
+        g.neighbors(0)
+        h = g.copy()
+        h.add_edge(0, 2)
+        assert g.neighbors(0) == frozenset({1})
+        assert h.neighbors(0) == frozenset({1, 2})
+
+    def test_digraph_in_neighbors_cache_invalidated(self):
+        g = DiGraph(edges=[(0, 1)])
+        assert g.neighbors_in(1) is g.neighbors_in(1)
+        g.add_edge(2, 1)
+        assert g.neighbors_in(1) == frozenset({0, 2})
+        g.remove_edge(0, 1)
+        assert g.neighbors_in(1) == frozenset({2})
+        g.remove_node(2)
+        assert g.neighbors_in(1) == frozenset()
+
+
 class TestDiGraph:
     def setup_method(self):
         self.g = DiGraph(edges=[(0, 1), (1, 2), (2, 0), (0, 2)])

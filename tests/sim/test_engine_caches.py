@@ -1,0 +1,136 @@
+"""Regression tests for the engine's hot-path caches.
+
+The engine caches three things across slots: the audibility map (keyed
+on the graph's version counter), the done-set (relying on monotone
+``is_done``), and the indexed fault schedule.  Each cache has a way to
+go stale; these tests pin the invalidation behaviour.
+"""
+
+from typing import Any
+
+from repro.graphs import line, star
+from repro.sim import (
+    SILENCE,
+    Context,
+    EdgeFault,
+    Engine,
+    FaultSchedule,
+    Idle,
+    NodeProgram,
+    Receive,
+    Transmit,
+)
+
+
+class Beacon(NodeProgram):
+    def act(self, ctx: Context) -> Any:
+        return Transmit("b")
+
+
+class Listener(NodeProgram):
+    def __init__(self) -> None:
+        self.heard: list[Any] = []
+
+    def act(self, ctx: Context) -> Any:
+        return Receive()
+
+    def on_observe(self, ctx: Context, heard: Any) -> None:
+        self.heard.append(heard)
+
+
+class DoneCounter(NodeProgram):
+    """Never done; counts how often the engine polls ``is_done``."""
+
+    def __init__(self) -> None:
+        self.is_done_calls = 0
+
+    def act(self, ctx: Context) -> Any:
+        return Idle()
+
+    def is_done(self, ctx: Context) -> bool:
+        self.is_done_calls += 1
+        return False
+
+
+class DoneAfter(NodeProgram):
+    """Done from a fixed slot on; counts polls after reporting done."""
+
+    def __init__(self, at_slot: int) -> None:
+        self.at_slot = at_slot
+        self.polls_after_done = 0
+
+    def act(self, ctx: Context) -> Any:
+        return Idle()
+
+    def is_done(self, ctx: Context) -> bool:
+        done = ctx.slot >= self.at_slot
+        if ctx.slot > self.at_slot:
+            self.polls_after_done += 1
+        return done
+
+
+class TestAudibleCacheInvalidation:
+    def test_edge_fault_changes_audible_transmitters(self):
+        """The satellite regression guard: a mid-run edge removal must
+        change what ``_audible_transmitters`` reports afterwards."""
+        listeners = {1: Listener(), 2: Listener()}
+        schedule = FaultSchedule(edge_faults=[EdgeFault(slot=2, u=0, v=1)])
+        engine = Engine(
+            line(3), {0: Beacon(), **listeners}, initiators={0}, faults=schedule
+        )
+        assert engine._audible_transmitters(1, {0: "m"}) == [0]
+        for _ in range(4):
+            engine.step()
+        assert engine._audible_transmitters(1, {0: "m"}) == []
+        # Node 1 heard the beacon only while the edge existed.
+        assert listeners[1].heard == ["b", "b", SILENCE, SILENCE]
+
+    def test_edge_fault_add_brings_transmitter_into_range(self):
+        listener = Listener()
+        schedule = FaultSchedule(edge_faults=[EdgeFault(slot=1, u=0, v=2, kind="add")])
+        engine = Engine(
+            line(3),
+            {0: Beacon(), 1: Listener(), 2: listener},
+            initiators={0},
+            faults=schedule,
+        )
+        assert engine._audible_transmitters(2, {0: "m"}) == []
+        engine.step()
+        engine.step()
+        assert engine._audible_transmitters(2, {0: "m"}) == [0]
+        assert listener.heard == [SILENCE, "b"]
+
+    def test_out_of_band_graph_mutation_is_picked_up(self):
+        """Mutating ``engine.graph`` directly (no fault schedule) must
+        invalidate the cached audibility map via the version counter."""
+        engine = Engine(line(3), {0: Beacon(), 1: Listener(), 2: Listener()},
+                        initiators={0})
+        assert engine._audible_transmitters(1, {0: "m"}) == [0]
+        engine.graph.remove_edge(0, 1)
+        assert engine._audible_transmitters(1, {0: "m"}) == []
+        engine.graph.add_edge(0, 2)
+        assert engine._audible_transmitters(2, {0: "m"}) == [0]
+
+
+class TestDoneSetCaching:
+    def test_is_done_polled_once_per_node_per_slot(self):
+        """The done-set must collapse the run-loop check and the intent
+        collection into one ``is_done`` call per live node per slot."""
+        programs = {node: DoneCounter() for node in range(4)}
+        engine = Engine(star(3), programs, initiators={0})
+        engine.run(5)
+        assert [p.is_done_calls for p in programs.values()] == [5, 5, 5, 5]
+
+    def test_done_nodes_never_polled_again(self):
+        hub = DoneAfter(at_slot=2)
+        leaves = {leaf: DoneCounter() for leaf in (1, 2, 3)}
+        engine = Engine(star(3), {0: hub, **leaves}, initiators={0})
+        engine.run(6)
+        assert hub.polls_after_done == 0
+        assert all(p.is_done_calls == 6 for p in leaves.values())
+
+    def test_run_stops_at_first_all_done_slot(self):
+        programs = {node: DoneAfter(at_slot=3) for node in range(3)}
+        engine = Engine(line(3), programs, initiators={0})
+        result = engine.run(100)
+        assert result.slots == 3
