@@ -8,6 +8,10 @@ Subcommands:
 * ``gap`` — print the exponential-gap table (experiment E5).
 * ``experiment`` — run any experiment module by ID (e1..e12) and print
   its table(s).
+* ``chaos`` — run a randomized adversarial fault campaign
+  (:mod:`repro.chaos`) and check its safety/liveness invariants; the
+  exit code reports the verdict, ``--journal``/``--resume`` checkpoint
+  and restart long campaigns.
 * ``game`` — play the hitting game: foil a named strategy with the
   ``find_set`` adversary.
 
@@ -15,7 +19,9 @@ Every command takes ``--seed`` and is fully reproducible.  The
 experiment-style commands additionally take ``--jobs N`` (or honour
 ``REPRO_JOBS``) to fan Monte-Carlo repetitions out to a process pool —
 without changing any result, since repetition seeds are derived
-order-independently (see :mod:`repro.parallel`).
+order-independently (see :mod:`repro.parallel`) — and
+``--task-timeout`` to bound how long any pooled repetition may run
+before its worker is presumed hung and retried.
 """
 
 from __future__ import annotations
@@ -101,7 +107,8 @@ def _cmd_gap(args: argparse.Namespace) -> int:
     from repro.experiments.exp_gap import gap_growth_fits, run_gap_table
 
     config = ExperimentConfig(
-        reps=args.reps, master_seed=args.seed, quick=args.quick, jobs=args.jobs
+        reps=args.reps, master_seed=args.seed, quick=args.quick, jobs=args.jobs,
+        task_timeout=args.task_timeout,
     )
     table = run_gap_table(config)
     print(table.render())
@@ -128,7 +135,7 @@ _EXPERIMENTS: dict[str, tuple[str, list[str]]] = {
     "e8": ("repro.experiments.exp_coin_bias",
            ["run_coin_bias_table", "run_alignment_table"]),
     "e9": ("repro.experiments.exp_dynamic",
-           ["run_dynamic_table", "run_mobility_table"]),
+           ["run_dynamic_table", "run_mobility_table", "run_transient_fault_table"]),
     "e10": ("repro.experiments.exp_cd",
             ["run_cd_cn_table", "run_tree_splitting_table"]),
     "e11": ("repro.experiments.exp_dfs",
@@ -149,7 +156,8 @@ def _cmd_experiment(args: argparse.Namespace) -> int:
     module_name, functions = _EXPERIMENTS[key]
     module = importlib.import_module(module_name)
     config = ExperimentConfig(
-        reps=args.reps, master_seed=args.seed, quick=args.quick, jobs=args.jobs
+        reps=args.reps, master_seed=args.seed, quick=args.quick, jobs=args.jobs,
+        task_timeout=args.task_timeout,
     )
     for name in functions:
         table = getattr(module, name)(config)
@@ -192,6 +200,41 @@ def _cmd_game(args: argparse.Namespace) -> int:
     if args.show_set:
         print(f"S = {sorted(result.hidden_set)}")
     return 0
+
+
+def _cmd_chaos(args: argparse.Namespace) -> int:
+    from repro.chaos import ChaosConfig, run_chaos_campaign
+
+    if args.resume and not args.journal:
+        raise SystemExit("--resume requires --journal pointing at the campaign journal")
+    config = ChaosConfig(
+        n=16 if args.quick else args.n,
+        reps=8 if args.quick else args.reps,
+        epsilon=args.epsilon,
+        master_seed=args.seed,
+        protocol=args.protocol,
+        jobs=args.jobs,
+        task_timeout=args.task_timeout,
+    )
+    report = run_chaos_campaign(config, journal=args.journal, resume=args.resume)
+    if args.json:
+        print(report.to_json())
+    else:
+        print(report.table().render())
+        print()
+        if report.safety_violations:
+            print(f"SAFETY VIOLATIONS ({len(report.safety_violations)}):")
+            for violation in report.safety_violations[:20]:
+                print(f"  - {violation}")
+        verdict = "PASSED" if report.passed else "FAILED"
+        print(f"campaign {verdict} "
+              f"(liveness={'ok' if report.liveness_ok else 'BROKEN'}, "
+              f"control_breaks={'yes' if report.control_broken else 'NO'}, "
+              f"safety_violations={len(report.safety_violations)})")
+        if args.journal:
+            print(f"journal: {args.journal} (replay with --resume, or rerun "
+                  f"with --seed {args.seed} for a fresh but identical campaign)")
+    return 0 if report.passed else 1
 
 
 def _cmd_report(args: argparse.Namespace) -> int:
@@ -246,6 +289,12 @@ def build_parser() -> argparse.ArgumentParser:
                  "(default: $REPRO_JOBS or 1; 0 = all CPUs); results are "
                  "identical to serial runs",
         )
+        p.add_argument(
+            "--task-timeout", type=float, default=None, metavar="SECONDS",
+            help="per-repetition wall-clock budget on the pool; a chunk "
+                 "exceeding it is presumed hung, its workers are terminated "
+                 "and it is retried (default: unbounded)",
+        )
 
     p_gap = sub.add_parser("gap", help="print the exponential-gap table (E5)")
     add_common(p_gap)
@@ -261,6 +310,29 @@ def build_parser() -> argparse.ArgumentParser:
     p_exp.add_argument("--quick", action="store_true")
     add_jobs(p_exp)
     p_exp.set_defaults(func=_cmd_experiment)
+
+    p_chaos = sub.add_parser(
+        "chaos",
+        help="run an adversarial fault-injection campaign and check invariants",
+    )
+    add_common(p_chaos)
+    p_chaos.add_argument("-n", type=int, default=48)
+    p_chaos.add_argument("--reps", type=int, default=40,
+                         help="trials per arm (proviso + control)")
+    p_chaos.add_argument("--epsilon", type=float, default=0.1)
+    p_chaos.add_argument("--protocol", default="decay",
+                         help="registered protocol to stress (see repro.chaos.PROTOCOLS)")
+    p_chaos.add_argument("--quick", action="store_true",
+                         help="tiny campaign for CI smoke runs")
+    p_chaos.add_argument("--journal", default=None, metavar="PATH",
+                         help="checkpoint completed chunks to this JSON-lines file")
+    p_chaos.add_argument("--resume", action="store_true",
+                         help="resume a killed campaign from --journal "
+                              "(byte-identical final results)")
+    p_chaos.add_argument("--json", action="store_true",
+                         help="emit the machine-readable report instead of the table")
+    add_jobs(p_chaos)
+    p_chaos.set_defaults(func=_cmd_chaos)
 
     p_report = sub.add_parser("report", help="assemble the reproduction report")
     p_report.add_argument("--results-dir", default="benchmarks/results")

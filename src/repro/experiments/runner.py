@@ -14,6 +14,12 @@ Disciplines enforced here so individual experiments stay honest:
   pool (``ExperimentConfig(jobs=N)`` or the ``REPRO_JOBS`` environment
   variable — see :mod:`repro.parallel`) and still return exactly what
   the serial loop would.
+
+Repetitions are dispatched through :func:`repro.parallel.resilient_map`,
+so a worker that crashes mid-campaign is retried with exponential
+backoff (exact, because chunk inputs are re-derived seeds) and a
+``task_timeout`` turns a hung worker into a retry instead of a stuck
+experiment.
 """
 
 from __future__ import annotations
@@ -23,7 +29,7 @@ from typing import Any, Callable, Iterable, Sequence
 
 from repro import rng as rng_mod
 from repro.errors import ExperimentError
-from repro.parallel import parallel_map, parallel_starmap, resolve_jobs
+from repro.parallel import resilient_map, resilient_starmap, resolve_jobs
 
 __all__ = ["ExperimentConfig", "repeat_runs", "sweep"]
 
@@ -41,13 +47,16 @@ class ExperimentConfig:
     serially, ``N > 1`` uses a pool of N worker processes and ``0``
     uses every CPU.  Because per-repetition seeds are derived (not
     drawn from a shared stream), the result tables are identical for
-    every ``jobs`` value.
+    every ``jobs`` value.  ``task_timeout`` (seconds per repetition,
+    ``None`` = unbounded) bounds how long a pooled repetition may run
+    before its worker is presumed hung and the chunk is retried.
     """
 
     reps: int = 30
     master_seed: int = 20260706
     quick: bool = False
     jobs: int | None = None
+    task_timeout: float | None = None
     extra: dict[str, Any] = field(default_factory=dict)
 
     def seeds(self, *tags: object) -> list[int]:
@@ -67,13 +76,18 @@ def repeat_runs(
     """Run ``run_once(seed)`` for each derived repetition seed.
 
     With ``config.jobs > 1`` (or ``REPRO_JOBS`` set) and a picklable
-    ``run_once``, repetitions execute on a process pool; the returned
-    list is element-for-element identical to the serial result either
-    way.
+    ``run_once``, repetitions execute on a resilient process pool
+    (worker-death retry, optional per-task timeout); the returned list
+    is element-for-element identical to the serial result either way.
     """
     if config.reps < 1:
         raise ExperimentError("reps must be >= 1")
-    return parallel_map(run_once, config.seeds(*tag), jobs=config.effective_jobs())
+    return resilient_map(
+        run_once,
+        config.seeds(*tag),
+        jobs=config.effective_jobs(),
+        task_timeout=config.task_timeout,
+    )
 
 
 def sweep(
@@ -84,8 +98,13 @@ def sweep(
     """Evaluate ``run_point(point, seeds)`` at every sweep point.
 
     Sweep points are independent by the seeding discipline, so they are
-    dispatched through the same process-pool backend as
+    dispatched through the same resilient process-pool backend as
     :func:`repeat_runs`; results come back in point order regardless.
     """
     tasks = [(point, config.seeds("sweep", point)) for point in points]
-    return parallel_starmap(run_point, tasks, jobs=config.effective_jobs())
+    return resilient_starmap(
+        run_point,
+        tasks,
+        jobs=config.effective_jobs(),
+        task_timeout=config.task_timeout,
+    )

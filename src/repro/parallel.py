@@ -21,22 +21,60 @@ Work is dispatched in contiguous chunks (a few chunks per worker) so
 per-task IPC overhead amortises across many cheap repetitions.  The
 callable and a sample item must be picklable to cross the process
 boundary; when they are not (e.g. an experiment passes a local
-closure), execution silently falls back to the serial path — results
-are identical either way, only wall-clock time differs.
+closure), execution falls back to the serial path — results are
+identical either way, only wall-clock time differs — and a
+``RuntimeWarning`` plus a log record explain why the pool was skipped.
+
+Resilience
+----------
+:func:`resilient_map` is the hardened front end long campaigns use.
+On top of :func:`parallel_map`'s equivalence guarantee it adds:
+
+* **retry with exponential backoff** when a worker process dies
+  (``BrokenProcessPool``): the pool is rebuilt and the affected chunks
+  are resubmitted — exact, because chunk inputs are re-derived seeds,
+  not consumed stream state.  After ``max_retries`` pool attempts the
+  blamed chunk is executed in-process, so one poisoned worker cannot
+  sink a campaign;
+* **per-task timeouts** (``task_timeout`` seconds): a chunk that takes
+  longer than ``task_timeout × len(chunk)`` is treated as hung, its
+  workers are terminated, and it is retried like a crash;
+* **chunk-level checkpoint/resume** via :class:`CampaignJournal`: each
+  completed chunk is appended to a journal file, and
+  ``resume=True`` restarts a killed campaign from the last completed
+  chunk — final results are byte-identical to an uninterrupted run
+  because the journal stores the actual chunk results and fixes the
+  chunk geometry.
 """
 
 from __future__ import annotations
 
+import base64
+import hashlib
+import json
+import logging
 import os
 import pickle
+import time
+import warnings
+from pathlib import Path
 from typing import Any, Callable, Iterable, Sequence, TypeVar
 
 from repro.errors import ExperimentError
 
-__all__ = ["resolve_jobs", "parallel_map", "parallel_starmap"]
+__all__ = [
+    "resolve_jobs",
+    "parallel_map",
+    "parallel_starmap",
+    "resilient_map",
+    "resilient_starmap",
+    "CampaignJournal",
+]
 
 T = TypeVar("T")
 R = TypeVar("R")
+
+logger = logging.getLogger("repro.parallel")
 
 #: Chunks handed to each worker; >1 smooths out uneven task durations.
 _CHUNKS_PER_WORKER = 4
@@ -75,6 +113,19 @@ def _picklable(*objects: Any) -> bool:
     return True
 
 
+def _warn_serial_fallback(fn: Callable[..., Any]) -> None:
+    """Announce (warning + log) that a requested pool was skipped."""
+    name = getattr(fn, "__qualname__", repr(fn))
+    message = (
+        f"parallel execution requested but {name} (or its items) is not "
+        "picklable — e.g. a local closure or lambda; running serially "
+        "instead.  Results are identical, but the requested speed-up is "
+        "lost.  Move the callable to module level to enable the pool."
+    )
+    warnings.warn(message, RuntimeWarning, stacklevel=4)
+    logger.warning(message)
+
+
 def default_chunksize(num_items: int, jobs: int) -> int:
     """Contiguous chunk length for dispatching ``num_items`` tasks."""
     return max(1, -(-num_items // (jobs * _CHUNKS_PER_WORKER)))
@@ -96,7 +147,10 @@ def parallel_map(
     """
     items = list(items)
     jobs = min(resolve_jobs(jobs), len(items))
-    if jobs <= 1 or not _picklable(fn, items[0]):
+    if jobs > 1 and not _picklable(fn, items[0]):
+        _warn_serial_fallback(fn)
+        jobs = 1
+    if jobs <= 1:
         return [fn(item) for item in items]
     from concurrent.futures import ProcessPoolExecutor
 
@@ -121,3 +175,346 @@ def parallel_starmap(
     """``[fn(*args) for args in argument_tuples]`` with pool support."""
     tasks = [(fn, tuple(args)) for args in argument_tuples]
     return parallel_map(_apply_args, tasks, jobs=jobs, chunksize=chunksize)
+
+
+# -- campaign journal ----------------------------------------------------
+
+
+class CampaignJournal:
+    """Chunk-level checkpoint file for :func:`resilient_map` campaigns.
+
+    The journal is a JSON-lines file: a header record pinning the
+    campaign identity (a fingerprint of the callable and its items),
+    the chunk geometry, and then one record per completed chunk with
+    its pickled results.  Appends are flushed per chunk, so a killed
+    campaign loses at most the chunk in flight; a truncated trailing
+    line (torn write) is ignored on load.
+
+    Resuming re-runs only the missing chunks and fixes ``chunksize``
+    from the header, so the final result list is byte-identical to an
+    uninterrupted run even if the worker count changed in between.
+    """
+
+    VERSION = 1
+
+    def __init__(self, path: str | os.PathLike[str]) -> None:
+        self.path = Path(path)
+        self._chunksize: int | None = None
+
+    # -- identity -----------------------------------------------------
+
+    @staticmethod
+    def fingerprint(fn: Callable[..., Any], items: Sequence[Any]) -> str:
+        """A stable digest of *which campaign this is*.
+
+        Built from the callable's qualified name and the item list, so
+        resuming with a different experiment or different seeds fails
+        loudly instead of splicing unrelated results together.
+        """
+        hasher = hashlib.sha256()
+        hasher.update(getattr(fn, "__module__", "?").encode())
+        hasher.update(b"\x1f")
+        hasher.update(getattr(fn, "__qualname__", repr(fn)).encode())
+        hasher.update(b"\x1f")
+        try:
+            hasher.update(pickle.dumps(list(items)))
+        except Exception:
+            hasher.update(repr(list(items)).encode())
+        return hasher.hexdigest()
+
+    # -- lifecycle ----------------------------------------------------
+
+    def start(
+        self,
+        fingerprint: str,
+        num_items: int,
+        chunksize: int,
+        *,
+        resume: bool,
+    ) -> dict[int, list[Any]]:
+        """Open the journal; return the chunks already completed.
+
+        With ``resume=False`` any existing file is replaced by a fresh
+        header.  With ``resume=True`` the existing journal is loaded,
+        its identity is checked against ``fingerprint``/``num_items``
+        (mismatch raises :class:`ExperimentError`), the recorded chunk
+        geometry is adopted, and completed chunk results are returned.
+        """
+        if resume and self.path.exists():
+            header, completed = self._load()
+            if header["fingerprint"] != fingerprint or header["items"] != num_items:
+                raise ExperimentError(
+                    f"journal {self.path} belongs to a different campaign "
+                    "(fingerprint/items mismatch); refusing to resume"
+                )
+            self._chunksize = int(header["chunksize"])
+            return completed
+        self._chunksize = chunksize
+        self.path.parent.mkdir(parents=True, exist_ok=True)
+        header = {
+            "kind": "header",
+            "version": self.VERSION,
+            "fingerprint": fingerprint,
+            "items": num_items,
+            "chunksize": chunksize,
+        }
+        self.path.write_text(json.dumps(header) + "\n", encoding="utf-8")
+        return {}
+
+    @property
+    def chunksize(self) -> int:
+        if self._chunksize is None:
+            raise ExperimentError("journal not started")
+        return self._chunksize
+
+    def record_chunk(self, index: int, results: list[Any]) -> None:
+        """Append one completed chunk (flushed immediately)."""
+        payload = base64.b64encode(pickle.dumps(results)).decode("ascii")
+        record = {"kind": "chunk", "index": index, "payload": payload}
+        with self.path.open("a", encoding="utf-8") as stream:
+            stream.write(json.dumps(record) + "\n")
+            stream.flush()
+            os.fsync(stream.fileno())
+
+    # -- internals ----------------------------------------------------
+
+    def _load(self) -> tuple[dict[str, Any], dict[int, list[Any]]]:
+        header: dict[str, Any] | None = None
+        completed: dict[int, list[Any]] = {}
+        with self.path.open("r", encoding="utf-8") as stream:
+            for line_number, line in enumerate(stream):
+                try:
+                    record = json.loads(line)
+                except json.JSONDecodeError:
+                    # Torn trailing write from a killed run: drop it.
+                    logger.warning(
+                        "journal %s: ignoring corrupt line %d",
+                        self.path,
+                        line_number + 1,
+                    )
+                    break
+                if record.get("kind") == "header":
+                    if record.get("version") != self.VERSION:
+                        raise ExperimentError(
+                            f"journal {self.path} has unsupported version "
+                            f"{record.get('version')!r}"
+                        )
+                    header = record
+                elif record.get("kind") == "chunk":
+                    payload = base64.b64decode(record["payload"])
+                    completed[int(record["index"])] = pickle.loads(payload)
+        if header is None:
+            raise ExperimentError(f"journal {self.path} has no header record")
+        return header, completed
+
+
+# -- resilient execution -------------------------------------------------
+
+
+def _run_chunk(fn: Callable[[T], R], chunk: list[T]) -> list[R]:
+    return [fn(item) for item in chunk]
+
+
+def _terminate_workers(executor: Any) -> None:
+    """Hard-stop an executor whose workers may be hung or dead.
+
+    ``shutdown(wait=True)`` would block forever on a hung task, so the
+    pool is abandoned without waiting and its worker processes are
+    terminated best-effort (via the executor's process table).
+    """
+    # Snapshot the process table first: shutdown() clears it.
+    processes = list((getattr(executor, "_processes", None) or {}).values())
+    executor.shutdown(wait=False, cancel_futures=True)
+    for process in processes:
+        try:
+            process.terminate()
+        except Exception:  # pragma: no cover - platform-specific races
+            pass
+
+
+def resilient_map(
+    fn: Callable[[T], R],
+    items: Iterable[T],
+    *,
+    jobs: int | None = None,
+    chunksize: int | None = None,
+    task_timeout: float | None = None,
+    max_retries: int = 3,
+    backoff_base: float = 0.25,
+    journal: str | os.PathLike[str] | CampaignJournal | None = None,
+    resume: bool = False,
+) -> list[R]:
+    """:func:`parallel_map` hardened for long campaigns (see module docs).
+
+    Equivalent to ``[fn(item) for item in items]`` in value, with worker
+    death retried (exponential backoff, serial fallback after
+    ``max_retries``), hung chunks timed out after ``task_timeout``
+    seconds per task, and completed chunks checkpointed to ``journal``.
+    Exceptions raised by ``fn`` itself are deterministic and propagate
+    immediately — only infrastructure failures are retried.
+    """
+    items = list(items)
+    if task_timeout is not None and task_timeout <= 0:
+        raise ExperimentError(f"task_timeout must be positive, got {task_timeout}")
+    if max_retries < 0:
+        raise ExperimentError(f"max_retries must be >= 0, got {max_retries}")
+    jobs = min(resolve_jobs(jobs), len(items)) if items else 1
+    if chunksize is None:
+        chunksize = default_chunksize(len(items), max(1, jobs))
+
+    journal_obj: CampaignJournal | None
+    if journal is None:
+        journal_obj = None
+        completed: dict[int, list[Any]] = {}
+    else:
+        journal_obj = (
+            journal if isinstance(journal, CampaignJournal) else CampaignJournal(journal)
+        )
+        fingerprint = CampaignJournal.fingerprint(fn, items)
+        completed = journal_obj.start(
+            fingerprint, len(items), chunksize, resume=resume
+        )
+        chunksize = journal_obj.chunksize  # resumed geometry wins
+
+    chunks = [items[i : i + chunksize] for i in range(0, len(items), chunksize)]
+    results: dict[int, list[Any]] = {
+        index: chunk_results
+        for index, chunk_results in completed.items()
+        if 0 <= index < len(chunks)
+    }
+    remaining = [index for index in range(len(chunks)) if index not in results]
+
+    if remaining:
+        use_pool = jobs > 1 and _picklable(fn, items[0])
+        if jobs > 1 and not use_pool:
+            _warn_serial_fallback(fn)
+        if not use_pool:
+            for index in remaining:
+                chunk_results = _run_chunk(fn, chunks[index])
+                results[index] = chunk_results
+                if journal_obj is not None:
+                    journal_obj.record_chunk(index, chunk_results)
+        else:
+            _resilient_pool_run(
+                fn,
+                chunks,
+                remaining,
+                results,
+                jobs=jobs,
+                task_timeout=task_timeout,
+                max_retries=max_retries,
+                backoff_base=backoff_base,
+                journal_obj=journal_obj,
+            )
+
+    return [value for index in range(len(chunks)) for value in results[index]]
+
+
+def _resilient_pool_run(
+    fn: Callable[[T], R],
+    chunks: list[list[T]],
+    remaining: list[int],
+    results: dict[int, list[Any]],
+    *,
+    jobs: int,
+    task_timeout: float | None,
+    max_retries: int,
+    backoff_base: float,
+    journal_obj: CampaignJournal | None,
+) -> None:
+    """Drive the pending chunks through a pool, surviving worker failures."""
+    from concurrent.futures import ProcessPoolExecutor
+    from concurrent.futures import TimeoutError as FutureTimeout
+    from concurrent.futures.process import BrokenProcessPool
+
+    attempts = {index: 0 for index in remaining}
+    executor = ProcessPoolExecutor(max_workers=jobs)
+    futures = {
+        index: executor.submit(_run_chunk, fn, chunks[index]) for index in remaining
+    }
+    position = 0
+    try:
+        while position < len(remaining):
+            index = remaining[position]
+            allowance = (
+                None if task_timeout is None else task_timeout * len(chunks[index])
+            )
+            try:
+                chunk_results = futures[index].result(timeout=allowance)
+            except (BrokenProcessPool, FutureTimeout) as exc:
+                # Infrastructure failure: the worker died or the chunk
+                # hung.  Blame the chunk at the head of the line; later
+                # chunks are resubmitted as collateral without burning
+                # their own retry budget.
+                attempts[index] += 1
+                _terminate_workers(executor)
+                still_pending = remaining[position:]
+                if attempts[index] > max_retries:
+                    if isinstance(exc, FutureTimeout):
+                        raise ExperimentError(
+                            f"chunk {index} ({len(chunks[index])} tasks) timed "
+                            f"out after {attempts[index]} attempts of "
+                            f"{allowance:.1f}s each; aborting the campaign"
+                        ) from exc
+                    logger.warning(
+                        "chunk %d killed its worker %d times; running it "
+                        "in-process (exact: inputs are re-derived seeds)",
+                        index,
+                        attempts[index],
+                    )
+                    chunk_results = _run_chunk(fn, chunks[index])
+                    executor = ProcessPoolExecutor(max_workers=jobs)
+                    futures = {
+                        later: executor.submit(_run_chunk, fn, chunks[later])
+                        for later in still_pending[1:]
+                    }
+                else:
+                    delay = backoff_base * (2 ** (attempts[index] - 1))
+                    logger.warning(
+                        "%s on chunk %d; retry %d/%d after %.2fs backoff",
+                        type(exc).__name__,
+                        index,
+                        attempts[index],
+                        max_retries,
+                        delay,
+                    )
+                    time.sleep(delay)
+                    executor = ProcessPoolExecutor(max_workers=jobs)
+                    futures = {
+                        pending: executor.submit(_run_chunk, fn, chunks[pending])
+                        for pending in still_pending
+                    }
+                    continue
+            results[index] = chunk_results
+            if journal_obj is not None:
+                journal_obj.record_chunk(index, chunk_results)
+            position += 1
+    finally:
+        executor.shutdown(wait=False, cancel_futures=True)
+
+
+def resilient_starmap(
+    fn: Callable[..., R],
+    argument_tuples: Iterable[Sequence[Any]],
+    *,
+    jobs: int | None = None,
+    chunksize: int | None = None,
+    task_timeout: float | None = None,
+    max_retries: int = 3,
+    backoff_base: float = 0.25,
+    journal: str | os.PathLike[str] | CampaignJournal | None = None,
+    resume: bool = False,
+) -> list[R]:
+    """``[fn(*args) for args in argument_tuples]`` with full resilience."""
+    tasks = [(fn, tuple(args)) for args in argument_tuples]
+    return resilient_map(
+        _apply_args,
+        tasks,
+        jobs=jobs,
+        chunksize=chunksize,
+        task_timeout=task_timeout,
+        max_retries=max_retries,
+        backoff_base=backoff_base,
+        journal=journal,
+        resume=resume,
+    )

@@ -10,9 +10,16 @@ Entry point: :class:`~repro.sim.engine.Engine`.
 """
 
 from repro.sim.engine import Engine, RunResult
-from repro.sim.faults import CrashFault, EdgeFault, FaultSchedule
+from repro.sim.faults import (
+    CrashFault,
+    EdgeFault,
+    FaultSchedule,
+    JamFault,
+    LinkLossFault,
+)
 from repro.sim.medium import (
     COLLISION,
+    JAMMING,
     SILENCE,
     CollisionDetectingMedium,
     Medium,
@@ -36,10 +43,13 @@ __all__ = [
     "CollisionDetectingMedium",
     "SILENCE",
     "COLLISION",
+    "JAMMING",
     "RunMetrics",
     "Trace",
     "SlotRecord",
     "FaultSchedule",
     "EdgeFault",
     "CrashFault",
+    "JamFault",
+    "LinkLossFault",
 ]

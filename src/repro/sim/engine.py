@@ -32,8 +32,8 @@ from typing import Any, Callable, Hashable, Mapping
 from repro import rng as rng_mod
 from repro.errors import ProtocolError, SimulationError
 from repro.graphs.graph import DiGraph, Graph
-from repro.sim.faults import FaultSchedule
-from repro.sim.medium import SILENCE, Medium, RadioMedium
+from repro.sim.faults import FaultSchedule, LinkLossFault
+from repro.sim.medium import COLLISION, JAMMING, SILENCE, Medium, RadioMedium
 from repro.sim.metrics import RunMetrics
 from repro.sim.node import Context, Idle, NodeProgram, Receive, Transmit
 from repro.sim.trace import SlotRecord, Trace
@@ -106,6 +106,9 @@ class Engine:
         self.initiators = frozenset(initiators)
         self.enforce_no_spontaneous = enforce_no_spontaneous
         self.faults = faults if faults is not None else FaultSchedule()
+        # A fault naming a node the graph lacks is a configuration
+        # error: fail at construction, not silently mid-run.
+        self.faults.validate_for_graph(self.graph)
         self.metrics = RunMetrics()
         self.trace: Trace | None = Trace() if record_trace else None
         self.slot = 0
@@ -136,6 +139,18 @@ class Engine:
         # by slot, so fault-free runs pay one attribute check per slot.
         self._edge_faults_by_slot, self._crashes_by_slot = self.faults.by_slot()
         self._have_faults = not self.faults.is_empty()
+        # Transient crashes: entries pruned from the active list are
+        # parked here so recovery can restore them, program state intact.
+        self._crashed_entries: dict[Node, tuple[Node, NodeProgram, Context]] = {}
+        self._awaiting_recovery: set[Node] = set()
+        self._recoveries_by_slot: dict[int, list[Node]] = {}
+        for crash in self.faults.crash_faults:
+            if crash.until is not None:
+                self._recoveries_by_slot.setdefault(crash.until, []).append(crash.node)
+        # Window faults: jammers (per-slot noise set) and lossy links.
+        self._jam_faults = tuple(self.faults.jam_faults)
+        self._jammed_now: frozenset[Node] | set[Node] = frozenset()
+        self._loss_faults = tuple(self.faults.link_loss_faults)
         # Adjacency maps: per node, the frozenset it can hear (audible)
         # and the frozenset that hears it (hearers).  Rebuilt lazily
         # whenever the graph's version moves (edge faults, or any
@@ -179,6 +194,12 @@ class Engine:
         """Execute exactly one time-slot."""
         self._apply_faults()
         messages, receivers = self._collect_intents()
+        jammed = self._jammed_now
+        if jammed:
+            # Inject undecodable noise on behalf of each live jammer;
+            # _resolve recognises these senders and never delivers them.
+            for node in jammed:
+                messages[node] = JAMMING
         self._resolve(messages, receivers)
         self.slot += 1
         self.metrics.slots = self.slot
@@ -188,14 +209,44 @@ class Engine:
     def _apply_faults(self) -> None:
         if not self._have_faults:
             return
-        crashes = self._crashes_by_slot.get(self.slot)
-        for fault in self._edge_faults_by_slot.get(self.slot, ()):
+        slot = self.slot
+        for fault in self._edge_faults_by_slot.get(slot, ()):
             fault.apply(self.graph)
+        # Recoveries fire before same-slot crashes: a node whose outage
+        # ends at slot s is up for slot s unless a new crash hits it.
+        recoveries = self._recoveries_by_slot.get(slot)
+        if recoveries:
+            for node in recoveries:
+                self._awaiting_recovery.discard(node)
+                if node in self._crashed:
+                    self._crashed.discard(node)
+                    entry = self._crashed_entries.pop(node, None)
+                    if entry is not None and node not in self._done:
+                        # This slot's done-pass may already have run (the
+                        # run loop's check is cached), so stamp the slot
+                        # here or the program would act on a stale one.
+                        entry[2].slot = slot
+                        self._active.append(entry)
+        crashes = self._crashes_by_slot.get(slot)
         if crashes:
             for crash in crashes:
                 self._crashed.add(crash.node)
+                if crash.until is not None:
+                    self._awaiting_recovery.add(crash.node)
             crashed = self._crashed
-            self._active = [e for e in self._active if e[0] not in crashed]
+            still_active = []
+            for entry in self._active:
+                if entry[0] in crashed:
+                    self._crashed_entries[entry[0]] = entry
+                else:
+                    still_active.append(entry)
+            self._active = still_active
+        if self._jam_faults:
+            self._jammed_now = {
+                fault.node
+                for fault in self._jam_faults
+                if fault.active_at(slot) and fault.node not in self._crashed
+            }
 
     def _audible_map(self) -> dict[Node, frozenset[Node]]:
         """Per-node audibility sets, refreshed when the graph changes."""
@@ -234,7 +285,9 @@ class Engine:
                 active.append(entry)
         self._active = active
         self._done_slot = slot
-        self._all_done_cached = not active
+        # A run is not over while a crashed node has a pending recovery:
+        # it will rejoin the active list and may act again.
+        self._all_done_cached = not active and not self._awaiting_recovery
         return self._all_done_cached
 
     def _collect_intents(
@@ -252,7 +305,13 @@ class Engine:
         has_received = self._has_received
         messages: dict[Node, Any] = {}
         receivers: list[tuple[Node, NodeProgram, Context]] = []
-        for entry in self._active:
+        entries = self._active
+        jammed = self._jammed_now
+        if jammed:
+            # A jamming node's program is suspended for the slot; the
+            # noise itself is injected by step() after intents are in.
+            entries = [entry for entry in entries if entry[0] not in jammed]
+        for entry in entries:
             intent = entry[1].act(entry[2])
             if isinstance(intent, Receive):
                 receivers.append(entry)
@@ -276,12 +335,24 @@ class Engine:
         receivers: list[tuple[Node, NodeProgram, Context]],
     ) -> None:
         metrics = self.metrics
+        jammed = self._jammed_now
         num_transmitters = len(messages)
         if num_transmitters:
-            metrics.transmissions += num_transmitters
-            per_node = metrics.transmissions_per_node
-            for node in messages:
-                per_node[node] = per_node.get(node, 0) + 1
+            if jammed:
+                # Every jammer is a messages key (step() injects them);
+                # noise is metered apart from protocol transmissions.
+                num_jamming = len(jammed)
+                metrics.jam_transmissions += num_jamming
+                metrics.transmissions += num_transmitters - num_jamming
+                per_node = metrics.transmissions_per_node
+                for node in messages:
+                    if node not in jammed:
+                        per_node[node] = per_node.get(node, 0) + 1
+            else:
+                metrics.transmissions += num_transmitters
+                per_node = metrics.transmissions_per_node
+                for node in messages:
+                    per_node[node] = per_node.get(node, 0) + 1
 
         slot = self.slot
         tracing = self.trace is not None
@@ -310,12 +381,17 @@ class Engine:
         collisions = 0
         observations: list[Any] = []
 
+        # Lossy links make audibility receiver-specific, so the shared
+        # scatter counts below would be wrong; such slots take the
+        # per-receiver path with a loss filter.
+        losses = self._losses_at(slot) if self._loss_faults else ()
+
         # Transmitter-side scatter beats per-receiver set intersection
         # when contention is sparse (the common broadcast regime): the
         # energy counts come from one C-speed Counter.update pass over
         # Σ deg(transmitter) hearers, then each receiver is O(1); the
         # sender is recovered by intersection only on clean deliveries.
-        if fast_medium and 0 < num_transmitters <= len(receivers):
+        if fast_medium and not losses and 0 < num_transmitters <= len(receivers):
             counts: Counter[Node] = Counter()
             count_hearers = counts.update
             hearers_map = self._hearers
@@ -331,13 +407,16 @@ class Engine:
                         sender = next(t for t in messages if t in neighborhood)
                     else:
                         sender = next(t for t in neighborhood if t in messages)
-                    observation = messages[sender]
-                    metrics.deliveries += 1
-                    if receiver not in first_reception:
-                        first_reception[receiver] = slot
-                    has_received.add(receiver)
-                    if tracing:
-                        deliveries[receiver] = (sender, observation)
+                    if jammed and sender in jammed:
+                        observation = SILENCE  # lone jammer: pure noise
+                    else:
+                        observation = messages[sender]
+                        metrics.deliveries += 1
+                        if receiver not in first_reception:
+                            first_reception[receiver] = slot
+                        has_received.add(receiver)
+                        if tracing:
+                            deliveries[receiver] = (sender, observation)
                 else:
                     observation = SILENCE
                     if num_audible >= 2:
@@ -355,13 +434,25 @@ class Engine:
                     audible = [node for node in messages if node in neighborhood]
                 else:
                     audible = [node for node in neighborhood if node in messages]
+                if losses and audible:
+                    audible = [
+                        node
+                        for node in audible
+                        if not self._erased(losses, slot, node, receiver)
+                    ]
                 num_audible = len(audible)
+                sender = audible[0] if num_audible == 1 else None
+                clean = sender is not None and not (jammed and sender in jammed)
                 if fast_medium:  # inlined RadioMedium.resolve
-                    observation = messages[audible[0]] if num_audible == 1 else SILENCE
+                    observation = messages[sender] if clean else SILENCE
                 else:
                     observation = medium.resolve(receiver, audible, messages)
-                if num_audible == 1:
-                    sender = audible[0]
+                    if sender is not None and not clean:
+                        # A lone jammer is energy without content.
+                        observation = (
+                            COLLISION if medium.detects_collisions else SILENCE
+                        )
+                if clean:
                     metrics.deliveries += 1
                     if receiver not in first_reception:
                         first_reception[receiver] = slot
@@ -392,6 +483,36 @@ class Engine:
                     conflict_counts=conflict_counts,
                 )
             )
+
+    def _losses_at(self, slot: int) -> tuple[tuple[int, LinkLossFault], ...]:
+        """The (index, fault) pairs of loss windows active this slot."""
+        return tuple(
+            (index, fault)
+            for index, fault in enumerate(self._loss_faults)
+            if fault.active_at(slot)
+        )
+
+    def _erased(
+        self,
+        losses: tuple[tuple[int, LinkLossFault], ...],
+        slot: int,
+        transmitter: Node,
+        receiver: Node,
+    ) -> bool:
+        """Whether this directed reception is erased by an active loss fault.
+
+        The erasure coin is a pure function of (engine seed, fault
+        index, slot, transmitter, receiver), so loss patterns replay
+        identically across runs, processes and iteration orders.
+        """
+        for index, fault in losses:
+            if fault.covers(transmitter, receiver):
+                draw = rng_mod.derive_seed(
+                    self.seed, "link-loss", index, slot, transmitter, receiver
+                )
+                if draw / 18446744073709551616.0 < fault.p:  # / 2**64 -> [0, 1)
+                    return True
+        return False
 
     def _audible_transmitters(self, receiver: Node, messages: dict[Node, Any]) -> list[Node]:
         neighborhood = self._audible_map()[receiver]

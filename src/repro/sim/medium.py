@@ -24,7 +24,14 @@ from __future__ import annotations
 
 from typing import Any, Hashable, Mapping
 
-__all__ = ["SILENCE", "COLLISION", "Medium", "RadioMedium", "CollisionDetectingMedium"]
+__all__ = [
+    "SILENCE",
+    "COLLISION",
+    "JAMMING",
+    "Medium",
+    "RadioMedium",
+    "CollisionDetectingMedium",
+]
 
 Node = Hashable
 
@@ -46,10 +53,14 @@ class _Sentinel:
 
 SILENCE = _Sentinel("SILENCE")
 COLLISION = _Sentinel("COLLISION")
+#: The undecodable payload a :class:`~repro.sim.faults.JamFault` injects.
+#: Never delivered to a program: a lone jammer reads as SILENCE (or
+#: COLLISION under collision detection); it appears only in traces.
+JAMMING = _Sentinel("JAMMING")
 
 
 def _sentinel_lookup(name: str) -> _Sentinel:
-    return {"SILENCE": SILENCE, "COLLISION": COLLISION}[name]
+    return {"SILENCE": SILENCE, "COLLISION": COLLISION, "JAMMING": JAMMING}[name]
 
 
 class Medium:

@@ -30,6 +30,9 @@ class RunMetrics:
     transmissions: int = 0
     collisions: int = 0
     deliveries: int = 0
+    #: noise slots injected by jammer faults (kept out of ``transmissions``
+    #: so property-2 message accounting is undisturbed by adversity)
+    jam_transmissions: int = 0
     first_reception: dict[Node, int] = field(default_factory=dict)
     transmissions_per_node: dict[Node, int] = field(default_factory=dict)
 

@@ -168,6 +168,16 @@ class TestE9Dynamic:
         assert all(table.column("claim_holds"))
 
 
+class TestE9cTransientFaults:
+    def test_transient_fault_resilience(self):
+        from repro.experiments.exp_dynamic import run_transient_fault_table
+
+        table = run_transient_fault_table(quick(reps=8))
+        assert all(table.column("claim_holds"))
+        # Quick mode keeps the bracketing arms: baseline and all-faults.
+        assert [r[0] for r in table.rows] == ["none (baseline)", "all of the above"]
+
+
 class TestE10CD:
     def test_cn_four_slots(self):
         from repro.experiments.exp_cd import run_cd_cn_table

@@ -98,7 +98,8 @@ class TestParallelMap:
             seen.append(x)
             return x
 
-        assert parallel_map(record, [1, 2, 3], jobs=4) == [1, 2, 3]
+        with pytest.warns(RuntimeWarning, match="not picklable"):
+            assert parallel_map(record, [1, 2, 3], jobs=4) == [1, 2, 3]
         assert seen == [1, 2, 3]
 
     def test_worker_exceptions_propagate(self):

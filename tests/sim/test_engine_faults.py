@@ -1,0 +1,386 @@
+"""Engine semantics of the fault families (crash, crash–recover, jam, loss).
+
+These pin down the *behavioural* contract of :mod:`repro.sim.faults`
+inside the engine — what a crashed node can and cannot do, what
+receivers observe around a jammer, and how lossy links erase directed
+receptions — which the chaos harness (:mod:`repro.chaos`) relies on.
+"""
+
+from typing import Any
+
+import pytest
+
+from repro.errors import SimulationError
+from repro.graphs import Graph, line, star
+from repro.sim import (
+    COLLISION,
+    SILENCE,
+    CollisionDetectingMedium,
+    Context,
+    CrashFault,
+    EdgeFault,
+    Engine,
+    FaultSchedule,
+    Idle,
+    JamFault,
+    LinkLossFault,
+    NodeProgram,
+    Receive,
+    Transmit,
+)
+
+
+class Beacon(NodeProgram):
+    def __init__(self, message: Any = "b") -> None:
+        self.message = message
+
+    def act(self, ctx: Context) -> Any:
+        return Transmit(self.message)
+
+
+class Listener(NodeProgram):
+    def __init__(self) -> None:
+        self.heard: list[Any] = []
+
+    def act(self, ctx: Context) -> Any:
+        return Receive()
+
+    def on_observe(self, ctx: Context, heard: Any) -> None:
+        self.heard.append(heard)
+
+
+class ActLog(NodeProgram):
+    """Idles forever, recording the slots at which it was asked to act."""
+
+    def __init__(self) -> None:
+        self.acted_at: list[int] = []
+
+    def act(self, ctx: Context) -> Any:
+        self.acted_at.append(ctx.slot)
+        return Idle()
+
+
+class DoneAfter(NodeProgram):
+    def __init__(self, when: int) -> None:
+        self.when = when
+
+    def act(self, ctx: Context) -> Any:
+        return Idle()
+
+    def is_done(self, ctx: Context) -> bool:
+        return ctx.slot >= self.when
+
+
+class TestCrashSemantics:
+    def test_crashed_node_stops_transmitting(self):
+        g = line(2)
+        listener = Listener()
+        faults = FaultSchedule(crash_faults=[CrashFault(slot=2, node=0)])
+        engine = Engine(g, {0: Beacon(), 1: listener}, initiators={0}, faults=faults)
+        engine.run(4)
+        assert listener.heard == ["b", "b", SILENCE, SILENCE]
+
+    def test_crashed_node_stops_receiving(self):
+        g = line(2)
+        listener = Listener()
+        faults = FaultSchedule(crash_faults=[CrashFault(slot=2, node=1)])
+        engine = Engine(g, {0: Beacon(), 1: listener}, initiators={0}, faults=faults)
+        engine.run(5)
+        # Observations stop dead at the crash boundary.
+        assert listener.heard == ["b", "b"]
+
+    def test_crashed_node_program_never_acts(self):
+        g = line(2)
+        log = ActLog()
+        faults = FaultSchedule(crash_faults=[CrashFault(slot=3, node=1)])
+        engine = Engine(g, {0: Beacon(), 1: log}, initiators={0}, faults=faults)
+        engine.run(8)
+        assert log.acted_at == [0, 1, 2]
+
+    def test_crash_at_slot_zero(self):
+        # The fault boundary precedes intent collection, so a slot-0
+        # crash means the node never acts at all.
+        g = line(2)
+        log = ActLog()
+        faults = FaultSchedule(crash_faults=[CrashFault(slot=0, node=1)])
+        engine = Engine(g, {0: Beacon(), 1: log}, initiators={0}, faults=faults)
+        result = engine.run(3)
+        assert log.acted_at == []
+        assert result.metrics.deliveries == 0
+
+    def test_crash_of_source_kills_broadcast(self):
+        g = line(3)
+        l1, l2 = Listener(), Listener()
+        faults = FaultSchedule(crash_faults=[CrashFault(slot=0, node=0)])
+        engine = Engine(
+            g, {0: Beacon("m"), 1: l1, 2: l2}, initiators={0}, faults=faults
+        )
+        result = engine.run(5)
+        assert not result.broadcast_succeeded(source=0)
+        assert all(h is SILENCE for h in l1.heard)
+
+    def test_schedule_is_snapshotted_at_construction(self):
+        # by_slot() is a snapshot: appending to the schedule after the
+        # engine is built must not change the run.
+        g = line(2)
+        listener = Listener()
+        faults = FaultSchedule(edge_faults=[EdgeFault(slot=50, u=0, v=1)])
+        engine = Engine(g, {0: Beacon(), 1: listener}, initiators={0}, faults=faults)
+        faults.crash_faults.append(CrashFault(slot=0, node=0))
+        faults.jam_faults.append(JamFault(node=1, start=0, end=10))
+        faults.link_loss_faults.append(LinkLossFault(p=1.0))
+        engine.run(3)
+        assert listener.heard == ["b", "b", "b"]
+
+
+class TestCrashRecover:
+    def test_transmitter_outage_window(self):
+        # Source down for slots [1, 3): the gap is exactly the window.
+        g = line(2)
+        listener = Listener()
+        faults = FaultSchedule(crash_faults=[CrashFault(slot=1, node=0, until=3)])
+        engine = Engine(g, {0: Beacon(), 1: listener}, initiators={0}, faults=faults)
+        engine.run(5)
+        assert listener.heard == ["b", SILENCE, SILENCE, "b", "b"]
+
+    def test_receiver_outage_window(self):
+        g = line(2)
+        listener = Listener()
+        faults = FaultSchedule(crash_faults=[CrashFault(slot=1, node=1, until=3)])
+        engine = Engine(g, {0: Beacon(), 1: listener}, initiators={0}, faults=faults)
+        engine.run(5)
+        # Down for two slots: observations resume with state intact.
+        assert listener.heard == ["b", "b", "b"]
+
+    def test_recovered_program_keeps_state(self):
+        g = line(2)
+        log = ActLog()
+        faults = FaultSchedule(crash_faults=[CrashFault(slot=2, node=1, until=4)])
+        engine = Engine(g, {0: Beacon(), 1: log}, initiators={0}, faults=faults)
+        engine.run(6)
+        assert log.acted_at == [0, 1, 4, 5]
+
+    def test_engine_waits_for_pending_recovery(self):
+        # All live programs are done, but a crashed node will recover
+        # and act again — the run must not terminate under it.
+        g = line(2)
+        faults = FaultSchedule(crash_faults=[CrashFault(slot=0, node=1, until=5)])
+        engine = Engine(
+            g, {0: DoneAfter(0), 1: DoneAfter(6)}, initiators={0}, faults=faults
+        )
+        result = engine.run(20)
+        assert result.slots == 6
+
+    def test_permanent_crash_still_terminates(self):
+        g = line(2)
+        faults = FaultSchedule(crash_faults=[CrashFault(slot=0, node=1)])
+        engine = Engine(
+            g, {0: DoneAfter(0), 1: DoneAfter(6)}, initiators={0}, faults=faults
+        )
+        result = engine.run(20)
+        assert result.slots == 1
+
+
+class TestJamSemantics:
+    def test_jammer_collides_with_legitimate_transmitter(self):
+        # Hub 0 hears leaf 1 (legit) and leaf 2 (jamming): collision.
+        g = star(2)
+        listener = Listener()
+        faults = FaultSchedule(jam_faults=[JamFault(node=2, start=0, end=2)])
+        engine = Engine(
+            g, {0: listener, 1: Beacon("a"), 2: Listener()},
+            initiators={1},
+            faults=faults,
+        )
+        result = engine.run(3)
+        assert listener.heard == [SILENCE, SILENCE, "a"]
+        assert result.metrics.collisions == 2
+
+    def test_lone_jammer_reads_as_silence(self):
+        g = line(2)
+        listener = Listener()
+        faults = FaultSchedule(jam_faults=[JamFault(node=0, start=0, end=2)])
+        engine = Engine(
+            g, {0: Listener(), 1: listener}, initiators=set(), faults=faults
+        )
+        result = engine.run(2)
+        assert listener.heard == [SILENCE, SILENCE]
+        assert result.metrics.deliveries == 0
+
+    def test_lone_jammer_is_collision_under_detection(self):
+        # Energy without content: a CD medium reports COLLISION.
+        g = line(2)
+        listener = Listener()
+        faults = FaultSchedule(jam_faults=[JamFault(node=0, start=0, end=2)])
+        engine = Engine(
+            g,
+            {0: Listener(), 1: listener},
+            medium=CollisionDetectingMedium(),
+            initiators=set(),
+            faults=faults,
+        )
+        engine.run(2)
+        assert listener.heard == [COLLISION, COLLISION]
+
+    def test_jam_transmissions_metered_separately(self):
+        g = line(3)
+        faults = FaultSchedule(jam_faults=[JamFault(node=2, start=0, end=4)])
+        engine = Engine(
+            g, {0: Beacon(), 1: Listener(), 2: Listener()},
+            initiators={0},
+            faults=faults,
+        )
+        result = engine.run(4)
+        assert result.metrics.jam_transmissions == 4
+        assert result.metrics.transmissions == 4
+        assert 2 not in result.metrics.transmissions_per_node
+
+    def test_jamming_does_not_trip_spontaneous_rule(self):
+        # The jammer never received anything; injected noise is the
+        # adversary's doing, not the program's, so rule 5 stays quiet.
+        g = line(2)
+        faults = FaultSchedule(jam_faults=[JamFault(node=1, start=0, end=3)])
+        engine = Engine(
+            g, {0: Listener(), 1: Listener()}, initiators=set(), faults=faults
+        )
+        engine.run(3)  # no ProtocolError
+
+    def test_jammed_program_is_suspended(self):
+        g = line(2)
+        log = ActLog()
+        faults = FaultSchedule(jam_faults=[JamFault(node=1, start=1, end=3)])
+        engine = Engine(g, {0: Beacon(), 1: log}, initiators={0}, faults=faults)
+        engine.run(5)
+        assert log.acted_at == [0, 3, 4]
+
+    def test_crashed_jammer_emits_nothing(self):
+        # Crash wins over jam: a dead adversary radiates no noise.
+        g = star(2)
+        listener = Listener()
+        faults = FaultSchedule(
+            crash_faults=[CrashFault(slot=0, node=2)],
+            jam_faults=[JamFault(node=2, start=0, end=3)],
+        )
+        engine = Engine(
+            g, {0: listener, 1: Beacon("a"), 2: Listener()},
+            initiators={1},
+            faults=faults,
+        )
+        result = engine.run(3)
+        assert listener.heard == ["a", "a", "a"]
+        assert result.metrics.jam_transmissions == 0
+
+
+class TestLinkLoss:
+    def test_total_loss_erases_everything(self):
+        g = line(2)
+        listener = Listener()
+        faults = FaultSchedule(link_loss_faults=[LinkLossFault(p=1.0)])
+        engine = Engine(g, {0: Beacon(), 1: listener}, initiators={0}, faults=faults)
+        result = engine.run(6)
+        assert listener.heard == [SILENCE] * 6
+        assert result.metrics.deliveries == 0
+
+    def test_zero_loss_is_identity(self):
+        def run(faults):
+            g = line(2)
+            listener = Listener()
+            engine = Engine(
+                g, {0: Beacon(), 1: listener}, seed=7, initiators={0}, faults=faults
+            )
+            engine.run(6)
+            return listener.heard
+
+        lossless = FaultSchedule(link_loss_faults=[LinkLossFault(p=0.0)])
+        assert run(lossless) == run(None) == ["b"] * 6
+
+    def test_loss_pattern_replays_with_seed(self):
+        def run(seed):
+            g = line(2)
+            listener = Listener()
+            faults = FaultSchedule(link_loss_faults=[LinkLossFault(p=0.5)])
+            engine = Engine(
+                g, {0: Beacon(), 1: listener}, seed=seed, initiators={0}, faults=faults
+            )
+            engine.run(40)
+            return listener.heard
+
+        first = run(1234)
+        assert first == run(1234)
+        # p = 0.5 over 40 slots: both outcomes occur, and a different
+        # seed draws a different pattern (2^-40 failure odds).
+        assert SILENCE in first and "b" in first
+        assert first != run(4321)
+
+    def test_loss_window_limits(self):
+        g = line(2)
+        listener = Listener()
+        faults = FaultSchedule(
+            link_loss_faults=[LinkLossFault(p=1.0, start=2, end=4)]
+        )
+        engine = Engine(g, {0: Beacon(), 1: listener}, initiators={0}, faults=faults)
+        engine.run(6)
+        assert listener.heard == ["b", "b", SILENCE, SILENCE, "b", "b"]
+
+    def test_loss_restricted_to_edges(self):
+        g = Graph(edges=[(0, 1), (0, 2)])
+        l1, l2 = Listener(), Listener()
+        faults = FaultSchedule(
+            link_loss_faults=[LinkLossFault(p=1.0, edges=frozenset({frozenset({0, 1})}))]
+        )
+        engine = Engine(
+            g, {0: Beacon(), 1: l1, 2: l2}, initiators={0}, faults=faults
+        )
+        engine.run(3)
+        assert l1.heard == [SILENCE] * 3
+        assert l2.heard == ["b"] * 3
+
+    def test_erased_signal_does_not_collide(self):
+        # Receiver 0 neighbours two transmitters; erasing one of them
+        # turns the would-be collision into a clean delivery.
+        g = Graph(edges=[(1, 0), (2, 0)])
+        listener = Listener()
+        faults = FaultSchedule(
+            link_loss_faults=[LinkLossFault(p=1.0, edges=frozenset({frozenset({1, 0})}))]
+        )
+        engine = Engine(
+            g, {0: listener, 1: Beacon("a"), 2: Beacon("c")},
+            initiators={1, 2},
+            faults=faults,
+        )
+        result = engine.run(2)
+        assert listener.heard == ["c", "c"]
+        assert result.metrics.collisions == 0
+
+
+class TestConstructionValidation:
+    """Unknown fault targets fail at Engine construction (not mid-run)."""
+
+    def _build(self, faults):
+        g = line(2)
+        return Engine(g, {0: Beacon(), 1: Listener()}, initiators={0}, faults=faults)
+
+    def test_edge_fault_unknown_node(self):
+        with pytest.raises(SimulationError, match="not in the graph"):
+            self._build(FaultSchedule(edge_faults=[EdgeFault(slot=0, u=0, v=9)]))
+
+    def test_crash_fault_unknown_node(self):
+        with pytest.raises(SimulationError, match="not in the graph"):
+            self._build(FaultSchedule(crash_faults=[CrashFault(slot=0, node=9)]))
+
+    def test_jam_fault_unknown_node(self):
+        with pytest.raises(SimulationError, match="not in the graph"):
+            self._build(FaultSchedule(jam_faults=[JamFault(node=9, start=0, end=1)]))
+
+    def test_loss_fault_unknown_edge_node(self):
+        with pytest.raises(SimulationError, match="not in the graph"):
+            self._build(
+                FaultSchedule(
+                    link_loss_faults=[
+                        LinkLossFault(p=0.5, edges=frozenset({frozenset({0, 9})}))
+                    ]
+                )
+            )
+
+    def test_unrestricted_loss_needs_no_nodes(self):
+        self._build(FaultSchedule(link_loss_faults=[LinkLossFault(p=0.5)]))

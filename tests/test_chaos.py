@@ -1,0 +1,135 @@
+"""Tests for the chaos campaign harness (:mod:`repro.chaos`)."""
+
+import pytest
+
+from repro.chaos import (
+    ChaosConfig,
+    MESSAGE,
+    build_control_schedule,
+    build_proviso_schedule,
+    check_invariants,
+    run_chaos_campaign,
+)
+from repro.errors import ExperimentError
+from repro.experiments.exp_dynamic import spanning_tree
+from repro.graphs import random_gnp
+from repro.graphs.properties import is_connected
+from repro.protocols.decay_broadcast import run_decay_broadcast
+from repro.rng import spawn
+
+QUICK = ChaosConfig(n=16, reps=6, master_seed=99)
+
+
+class TestSchedules:
+    def _graph(self, seed=5, n=24):
+        rng = spawn(seed, "test-chaos-graph")
+        while True:
+            g = random_gnp(n, 12.0 / n, rng)
+            if is_connected(g):
+                return g
+
+    def test_proviso_schedule_protects_tree(self):
+        g = self._graph()
+        tree = spanning_tree(g, 0)
+        schedule = build_proviso_schedule(
+            g, tree, seed=1, config=QUICK, horizon=200, phase_length=8
+        )
+        protected = {frozenset(e) for e in tree.edges}
+        for fault in schedule.edge_faults:
+            assert frozenset((fault.u, fault.v)) not in protected
+        # The source is never crashed or jammed.
+        assert all(f.node != 0 for f in schedule.crash_faults)
+        assert all(f.node != 0 for f in schedule.jam_faults)
+        # All crashes are transient (crash–recover), per the proviso arm.
+        assert all(f.until is not None for f in schedule.crash_faults)
+
+    def test_proviso_survivor_graph_connected(self):
+        g = self._graph(seed=6)
+        tree = spanning_tree(g, 0)
+        schedule = build_proviso_schedule(
+            g, tree, seed=2, config=QUICK, horizon=200, phase_length=8
+        )
+        survivor = g.copy()
+        for fault in schedule.edge_faults:
+            fault.apply(survivor)
+        assert is_connected(survivor)
+
+    def test_control_schedule_disconnects_at_slot_zero(self):
+        g = self._graph(seed=7)
+        tree = spanning_tree(g, 0)
+        schedule = build_control_schedule(g, tree, seed=3)
+        assert all(f.slot == 0 for f in schedule.edge_faults)
+        survivor = g.copy()
+        for fault in schedule.edge_faults:
+            fault.apply(survivor)
+        assert not is_connected(survivor)
+
+
+class TestInvariants:
+    def test_clean_run_has_no_violations(self):
+        g = self._connected(11)
+        result = run_decay_broadcast(g, source=0, seed=11, epsilon=0.1)
+        assert check_invariants(result, message=MESSAGE) == []
+
+    def test_corrupted_payload_flagged(self):
+        g = self._connected(12)
+        result = run_decay_broadcast(g, source=0, seed=12, epsilon=0.1)
+        violations = check_invariants(result, message="something-else")
+        assert violations and all("integrity" in v for v in violations)
+
+    def _connected(self, seed, n=16):
+        rng = spawn(seed, "test-chaos-inv")
+        while True:
+            g = random_gnp(n, 12.0 / n, rng)
+            if is_connected(g):
+                return g
+
+
+class TestCampaign:
+    def test_fixed_seed_campaign_passes(self):
+        report = run_chaos_campaign(QUICK)
+        assert report.success_rate("proviso") >= report.liveness_threshold
+        assert report.success_rate("control") == 0.0
+        assert report.safety_violations == []
+        assert report.passed
+        assert len(report.outcomes) == 2 * QUICK.reps
+
+    def test_outcomes_identical_across_jobs(self):
+        serial = run_chaos_campaign(ChaosConfig(n=16, reps=6, master_seed=99, jobs=1))
+        pooled = run_chaos_campaign(ChaosConfig(n=16, reps=6, master_seed=99, jobs=4))
+        assert pooled.outcomes == serial.outcomes
+
+    def test_journal_resume_reproduces_outcomes(self, tmp_path):
+        journal = tmp_path / "chaos.jsonl"
+        full = run_chaos_campaign(QUICK, journal=str(journal))
+        # Truncate the journal as a mid-campaign kill would.
+        lines = journal.read_text().splitlines()
+        assert len(lines) > 2
+        journal.write_text("\n".join(lines[: len(lines) // 2]) + "\n")
+        # Resuming with a different worker count must still splice
+        # exactly (execution knobs are not part of campaign identity).
+        resumed = run_chaos_campaign(
+            ChaosConfig(n=16, reps=6, master_seed=99, jobs=2),
+            journal=str(journal),
+            resume=True,
+        )
+        assert resumed.outcomes == full.outcomes
+
+    def test_report_surfaces(self):
+        report = run_chaos_campaign(QUICK)
+        rendered = report.table().render()
+        assert "proviso" in rendered and "control" in rendered
+        import json
+
+        payload = json.loads(report.to_json())
+        assert payload["passed"] is True
+        assert payload["liveness"]["ok"] is True
+        assert payload["control"]["broken_as_expected"] is True
+
+    def test_config_validation(self):
+        with pytest.raises(ExperimentError, match="protocol"):
+            ChaosConfig(protocol="carrier-pigeon")
+        with pytest.raises(ExperimentError, match="reps"):
+            ChaosConfig(reps=0)
+        with pytest.raises(ExperimentError, match="n >= 2"):
+            ChaosConfig(n=1)

@@ -72,6 +72,41 @@ class TestExperimentCommand:
         assert "4 slots" in out or "C_n" in out
 
 
+class TestChaosCommand:
+    def test_quick_campaign_passes(self, capsys):
+        code = main(["chaos", "--quick", "--seed", "99"])
+        out = capsys.readouterr().out
+        assert code == 0
+        assert "Chaos campaign" in out
+        assert "campaign PASSED" in out
+
+    def test_json_output(self, capsys):
+        import json
+
+        code = main(["chaos", "--quick", "--seed", "99", "--json"])
+        payload = json.loads(capsys.readouterr().out)
+        assert code == 0
+        assert payload["passed"] is True
+        assert payload["config"]["n"] == 16
+
+    def test_journal_and_resume(self, capsys, tmp_path):
+        journal = tmp_path / "campaign.jsonl"
+        code = main(["chaos", "--quick", "--seed", "99", "--journal", str(journal)])
+        assert code == 0
+        assert journal.exists()
+        first = capsys.readouterr().out
+        code = main(
+            ["chaos", "--quick", "--seed", "99", "--journal", str(journal), "--resume"]
+        )
+        assert code == 0
+        resumed = capsys.readouterr().out
+        assert resumed.splitlines()[:8] == first.splitlines()[:8]
+
+    def test_resume_requires_journal(self):
+        with pytest.raises(SystemExit):
+            main(["chaos", "--quick", "--resume"])
+
+
 class TestGameCommand:
     def test_foils_sweep(self, capsys):
         code = main(["game", "--strategy", "sweep", "-n", "20", "--show-set"])
