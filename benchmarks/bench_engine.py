@@ -9,6 +9,14 @@ against::
 
     PYTHONPATH=src python benchmarks/bench_engine.py            # quick
     REPRO_BENCH_SCALE=full PYTHONPATH=src python benchmarks/bench_engine.py
+
+``--check`` compares a fresh measurement against the committed
+``BENCH_engine.json`` and fails (exit 1) if combined throughput fell
+below ``1 - REPRO_BENCH_TOLERANCE`` of the baseline.  The default
+tolerance is deliberately wide (0.35) because the baseline may have
+been recorded on different hardware; the check is a floor against
+gross regressions — e.g. telemetry instrumentation leaking into the
+disabled hot path — not a tight perf gate.
 """
 
 from __future__ import annotations
@@ -84,6 +92,40 @@ def write_bench_json(path: str | os.PathLike | None = None, **measure_kwargs) ->
     return payload
 
 
+#: Allowed fractional drop of combined slots/sec vs the committed baseline.
+DEFAULT_TOLERANCE = 0.35
+
+
+def check_against_baseline(
+    path: str | os.PathLike | None = None, *, tolerance: float | None = None
+) -> tuple[bool, str]:
+    """Measure now and compare against the committed baseline.
+
+    Returns ``(ok, message)``; ``ok`` is False when combined slots/sec
+    dropped more than ``tolerance`` (fraction, default
+    ``REPRO_BENCH_TOLERANCE`` or 0.35) below the baseline.
+    """
+    if path is None:
+        path = os.environ.get("REPRO_BENCH_JSON", DEFAULT_JSON_PATH)
+    baseline_path = pathlib.Path(path)
+    if not baseline_path.exists():
+        return False, f"no baseline at {baseline_path}; run without --check first"
+    if tolerance is None:
+        tolerance = float(os.environ.get("REPRO_BENCH_TOLERANCE", DEFAULT_TOLERANCE))
+    baseline = json.loads(baseline_path.read_text(encoding="utf-8"))
+    current = measure_slots_per_sec()
+    base = baseline["combined_slots_per_sec"]
+    now = current["combined_slots_per_sec"]
+    floor = base * (1.0 - tolerance)
+    ok = now >= floor
+    message = (
+        f"combined slots/sec: current={now:.1f} baseline={base:.1f} "
+        f"floor={floor:.1f} (tolerance {tolerance:.0%}) -> "
+        f"{'OK' if ok else 'REGRESSION'}"
+    )
+    return ok, message
+
+
 def test_engine_slot_throughput(benchmark, engine_topology):
     name, factory = engine_topology
     g = factory()
@@ -117,6 +159,16 @@ if __name__ == "__main__":
 
     parser = argparse.ArgumentParser(description=__doc__)
     parser.add_argument("--json", default=None, help="output path (default: repo root)")
+    parser.add_argument(
+        "--check", action="store_true",
+        help="compare a fresh measurement against the committed baseline "
+             "instead of rewriting it; exit 1 on regression beyond "
+             "$REPRO_BENCH_TOLERANCE (default 0.35)",
+    )
     args = parser.parse_args()
+    if args.check:
+        ok, message = check_against_baseline(args.json)
+        print(message)
+        raise SystemExit(0 if ok else 1)
     report = write_bench_json(args.json)
     print(json.dumps(report, indent=2, sort_keys=True))

@@ -33,6 +33,7 @@ killed, resumed and replayed with byte-identical results
 from __future__ import annotations
 
 import json
+import logging
 from dataclasses import asdict, dataclass, replace
 from typing import Any, Callable
 
@@ -65,6 +66,8 @@ __all__ = [
     "check_invariants",
     "PROTOCOLS",
 ]
+
+logger = logging.getLogger("repro.chaos")
 
 ARMS = ("proviso", "control")
 
@@ -395,6 +398,14 @@ def run_chaos_campaign(
     for arm in ARMS:
         for seed in seed_sequence(config.master_seed, config.reps, "chaos", arm):
             tasks.append((arm, seed, trial_config))
+    logger.info(
+        "chaos campaign: protocol=%s n=%d reps=%d/arm (%d trials), seed=%d",
+        config.protocol,
+        config.n,
+        config.reps,
+        len(tasks),
+        config.master_seed,
+    )
     outcomes = resilient_map(
         _run_chaos_trial,
         tasks,
@@ -403,4 +414,12 @@ def run_chaos_campaign(
         journal=journal,
         resume=resume,
     )
-    return ChaosReport(config=config, outcomes=outcomes)
+    report = ChaosReport(config=config, outcomes=outcomes)
+    logger.info(
+        "chaos campaign %s: liveness=%s control_broken=%s safety_violations=%d",
+        "passed" if report.passed else "FAILED",
+        report.liveness_ok,
+        report.control_broken,
+        len(report.safety_violations),
+    )
+    return report

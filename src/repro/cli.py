@@ -14,6 +14,8 @@ Subcommands:
   and restart long campaigns.
 * ``game`` — play the hitting game: foil a named strategy with the
   ``find_set`` adversary.
+* ``telemetry`` — summarize (or validate) a JSON-lines event log
+  produced by ``--telemetry``.
 
 Every command takes ``--seed`` and is fully reproducible.  The
 experiment-style commands additionally take ``--jobs N`` (or honour
@@ -22,6 +24,19 @@ without changing any result, since repetition seeds are derived
 order-independently (see :mod:`repro.parallel`) — and
 ``--task-timeout`` to bound how long any pooled repetition may run
 before its worker is presumed hung and retried.
+
+Observability (see :mod:`repro.telemetry`):
+
+* ``--telemetry PATH`` (gap/experiment/chaos) streams structured
+  events — engine run spans, protocol phase markers, campaign chunk
+  records, progress heartbeats — to ``PATH`` as JSON lines, plus a
+  run manifest sidecar at ``PATH.manifest.json``;
+* ``--profile`` (same commands) runs the command under ``cProfile``
+  and prints the top hotspots (also appended to the event stream as a
+  ``profile`` record when ``--telemetry`` is on);
+* ``--log-level LEVEL`` (global, before the subcommand) turns on the
+  library's ``logging`` output, e.g. campaign progress heartbeats from
+  ``repro.parallel`` and verdict lines from ``repro.chaos``.
 """
 
 from __future__ import annotations
@@ -237,6 +252,32 @@ def _cmd_chaos(args: argparse.Namespace) -> int:
     return 0 if report.passed else 1
 
 
+def _cmd_telemetry(args: argparse.Namespace) -> int:
+    from repro.telemetry.summary import (
+        read_records,
+        render_summary,
+        summarize,
+        summary_json,
+        validate_log,
+    )
+
+    if args.validate:
+        errors = validate_log(args.log)
+        if errors:
+            for error in errors[:50]:
+                print(error)
+            print(f"{args.log}: INVALID ({len(errors)} errors)")
+            return 1
+        print(f"{args.log}: OK")
+        return 0
+    summary = summarize(read_records(args.log))
+    if args.json:
+        print(summary_json(summary))
+    else:
+        print(render_summary(summary))
+    return 0
+
+
 def _cmd_report(args: argparse.Namespace) -> int:
     from repro.experiments.report import build_report
 
@@ -256,10 +297,30 @@ def build_parser() -> argparse.ArgumentParser:
         prog="repro",
         description="BGI'87 radio-broadcast reproduction toolkit",
     )
+    parser.add_argument(
+        "--log-level", default=None, metavar="LEVEL",
+        choices=["DEBUG", "INFO", "WARNING", "ERROR", "CRITICAL"],
+        help="enable library logging at this level (progress heartbeats, "
+             "retry/fallback warnings, campaign verdicts); give it before "
+             "the subcommand",
+    )
     sub = parser.add_subparsers(dest="command", required=True)
 
     def add_common(p: argparse.ArgumentParser) -> None:
         p.add_argument("--seed", type=int, default=0)
+
+    def add_observability(p: argparse.ArgumentParser) -> None:
+        p.add_argument(
+            "--telemetry", default=None, metavar="PATH",
+            help="stream structured JSON-lines events (run spans, phase "
+                 "markers, chunk records, progress) to PATH; a manifest "
+                 "sidecar lands at PATH.manifest.json",
+        )
+        p.add_argument(
+            "--profile", action="store_true",
+            help="run under cProfile and print the top hotspots "
+                 "(recorded to the event stream too when --telemetry is on)",
+        )
 
     p_bcast = sub.add_parser("broadcast", help="run one Decay broadcast")
     add_common(p_bcast)
@@ -301,6 +362,7 @@ def build_parser() -> argparse.ArgumentParser:
     p_gap.add_argument("--reps", type=int, default=10)
     p_gap.add_argument("--quick", action="store_true")
     add_jobs(p_gap)
+    add_observability(p_gap)
     p_gap.set_defaults(func=_cmd_gap)
 
     p_exp = sub.add_parser("experiment", help="run an experiment by id (e1..e12)")
@@ -309,6 +371,7 @@ def build_parser() -> argparse.ArgumentParser:
     p_exp.add_argument("--reps", type=int, default=10)
     p_exp.add_argument("--quick", action="store_true")
     add_jobs(p_exp)
+    add_observability(p_exp)
     p_exp.set_defaults(func=_cmd_experiment)
 
     p_chaos = sub.add_parser(
@@ -332,12 +395,23 @@ def build_parser() -> argparse.ArgumentParser:
     p_chaos.add_argument("--json", action="store_true",
                          help="emit the machine-readable report instead of the table")
     add_jobs(p_chaos)
+    add_observability(p_chaos)
     p_chaos.set_defaults(func=_cmd_chaos)
 
     p_report = sub.add_parser("report", help="assemble the reproduction report")
     p_report.add_argument("--results-dir", default="benchmarks/results")
     p_report.add_argument("--output", default=None)
     p_report.set_defaults(func=_cmd_report)
+
+    p_tel = sub.add_parser(
+        "telemetry", help="summarize or validate a --telemetry event log"
+    )
+    p_tel.add_argument("log", help="JSON-lines event log written by --telemetry")
+    p_tel.add_argument("--validate", action="store_true",
+                       help="check every line against the event schema and exit")
+    p_tel.add_argument("--json", action="store_true",
+                       help="emit the machine-readable summary instead of tables")
+    p_tel.set_defaults(func=_cmd_telemetry)
 
     p_game = sub.add_parser("game", help="foil a hitting-game strategy")
     add_common(p_game)
@@ -349,10 +423,52 @@ def build_parser() -> argparse.ArgumentParser:
     return parser
 
 
+def _manifest_config(args: argparse.Namespace) -> dict:
+    """The command's effective configuration, for the run manifest."""
+    config = {
+        key: value
+        for key, value in vars(args).items()
+        if key not in ("func", "telemetry", "profile", "log_level")
+        and not callable(value)
+    }
+    return config
+
+
+def _dispatch(args: argparse.Namespace) -> int:
+    """Run the selected command, honouring ``--profile`` if present."""
+    if getattr(args, "profile", False):
+        from repro.telemetry.profiling import profile_call
+
+        code, report = profile_call(args.func, args)
+        print()
+        print(report.rstrip())
+        return code
+    return args.func(args)
+
+
 def main(argv: list[str] | None = None) -> int:
     parser = build_parser()
     args = parser.parse_args(argv if argv is not None else sys.argv[1:])
-    return args.func(args)
+    if args.log_level:
+        import logging
+
+        logging.basicConfig(
+            level=getattr(logging, args.log_level),
+            format="%(asctime)s %(name)s %(levelname)s %(message)s",
+        )
+    telemetry_path = getattr(args, "telemetry", None)
+    if telemetry_path:
+        from repro.telemetry import Telemetry, activate
+
+        recorder = Telemetry.to_path(telemetry_path)
+        recorder.write_manifest(
+            command=args.command,
+            seed=getattr(args, "seed", None),
+            config=_manifest_config(args),
+        )
+        with recorder, activate(recorder):
+            return _dispatch(args)
+    return _dispatch(args)
 
 
 if __name__ == "__main__":  # pragma: no cover - exercised via __main__

@@ -10,12 +10,15 @@ EXPERIMENTS.md's raw-number appendix regenerable from scratch.
 
 from __future__ import annotations
 
+import logging
 import pathlib
 from dataclasses import dataclass
 
 from repro.errors import ExperimentError
 
 __all__ = ["ReportSection", "discover_results", "build_report"]
+
+logger = logging.getLogger("repro.experiments.report")
 
 #: Display order and one-line claim per result file stem.
 CLAIMS: dict[str, str] = {
@@ -73,7 +76,9 @@ def discover_results(results_dir: pathlib.Path | str) -> list[ReportSection]:
                 ReportSection(stem, claim, present.pop(stem).read_text().rstrip())
             )
     for stem, path in sorted(present.items()):
+        logger.warning("result file %s has no claim mapping; appending as-is", path.name)
         sections.append(ReportSection(stem, "(unmapped result)", path.read_text().rstrip()))
+    logger.info("discovered %d result tables in %s", len(sections), directory)
     return sections
 
 

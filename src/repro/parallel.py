@@ -45,6 +45,22 @@ On top of :func:`parallel_map`'s equivalence guarantee it adds:
   chunk — final results are byte-identical to an uninterrupted run
   because the journal stores the actual chunk results and fixes the
   chunk geometry.
+
+Observability
+-------------
+When a telemetry recorder is ambient (:mod:`repro.telemetry`),
+:func:`resilient_map` reports the campaign as structured events:
+``campaign_begin``/``campaign_end``, one ``chunk`` record per
+completed chunk (wall time, pool queue wait, retry/timeout counts,
+worker PID), and periodic ``progress`` heartbeats with an ETA.  Pool
+workers run their chunks under an in-memory recorder and ship the
+buffered events (engine runs, protocol phase markers, ...) back with
+the results; the parent merges them into the stream tagged with the
+chunk index.  The same heartbeat also goes to the ``repro.parallel``
+logger at INFO level (``python -m repro ... --log-level INFO``), so
+long campaigns are never silent.  ``REPRO_PROGRESS_SECS`` tunes the
+heartbeat interval (default 5 s).  Telemetry never changes results:
+journals store exactly the chunk results, with or without it.
 """
 
 from __future__ import annotations
@@ -61,6 +77,7 @@ from pathlib import Path
 from typing import Any, Callable, Iterable, Sequence, TypeVar
 
 from repro.errors import ExperimentError
+from repro.telemetry.core import Telemetry, activate, get_active
 
 __all__ = [
     "resolve_jobs",
@@ -78,6 +95,84 @@ logger = logging.getLogger("repro.parallel")
 
 #: Chunks handed to each worker; >1 smooths out uneven task durations.
 _CHUNKS_PER_WORKER = 4
+
+#: Environment override for the progress-heartbeat interval (seconds).
+_PROGRESS_INTERVAL_ENV = "REPRO_PROGRESS_SECS"
+_PROGRESS_INTERVAL_DEFAULT = 5.0
+
+
+def _progress_interval() -> float:
+    raw = os.environ.get(_PROGRESS_INTERVAL_ENV, "").strip()
+    if not raw:
+        return _PROGRESS_INTERVAL_DEFAULT
+    try:
+        return max(0.0, float(raw))
+    except ValueError:
+        logger.warning(
+            "%s must be a number, got %r; using %.1fs",
+            _PROGRESS_INTERVAL_ENV,
+            raw,
+            _PROGRESS_INTERVAL_DEFAULT,
+        )
+        return _PROGRESS_INTERVAL_DEFAULT
+
+
+class _ProgressReporter:
+    """Campaign progress heartbeat: log records + telemetry events.
+
+    One ``note()`` per completed chunk; a heartbeat fires when the
+    configured interval has elapsed (and always on the final chunk).
+    The ETA extrapolates from chunks completed *this session*, so a
+    resumed campaign does not inherit the dead session's pace.
+    """
+
+    def __init__(
+        self,
+        total_chunks: int,
+        total_items: int,
+        telemetry: Telemetry | None,
+        *,
+        chunks_done: int = 0,
+        items_done: int = 0,
+    ) -> None:
+        self.total_chunks = total_chunks
+        self.total_items = total_items
+        self.telemetry = telemetry
+        self.done = self._initial_done = chunks_done
+        self.items_done = items_done
+        self.interval = _progress_interval()
+        self._start = self._last = time.perf_counter()
+
+    def note(self, items: int) -> None:
+        self.done += 1
+        self.items_done += items
+        now = time.perf_counter()
+        if self.done < self.total_chunks and now - self._last < self.interval:
+            return
+        self._last = now
+        elapsed = now - self._start
+        fresh = self.done - self._initial_done
+        remaining = self.total_chunks - self.done
+        eta = (elapsed / fresh) * remaining if fresh > 0 else 0.0
+        logger.info(
+            "campaign progress: %d/%d chunks (%d/%d items), elapsed %.1fs, eta %.1fs",
+            self.done,
+            self.total_chunks,
+            self.items_done,
+            self.total_items,
+            elapsed,
+            eta,
+        )
+        if self.telemetry is not None:
+            self.telemetry.emit(
+                "progress",
+                done=self.done,
+                total=self.total_chunks,
+                items_done=self.items_done,
+                items_total=self.total_items,
+                elapsed_s=elapsed,
+                eta_s=eta,
+            )
 
 
 def resolve_jobs(jobs: int | None = None) -> int:
@@ -315,6 +410,27 @@ def _run_chunk(fn: Callable[[T], R], chunk: list[T]) -> list[R]:
     return [fn(item) for item in chunk]
 
 
+def _run_chunk_timed(fn: Callable[[T], R], chunk: list[T]) -> dict[str, Any]:
+    """Worker-side chunk runner that also captures telemetry.
+
+    Activates a fresh in-memory recorder so everything the chunk's
+    repetitions emit (engine run spans, protocol phase markers, ...)
+    is buffered and shipped back to the parent with the results; the
+    parent merges the events into its stream.  The results list is
+    exactly what :func:`_run_chunk` would have produced.
+    """
+    recorder = Telemetry.buffered()
+    start = time.perf_counter()
+    with activate(recorder):
+        results = [fn(item) for item in chunk]
+    return {
+        "results": results,
+        "wall_s": time.perf_counter() - start,
+        "pid": os.getpid(),
+        "events": recorder.drain(),
+    }
+
+
 def _terminate_workers(executor: Any) -> None:
     """Hard-stop an executor whose workers may be hung or dead.
 
@@ -384,18 +500,51 @@ def resilient_map(
     }
     remaining = [index for index in range(len(chunks)) if index not in results]
 
+    telemetry = get_active()
+    if telemetry is not None:
+        telemetry.emit(
+            "campaign_begin",
+            items=len(items),
+            chunks=len(chunks),
+            chunksize=chunksize,
+            jobs=jobs,
+            resumed_chunks=len(results),
+        )
+    campaign_t0 = time.perf_counter()
+    stats = {"retries": 0, "timeouts": 0}
+    progress = _ProgressReporter(
+        len(chunks),
+        len(items),
+        telemetry,
+        chunks_done=len(results),
+        items_done=sum(len(chunks[index]) for index in results),
+    )
+
     if remaining:
         use_pool = jobs > 1 and _picklable(fn, items[0])
         if jobs > 1 and not use_pool:
             _warn_serial_fallback(fn)
         if not use_pool:
             for index in remaining:
+                chunk_t0 = time.perf_counter()
                 chunk_results = _run_chunk(fn, chunks[index])
                 results[index] = chunk_results
                 if journal_obj is not None:
                     journal_obj.record_chunk(index, chunk_results)
+                if telemetry is not None:
+                    telemetry.emit(
+                        "chunk",
+                        index=index,
+                        size=len(chunks[index]),
+                        wall_s=time.perf_counter() - chunk_t0,
+                        retries=0,
+                        timeouts=0,
+                        pid=os.getpid(),
+                        mode="serial",
+                    )
+                progress.note(len(chunks[index]))
         else:
-            _resilient_pool_run(
+            stats = _resilient_pool_run(
                 fn,
                 chunks,
                 remaining,
@@ -405,8 +554,19 @@ def resilient_map(
                 max_retries=max_retries,
                 backoff_base=backoff_base,
                 journal_obj=journal_obj,
+                telemetry=telemetry,
+                progress=progress,
             )
 
+    if telemetry is not None:
+        telemetry.emit(
+            "campaign_end",
+            chunks=len(chunks),
+            items=len(items),
+            wall_s=time.perf_counter() - campaign_t0,
+            retries=stats["retries"],
+            timeouts=stats["timeouts"],
+        )
     return [value for index in range(len(chunks)) for value in results[index]]
 
 
@@ -421,17 +581,64 @@ def _resilient_pool_run(
     max_retries: int,
     backoff_base: float,
     journal_obj: CampaignJournal | None,
-) -> None:
-    """Drive the pending chunks through a pool, surviving worker failures."""
+    telemetry: "Telemetry | None" = None,
+    progress: "_ProgressReporter | None" = None,
+) -> dict[str, int]:
+    """Drive the pending chunks through a pool, surviving worker failures.
+
+    Returns campaign-level resilience stats (total retries/timeouts).
+    With a live ``telemetry`` recorder, chunks run via
+    :func:`_run_chunk_timed`: each chunk ships back its worker-side
+    events (merged into the parent's stream tagged with the chunk
+    index) plus wall time, from which queue wait is derived.
+    """
     from concurrent.futures import ProcessPoolExecutor
     from concurrent.futures import TimeoutError as FutureTimeout
     from concurrent.futures.process import BrokenProcessPool
 
+    runner = _run_chunk_timed if telemetry is not None else _run_chunk
     attempts = {index: 0 for index in remaining}
+    timeouts = {index: 0 for index in remaining}
+    submit_ts: dict[int, float] = {}
     executor = ProcessPoolExecutor(max_workers=jobs)
-    futures = {
-        index: executor.submit(_run_chunk, fn, chunks[index]) for index in remaining
-    }
+    futures = {}
+    for index in remaining:
+        futures[index] = executor.submit(runner, fn, chunks[index])
+        submit_ts[index] = time.perf_counter()
+
+    def _record_chunk(index: int, payload: Any, *, fallback: bool = False) -> list[Any]:
+        """Unwrap a finished chunk, merging worker telemetry if present."""
+        if telemetry is None:
+            return payload
+        if fallback:
+            # In-process fallback ran _run_chunk under the parent's
+            # ambient recorder; events already streamed directly.
+            chunk_results = payload
+            wall_s = 0.0
+            queue_s = 0.0
+            pid = os.getpid()
+        else:
+            chunk_results = payload["results"]
+            wall_s = payload["wall_s"]
+            pid = payload["pid"]
+            waited = time.perf_counter() - submit_ts[index]
+            queue_s = max(0.0, waited - wall_s)
+            for event in payload["events"]:
+                event["chunk"] = index
+                telemetry.write_record(event)
+        telemetry.emit(
+            "chunk",
+            index=index,
+            size=len(chunks[index]),
+            wall_s=wall_s,
+            queue_s=queue_s,
+            pid=pid,
+            retries=attempts[index],
+            timeouts=timeouts[index],
+            mode="fallback" if fallback else "pool",
+        )
+        return chunk_results
+
     position = 0
     try:
         while position < len(remaining):
@@ -440,13 +647,16 @@ def _resilient_pool_run(
                 None if task_timeout is None else task_timeout * len(chunks[index])
             )
             try:
-                chunk_results = futures[index].result(timeout=allowance)
+                payload = futures[index].result(timeout=allowance)
+                chunk_results = _record_chunk(index, payload)
             except (BrokenProcessPool, FutureTimeout) as exc:
                 # Infrastructure failure: the worker died or the chunk
                 # hung.  Blame the chunk at the head of the line; later
                 # chunks are resubmitted as collateral without burning
                 # their own retry budget.
                 attempts[index] += 1
+                if isinstance(exc, FutureTimeout):
+                    timeouts[index] += 1
                 _terminate_workers(executor)
                 still_pending = remaining[position:]
                 if attempts[index] > max_retries:
@@ -462,12 +672,14 @@ def _resilient_pool_run(
                         index,
                         attempts[index],
                     )
-                    chunk_results = _run_chunk(fn, chunks[index])
+                    chunk_results = _record_chunk(
+                        index, _run_chunk(fn, chunks[index]), fallback=True
+                    )
                     executor = ProcessPoolExecutor(max_workers=jobs)
-                    futures = {
-                        later: executor.submit(_run_chunk, fn, chunks[later])
-                        for later in still_pending[1:]
-                    }
+                    futures = {}
+                    for later in still_pending[1:]:
+                        futures[later] = executor.submit(runner, fn, chunks[later])
+                        submit_ts[later] = time.perf_counter()
                 else:
                     delay = backoff_base * (2 ** (attempts[index] - 1))
                     logger.warning(
@@ -480,17 +692,23 @@ def _resilient_pool_run(
                     )
                     time.sleep(delay)
                     executor = ProcessPoolExecutor(max_workers=jobs)
-                    futures = {
-                        pending: executor.submit(_run_chunk, fn, chunks[pending])
-                        for pending in still_pending
-                    }
+                    futures = {}
+                    for pending in still_pending:
+                        futures[pending] = executor.submit(runner, fn, chunks[pending])
+                        submit_ts[pending] = time.perf_counter()
                     continue
             results[index] = chunk_results
             if journal_obj is not None:
                 journal_obj.record_chunk(index, chunk_results)
+            if progress is not None:
+                progress.note(len(chunks[index]))
             position += 1
     finally:
         executor.shutdown(wait=False, cancel_futures=True)
+    return {
+        "retries": sum(attempts.values()),
+        "timeouts": sum(timeouts.values()),
+    }
 
 
 def resilient_starmap(

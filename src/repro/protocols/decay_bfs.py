@@ -42,6 +42,7 @@ from repro.sim.engine import RunResult
 from repro.sim.medium import COLLISION, SILENCE
 from repro.sim.node import Context, Idle, Intent, NodeProgram, Receive, Transmit
 from repro.protocols.base import run_broadcast
+from repro.telemetry.core import phase as _phase_marker
 
 __all__ = ["DecayBFSProgram", "make_bfs_programs", "run_bfs"]
 
@@ -103,6 +104,16 @@ class DecayBFSProgram(NodeProgram):
         if slot_in_superphase % self.k == self.k - 1:
             self._decay = None
             self._decays_done += 1
+            # Telemetry only (labels never feed back into behaviour).
+            _phase_marker(
+                "decay-bfs",
+                node=ctx.node,
+                index=self._decays_done - 1,
+                slot=ctx.slot,
+                start_slot=ctx.slot - self.k + 1,
+                layer=self.distance,
+                k=self.k,
+            )
             if self._decays_done >= self.decays:
                 self._done = True
         return Transmit(self.message) if transmit else Receive()
@@ -114,6 +125,14 @@ class DecayBFSProgram(NodeProgram):
             self.message = heard
             self.distance = ctx.slot // self.superphase_len + 1
             self._transmit_superphase = ctx.slot // self.superphase_len + 1
+            # BFS layer marker: this node just labelled itself.
+            _phase_marker(
+                "bfs-layer",
+                node=ctx.node,
+                index=self.distance,
+                slot=ctx.slot,
+                superphase_len=self.superphase_len,
+            )
 
     def is_done(self, ctx: Context) -> bool:
         return self._done

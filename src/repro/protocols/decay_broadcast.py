@@ -43,6 +43,7 @@ from repro.sim.engine import RunResult
 from repro.sim.medium import COLLISION, SILENCE
 from repro.sim.node import Context, Idle, Intent, NodeProgram, Receive, Transmit
 from repro.protocols.base import run_broadcast
+from repro.telemetry.core import phase as _phase_marker
 
 __all__ = ["DecayBroadcastProgram", "make_broadcast_programs", "run_decay_broadcast"]
 
@@ -112,7 +113,7 @@ class DecayBroadcastProgram(NodeProgram):
         else:
             intent = Receive()
         if self._phase_elapsed(ctx.slot):
-            self._finish_phase()
+            self._finish_phase(ctx)
         return intent
 
     def on_observe(self, ctx: Context, heard: Any) -> None:
@@ -139,7 +140,19 @@ class DecayBroadcastProgram(NodeProgram):
         """True when the current slot is the last of the running phase."""
         return slot - self._decay_started_at >= self.k - 1
 
-    def _finish_phase(self) -> None:
+    def _finish_phase(self, ctx: Context) -> None:
+        # Telemetry only: the phase marker reads ctx.node for labelling
+        # but never feeds back into behaviour, so ID-obliviousness of
+        # the *protocol* is intact (the relabelling test still holds).
+        _phase_marker(
+            "decay-broadcast",
+            node=ctx.node,
+            index=self._phases_done,
+            slot=ctx.slot,
+            start_slot=self._decay_started_at,
+            k=self.k,
+            phases=self.phases,
+        )
         self._decay = None
         self._phases_done += 1
         if self._phases_done >= self.phases:

@@ -25,6 +25,7 @@ by convention (all protocols in this library send tuples/strings/ints).
 
 from __future__ import annotations
 
+import time
 from collections import Counter
 from dataclasses import dataclass
 from typing import Any, Callable, Hashable, Mapping
@@ -37,6 +38,7 @@ from repro.sim.medium import COLLISION, JAMMING, SILENCE, Medium, RadioMedium
 from repro.sim.metrics import RunMetrics
 from repro.sim.node import Context, Idle, NodeProgram, Receive, Transmit
 from repro.sim.trace import SlotRecord, Trace
+from repro.telemetry.core import Telemetry, get_active
 
 __all__ = ["Engine", "RunResult"]
 
@@ -93,6 +95,7 @@ class Engine:
         enforce_no_spontaneous: bool = True,
         faults: FaultSchedule | None = None,
         record_trace: bool = False,
+        telemetry: Telemetry | None = None,
     ) -> None:
         if set(programs) != set(graph.nodes):
             missing = set(graph.nodes) ^ set(programs)
@@ -111,6 +114,13 @@ class Engine:
         self.faults.validate_for_graph(self.graph)
         self.metrics = RunMetrics()
         self.trace: Trace | None = Trace() if record_trace else None
+        # Telemetry is snapshotted at construction, like the fault
+        # schedule: None (the common case) keeps every hot-path check a
+        # single attribute load.  Enabling telemetry never implies
+        # tracing — the two are independent (and trace memory matters).
+        self._telemetry: Telemetry | None = (
+            telemetry if telemetry is not None else get_active()
+        )
         self.slot = 0
         self._crashed: set[Node] = set()
         self._has_received: set[Node] = set(self.initiators)
@@ -176,12 +186,56 @@ class Engine:
             for node, program in self.programs.items():
                 program.on_start(self._contexts[node])
             self._started = True
+        tel = self._telemetry
+        if tel is not None:
+            start_slot = batch_slot0 = self.slot
+            next_batch = self.slot + tel.slot_batch
+            run_t0 = batch_t0 = time.perf_counter()
+            tel.begin_run(
+                nodes=self.graph.num_nodes(),
+                edges=self.graph.num_edges(),
+                seed=self.seed,
+                slot=self.slot,
+                max_slots=max_slots,
+                initiators=len(self.initiators),
+                faults=self.faults.counts() if self._have_faults else {},
+            )
         while self.slot < max_slots:
             if stop_when is not None and stop_when(self):
                 break
             if self._all_done():
                 break
             self.step()
+            if tel is not None and self.slot >= next_batch:
+                now = time.perf_counter()
+                dur = now - batch_t0
+                batch_slots = self.slot - batch_slot0
+                rate = batch_slots / dur if dur > 0 else 0.0
+                tel.emit(
+                    "slot_batch",
+                    slot=self.slot,
+                    slots=batch_slots,
+                    dur_s=dur,
+                    slots_per_sec=round(rate, 1),
+                )
+                tel.gauge("slots_per_sec", round(rate, 1), slot=self.slot)
+                batch_t0, batch_slot0 = now, self.slot
+                next_batch = self.slot + tel.slot_batch
+        if tel is not None:
+            wall = time.perf_counter() - run_t0
+            slots_run = self.slot - start_slot
+            metrics = self.metrics
+            tel.end_run(
+                slots=self.slot,
+                slots_run=slots_run,
+                wall_s=wall,
+                slots_per_sec=round(slots_run / wall, 1) if wall > 0 else 0.0,
+                transmissions=metrics.transmissions,
+                collisions=metrics.collisions,
+                deliveries=metrics.deliveries,
+                jam_transmissions=metrics.jam_transmissions,
+                informed=len(self._has_received),
+            )
         return RunResult(
             slots=self.slot,
             metrics=self.metrics,
@@ -210,7 +264,8 @@ class Engine:
         if not self._have_faults:
             return
         slot = self.slot
-        for fault in self._edge_faults_by_slot.get(slot, ()):
+        edge_faults = self._edge_faults_by_slot.get(slot, ())
+        for fault in edge_faults:
             fault.apply(self.graph)
         # Recoveries fire before same-slot crashes: a node whose outage
         # ends at slot s is up for slot s unless a new crash hits it.
@@ -247,6 +302,18 @@ class Engine:
                 for fault in self._jam_faults
                 if fault.active_at(slot) and fault.node not in self._crashed
             }
+        tel = self._telemetry
+        if tel is not None and (edge_faults or recoveries or crashes):
+            # Discrete activations only; continuous jam pressure is
+            # reported as the jammed-set size alongside them.
+            tel.emit(
+                "fault",
+                slot=slot,
+                edges_cut=len(edge_faults),
+                crashes=len(crashes) if crashes else 0,
+                recoveries=len(recoveries) if recoveries else 0,
+                jamming=len(self._jammed_now),
+            )
 
     def _audible_map(self) -> dict[Node, frozenset[Node]]:
         """Per-node audibility sets, refreshed when the graph changes."""
@@ -374,6 +441,8 @@ class Engine:
         medium = self.medium
         fast_medium = self._fast_medium
         first_reception = metrics.first_reception
+        col_per_node = metrics.collisions_per_node
+        col_get = col_per_node.get
         has_received = self._has_received
         deliveries: dict[Node, tuple[Node, Any]] = {}
         conflict_counts: dict[Node, int] = {}
@@ -421,6 +490,7 @@ class Engine:
                     observation = SILENCE
                     if num_audible >= 2:
                         collisions += 1
+                        col_per_node[receiver] = col_get(receiver, 0) + 1
                 observations.append(observation)
                 if tracing:
                     conflict_counts[receiver] = num_audible
@@ -461,6 +531,7 @@ class Engine:
                         deliveries[receiver] = (sender, messages[sender])
                 elif num_audible >= 2:
                     collisions += 1
+                    col_per_node[receiver] = col_get(receiver, 0) + 1
                 observations.append(observation)
                 if tracing:
                     conflict_counts[receiver] = num_audible

@@ -10,16 +10,30 @@ experiments measure:
 * ``transmissions`` — total transmit events (paper property 2);
 * ``collisions`` — total (receiver, slot) conflict events;
 * ``deliveries`` — total successful message deliveries.
+
+Metrics are *mergeable*: :meth:`RunMetrics.merge` combines two runs'
+metrics (counters sum, ``first_reception`` min-merges) so parallel
+chunks and the telemetry summarizer can aggregate campaigns without
+ad-hoc dict surgery.  Merging is associative and commutative with the
+empty ``RunMetrics()`` as identity (unit-tested), so any reduction
+order gives the same aggregate.
 """
 
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Hashable
+from typing import Hashable, Iterable
 
 __all__ = ["RunMetrics"]
 
 Node = Hashable
+
+
+def _sum_by_key(a: dict[Node, int], b: dict[Node, int]) -> dict[Node, int]:
+    out = dict(a)
+    for key, value in b.items():
+        out[key] = out.get(key, 0) + value
+    return out
 
 
 @dataclass
@@ -35,6 +49,10 @@ class RunMetrics:
     jam_transmissions: int = 0
     first_reception: dict[Node, int] = field(default_factory=dict)
     transmissions_per_node: dict[Node, int] = field(default_factory=dict)
+    #: per receiver, how many of its Receive slots had >= 2 transmitting
+    #: neighbours (mirrors ``transmissions_per_node``; powers the
+    #: per-phase collision histograms and the E-series tables)
+    collisions_per_node: dict[Node, int] = field(default_factory=dict)
 
     def note_transmission(self, node: Node) -> None:
         self.transmissions += 1
@@ -44,8 +62,48 @@ class RunMetrics:
         self.deliveries += 1
         self.first_reception.setdefault(node, slot)
 
-    def note_collision(self) -> None:
+    def note_collision(self, node: Node | None = None) -> None:
         self.collisions += 1
+        if node is not None:
+            self.collisions_per_node[node] = self.collisions_per_node.get(node, 0) + 1
+
+    # -- aggregation ----------------------------------------------------
+
+    def merge(self, other: "RunMetrics") -> "RunMetrics":
+        """Combine two runs' metrics into a new :class:`RunMetrics`.
+
+        Counters (including the per-node maps) sum; ``slots`` sums to
+        the total simulated slots; ``first_reception`` takes the
+        earliest slot per node.  ``merge`` never mutates its operands,
+        is associative and commutative, and has ``RunMetrics()`` as
+        identity — so chunked campaigns can reduce in any order.
+        """
+        first = dict(self.first_reception)
+        for node, slot in other.first_reception.items():
+            if node not in first or slot < first[node]:
+                first[node] = slot
+        return RunMetrics(
+            slots=self.slots + other.slots,
+            transmissions=self.transmissions + other.transmissions,
+            collisions=self.collisions + other.collisions,
+            deliveries=self.deliveries + other.deliveries,
+            jam_transmissions=self.jam_transmissions + other.jam_transmissions,
+            first_reception=first,
+            transmissions_per_node=_sum_by_key(
+                self.transmissions_per_node, other.transmissions_per_node
+            ),
+            collisions_per_node=_sum_by_key(
+                self.collisions_per_node, other.collisions_per_node
+            ),
+        )
+
+    @classmethod
+    def merge_all(cls, metrics: Iterable["RunMetrics"]) -> "RunMetrics":
+        """Reduce any number of metrics (empty iterable -> identity)."""
+        total = cls()
+        for item in metrics:
+            total = total.merge(item)
+        return total
 
     # -- derived quantities ---------------------------------------------
 

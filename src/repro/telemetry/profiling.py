@@ -1,0 +1,64 @@
+"""cProfile hooks: wrap any call and report its top hotspots.
+
+Backs the CLI's ``--profile`` flag: the wrapped command runs under
+:mod:`cProfile`, the top-N hotspots are rendered as a table, and — if
+a telemetry recorder is active — a machine-readable ``profile`` event
+is appended to the stream so hotspot history rides along with the rest
+of the campaign record.
+"""
+
+from __future__ import annotations
+
+import cProfile
+import io
+import pstats
+from typing import Any, Callable, TypeVar
+
+from repro.telemetry import core as _core
+
+__all__ = ["profile_call", "hotspots"]
+
+R = TypeVar("R")
+
+
+def hotspots(stats: pstats.Stats, top: int = 15) -> list[dict[str, Any]]:
+    """The ``top`` entries by cumulative time, machine-readable."""
+    rows: list[dict[str, Any]] = []
+    entries = sorted(
+        stats.stats.items(), key=lambda item: item[1][3], reverse=True  # type: ignore[attr-defined]
+    )
+    for (filename, line, name), (cc, nc, tt, ct, _callers) in entries[:top]:
+        rows.append(
+            {
+                "func": f"{filename}:{line}({name})",
+                "calls": nc,
+                "tottime_s": round(tt, 6),
+                "cumtime_s": round(ct, 6),
+            }
+        )
+    return rows
+
+
+def profile_call(
+    fn: Callable[..., R],
+    *args: Any,
+    top: int = 15,
+    sort: str = "cumulative",
+    **kwargs: Any,
+) -> tuple[R, str]:
+    """Run ``fn(*args, **kwargs)`` under cProfile.
+
+    Returns ``(result, report)`` where ``report`` is the rendered
+    top-``top`` hotspot listing.  If a telemetry recorder is active, a
+    ``profile`` event with the hotspot rows is emitted as a side
+    effect.
+    """
+    profiler = cProfile.Profile()
+    result = profiler.runcall(fn, *args, **kwargs)
+    stats = pstats.Stats(profiler)
+    buffer = io.StringIO()
+    pstats.Stats(profiler, stream=buffer).sort_stats(sort).print_stats(top)
+    recorder = _core.get_active()
+    if recorder is not None:
+        recorder.emit("profile", top=hotspots(stats, top), sort=sort)
+    return result, buffer.getvalue()

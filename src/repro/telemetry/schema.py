@@ -1,0 +1,128 @@
+"""The telemetry event schema, and validation against it.
+
+One JSON object per line; every record carries ``kind`` (one of
+:data:`KINDS`) and ``ts`` (seconds since the epoch).  Records inside a
+run scope additionally carry ``run``.  The per-kind required fields
+below are the *contract* the summarizer, the tests, and the CI smoke
+job validate emitted logs against; emitters may add extra fields
+freely (the schema is open — only missing fields are errors).
+"""
+
+from __future__ import annotations
+
+import json
+from typing import Any, Iterable
+
+__all__ = [
+    "SCHEMA",
+    "SCHEMA_VERSION",
+    "KINDS",
+    "validate_record",
+    "validate_line",
+    "validate_log_lines",
+]
+
+SCHEMA = "repro-telemetry/1"
+SCHEMA_VERSION = 1
+
+#: kind -> fields that must be present (beyond ``kind`` and ``ts``).
+KINDS: dict[str, frozenset[str]] = {
+    # identity of the whole campaign/log
+    "manifest": frozenset(
+        {"schema", "version", "created", "host", "python", "package_version"}
+    ),
+    # engine layer
+    "run_begin": frozenset({"run", "nodes", "edges", "seed"}),
+    "run_end": frozenset(
+        {"run", "slots", "wall_s", "transmissions", "collisions", "deliveries"}
+    ),
+    "slot_batch": frozenset({"run", "slot", "slots", "dur_s", "slots_per_sec"}),
+    "fault": frozenset({"slot"}),
+    # protocol layer
+    "phase": frozenset({"proto", "node", "index", "slot"}),
+    # generic metrics
+    "counter": frozenset({"name", "value"}),
+    "gauge": frozenset({"name", "value"}),
+    "span": frozenset({"name", "dur_s"}),
+    # parallel-pool layer
+    "campaign_begin": frozenset({"items", "chunks", "chunksize", "jobs"}),
+    "campaign_end": frozenset({"wall_s", "chunks"}),
+    "chunk": frozenset({"index", "size", "wall_s"}),
+    "progress": frozenset({"done", "total", "elapsed_s"}),
+    # profiling hook
+    "profile": frozenset({"top"}),
+}
+
+#: Fields that, when present, must be numbers.
+_NUMERIC = frozenset(
+    {
+        "ts",
+        "slot",
+        "slots",
+        "dur_s",
+        "wall_s",
+        "queue_s",
+        "slots_per_sec",
+        "index",
+        "size",
+        "done",
+        "total",
+        "elapsed_s",
+        "eta_s",
+        "nodes",
+        "edges",
+        "transmissions",
+        "collisions",
+        "deliveries",
+        "items",
+        "chunks",
+        "chunksize",
+        "jobs",
+        "retries",
+        "timeouts",
+    }
+)
+
+
+def validate_record(record: Any) -> list[str]:
+    """Schema errors of one decoded record (empty list = valid)."""
+    if not isinstance(record, dict):
+        return [f"record is {type(record).__name__}, expected an object"]
+    errors: list[str] = []
+    kind = record.get("kind")
+    if kind is None:
+        errors.append("missing field 'kind'")
+    elif kind not in KINDS:
+        errors.append(f"unknown kind {kind!r}")
+    if "ts" not in record:
+        errors.append("missing field 'ts'")
+    if kind in KINDS:
+        missing = KINDS[kind] - record.keys()
+        if missing:
+            errors.append(f"{kind}: missing field(s) {sorted(missing)}")
+    for field in _NUMERIC & record.keys():
+        value = record[field]
+        if not isinstance(value, (int, float)) or isinstance(value, bool):
+            errors.append(f"field {field!r} must be a number, got {value!r}")
+    return errors
+
+
+def validate_line(line: str) -> list[str]:
+    """Schema errors of one raw JSON line."""
+    stripped = line.strip()
+    if not stripped:
+        return []
+    try:
+        record = json.loads(stripped)
+    except json.JSONDecodeError as exc:
+        return [f"not valid JSON: {exc}"]
+    return validate_record(record)
+
+
+def validate_log_lines(lines: Iterable[str]) -> list[str]:
+    """Validate a whole event log; errors are prefixed with line numbers."""
+    errors: list[str] = []
+    for number, line in enumerate(lines, start=1):
+        for error in validate_line(line):
+            errors.append(f"line {number}: {error}")
+    return errors

@@ -1,0 +1,316 @@
+"""Aggregate a telemetry event log into tables or JSON.
+
+``python -m repro telemetry <log>`` renders the output of
+:func:`summarize`; tests and the CI smoke job use :func:`validate_log`
+to hold emitted logs to the schema contract.
+
+The summarizer is deliberately tolerant: unknown kinds and extra
+fields are ignored, so logs from newer emitters still summarize (the
+schema is open — see :mod:`repro.telemetry.schema`).
+"""
+
+from __future__ import annotations
+
+import json
+import os
+from pathlib import Path
+from typing import Any
+
+from repro.analysis.tables import Table
+from repro.errors import ExperimentError
+from repro.telemetry.schema import validate_log_lines, validate_record
+
+__all__ = [
+    "read_records",
+    "validate_log",
+    "summarize",
+    "summary_tables",
+    "render_summary",
+    "summary_json",
+]
+
+
+def read_records(
+    path: str | os.PathLike[str], *, strict: bool = False
+) -> list[dict[str, Any]]:
+    """Decode every JSON line of an event log.
+
+    With ``strict=True`` any schema violation raises
+    :class:`ExperimentError`; otherwise invalid lines are skipped (a
+    torn trailing line from a killed campaign is normal).
+    """
+    log = Path(path)
+    if not log.exists():
+        raise ExperimentError(f"no telemetry log at {log}")
+    records: list[dict[str, Any]] = []
+    with log.open("r", encoding="utf-8") as stream:
+        for number, line in enumerate(stream, start=1):
+            if not line.strip():
+                continue
+            try:
+                record = json.loads(line)
+            except json.JSONDecodeError as exc:
+                if strict:
+                    raise ExperimentError(f"{log}: line {number}: {exc}") from exc
+                continue
+            errors = validate_record(record)
+            if errors and strict:
+                raise ExperimentError(f"{log}: line {number}: {'; '.join(errors)}")
+            if not errors:
+                records.append(record)
+    return records
+
+
+def validate_log(path: str | os.PathLike[str]) -> list[str]:
+    """Every schema violation in the log, prefixed with line numbers."""
+    log = Path(path)
+    if not log.exists():
+        raise ExperimentError(f"no telemetry log at {log}")
+    with log.open("r", encoding="utf-8") as stream:
+        return validate_log_lines(stream)
+
+
+# -- aggregation ----------------------------------------------------------
+
+
+def _stats(values: list[float]) -> dict[str, float]:
+    return {
+        "count": len(values),
+        "min": min(values),
+        "mean": sum(values) / len(values),
+        "max": max(values),
+    }
+
+
+def summarize(records: list[dict[str, Any]]) -> dict[str, Any]:
+    """Roll an event stream up into one machine-readable summary."""
+    from repro.sim.metrics import RunMetrics
+
+    manifests = [r for r in records if r["kind"] == "manifest"]
+    run_ends = [r for r in records if r["kind"] == "run_end"]
+    total = RunMetrics.merge_all(
+        RunMetrics(
+            slots=r["slots"],
+            transmissions=r["transmissions"],
+            collisions=r["collisions"],
+            deliveries=r["deliveries"],
+            jam_transmissions=r.get("jam_transmissions", 0),
+        )
+        for r in run_ends
+    )
+    wall = sum(r["wall_s"] for r in run_ends)
+    runs = {
+        "count": len(run_ends),
+        "slots": total.slots,
+        "transmissions": total.transmissions,
+        "collisions": total.collisions,
+        "deliveries": total.deliveries,
+        "jam_transmissions": total.jam_transmissions,
+        "wall_s": wall,
+        "slots_per_sec": (total.slots / wall) if wall > 0 else 0.0,
+    }
+
+    # Phase markers, grouped by protocol layer and phase index.  The
+    # slot of each marker is the phase's *last* slot; ``start_slot``
+    # (when the emitter provides it) gives slots-per-phase directly.
+    phases: dict[str, dict[int, dict[str, Any]]] = {}
+    for record in records:
+        if record["kind"] != "phase":
+            continue
+        proto = str(record["proto"])
+        index = int(record["index"])
+        bucket = phases.setdefault(proto, {}).setdefault(
+            index, {"count": 0, "slots": [], "lengths": []}
+        )
+        bucket["count"] += 1
+        bucket["slots"].append(record["slot"])
+        if "start_slot" in record:
+            bucket["lengths"].append(record["slot"] - record["start_slot"] + 1)
+    phase_summary: dict[str, list[dict[str, Any]]] = {}
+    for proto, buckets in sorted(phases.items()):
+        rows = []
+        for index in sorted(buckets):
+            bucket = buckets[index]
+            row: dict[str, Any] = {"index": index, "count": bucket["count"]}
+            row.update(
+                {f"slot_{k}": v for k, v in _stats(bucket["slots"]).items() if k != "count"}
+            )
+            if bucket["lengths"]:
+                row["mean_length"] = sum(bucket["lengths"]) / len(bucket["lengths"])
+            rows.append(row)
+        phase_summary[proto] = rows
+
+    chunks = [r for r in records if r["kind"] == "chunk"]
+    chunk_summary: dict[str, Any] = {"count": len(chunks)}
+    if chunks:
+        chunk_summary.update(
+            {
+                "items": sum(c["size"] for c in chunks),
+                "wall_s": _stats([c["wall_s"] for c in chunks]),
+                "retries": sum(c.get("retries", 0) for c in chunks),
+                "timeouts": sum(c.get("timeouts", 0) for c in chunks),
+                "workers": len({c["pid"] for c in chunks if "pid" in c}),
+            }
+        )
+        queue_waits = [c["queue_s"] for c in chunks if "queue_s" in c]
+        if queue_waits:
+            chunk_summary["queue_s"] = _stats(queue_waits)
+
+    counters: dict[str, dict[str, float]] = {}
+    for record in records:
+        if record["kind"] != "counter":
+            continue
+        entry = counters.setdefault(str(record["name"]), {"events": 0, "total": 0})
+        entry["events"] += 1
+        entry["total"] += record["value"]
+    gauges: dict[str, dict[str, float]] = {}
+    for record in records:
+        if record["kind"] != "gauge":
+            continue
+        name = str(record["name"])
+        value = record["value"]
+        entry = gauges.setdefault(
+            name, {"events": 0, "last": value, "min": value, "max": value}
+        )
+        entry["events"] += 1
+        entry["last"] = value
+        entry["min"] = min(entry["min"], value)
+        entry["max"] = max(entry["max"], value)
+
+    spans: dict[str, dict[str, float]] = {}
+    for record in records:
+        if record["kind"] != "span":
+            continue
+        entry = spans.setdefault(str(record["name"]), {"count": 0, "total_s": 0.0})
+        entry["count"] += 1
+        entry["total_s"] += record["dur_s"]
+
+    campaign_ends = [r for r in records if r["kind"] == "campaign_end"]
+    progress = [r for r in records if r["kind"] == "progress"]
+
+    return {
+        "records": len(records),
+        "manifests": manifests,
+        "runs": runs,
+        "phases": phase_summary,
+        "chunks": chunk_summary,
+        "faults": sum(1 for r in records if r["kind"] == "fault"),
+        "counters": counters,
+        "gauges": gauges,
+        "spans": spans,
+        "campaigns": {
+            "count": len(campaign_ends),
+            "wall_s": sum(c["wall_s"] for c in campaign_ends),
+            "retries": sum(c.get("retries", 0) for c in campaign_ends),
+            "timeouts": sum(c.get("timeouts", 0) for c in campaign_ends),
+        },
+        "last_progress": progress[-1] if progress else None,
+    }
+
+
+# -- rendering ------------------------------------------------------------
+
+
+def summary_tables(summary: dict[str, Any]) -> list[Table]:
+    """Render a :func:`summarize` result as fixed-width tables."""
+    tables: list[Table] = []
+
+    overview = Table(
+        "Telemetry log overview",
+        ["records", "manifests", "runs", "phase_protos", "chunks", "faults"],
+    )
+    overview.add_row(
+        summary["records"],
+        len(summary["manifests"]),
+        summary["runs"]["count"],
+        len(summary["phases"]),
+        summary["chunks"]["count"],
+        summary["faults"],
+    )
+    tables.append(overview)
+
+    if summary["manifests"]:
+        manifest_table = Table(
+            "Run manifest(s)",
+            ["command", "seed", "git_sha", "host", "package_version", "config_fingerprint"],
+        )
+        for manifest in summary["manifests"]:
+            manifest_table.add_row(
+                manifest.get("command", "-"),
+                manifest.get("seed", "-"),
+                (manifest.get("git_sha") or "-")[:12],
+                manifest.get("host", "-"),
+                manifest.get("package_version", "-"),
+                manifest.get("config_fingerprint", "-"),
+            )
+        tables.append(manifest_table)
+
+    runs = summary["runs"]
+    if runs["count"]:
+        run_table = Table(
+            "Engine runs (merged RunMetrics)",
+            ["runs", "slots", "transmissions", "collisions", "deliveries",
+             "wall_s", "slots_per_sec"],
+        )
+        run_table.add_row(
+            runs["count"], runs["slots"], runs["transmissions"], runs["collisions"],
+            runs["deliveries"], runs["wall_s"], runs["slots_per_sec"],
+        )
+        tables.append(run_table)
+
+    for proto, rows in summary["phases"].items():
+        phase_table = Table(
+            f"Phase markers — {proto} (slot of phase completion per index)",
+            ["index", "count", "slot_min", "slot_mean", "slot_max", "mean_length"],
+        )
+        for row in rows:
+            phase_table.add_row(
+                row["index"], row["count"], row["slot_min"], row["slot_mean"],
+                row["slot_max"], row.get("mean_length", "-"),
+            )
+        tables.append(phase_table)
+
+    chunks = summary["chunks"]
+    if chunks["count"]:
+        chunk_table = Table(
+            "Parallel chunks (per-chunk worker telemetry)",
+            ["chunks", "items", "workers", "wall_mean_s", "wall_max_s",
+             "queue_mean_s", "retries", "timeouts"],
+        )
+        chunk_table.add_row(
+            chunks["count"],
+            chunks.get("items", 0),
+            chunks.get("workers", 0),
+            chunks["wall_s"]["mean"],
+            chunks["wall_s"]["max"],
+            chunks.get("queue_s", {}).get("mean", "-"),
+            chunks.get("retries", 0),
+            chunks.get("timeouts", 0),
+        )
+        tables.append(chunk_table)
+
+    if summary["counters"] or summary["gauges"]:
+        metric_table = Table(
+            "Counters and gauges", ["metric", "kind", "events", "total_or_last"]
+        )
+        for name, entry in sorted(summary["counters"].items()):
+            metric_table.add_row(name, "counter", entry["events"], entry["total"])
+        for name, entry in sorted(summary["gauges"].items()):
+            metric_table.add_row(name, "gauge", entry["events"], entry["last"])
+        tables.append(metric_table)
+
+    if summary["spans"]:
+        span_table = Table("Spans", ["name", "count", "total_s"])
+        for name, entry in sorted(summary["spans"].items()):
+            span_table.add_row(name, entry["count"], entry["total_s"])
+        tables.append(span_table)
+
+    return tables
+
+
+def render_summary(summary: dict[str, Any]) -> str:
+    return "\n\n".join(table.render() for table in summary_tables(summary))
+
+
+def summary_json(summary: dict[str, Any]) -> str:
+    return json.dumps(summary, indent=2, sort_keys=True, default=repr)

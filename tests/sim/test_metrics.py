@@ -49,3 +49,73 @@ class TestCompletion:
     def test_coverage_empty(self):
         m = RunMetrics()
         assert m.coverage(["a"], skip=frozenset({"a"})) == 1.0
+
+
+def _sample(tag: int) -> RunMetrics:
+    m = RunMetrics(slots=10 * tag, jam_transmissions=tag)
+    m.note_transmission(f"a{tag}")
+    m.note_transmission("shared")
+    m.note_delivery("shared", 5 + tag)
+    m.note_delivery(f"a{tag}", tag)
+    m.note_collision("shared")
+    m.note_collision(f"a{tag}")
+    return m
+
+
+class TestCollisionsPerNode:
+    def test_note_collision_with_node(self):
+        m = RunMetrics()
+        m.note_collision("a")
+        m.note_collision("a")
+        m.note_collision("b")
+        assert m.collisions == 3
+        assert m.collisions_per_node == {"a": 2, "b": 1}
+
+    def test_note_collision_without_node_counts_total_only(self):
+        m = RunMetrics()
+        m.note_collision()
+        assert m.collisions == 1
+        assert m.collisions_per_node == {}
+
+
+class TestMerge:
+    def test_counters_sum(self):
+        merged = _sample(1).merge(_sample(2))
+        assert merged.slots == 30
+        assert merged.transmissions == 4
+        assert merged.collisions == 4
+        assert merged.deliveries == 4
+        assert merged.jam_transmissions == 3
+        assert merged.transmissions_per_node == {"a1": 1, "a2": 1, "shared": 2}
+        assert merged.collisions_per_node == {"a1": 1, "a2": 1, "shared": 2}
+
+    def test_first_reception_min_merges(self):
+        merged = _sample(1).merge(_sample(2))
+        assert merged.first_reception["shared"] == 6  # min(6, 7)
+        assert merged.first_reception["a1"] == 1
+        assert merged.first_reception["a2"] == 2
+
+    def test_does_not_mutate_operands(self):
+        a, b = _sample(1), _sample(2)
+        a.merge(b)
+        assert a == _sample(1)
+        assert b == _sample(2)
+
+    def test_identity(self):
+        m = _sample(3)
+        assert m.merge(RunMetrics()) == m
+        assert RunMetrics().merge(m) == m
+
+    def test_commutative(self):
+        assert _sample(1).merge(_sample(2)) == _sample(2).merge(_sample(1))
+
+    def test_associative(self):
+        a, b, c = _sample(1), _sample(2), _sample(3)
+        assert a.merge(b).merge(c) == a.merge(b.merge(c))
+
+    def test_merge_all(self):
+        total = RunMetrics.merge_all([_sample(1), _sample(2), _sample(3)])
+        assert total == _sample(1).merge(_sample(2)).merge(_sample(3))
+
+    def test_merge_all_empty_is_identity(self):
+        assert RunMetrics.merge_all([]) == RunMetrics()

@@ -1,0 +1,37 @@
+"""Tests for the cProfile hooks behind the CLI's ``--profile`` flag."""
+
+from repro.telemetry.core import Telemetry, activate
+from repro.telemetry.profiling import profile_call
+from repro.telemetry.schema import validate_record
+
+
+def _workload(n):
+    return sum(i * i for i in range(n))
+
+
+class TestProfileCall:
+    def test_returns_result_and_report(self):
+        result, report = profile_call(_workload, 1000)
+        assert result == _workload(1000)
+        assert "_workload" in report
+        assert "cumulative" in report
+
+    def test_emits_profile_event_when_active(self):
+        rec = Telemetry.buffered()
+        with activate(rec):
+            profile_call(_workload, 100, top=5)
+        records = [r for r in rec.drain() if r["kind"] == "profile"]
+        assert len(records) == 1
+        record = records[0]
+        assert not validate_record(record)
+        assert len(record["top"]) <= 5
+        rows = record["top"]
+        assert all({"func", "calls", "tottime_s", "cumtime_s"} <= row.keys() for row in rows)
+        # Sorted by cumulative time, descending.
+        cums = [row["cumtime_s"] for row in rows]
+        assert cums == sorted(cums, reverse=True)
+
+    def test_no_event_when_disabled(self):
+        rec = Telemetry.buffered()
+        profile_call(_workload, 100)
+        assert rec.drain() == []

@@ -1,0 +1,149 @@
+"""Tests for the event-log summarizer behind ``python -m repro telemetry``."""
+
+import json
+
+import pytest
+
+from repro.errors import ExperimentError
+from repro.telemetry.summary import (
+    read_records,
+    render_summary,
+    summarize,
+    summary_json,
+    validate_log,
+)
+
+
+def _write_log(path, records, *, torn_tail=False):
+    with path.open("w", encoding="utf-8") as stream:
+        for record in records:
+            stream.write(json.dumps(record) + "\n")
+        if torn_tail:
+            stream.write('{"kind": "counter", "ts"')
+
+
+SAMPLE = [
+    {"kind": "manifest", "schema": "repro-telemetry/1", "version": 1, "created": 1.0,
+     "host": "h", "python": "3", "package_version": "1.0.0", "ts": 1.0,
+     "command": "gap", "seed": 5, "config_fingerprint": "abcd"},
+    {"kind": "run_begin", "ts": 1.0, "run": "r1", "nodes": 4, "edges": 3, "seed": 5},
+    {"kind": "phase", "ts": 1.0, "run": "r1", "proto": "decay-broadcast",
+     "node": 0, "index": 0, "slot": 7, "start_slot": 0},
+    {"kind": "phase", "ts": 1.0, "run": "r1", "proto": "decay-broadcast",
+     "node": 1, "index": 0, "slot": 9, "start_slot": 2},
+    {"kind": "phase", "ts": 1.0, "run": "r1", "proto": "bfs-layer",
+     "node": 1, "index": 1, "slot": 9},
+    {"kind": "run_end", "ts": 1.0, "run": "r1", "slots": 10, "wall_s": 0.5,
+     "transmissions": 6, "collisions": 2, "deliveries": 3},
+    {"kind": "run_end", "ts": 1.0, "run": "r2", "slots": 30, "wall_s": 0.5,
+     "transmissions": 4, "collisions": 1, "deliveries": 2},
+    {"kind": "chunk", "ts": 1.0, "index": 0, "size": 5, "wall_s": 0.2,
+     "queue_s": 0.1, "pid": 11, "retries": 1, "timeouts": 0},
+    {"kind": "chunk", "ts": 1.0, "index": 1, "size": 5, "wall_s": 0.4,
+     "queue_s": 0.3, "pid": 12, "retries": 0, "timeouts": 2},
+    {"kind": "fault", "ts": 1.0, "slot": 3, "edges_cut": 2},
+    {"kind": "counter", "ts": 1.0, "name": "ticks", "value": 2},
+    {"kind": "counter", "ts": 1.0, "name": "ticks", "value": 3},
+    {"kind": "gauge", "ts": 1.0, "name": "slots_per_sec", "value": 100.0},
+    {"kind": "gauge", "ts": 1.0, "name": "slots_per_sec", "value": 50.0},
+    {"kind": "span", "ts": 1.0, "name": "setup", "dur_s": 0.25},
+    {"kind": "campaign_end", "ts": 1.0, "wall_s": 1.5, "chunks": 2,
+     "retries": 1, "timeouts": 2},
+    {"kind": "progress", "ts": 1.0, "done": 2, "total": 2, "elapsed_s": 1.5},
+]
+
+
+class TestReadRecords:
+    def test_reads_all_valid_records(self, tmp_path):
+        log = tmp_path / "log.jsonl"
+        _write_log(log, SAMPLE)
+        assert len(read_records(log)) == len(SAMPLE)
+
+    def test_torn_tail_skipped_by_default(self, tmp_path):
+        log = tmp_path / "log.jsonl"
+        _write_log(log, SAMPLE, torn_tail=True)
+        assert len(read_records(log)) == len(SAMPLE)
+
+    def test_strict_raises_on_torn_tail(self, tmp_path):
+        log = tmp_path / "log.jsonl"
+        _write_log(log, SAMPLE, torn_tail=True)
+        with pytest.raises(ExperimentError):
+            read_records(log, strict=True)
+
+    def test_missing_log_raises(self, tmp_path):
+        with pytest.raises(ExperimentError):
+            read_records(tmp_path / "nope.jsonl")
+        with pytest.raises(ExperimentError):
+            validate_log(tmp_path / "nope.jsonl")
+
+    def test_validate_log_flags_bad_lines(self, tmp_path):
+        log = tmp_path / "log.jsonl"
+        log.write_text('{"kind": "mystery", "ts": 1.0}\n')
+        errors = validate_log(log)
+        assert errors and "line 1" in errors[0]
+
+
+class TestSummarize:
+    def test_runs_merge_via_runmetrics(self):
+        summary = summarize(SAMPLE)
+        runs = summary["runs"]
+        assert runs["count"] == 2
+        assert runs["slots"] == 40
+        assert runs["transmissions"] == 10
+        assert runs["collisions"] == 3
+        assert runs["slots_per_sec"] == pytest.approx(40.0)
+
+    def test_phases_grouped_by_proto_and_index(self):
+        summary = summarize(SAMPLE)
+        rows = summary["phases"]["decay-broadcast"]
+        assert rows[0]["index"] == 0
+        assert rows[0]["count"] == 2
+        assert rows[0]["slot_min"] == 7
+        assert rows[0]["slot_max"] == 9
+        assert rows[0]["mean_length"] == pytest.approx(8.0)
+        assert summary["phases"]["bfs-layer"][0]["count"] == 1
+
+    def test_chunks_aggregated(self):
+        summary = summarize(SAMPLE)
+        chunks = summary["chunks"]
+        assert chunks["count"] == 2
+        assert chunks["items"] == 10
+        assert chunks["workers"] == 2
+        assert chunks["retries"] == 1
+        assert chunks["timeouts"] == 2
+        assert chunks["queue_s"]["max"] == pytest.approx(0.3)
+
+    def test_metrics_and_campaigns(self):
+        summary = summarize(SAMPLE)
+        assert summary["counters"]["ticks"]["total"] == 5
+        assert summary["gauges"]["slots_per_sec"]["last"] == 50.0
+        assert summary["gauges"]["slots_per_sec"]["max"] == 100.0
+        assert summary["spans"]["setup"]["count"] == 1
+        assert summary["campaigns"]["count"] == 1
+        assert summary["campaigns"]["timeouts"] == 2
+        assert summary["last_progress"]["done"] == 2
+        assert summary["faults"] == 1
+
+    def test_empty_stream(self):
+        summary = summarize([])
+        assert summary["records"] == 0
+        assert summary["runs"]["count"] == 0
+        assert summary["last_progress"] is None
+
+
+class TestRendering:
+    def test_render_contains_all_sections(self):
+        text = render_summary(summarize(SAMPLE))
+        assert "Telemetry log overview" in text
+        assert "Run manifest(s)" in text
+        assert "Engine runs (merged RunMetrics)" in text
+        assert "decay-broadcast" in text
+        assert "Parallel chunks" in text
+        assert "Spans" in text
+
+    def test_render_empty_log(self):
+        assert "Telemetry log overview" in render_summary(summarize([]))
+
+    def test_summary_json_round_trips(self):
+        payload = json.loads(summary_json(summarize(SAMPLE)))
+        assert payload["runs"]["slots"] == 40

@@ -1,5 +1,7 @@
 """Tests for the command-line interface."""
 
+import json
+
 import pytest
 
 from repro.cli import build_parser, main
@@ -123,3 +125,95 @@ class TestGameCommand:
         for strat in ("protocol-rr", "protocol-split"):
             code = main(["game", "--strategy", strat, "-n", "16"])
             assert code == 0
+
+
+class TestObservabilityFlags:
+    def test_gap_telemetry_writes_valid_log_and_manifest(self, capsys, tmp_path):
+        log = tmp_path / "gap.jsonl"
+        code = main(
+            ["gap", "--quick", "--reps", "2", "--seed", "5", "--telemetry", str(log)]
+        )
+        assert code == 0
+        from repro.telemetry.summary import read_records, validate_log
+
+        assert validate_log(log) == []
+        records = read_records(log)
+        kinds = {r["kind"] for r in records}
+        assert {"manifest", "run_begin", "run_end", "phase"} <= kinds
+        protos = {r["proto"] for r in records if r["kind"] == "phase"}
+        assert "decay-broadcast" in protos
+        manifest = json.loads((tmp_path / "gap.jsonl.manifest.json").read_text())
+        assert manifest["command"] == "gap"
+        assert manifest["seed"] == 5
+        assert manifest["config"]["reps"] == 2
+        assert "config_fingerprint" in manifest
+
+    def test_telemetry_recorder_is_cleared_after_run(self, tmp_path):
+        from repro.telemetry.core import get_active
+
+        main(["gap", "--quick", "--reps", "1", "--telemetry", str(tmp_path / "t.jsonl")])
+        assert get_active() is None
+
+    def test_telemetry_summary_command(self, capsys, tmp_path):
+        log = tmp_path / "gap.jsonl"
+        main(["gap", "--quick", "--reps", "2", "--telemetry", str(log)])
+        capsys.readouterr()
+        code = main(["telemetry", str(log)])
+        out = capsys.readouterr().out
+        assert code == 0
+        assert "Telemetry log overview" in out
+        assert "decay-broadcast" in out
+
+    def test_telemetry_summary_json(self, capsys, tmp_path):
+        log = tmp_path / "gap.jsonl"
+        main(["gap", "--quick", "--reps", "1", "--telemetry", str(log)])
+        capsys.readouterr()
+        code = main(["telemetry", str(log), "--json"])
+        payload = json.loads(capsys.readouterr().out)
+        assert code == 0
+        assert payload["runs"]["count"] > 0
+
+    def test_telemetry_validate_ok_and_invalid(self, capsys, tmp_path):
+        log = tmp_path / "gap.jsonl"
+        main(["gap", "--quick", "--reps", "1", "--telemetry", str(log)])
+        capsys.readouterr()
+        assert main(["telemetry", str(log), "--validate"]) == 0
+        assert "OK" in capsys.readouterr().out
+        bad = tmp_path / "bad.jsonl"
+        bad.write_text('{"kind": "mystery", "ts": 1.0}\n')
+        assert main(["telemetry", str(bad), "--validate"]) == 1
+        assert "INVALID" in capsys.readouterr().out
+
+    def test_profile_prints_hotspots(self, capsys):
+        code = main(["gap", "--quick", "--reps", "1", "--profile"])
+        out = capsys.readouterr().out
+        assert code == 0
+        assert "cumulative" in out
+        assert "function calls" in out
+
+    def test_chaos_telemetry_with_pool(self, capsys, tmp_path):
+        log = tmp_path / "chaos.jsonl"
+        code = main(
+            ["chaos", "--quick", "--seed", "7", "--jobs", "2", "--telemetry", str(log)]
+        )
+        assert code == 0
+        from repro.telemetry.summary import read_records, validate_log
+
+        assert validate_log(log) == []
+        records = read_records(log)
+        chunk_records = [r for r in records if r["kind"] == "chunk"]
+        assert chunk_records
+        assert all("queue_s" in r for r in chunk_records)
+        # Worker-side engine runs were shipped back chunk-tagged.
+        assert any(r["kind"] == "run_end" and "chunk" in r for r in records)
+
+    def test_log_level_flag(self, capsys):
+        import logging
+
+        code = main(["--log-level", "INFO", "chaos", "--quick", "--seed", "99"])
+        assert code == 0
+        logging.getLogger().setLevel(logging.WARNING)  # undo basicConfig level
+
+    def test_log_level_rejects_garbage(self):
+        with pytest.raises(SystemExit):
+            main(["--log-level", "LOUD", "chaos", "--quick"])
