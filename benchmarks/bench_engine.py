@@ -71,6 +71,8 @@ def measure_slots_per_sec(*, slots: int | None = None, rounds: int | None = None
             "slots_per_sec": round(slots / best, 1),
             "ms_per_run": round(best * 1e3, 2),
         }
+    from repro.telemetry.core import git_sha
+
     return {
         "schema": "repro-bench-engine/1",
         "scale": scale,
@@ -78,17 +80,49 @@ def measure_slots_per_sec(*, slots: int | None = None, rounds: int | None = None
         "rounds": rounds,
         "topologies": topologies,
         "combined_slots_per_sec": round(slots * len(topologies) / total_time, 1),
+        "recorded": round(time.time(), 2),
+        "git_sha": git_sha(),
     }
 
 
-def write_bench_json(path: str | os.PathLike | None = None, **measure_kwargs) -> dict:
-    """Measure and persist the slots/sec record (``BENCH_engine.json``)."""
+#: Append-only slots/sec trajectory (one measurement per line); the obs
+#: run store ingests it for `python -m repro obs trend --source bench`.
+DEFAULT_HISTORY_PATH = (
+    pathlib.Path(__file__).resolve().parent / "results" / "bench_history.jsonl"
+)
+
+
+def append_bench_history(
+    payload: dict, path: str | os.PathLike | None = None
+) -> pathlib.Path:
+    """Append one measurement to the bench trajectory file."""
+    if path is None:
+        path = os.environ.get("REPRO_BENCH_HISTORY", DEFAULT_HISTORY_PATH)
+    target = pathlib.Path(path)
+    target.parent.mkdir(parents=True, exist_ok=True)
+    with target.open("a", encoding="utf-8") as stream:
+        stream.write(json.dumps(payload, sort_keys=True) + "\n")
+    return target
+
+
+def write_bench_json(
+    path: str | os.PathLike | None = None, *, history: bool = True, **measure_kwargs
+) -> dict:
+    """Measure and persist the slots/sec record (``BENCH_engine.json``).
+
+    Besides rewriting the committed snapshot, the measurement is
+    appended to the trajectory file (``history=False`` or
+    ``REPRO_BENCH_HISTORY=""`` to skip), so successive recordings
+    accumulate instead of overwriting each other.
+    """
     if path is None:
         path = os.environ.get("REPRO_BENCH_JSON", DEFAULT_JSON_PATH)
     payload = measure_slots_per_sec(**measure_kwargs)
     pathlib.Path(path).write_text(
         json.dumps(payload, indent=2, sort_keys=True) + "\n", encoding="utf-8"
     )
+    if history and os.environ.get("REPRO_BENCH_HISTORY", "unset") != "":
+        append_bench_history(payload)
     return payload
 
 
@@ -112,9 +146,36 @@ def check_against_baseline(
         return False, f"no baseline at {baseline_path}; run without --check first"
     if tolerance is None:
         tolerance = float(os.environ.get("REPRO_BENCH_TOLERANCE", DEFAULT_TOLERANCE))
-    baseline = json.loads(baseline_path.read_text(encoding="utf-8"))
-    current = measure_slots_per_sec()
+    # A stale or hand-edited baseline should fail with a diagnosis, not
+    # a KeyError traceback: parse and cross-check before measuring.
+    try:
+        baseline = json.loads(baseline_path.read_text(encoding="utf-8"))
+    except (OSError, json.JSONDecodeError) as exc:
+        return False, (
+            f"baseline {baseline_path} is unreadable ({exc}); "
+            f"re-record it by running without --check"
+        )
+    if not isinstance(baseline, dict) or not isinstance(
+        baseline.get("combined_slots_per_sec"), (int, float)
+    ):
+        schema = baseline.get("schema") if isinstance(baseline, dict) else None
+        return False, (
+            f"baseline {baseline_path} has no numeric 'combined_slots_per_sec' "
+            f"(schema {schema!r}); re-record it by running without --check"
+        )
+    current_names = {name for name, _ in TOPOLOGIES}
+    baseline_topologies = baseline.get("topologies")
+    if isinstance(baseline_topologies, dict):
+        stale = sorted(set(baseline_topologies) - current_names)
+        if stale:
+            return False, (
+                f"baseline {baseline_path} lists topologies the bench set no "
+                f"longer produces: {', '.join(stale)} (current set: "
+                f"{', '.join(sorted(current_names))}); re-record the baseline "
+                f"by running without --check"
+            )
     base = baseline["combined_slots_per_sec"]
+    current = measure_slots_per_sec()
     now = current["combined_slots_per_sec"]
     floor = base * (1.0 - tolerance)
     ok = now >= floor

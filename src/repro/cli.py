@@ -16,6 +16,11 @@ Subcommands:
   ``find_set`` adversary.
 * ``telemetry`` — summarize (or validate) a JSON-lines event log
   produced by ``--telemetry``.
+* ``obs`` — cross-run observability (:mod:`repro.obs`): ``ingest``
+  telemetry logs / bench records into a SQLite run store, ``compare``
+  two runs, ``trend`` a metric with a CI regression gate (``--check``),
+  ``report`` terminal tables or an HTML dashboard, and ``explain``
+  causal slot provenance ("why didn't node v receive in slot t?").
 
 Every command takes ``--seed`` and is fully reproducible.  The
 experiment-style commands additionally take ``--jobs N`` (or honour
@@ -36,12 +41,16 @@ Observability (see :mod:`repro.telemetry`):
   ``profile`` record when ``--telemetry`` is on);
 * ``--log-level LEVEL`` (global, before the subcommand) turns on the
   library's ``logging`` output, e.g. campaign progress heartbeats from
-  ``repro.parallel`` and verdict lines from ``repro.chaos``.
+  ``repro.parallel`` and verdict lines from ``repro.chaos``;
+* ``--provenance`` (with ``--telemetry``) records causal slot
+  provenance as ``prov`` events, and ``--obs-db DB`` auto-ingests the
+  finished log into the run store (see :mod:`repro.obs`).
 """
 
 from __future__ import annotations
 
 import argparse
+import os
 import sys
 from typing import Callable
 
@@ -266,6 +275,8 @@ def _cmd_telemetry(args: argparse.Namespace) -> int:
         if errors:
             for error in errors[:50]:
                 print(error)
+            if len(errors) > 50:
+                print(f"... and {len(errors) - 50} more")
             print(f"{args.log}: INVALID ({len(errors)} errors)")
             return 1
         print(f"{args.log}: OK")
@@ -276,6 +287,147 @@ def _cmd_telemetry(args: argparse.Namespace) -> int:
     else:
         print(render_summary(summary))
     return 0
+
+
+def _cmd_obs(args: argparse.Namespace) -> int:
+    """Dispatch ``obs ingest|compare|trend|report|explain``."""
+    import json
+
+    from repro.errors import ExperimentError
+    from repro.obs import (
+        RunStore,
+        compare_runs,
+        detect_regression,
+        explain_from_store,
+        ingest_path,
+        render_run_html,
+        render_trend_html,
+        run_tables,
+        trend_points,
+        trend_table,
+    )
+    from repro.analysis.tables import Table
+
+    try:
+        with RunStore(args.db) as store:
+            if args.obs_command == "ingest":
+                code = 0
+                for path in args.paths:
+                    try:
+                        result = ingest_path(store, path)
+                    except ExperimentError as exc:
+                        print(f"{path}: INGEST FAILED — {exc}")
+                        code = 1
+                        continue
+                    print(result.describe())
+                return code
+
+            if args.obs_command == "compare":
+                result = compare_runs(store, args.a, args.b)
+                if args.json:
+                    print(json.dumps(result, indent=2, sort_keys=True, default=repr))
+                    return 0
+                a, b = result["a"], result["b"]
+                table = Table(
+                    f"Run {a['id']} ({str(a['fingerprint'])[:8]}) vs "
+                    f"run {b['id']} ({str(b['fingerprint'])[:8]})",
+                    ["metric", "a", "b", "delta", "pct"],
+                )
+                for row in result["diff"]:
+                    table.add_row(
+                        row["metric"],
+                        "-" if row["a"] is None else row["a"],
+                        "-" if row["b"] is None else row["b"],
+                        "-" if row["delta"] is None else row["delta"],
+                        "-" if row["pct"] is None else f"{row['pct']:+.1f}%",
+                    )
+                print(table.render())
+                return 0
+
+            if args.obs_command == "trend":
+                from repro.obs import DEFAULT_BASELINE_K, DEFAULT_THRESHOLD
+
+                points = trend_points(store, args.metric, source=args.source)
+                verdict = detect_regression(
+                    [p.value for p in points],
+                    threshold=(args.threshold if args.threshold is not None
+                               else DEFAULT_THRESHOLD),
+                    baseline_k=(args.baseline_k if args.baseline_k is not None
+                                else DEFAULT_BASELINE_K),
+                    direction=args.direction,
+                    metric=args.metric,
+                )
+                if args.html:
+                    import pathlib
+
+                    pathlib.Path(args.html).write_text(
+                        render_trend_html(args.metric, points, verdict,
+                                          source=args.source),
+                        encoding="utf-8",
+                    )
+                    print(f"wrote {args.html}")
+                if args.json:
+                    print(json.dumps(
+                        {"points": [vars(p) for p in points], "verdict": verdict},
+                        indent=2, sort_keys=True, default=repr,
+                    ))
+                else:
+                    print(trend_table(args.metric, points, verdict).render())
+                if args.check:
+                    if len(points) < 2:
+                        print(f"trend check: only {len(points)} point(s); "
+                              f"nothing to compare against (pass)")
+                        return 0
+                    change = verdict["change"]
+                    print(
+                        f"trend check [{args.source}/{args.metric}]: "
+                        f"latest={verdict['latest']:.4g} "
+                        f"baseline={verdict['baseline']:.4g} "
+                        f"change={change:+.1%} "
+                        f"threshold={verdict['threshold']:.0%} "
+                        f"({verdict['direction']}) -> "
+                        f"{'REGRESSION' if verdict['regressed'] else 'OK'}"
+                    )
+                    return 1 if verdict["regressed"] else 0
+                return 0
+
+            if args.obs_command == "report":
+                run = store.resolve_run(args.run)
+                if args.html:
+                    import pathlib
+
+                    pathlib.Path(args.html).write_text(
+                        render_run_html(store, run), encoding="utf-8"
+                    )
+                    print(f"wrote {args.html}")
+                if args.json:
+                    print(json.dumps(
+                        {"run": run, "metrics": store.metrics_for(run["id"])},
+                        indent=2, sort_keys=True, default=repr,
+                    ))
+                elif not args.html:
+                    print("\n\n".join(t.render() for t in run_tables(store, run)))
+                return 0
+
+            if args.obs_command == "explain":
+                result = explain_from_store(
+                    store, args.run, args.node, args.slot,
+                    engine_run=args.engine_run,
+                )
+                print(result["answer"])
+                if result.get("others"):
+                    print(f"(+{result['others']} more engine runs in this log "
+                          f"recorded this (node, slot); narrow with "
+                          f"--engine-run)")
+                if not result["found"] and result.get("nearby"):
+                    print("nearest recorded slots for this node:")
+                    for entry in result["nearby"]:
+                        print(f"  slot {entry['slot']}: {entry['outcome']}"
+                              + (f" ({entry['detail']})" if entry["detail"] else ""))
+                return 0 if result["found"] else 1
+    except ExperimentError as exc:
+        raise SystemExit(f"obs {args.obs_command}: {exc}")
+    raise SystemExit(f"unknown obs subcommand {args.obs_command!r}")
 
 
 def _cmd_report(args: argparse.Namespace) -> int:
@@ -320,6 +472,18 @@ def build_parser() -> argparse.ArgumentParser:
             "--profile", action="store_true",
             help="run under cProfile and print the top hotspots "
                  "(recorded to the event stream too when --telemetry is on)",
+        )
+        p.add_argument(
+            "--provenance", action="store_true",
+            help="record causal slot provenance (who transmitted into each "
+                 "listening node, and why it did/didn't receive); streamed "
+                 "as 'prov' events when --telemetry is on and queryable "
+                 "later with 'obs explain'",
+        )
+        p.add_argument(
+            "--obs-db", default=None, metavar="DB",
+            help="auto-ingest the --telemetry log into this run-store "
+                 "database when the command finishes (see 'obs ingest')",
         )
 
     p_bcast = sub.add_parser("broadcast", help="run one Decay broadcast")
@@ -413,6 +577,78 @@ def build_parser() -> argparse.ArgumentParser:
                        help="emit the machine-readable summary instead of tables")
     p_tel.set_defaults(func=_cmd_telemetry)
 
+    p_obs = sub.add_parser(
+        "obs",
+        help="cross-run observability: ingest telemetry logs into a run "
+             "store, compare runs, track trends, render dashboards, and "
+             "explain per-slot outcomes",
+    )
+    obs_sub = p_obs.add_subparsers(dest="obs_command", required=True)
+
+    p_ingest = obs_sub.add_parser(
+        "ingest", help="load telemetry logs / BENCH_*.json into the run store"
+    )
+    p_ingest.add_argument("db", help="run-store SQLite database (created if missing)")
+    p_ingest.add_argument("paths", nargs="+",
+                          help="telemetry JSON-lines logs or bench records "
+                               "(auto-detected; idempotent re-ingest)")
+
+    p_cmp = obs_sub.add_parser("compare", help="A/B diff two ingested runs")
+    p_cmp.add_argument("db")
+    p_cmp.add_argument("a", help="run id, fingerprint prefix, 'latest' or 'prev'")
+    p_cmp.add_argument("b", help="run id, fingerprint prefix, 'latest' or 'prev'")
+    p_cmp.add_argument("--json", action="store_true")
+
+    p_trend = obs_sub.add_parser(
+        "trend", help="a metric over ordered runs, with regression detection"
+    )
+    p_trend.add_argument("db")
+    p_trend.add_argument("--metric", default="slots_per_sec",
+                         help="aggregate metric name (default: slots_per_sec; "
+                              "with --source bench: combined_slots_per_sec)")
+    p_trend.add_argument("--source", default="runs", choices=["runs", "bench"],
+                         help="trend over ingested runs or the bench trajectory")
+    p_trend.add_argument("--check", action="store_true",
+                         help="exit 1 when the latest point regressed beyond "
+                              "--threshold vs the median of the last "
+                              "--baseline-k points (CI gate)")
+    p_trend.add_argument("--threshold", type=float, default=None,
+                         help="relative regression threshold (default 0.2 = 20%%)")
+    p_trend.add_argument("--baseline-k", type=int, default=None,
+                         help="baseline = median of this many prior points "
+                              "(default 3)")
+    p_trend.add_argument("--direction", default=None, choices=["up", "down"],
+                         help="which way is good (default: per-metric)")
+    p_trend.add_argument("--json", action="store_true")
+    p_trend.add_argument("--html", default=None, metavar="PATH",
+                         help="also write a self-contained HTML trend dashboard")
+
+    p_obs_report = obs_sub.add_parser(
+        "report", help="per-run report (terminal tables or HTML dashboard)"
+    )
+    p_obs_report.add_argument("db")
+    p_obs_report.add_argument("--run", default="latest",
+                              help="run id, fingerprint prefix, 'latest' or 'prev'")
+    p_obs_report.add_argument("--json", action="store_true")
+    p_obs_report.add_argument("--html", default=None, metavar="PATH",
+                              help="write a self-contained HTML dashboard")
+
+    p_explain = obs_sub.add_parser(
+        "explain",
+        help="why did/didn't a node receive in a slot (causal provenance)",
+    )
+    p_explain.add_argument("db")
+    p_explain.add_argument("--run", default="latest",
+                           help="run id, fingerprint prefix, 'latest' or 'prev'")
+    p_explain.add_argument("--node", required=True,
+                           help="node label as printed (e.g. 5, or '(1, 2)')")
+    p_explain.add_argument("--slot", required=True, type=int)
+    p_explain.add_argument("--engine-run", default=None, metavar="TAG",
+                           help="engine-run tag within the log (e.g. r3) when "
+                                "a campaign recorded this (node, slot) more "
+                                "than once")
+    p_obs.set_defaults(func=_cmd_obs)
+
     p_game = sub.add_parser("game", help="foil a hitting-game strategy")
     add_common(p_game)
     p_game.add_argument("--strategy", default="sweep")
@@ -428,7 +664,7 @@ def _manifest_config(args: argparse.Namespace) -> dict:
     config = {
         key: value
         for key, value in vars(args).items()
-        if key not in ("func", "telemetry", "profile", "log_level")
+        if key not in ("func", "telemetry", "profile", "log_level", "obs_db")
         and not callable(value)
     }
     return config
@@ -457,18 +693,42 @@ def main(argv: list[str] | None = None) -> int:
             format="%(asctime)s %(name)s %(levelname)s %(message)s",
         )
     telemetry_path = getattr(args, "telemetry", None)
-    if telemetry_path:
-        from repro.telemetry import Telemetry, activate
+    obs_db = getattr(args, "obs_db", None)
+    if obs_db and not telemetry_path:
+        raise SystemExit("--obs-db requires --telemetry (the log is what is ingested)")
+    # --provenance rides on the ambient REPRO_PROVENANCE gate so every
+    # engine the command constructs (including in pool workers, which
+    # inherit the environment) records causal slot provenance.
+    wants_provenance = getattr(args, "provenance", False)
+    previous_provenance = os.environ.get("REPRO_PROVENANCE")
+    if wants_provenance:
+        os.environ["REPRO_PROVENANCE"] = "1"
+    try:
+        if telemetry_path:
+            from repro.telemetry import Telemetry, activate
 
-        recorder = Telemetry.to_path(telemetry_path)
-        recorder.write_manifest(
-            command=args.command,
-            seed=getattr(args, "seed", None),
-            config=_manifest_config(args),
-        )
-        with recorder, activate(recorder):
-            return _dispatch(args)
-    return _dispatch(args)
+            recorder = Telemetry.to_path(telemetry_path)
+            recorder.write_manifest(
+                command=args.command,
+                seed=getattr(args, "seed", None),
+                config=_manifest_config(args),
+            )
+            with recorder, activate(recorder):
+                code = _dispatch(args)
+            if obs_db:
+                from repro.obs import RunStore, ingest_log
+
+                with RunStore(obs_db) as store:
+                    result = ingest_log(store, telemetry_path)
+                print(f"[obs] {result.describe()}")
+            return code
+        return _dispatch(args)
+    finally:
+        if wants_provenance:
+            if previous_provenance is None:
+                os.environ.pop("REPRO_PROVENANCE", None)
+            else:
+                os.environ["REPRO_PROVENANCE"] = previous_provenance
 
 
 if __name__ == "__main__":  # pragma: no cover - exercised via __main__

@@ -1,0 +1,74 @@
+"""Cross-run observability: the run store, trends, and dashboards.
+
+``repro.telemetry`` (PR 3) answers "what happened in *this* run" — a
+streamed JSON-lines log per campaign.  This package is the other half
+of observability: durable **history across runs**, so the paper's
+quantitative trajectories (Theorem 4's slot bound, the engine's
+slots/sec, collision rates under Decay) can be tracked, A/B-diffed and
+regression-gated over time.
+
+Layers (all stdlib, one SQLite file):
+
+* :mod:`repro.obs.store` — the schema-versioned run store
+  (:class:`RunStore`): runs, aggregate metrics, time series, phase
+  tables, causal provenance, bench trajectory points.
+* :mod:`repro.obs.ingest` — idempotent loaders for ``--telemetry``
+  logs (+ manifest sidecars) and ``BENCH_*.json`` records.
+* :mod:`repro.obs.query` — per-run aggregates, A/B comparison, trend
+  series and the median-baseline regression detector the CI gate uses.
+* :mod:`repro.obs.report` — terminal tables/sparklines and the
+  self-contained inline-SVG HTML dashboards.
+
+CLI: ``python -m repro obs ingest|compare|trend|report|explain``.
+Runs launched with ``--telemetry PATH --obs-db DB`` auto-ingest on
+completion, so the store grows as a side effect of normal work.
+"""
+
+from repro.obs.ingest import (
+    IngestResult,
+    fingerprint_of,
+    ingest_bench_file,
+    ingest_log,
+    ingest_path,
+)
+from repro.obs.query import (
+    DEFAULT_BASELINE_K,
+    DEFAULT_THRESHOLD,
+    TrendPoint,
+    compare_runs,
+    detect_regression,
+    explain_from_store,
+    metric_direction,
+    trend_points,
+)
+from repro.obs.report import (
+    render_run_html,
+    render_trend_html,
+    run_tables,
+    sparkline,
+    trend_table,
+)
+from repro.obs.store import SCHEMA_VERSION, RunStore
+
+__all__ = [
+    "RunStore",
+    "SCHEMA_VERSION",
+    "IngestResult",
+    "fingerprint_of",
+    "ingest_log",
+    "ingest_bench_file",
+    "ingest_path",
+    "TrendPoint",
+    "trend_points",
+    "detect_regression",
+    "compare_runs",
+    "explain_from_store",
+    "metric_direction",
+    "DEFAULT_THRESHOLD",
+    "DEFAULT_BASELINE_K",
+    "run_tables",
+    "trend_table",
+    "sparkline",
+    "render_run_html",
+    "render_trend_html",
+]

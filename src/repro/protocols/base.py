@@ -58,6 +58,7 @@ def run_broadcast(
     medium: Medium | None = None,
     faults: FaultSchedule | None = None,
     record_trace: bool = False,
+    record_provenance: bool = False,
     enforce_no_spontaneous: bool = True,
     stop: Literal["informed", "terminated"] = "informed",
     extra_stop: Callable[[Engine], bool] | None = None,
@@ -74,6 +75,7 @@ def run_broadcast(
         enforce_no_spontaneous=enforce_no_spontaneous,
         faults=faults,
         record_trace=record_trace,
+        record_provenance=record_provenance,
     )
     if stop == "informed":
         stop_when: Callable[[Engine], bool] | None = all_informed

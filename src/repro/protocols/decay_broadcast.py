@@ -221,6 +221,7 @@ def run_decay_broadcast(
     phase_multiplier: float = 2.0,
     stop: str = "informed",
     record_trace: bool = False,
+    record_provenance: bool = False,
     faults=None,
 ) -> RunResult:
     """One-call runner for the paper's Broadcast_scheme from ``source``.
@@ -259,6 +260,7 @@ def run_decay_broadcast(
         seed=seed,
         stop=stop,  # type: ignore[arg-type]
         record_trace=record_trace,
+        record_provenance=record_provenance,
         faults=faults,
         extra_stop=quiescent,
     )

@@ -27,6 +27,7 @@ from repro.sim.medium import (
 )
 from repro.sim.metrics import RunMetrics
 from repro.sim.node import Context, Idle, Intent, NodeProgram, Receive, Transmit
+from repro.sim.provenance import ProvenanceRecorder, SlotProvenance
 from repro.sim.trace import SlotRecord, Trace
 
 __all__ = [
@@ -47,6 +48,8 @@ __all__ = [
     "RunMetrics",
     "Trace",
     "SlotRecord",
+    "ProvenanceRecorder",
+    "SlotProvenance",
     "FaultSchedule",
     "EdgeFault",
     "CrashFault",

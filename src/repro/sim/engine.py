@@ -25,6 +25,7 @@ by convention (all protocols in this library send tuples/strings/ints).
 
 from __future__ import annotations
 
+import os
 import time
 from collections import Counter
 from dataclasses import dataclass
@@ -37,6 +38,13 @@ from repro.sim.faults import FaultSchedule, LinkLossFault
 from repro.sim.medium import COLLISION, JAMMING, SILENCE, Medium, RadioMedium
 from repro.sim.metrics import RunMetrics
 from repro.sim.node import Context, Idle, NodeProgram, Receive, Transmit
+from repro.sim.provenance import (
+    COLLISION as PROV_COLLISION,
+    DELIVERED as PROV_DELIVERED,
+    FAULT_SUPPRESSED as PROV_FAULT,
+    SILENCE as PROV_SILENCE,
+    ProvenanceRecorder,
+)
 from repro.sim.trace import SlotRecord, Trace
 from repro.telemetry.core import Telemetry, get_active
 
@@ -54,6 +62,7 @@ class RunResult:
     trace: Trace | None
     programs: dict[Node, NodeProgram]
     graph: Graph
+    provenance: ProvenanceRecorder | None = None
 
     def node_results(self) -> dict[Node, Any]:
         """Per-node protocol outputs (``NodeProgram.result``)."""
@@ -95,6 +104,7 @@ class Engine:
         enforce_no_spontaneous: bool = True,
         faults: FaultSchedule | None = None,
         record_trace: bool = False,
+        record_provenance: bool = False,
         telemetry: Telemetry | None = None,
     ) -> None:
         if set(programs) != set(graph.nodes):
@@ -120,6 +130,17 @@ class Engine:
         # tracing — the two are independent (and trace memory matters).
         self._telemetry: Telemetry | None = (
             telemetry if telemetry is not None else get_active()
+        )
+        # Causal slot provenance (see repro.sim.provenance): opt-in per
+        # engine or ambiently via REPRO_PROVENANCE=1 (checked once, at
+        # construction).  Off (the default) allocates nothing — the hot
+        # path pays one None check, exactly like tracing.
+        if not record_provenance:
+            record_provenance = os.environ.get("REPRO_PROVENANCE", "") not in ("", "0")
+        self._prov: ProvenanceRecorder | None = (
+            ProvenanceRecorder(telemetry=self._telemetry)
+            if record_provenance
+            else None
         )
         self.slot = 0
         self._crashed: set[Node] = set()
@@ -242,6 +263,7 @@ class Engine:
             trace=self.trace,
             programs=self.programs,
             graph=self.graph,
+            provenance=self._prov,
         )
 
     def step(self) -> None:
@@ -284,10 +306,13 @@ class Engine:
                         self._active.append(entry)
         crashes = self._crashes_by_slot.get(slot)
         if crashes:
+            prov = self._prov
             for crash in crashes:
                 self._crashed.add(crash.node)
                 if crash.until is not None:
                     self._awaiting_recovery.add(crash.node)
+                if prov is not None:
+                    prov.note(slot, crash.node, PROV_FAULT, (), detail="crashed")
             crashed = self._crashed
             still_active = []
             for entry in self._active:
@@ -440,6 +465,7 @@ class Engine:
         audible_map = self._audible_map()
         medium = self.medium
         fast_medium = self._fast_medium
+        prov = self._prov
         first_reception = metrics.first_reception
         col_per_node = metrics.collisions_per_node
         col_get = col_per_node.get
@@ -478,6 +504,9 @@ class Engine:
                         sender = next(t for t in neighborhood if t in messages)
                     if jammed and sender in jammed:
                         observation = SILENCE  # lone jammer: pure noise
+                        if prov is not None:
+                            prov.note(slot, receiver, PROV_FAULT, (sender,),
+                                      detail="jamming")
                     else:
                         observation = messages[sender]
                         metrics.deliveries += 1
@@ -486,11 +515,20 @@ class Engine:
                         has_received.add(receiver)
                         if tracing:
                             deliveries[receiver] = (sender, observation)
+                        if prov is not None:
+                            prov.note(slot, receiver, PROV_DELIVERED, (sender,))
                 else:
                     observation = SILENCE
                     if num_audible >= 2:
                         collisions += 1
                         col_per_node[receiver] = col_get(receiver, 0) + 1
+                        if prov is not None:
+                            prov.note(
+                                slot, receiver, PROV_COLLISION,
+                                tuple(self._audible_transmitters(receiver, messages)),
+                            )
+                    elif prov is not None:
+                        prov.note(slot, receiver, PROV_SILENCE, ())
                 observations.append(observation)
                 if tracing:
                     conflict_counts[receiver] = num_audible
@@ -504,6 +542,7 @@ class Engine:
                     audible = [node for node in messages if node in neighborhood]
                 else:
                     audible = [node for node in neighborhood if node in messages]
+                audible_pre_loss = audible
                 if losses and audible:
                     audible = [
                         node
@@ -532,6 +571,19 @@ class Engine:
                 elif num_audible >= 2:
                     collisions += 1
                     col_per_node[receiver] = col_get(receiver, 0) + 1
+                if prov is not None:
+                    if clean:
+                        prov.note(slot, receiver, PROV_DELIVERED, (sender,))
+                    elif num_audible >= 2:
+                        prov.note(slot, receiver, PROV_COLLISION, tuple(audible))
+                    elif num_audible == 1:  # lone jammer
+                        prov.note(slot, receiver, PROV_FAULT, (sender,),
+                                  detail="jamming")
+                    elif audible_pre_loss:  # all receptions erased by loss faults
+                        prov.note(slot, receiver, PROV_FAULT,
+                                  tuple(audible_pre_loss), detail="link-loss")
+                    else:
+                        prov.note(slot, receiver, PROV_SILENCE, ())
                 observations.append(observation)
                 if tracing:
                     conflict_counts[receiver] = num_audible

@@ -1,0 +1,190 @@
+"""Causal slot provenance: why a node did (not) receive in a slot.
+
+The engine's :class:`~repro.sim.metrics.RunMetrics` answer *what*
+happened (how many collisions, when each node was first reached); this
+module answers *why*.  With ``record_provenance=True`` (or
+``REPRO_PROVENANCE=1``) the engine captures, for every listening node
+in every slot, the set of audible transmitters and the resolved
+outcome:
+
+* ``delivered`` — exactly one audible neighbour transmitted; the
+  message went through.
+* ``collision`` — two or more audible neighbours transmitted; per the
+  paper's Definition 1 the node heard nothing (or noise, with a
+  collision-detecting medium).
+* ``silence`` — no audible neighbour transmitted.
+* ``fault-suppressed`` — the medium alone would have delivered, but an
+  injected fault intervened (a lone jammer, a lossy link erasure, or
+  the node itself crashing).
+
+Like tracing, provenance is strictly opt-in: with it off the engine
+allocates no recorder and the hot path pays one ``None`` check per
+slot.  When telemetry is active each entry is also emitted as a
+``prov`` event, so ``python -m repro obs ingest`` can load it into the
+run store and ``python -m repro obs explain`` can answer "why didn't
+node v receive in slot t?" long after the run ended.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Hashable, Iterator
+
+__all__ = [
+    "DELIVERED",
+    "COLLISION",
+    "SILENCE",
+    "FAULT_SUPPRESSED",
+    "OUTCOMES",
+    "SlotProvenance",
+    "ProvenanceRecorder",
+    "explain_entry",
+    "explain_missing",
+]
+
+Node = Hashable
+
+DELIVERED = "delivered"
+COLLISION = "collision"
+SILENCE = "silence"
+FAULT_SUPPRESSED = "fault-suppressed"
+
+#: Every outcome a provenance entry may carry.
+OUTCOMES = frozenset({DELIVERED, COLLISION, SILENCE, FAULT_SUPPRESSED})
+
+
+class SlotProvenance:
+    """One (node, slot) causal record."""
+
+    __slots__ = ("node", "slot", "outcome", "transmitters", "detail")
+
+    def __init__(
+        self,
+        node: Node,
+        slot: int,
+        outcome: str,
+        transmitters: tuple[Node, ...],
+        detail: str | None = None,
+    ) -> None:
+        self.node = node
+        self.slot = slot
+        self.outcome = outcome
+        self.transmitters = transmitters
+        self.detail = detail
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return (
+            f"SlotProvenance(node={self.node!r}, slot={self.slot}, "
+            f"outcome={self.outcome!r}, transmitters={self.transmitters!r}, "
+            f"detail={self.detail!r})"
+        )
+
+
+class ProvenanceRecorder:
+    """Accumulates :class:`SlotProvenance` entries for one engine run.
+
+    Entries are keyed on ``(node, slot)``; the engine writes at most
+    one per listening node per slot.  When constructed with a telemetry
+    recorder, every entry is forwarded as a ``prov`` event so the
+    provenance survives the process (and can be ingested into the obs
+    run store).
+    """
+
+    def __init__(self, telemetry: Any | None = None) -> None:
+        self._entries: dict[tuple[Node, int], SlotProvenance] = {}
+        self._telemetry = telemetry
+
+    def __len__(self) -> int:
+        return len(self._entries)
+
+    def __iter__(self) -> Iterator[SlotProvenance]:
+        return iter(self._entries.values())
+
+    def note(
+        self,
+        slot: int,
+        node: Node,
+        outcome: str,
+        transmitters: tuple[Node, ...] = (),
+        detail: str | None = None,
+    ) -> None:
+        """Record one causal entry (and ship it to telemetry, if any)."""
+        self._entries[(node, slot)] = SlotProvenance(
+            node, slot, outcome, transmitters, detail
+        )
+        telemetry = self._telemetry
+        if telemetry is not None:
+            telemetry.emit(
+                "prov",
+                slot=slot,
+                node=node,
+                outcome=outcome,
+                tx=list(transmitters),
+                **({"detail": detail} if detail else {}),
+            )
+
+    def get(self, node: Node, slot: int) -> SlotProvenance | None:
+        return self._entries.get((node, slot))
+
+    def for_node(self, node: Node) -> list[SlotProvenance]:
+        """All entries of one node, slot-ordered."""
+        return sorted(
+            (e for (n, _), e in self._entries.items() if n == node),
+            key=lambda e: e.slot,
+        )
+
+    def explain(self, node: Node, slot: int) -> str:
+        """A one-line human answer to "why this outcome at this slot?"."""
+        entry = self.get(node, slot)
+        if entry is None:
+            return explain_missing(node, slot)
+        return explain_entry(entry.node, entry.slot, entry.outcome,
+                             entry.transmitters, entry.detail)
+
+
+def explain_entry(
+    node: Any,
+    slot: int,
+    outcome: str,
+    transmitters: tuple | list,
+    detail: str | None = None,
+) -> str:
+    """Render one provenance entry as a causal sentence.
+
+    Shared by the live :class:`ProvenanceRecorder` and the obs store's
+    ``explain`` query, so both paths give the same answer.
+    """
+    tx = ", ".join(str(t) for t in transmitters)
+    if outcome == DELIVERED:
+        return (
+            f"node {node} RECEIVED in slot {slot}: {tx or 'a neighbour'} "
+            f"was the only audible transmitter"
+        )
+    if outcome == COLLISION:
+        count = len(transmitters)
+        who = f" ({tx})" if tx else ""
+        return (
+            f"node {node} heard nothing in slot {slot}: COLLISION — "
+            f"{count} audible neighbours transmitted simultaneously{who}"
+        )
+    if outcome == SILENCE:
+        return (
+            f"node {node} heard nothing in slot {slot}: SILENCE — "
+            f"no audible neighbour transmitted"
+        )
+    if outcome == FAULT_SUPPRESSED:
+        cause = detail or "an injected fault"
+        who = f" (transmitters: {tx})" if tx else ""
+        return (
+            f"node {node} heard nothing in slot {slot}: FAULT — "
+            f"reception suppressed by {cause}{who}"
+        )
+    return f"node {node} at slot {slot}: {outcome}" + (f" ({detail})" if detail else "")
+
+
+def explain_missing(node: Any, slot: int) -> str:
+    """The answer when no entry exists for (node, slot)."""
+    return (
+        f"no provenance entry for node {node} at slot {slot}: the node was "
+        f"not listening that slot (idle, transmitting, done, or crashed), "
+        f"the slot was never executed, or provenance recording was off"
+    )

@@ -40,6 +40,8 @@ KINDS: dict[str, frozenset[str]] = {
     "fault": frozenset({"slot"}),
     # protocol layer
     "phase": frozenset({"proto", "node", "index", "slot"}),
+    # causal slot provenance (opt-in; see repro.sim.provenance)
+    "prov": frozenset({"slot", "node", "outcome"}),
     # generic metrics
     "counter": frozenset({"name", "value"}),
     "gauge": frozenset({"name", "value"}),

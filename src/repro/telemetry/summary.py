@@ -18,7 +18,7 @@ from typing import Any
 
 from repro.analysis.tables import Table
 from repro.errors import ExperimentError
-from repro.telemetry.schema import validate_log_lines, validate_record
+from repro.telemetry.schema import validate_line, validate_record
 
 __all__ = [
     "read_records",
@@ -43,7 +43,10 @@ def read_records(
     if not log.exists():
         raise ExperimentError(f"no telemetry log at {log}")
     records: list[dict[str, Any]] = []
-    with log.open("r", encoding="utf-8") as stream:
+    # errors="replace": undecodable bytes (a torn binary tail, a disk
+    # hiccup) become U+FFFD and fail JSON decoding per-line, so one bad
+    # region never aborts the whole read.
+    with log.open("r", encoding="utf-8", errors="replace") as stream:
         for number, line in enumerate(stream, start=1):
             if not line.strip():
                 continue
@@ -62,12 +65,26 @@ def read_records(
 
 
 def validate_log(path: str | os.PathLike[str]) -> list[str]:
-    """Every schema violation in the log, prefixed with line numbers."""
+    """Every schema violation in the log, prefixed with line numbers.
+
+    The whole file is checked: a line that is not valid UTF-8 (or not
+    valid JSON) is reported with its line number and validation moves
+    on to the next line, instead of aborting at the first bad byte.
+    """
     log = Path(path)
     if not log.exists():
         raise ExperimentError(f"no telemetry log at {log}")
-    with log.open("r", encoding="utf-8") as stream:
-        return validate_log_lines(stream)
+    errors: list[str] = []
+    with log.open("rb") as stream:
+        for number, raw in enumerate(stream, start=1):
+            try:
+                line = raw.decode("utf-8")
+            except UnicodeDecodeError as exc:
+                errors.append(f"line {number}: not valid UTF-8 ({exc})")
+                continue
+            for error in validate_line(line):
+                errors.append(f"line {number}: {error}")
+    return errors
 
 
 # -- aggregation ----------------------------------------------------------

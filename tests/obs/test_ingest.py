@@ -1,0 +1,139 @@
+"""Ingestion: telemetry logs, manifest sidecars, bench files."""
+
+import json
+
+import pytest
+
+from repro.errors import ExperimentError
+from repro.obs import RunStore, fingerprint_of, ingest_bench_file, ingest_log, ingest_path
+
+
+def _write_log(path, records):
+    with path.open("w", encoding="utf-8") as stream:
+        for record in records:
+            stream.write(json.dumps(record) + "\n")
+    return path
+
+
+def _log_records(*, with_prov=False, slots=100, wall=0.5):
+    records = [
+        {"kind": "manifest", "ts": 1.0, "schema": "repro-telemetry/1",
+         "version": 1, "python": "3.11", "command": "gap", "seed": 7,
+         "created": 50.0, "git_sha": "cafe", "host": "box",
+         "package_version": "0.1", "config_fingerprint": "deadbeef",
+         "config": {"n": 4}},
+        {"kind": "run_begin", "ts": 1.1, "run": "r1", "nodes": 4,
+         "edges": 3, "seed": 7},
+        {"kind": "phase", "ts": 1.2, "proto": "decay", "node": 0, "index": 0,
+         "slot": 9, "start_slot": 0},
+        {"kind": "run_end", "ts": 1.5, "run": "r1", "slots": slots,
+         "transmissions": 40, "collisions": 8, "deliveries": 3,
+         "wall_s": wall},
+    ]
+    if with_prov:
+        records.insert(3, {"kind": "prov", "ts": 1.3, "run": "r1", "slot": 2,
+                           "node": 1, "outcome": "collision", "tx": [0, 2]})
+    return records
+
+
+class TestLogIngest:
+    def test_aggregates_and_series(self, tmp_path):
+        log = _write_log(tmp_path / "run.jsonl", _log_records(with_prov=True))
+        with RunStore(tmp_path / "runs.db") as store:
+            result = ingest_log(store, log)
+            assert result.kind == "log"
+            assert not result.replaced
+            assert result.provenance_rows == 1
+            metrics = store.metrics_for(result.run_id)
+            assert metrics["slots"] == 100
+            assert metrics["collisions"] == 8
+            assert metrics["nodes_total"] == 4
+            assert metrics["collisions_per_node"] == pytest.approx(2.0)
+            assert metrics["slots_per_sec"] == pytest.approx(200.0)
+            phases = store.phases_for(result.run_id)
+            assert phases[0]["proto"] == "decay"
+
+    def test_reingest_is_idempotent(self, tmp_path):
+        log = _write_log(tmp_path / "run.jsonl", _log_records())
+        with RunStore(tmp_path / "runs.db") as store:
+            first = ingest_log(store, log)
+            second = ingest_log(store, log)
+            assert second.replaced
+            assert second.run_id == first.run_id
+            assert len(store.runs()) == 1
+
+    def test_sidecar_manifest_preferred(self, tmp_path):
+        records = _log_records()[1:]  # no inline manifest
+        log = _write_log(tmp_path / "run.jsonl", records)
+        sidecar = tmp_path / "run.jsonl.manifest.json"
+        sidecar.write_text(json.dumps(
+            {"command": "sidecar-cmd", "seed": 9, "created": 60.0}
+        ), encoding="utf-8")
+        with RunStore(tmp_path / "runs.db") as store:
+            result = ingest_log(store, log)
+            run = store.resolve_run(result.run_id)
+            assert run["command"] == "sidecar-cmd"
+            assert run["seed"] == 9
+
+    def test_provenance_engine_run_tag_kept(self, tmp_path):
+        log = _write_log(tmp_path / "run.jsonl", _log_records(with_prov=True))
+        with RunStore(tmp_path / "runs.db") as store:
+            result = ingest_log(store, log)
+            entries = store.provenance_at(result.run_id, "1", 2)
+            assert entries[0]["engine_run"] == "r1"
+            assert json.loads(entries[0]["tx"]) == ["0", "2"]
+
+    def test_fingerprint_stable_without_manifest(self, tmp_path):
+        log = _write_log(tmp_path / "run.jsonl", _log_records()[1:])
+        assert fingerprint_of(None, log) == fingerprint_of(None, log)
+
+
+class TestBenchIngest:
+    def _payload(self, value, recorded=1.0):
+        return {"schema": "repro-bench-engine/1", "recorded": recorded,
+                "git_sha": "abc", "scale": "quick",
+                "combined_slots_per_sec": value,
+                "topologies": {"grid-16x16": {"slots_per_sec": value}}}
+
+    def test_single_object(self, tmp_path):
+        bench = tmp_path / "BENCH_engine.json"
+        bench.write_text(json.dumps(self._payload(100.0)), encoding="utf-8")
+        with RunStore(tmp_path / "runs.db") as store:
+            result = ingest_bench_file(store, bench)
+            assert result.kind == "bench"
+            assert result.bench_points == 1
+            # idempotent
+            assert ingest_bench_file(store, bench).bench_points == 0
+
+    def test_history_jsonl(self, tmp_path):
+        history = tmp_path / "bench_history.jsonl"
+        with history.open("w", encoding="utf-8") as stream:
+            for i in range(3):
+                stream.write(json.dumps(self._payload(100.0 + i, recorded=float(i))) + "\n")
+        with RunStore(tmp_path / "runs.db") as store:
+            assert ingest_bench_file(store, history).bench_points == 3
+            assert len(store.bench_points()) == 3
+
+    def test_not_a_bench_file(self, tmp_path):
+        bogus = tmp_path / "x.json"
+        bogus.write_text('{"schema": "other/1"}', encoding="utf-8")
+        with RunStore(tmp_path / "runs.db") as store:
+            with pytest.raises(ExperimentError, match="not a bench record"):
+                ingest_bench_file(store, bogus)
+
+
+class TestAutoDetect:
+    def test_ingest_path_detects_bench_vs_log(self, tmp_path):
+        bench = tmp_path / "BENCH_engine.json"
+        bench.write_text(json.dumps(
+            {"schema": "repro-bench-engine/1", "combined_slots_per_sec": 5.0}
+        ), encoding="utf-8")
+        log = _write_log(tmp_path / "run.jsonl", _log_records())
+        with RunStore(tmp_path / "runs.db") as store:
+            assert ingest_path(store, bench).kind == "bench"
+            assert ingest_path(store, log).kind == "log"
+
+    def test_missing_file(self, tmp_path):
+        with RunStore(tmp_path / "runs.db") as store:
+            with pytest.raises(ExperimentError, match="no such file"):
+                ingest_path(store, tmp_path / "absent.jsonl")

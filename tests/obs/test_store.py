@@ -1,0 +1,158 @@
+"""Run-store schema, idempotent upsert, and query behavior."""
+
+import sqlite3
+
+import pytest
+
+from repro.errors import ExperimentError
+from repro.obs import SCHEMA_VERSION, RunStore
+
+
+def _info(**overrides):
+    info = {
+        "command": "gap",
+        "seed": 1,
+        "created": 100.0,
+        "git_sha": "abc",
+        "host": "h",
+        "package_version": "0",
+        "config_fingerprint": "cfg",
+        "config_json": "{}",
+        "source_path": "x.jsonl",
+        "records": 10,
+        "ingested_at": 200.0,
+    }
+    info.update(overrides)
+    return info
+
+
+class TestSchema:
+    def test_fresh_store_stamped_with_version(self, tmp_path):
+        with RunStore(tmp_path / "runs.db") as store:
+            (row,) = store.conn.execute("PRAGMA user_version").fetchall()
+            assert row["user_version"] == SCHEMA_VERSION
+
+    def test_newer_schema_rejected(self, tmp_path):
+        path = tmp_path / "runs.db"
+        conn = sqlite3.connect(str(path))
+        conn.execute(f"PRAGMA user_version = {SCHEMA_VERSION + 1}")
+        conn.commit()
+        conn.close()
+        with pytest.raises(ExperimentError, match="newer"):
+            RunStore(path)
+
+    def test_reopen_existing_store(self, tmp_path):
+        path = tmp_path / "runs.db"
+        with RunStore(path) as store:
+            store.upsert_run("f1", _info())
+        with RunStore(path) as store:
+            assert len(store.runs()) == 1
+
+
+class TestUpsert:
+    def test_insert_then_replace_keeps_id(self, tmp_path):
+        with RunStore(tmp_path / "runs.db") as store:
+            run_id, replaced = store.upsert_run("f1", _info())
+            assert not replaced
+            store.add_metrics(run_id, {"slots": 5.0})
+            store.add_series(run_id, "s", [(0, 1.0)])
+            store.add_phases(run_id, [{"proto": "decay", "idx": 0, "count": 1}])
+            store.add_provenance(
+                run_id,
+                [{"slot": 0, "node": "1", "outcome": "silence", "tx": []}],
+            )
+            run_id2, replaced2 = store.upsert_run("f1", _info(records=20))
+            assert replaced2
+            assert run_id2 == run_id  # id is stable across re-ingest
+            # re-ingest dropped all prior child rows
+            assert store.metrics_for(run_id) == {}
+            assert store.series_for(run_id, "s") == []
+            assert store.phases_for(run_id) == []
+            assert store.provenance_count(run_id) == 0
+            assert store.runs()[0]["records"] == 20
+
+    def test_distinct_fingerprints_distinct_rows(self, tmp_path):
+        with RunStore(tmp_path / "runs.db") as store:
+            a, _ = store.upsert_run("f1", _info(created=1.0))
+            b, _ = store.upsert_run("f2", _info(created=2.0))
+            assert a != b
+            assert len(store.runs()) == 2
+
+
+class TestResolve:
+    def test_latest_prev_id_and_prefix(self, tmp_path):
+        with RunStore(tmp_path / "runs.db") as store:
+            a, _ = store.upsert_run("aaaa1111", _info(created=1.0))
+            b, _ = store.upsert_run("bbbb2222", _info(created=2.0))
+            assert store.resolve_run("latest")["id"] == b
+            assert store.resolve_run("prev")["id"] == a
+            assert store.resolve_run(str(a))["id"] == a
+            assert store.resolve_run("bbbb")["id"] == b
+
+    def test_empty_store_errors(self, tmp_path):
+        with RunStore(tmp_path / "runs.db") as store:
+            with pytest.raises(ExperimentError, match="empty"):
+                store.resolve_run("latest")
+
+    def test_prev_requires_two(self, tmp_path):
+        with RunStore(tmp_path / "runs.db") as store:
+            store.upsert_run("f1", _info())
+            with pytest.raises(ExperimentError, match="previous"):
+                store.resolve_run("prev")
+
+    def test_unknown_and_ambiguous_prefixes(self, tmp_path):
+        with RunStore(tmp_path / "runs.db") as store:
+            store.upsert_run("aaaa1111", _info(created=1.0))
+            store.upsert_run("aaaa2222", _info(created=2.0))
+            with pytest.raises(ExperimentError, match="no run"):
+                store.resolve_run("zzzz")
+            with pytest.raises(ExperimentError, match="ambiguous"):
+                store.resolve_run("aaaa")
+
+
+class TestProvenanceQueries:
+    def test_lookup_by_engine_run(self, tmp_path):
+        with RunStore(tmp_path / "runs.db") as store:
+            run_id, _ = store.upsert_run("f1", _info())
+            store.add_provenance(
+                run_id,
+                [
+                    {"engine_run": "r1", "slot": 3, "node": "v",
+                     "outcome": "collision", "tx": ["a", "b"]},
+                    {"engine_run": "r2", "slot": 3, "node": "v",
+                     "outcome": "delivered", "tx": ["a"]},
+                ],
+            )
+            both = store.provenance_at(run_id, "v", 3)
+            assert len(both) == 2
+            only_r2 = store.provenance_at(run_id, "v", 3, "r2")
+            assert len(only_r2) == 1
+            assert only_r2[0]["outcome"] == "delivered"
+            assert store.provenance_count(run_id) == 2
+            assert [e["slot"] for e in store.provenance_for_node(run_id, "v")] == [3, 3]
+
+
+class TestBench:
+    def test_bench_points_idempotent_and_ordered(self, tmp_path):
+        with RunStore(tmp_path / "runs.db") as store:
+            p1 = {"schema": "repro-bench-engine/1", "recorded": 2.0,
+                  "combined_slots_per_sec": 100.0}
+            p2 = {"schema": "repro-bench-engine/1", "recorded": 1.0,
+                  "combined_slots_per_sec": 90.0}
+            assert store.add_bench_point("b1", p1)
+            assert store.add_bench_point("b2", p2)
+            assert not store.add_bench_point("b1", p1)  # duplicate ignored
+            points = store.bench_points()
+            assert [p["combined_slots_per_sec"] for p in points] == [90.0, 100.0]
+
+
+class TestTrendOrdering:
+    def test_metric_trend_orders_by_created(self, tmp_path):
+        with RunStore(tmp_path / "runs.db") as store:
+            # Inserted out of chronological order on purpose.
+            b, _ = store.upsert_run("f2", _info(created=2.0))
+            a, _ = store.upsert_run("f1", _info(created=1.0))
+            store.add_metrics(a, {"slots_per_sec": 10.0})
+            store.add_metrics(b, {"slots_per_sec": 20.0})
+            trend = store.metric_trend("slots_per_sec")
+            assert [row["value"] for row in trend] == [10.0, 20.0]

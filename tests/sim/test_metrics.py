@@ -119,3 +119,85 @@ class TestMerge:
 
     def test_merge_all_empty_is_identity(self):
         assert RunMetrics.merge_all([]) == RunMetrics()
+
+    def test_merge_all_empty_has_empty_maps(self):
+        total = RunMetrics.merge_all([])
+        assert total.first_reception == {}
+        assert total.transmissions_per_node == {}
+        assert total.collisions_per_node == {}
+
+    def test_first_reception_one_sided_left(self):
+        a = RunMetrics()
+        a.note_delivery("v", 12)
+        merged = a.merge(RunMetrics())
+        assert merged.first_reception == {"v": 12}
+
+    def test_first_reception_one_sided_right(self):
+        b = RunMetrics()
+        b.note_delivery("v", 12)
+        merged = RunMetrics().merge(b)
+        assert merged.first_reception == {"v": 12}
+
+    def test_first_reception_disjoint_nodes_union(self):
+        a, b = RunMetrics(), RunMetrics()
+        a.note_delivery("u", 3)
+        b.note_delivery("w", 8)
+        merged = a.merge(b)
+        assert merged.first_reception == {"u": 3, "w": 8}
+        # symmetric: the side a node appears on must not matter
+        assert b.merge(a).first_reception == {"u": 3, "w": 8}
+
+
+def _random_metrics(rng) -> RunMetrics:
+    """A randomized RunMetrics over a small shared node universe."""
+    m = RunMetrics(
+        slots=rng.randrange(0, 100),
+        jam_transmissions=rng.randrange(0, 5),
+    )
+    nodes = [f"n{i}" for i in range(6)]
+    for _ in range(rng.randrange(0, 10)):
+        m.note_transmission(rng.choice(nodes))
+    for _ in range(rng.randrange(0, 10)):
+        m.note_delivery(rng.choice(nodes), rng.randrange(0, 50))
+    for _ in range(rng.randrange(0, 10)):
+        m.note_collision(rng.choice(nodes) if rng.random() < 0.7 else None)
+    return m
+
+
+class TestMergeProperties:
+    """Property-style checks of the merge monoid on randomized triples."""
+
+    def test_associativity_randomized_triples(self):
+        import random
+
+        rng = random.Random(1987)
+        for _ in range(50):
+            a, b, c = (_random_metrics(rng) for _ in range(3))
+            assert a.merge(b).merge(c) == a.merge(b.merge(c))
+
+    def test_commutativity_randomized_pairs(self):
+        import random
+
+        rng = random.Random(42)
+        for _ in range(50):
+            a, b = _random_metrics(rng), _random_metrics(rng)
+            assert a.merge(b) == b.merge(a)
+
+    def test_identity_randomized(self):
+        import random
+
+        rng = random.Random(7)
+        for _ in range(20):
+            m = _random_metrics(rng)
+            assert m.merge(RunMetrics()) == m
+            assert RunMetrics().merge(m) == m
+
+    def test_merge_all_matches_pairwise_fold(self):
+        import random
+
+        rng = random.Random(11)
+        batch = [_random_metrics(rng) for _ in range(5)]
+        folded = RunMetrics()
+        for m in batch:
+            folded = folded.merge(m)
+        assert RunMetrics.merge_all(batch) == folded

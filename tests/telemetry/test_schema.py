@@ -74,3 +74,19 @@ class TestValidateLines:
         assert any(e.startswith("line 2:") for e in errors)
         assert any(e.startswith("line 3:") for e in errors)
         assert not any(e.startswith("line 1:") for e in errors)
+
+
+class TestProvenanceKind:
+    def test_prov_is_a_known_kind(self):
+        assert "prov" in KINDS
+        assert KINDS["prov"] == frozenset({"slot", "node", "outcome"})
+
+    def test_valid_prov_record(self):
+        assert not validate_record(
+            {"kind": "prov", "ts": 1.0, "run": "r1", "slot": 3, "node": 1,
+             "outcome": "collision", "tx": [0, 2]}
+        )
+
+    def test_prov_missing_outcome_flagged(self):
+        errors = validate_record({"kind": "prov", "ts": 1.0, "slot": 3, "node": 1})
+        assert any("outcome" in e for e in errors)

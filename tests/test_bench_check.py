@@ -1,0 +1,95 @@
+"""Bench harness guardrails: --check diagnostics and the history trail."""
+
+import json
+import pathlib
+import sys
+
+import pytest
+
+sys.path.insert(0, str(pathlib.Path(__file__).resolve().parent.parent / "benchmarks"))
+
+import bench_engine  # noqa: E402
+
+
+@pytest.fixture(autouse=True)
+def fast_measure(monkeypatch):
+    """--check should not re-run the real benchmark in unit tests."""
+    monkeypatch.setattr(
+        bench_engine, "measure_slots_per_sec",
+        lambda **kw: {"schema": "repro-bench-engine/1",
+                      "combined_slots_per_sec": 100.0},
+    )
+
+
+class TestCheckDiagnostics:
+    def test_missing_baseline(self, tmp_path):
+        ok, message = bench_engine.check_against_baseline(tmp_path / "absent.json")
+        assert not ok
+        assert "no baseline" in message
+
+    def test_malformed_json(self, tmp_path):
+        path = tmp_path / "BENCH_engine.json"
+        path.write_text("{not json", encoding="utf-8")
+        ok, message = bench_engine.check_against_baseline(path)
+        assert not ok
+        assert "unreadable" in message
+        assert "re-record" in message
+
+    def test_missing_combined_metric(self, tmp_path):
+        path = tmp_path / "BENCH_engine.json"
+        path.write_text(json.dumps({"schema": "repro-bench-engine/1"}),
+                        encoding="utf-8")
+        ok, message = bench_engine.check_against_baseline(path)
+        assert not ok
+        assert "combined_slots_per_sec" in message
+
+    def test_stale_topology_named(self, tmp_path):
+        path = tmp_path / "BENCH_engine.json"
+        path.write_text(json.dumps({
+            "schema": "repro-bench-engine/1",
+            "combined_slots_per_sec": 100.0,
+            "topologies": {"retired-topo-9": {"slots_per_sec": 1.0}},
+        }), encoding="utf-8")
+        ok, message = bench_engine.check_against_baseline(path)
+        assert not ok
+        assert "retired-topo-9" in message
+        assert "no longer produces" in message
+
+    def test_ok_within_tolerance(self, tmp_path):
+        path = tmp_path / "BENCH_engine.json"
+        path.write_text(json.dumps({
+            "schema": "repro-bench-engine/1",
+            "combined_slots_per_sec": 110.0,
+            "topologies": {name: {} for name, _ in bench_engine.TOPOLOGIES},
+        }), encoding="utf-8")
+        ok, message = bench_engine.check_against_baseline(path, tolerance=0.35)
+        assert ok
+        assert "OK" in message
+
+    def test_regression_detected(self, tmp_path):
+        path = tmp_path / "BENCH_engine.json"
+        path.write_text(json.dumps({
+            "schema": "repro-bench-engine/1",
+            "combined_slots_per_sec": 1000.0,
+        }), encoding="utf-8")
+        ok, message = bench_engine.check_against_baseline(path, tolerance=0.35)
+        assert not ok
+        assert "REGRESSION" in message
+
+
+class TestHistoryTrail:
+    def test_write_appends_history(self, tmp_path, monkeypatch):
+        history = tmp_path / "hist.jsonl"
+        monkeypatch.setenv("REPRO_BENCH_HISTORY", str(history))
+        bench_engine.write_bench_json(tmp_path / "BENCH_engine.json")
+        bench_engine.write_bench_json(tmp_path / "BENCH_engine.json")
+        lines = history.read_text(encoding="utf-8").splitlines()
+        assert len(lines) == 2
+        assert all(
+            json.loads(line)["schema"] == "repro-bench-engine/1" for line in lines
+        )
+
+    def test_history_disabled_by_empty_env(self, tmp_path, monkeypatch):
+        monkeypatch.setenv("REPRO_BENCH_HISTORY", "")
+        bench_engine.write_bench_json(tmp_path / "BENCH_engine.json")
+        assert not (tmp_path / "hist.jsonl").exists()

@@ -217,3 +217,145 @@ class TestObservabilityFlags:
     def test_log_level_rejects_garbage(self):
         with pytest.raises(SystemExit):
             main(["--log-level", "LOUD", "chaos", "--quick"])
+
+
+class TestObsCommands:
+    """End-to-end obs pipeline: run -> auto-ingest -> query/report/explain."""
+
+    @pytest.fixture()
+    def ingested(self, capsys, tmp_path):
+        db = tmp_path / "runs.db"
+        for seed in (5, 6):
+            code = main([
+                "gap", "--quick", "--reps", "2", "--seed", str(seed),
+                "--telemetry", str(tmp_path / f"g{seed}.jsonl"),
+                "--provenance", "--obs-db", str(db),
+            ])
+            assert code == 0
+        out = capsys.readouterr().out
+        assert "[obs]" in out
+        return db, tmp_path
+
+    def test_auto_ingest_and_reingest_idempotent(self, capsys, ingested):
+        db, tmp_path = ingested
+        code = main(["obs", "ingest", str(db), str(tmp_path / "g5.jsonl")])
+        out = capsys.readouterr().out
+        assert code == 0
+        assert "re-ingested (replaced)" in out
+
+    def test_report_tables_and_html(self, capsys, ingested):
+        db, tmp_path = ingested
+        assert main(["obs", "report", str(db)]) == 0
+        out = capsys.readouterr().out
+        assert "Run" in out and "slots_per_sec" in out
+        html = tmp_path / "run.html"
+        assert main(["obs", "report", str(db), "--html", str(html)]) == 0
+        assert "<html" in html.read_text(encoding="utf-8")
+
+    def test_compare_prev_latest(self, capsys, ingested):
+        db, _ = ingested
+        assert main(["obs", "compare", str(db), "prev", "latest"]) == 0
+        out = capsys.readouterr().out
+        assert "slots" in out and "vs" in out
+
+    def test_trend_check_passes_without_regression(self, capsys, ingested):
+        db, _ = ingested
+        code = main(["obs", "trend", str(db), "--metric", "slots_per_sec",
+                     "--check"])
+        out = capsys.readouterr().out
+        assert code == 0
+        assert "-> OK" in out
+
+    def test_trend_check_fails_on_injected_regression(self, capsys, ingested):
+        db, _ = ingested
+        # Inject a latest run whose throughput fell >= 20% below baseline.
+        from repro.obs import RunStore
+
+        with RunStore(db) as store:
+            latest = store.runs()[-1]
+            baseline = store.metrics_for(store.runs()[0]["id"])["slots_per_sec"]
+            store.add_metrics(latest["id"], {"slots_per_sec": baseline * 0.5})
+        code = main(["obs", "trend", str(db), "--metric", "slots_per_sec",
+                     "--check"])
+        out = capsys.readouterr().out
+        assert code == 1
+        assert "REGRESSION" in out
+
+    def test_trend_html(self, capsys, ingested):
+        db, tmp_path = ingested
+        html = tmp_path / "trend.html"
+        code = main(["obs", "trend", str(db), "--metric", "slots_per_sec",
+                     "--html", str(html)])
+        assert code == 0
+        assert "<svg" in html.read_text(encoding="utf-8")
+
+    def test_explain_hit_and_miss(self, capsys, ingested):
+        db, _ = ingested
+        from repro.obs import RunStore
+
+        with RunStore(db) as store:
+            run_id = store.runs()[-1]["id"]
+            entry = store.conn.execute(
+                "SELECT node, slot FROM provenance WHERE run_id = ?"
+                " AND outcome = 'delivered' LIMIT 1", (run_id,)
+            ).fetchone()
+        assert entry is not None
+        code = main(["obs", "explain", str(db), "--node", str(entry["node"]),
+                     "--slot", str(entry["slot"])])
+        out = capsys.readouterr().out
+        assert code == 0
+        assert "RECEIVED" in out
+        code = main(["obs", "explain", str(db), "--node", str(entry["node"]),
+                     "--slot", "99999"])
+        out = capsys.readouterr().out
+        assert code == 1
+        assert "no provenance entry" in out
+
+    def test_obs_db_requires_telemetry(self, tmp_path):
+        with pytest.raises(SystemExit, match="requires --telemetry"):
+            main(["gap", "--quick", "--reps", "1",
+                  "--obs-db", str(tmp_path / "runs.db")])
+
+    def test_ingest_missing_file_fails(self, capsys, tmp_path):
+        code = main(["obs", "ingest", str(tmp_path / "runs.db"),
+                     str(tmp_path / "absent.jsonl")])
+        out = capsys.readouterr().out
+        assert code == 1
+        assert "INGEST FAILED" in out
+
+    def test_empty_store_errors_cleanly(self, tmp_path):
+        db = tmp_path / "empty.db"
+        with pytest.raises(SystemExit, match="empty"):
+            main(["obs", "report", str(db)])
+
+    def test_bench_trend_from_committed_history(self, capsys, tmp_path):
+        import pathlib
+
+        history = pathlib.Path("benchmarks/results/bench_history.jsonl")
+        if not history.exists():
+            pytest.skip("no committed bench history")
+        db = tmp_path / "bench.db"
+        assert main(["obs", "ingest", str(db), str(history)]) == 0
+        capsys.readouterr()
+        code = main(["obs", "trend", str(db), "--source", "bench",
+                     "--metric", "combined_slots_per_sec"])
+        out = capsys.readouterr().out
+        assert code == 0
+        assert "combined_slots_per_sec" in out
+
+
+class TestTelemetryValidateRobustness:
+    def test_reports_all_bad_lines_with_numbers(self, capsys, tmp_path):
+        log = tmp_path / "mixed.jsonl"
+        with log.open("wb") as stream:
+            stream.write(b'{"kind": "gauge", "ts": 1.0, "name": "x", "value": 1}\n')
+            stream.write(b"not json\n")
+            stream.write(b'{"kind": "bogus", "ts": 2.0}\n')
+            stream.write(b"\xff\xfe broken\n")
+            stream.write(b'{"kind": "gauge", "ts": 3.0, "name": "y", "value": 2}\n')
+        code = main(["telemetry", str(log), "--validate"])
+        out = capsys.readouterr().out
+        assert code == 1
+        assert "line 2" in out and "line 3" in out and "line 4" in out
+        assert "not valid UTF-8" in out
+        assert "INVALID (3 errors)" in out
