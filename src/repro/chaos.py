@@ -56,6 +56,7 @@ from repro.sim.faults import (
     LinkLossFault,
     random_edge_kill_schedule,
 )
+from repro.telemetry.core import event as _telemetry_event
 
 __all__ = [
     "ChaosConfig",
@@ -275,12 +276,31 @@ def _run_chaos_trial(task: tuple[str, int, ChaosConfig]) -> dict[str, Any]:
     else:  # pragma: no cover - arms are fixed by run_chaos_campaign
         raise ExperimentError(f"unknown chaos arm {arm!r}")
     result = PROTOCOLS[config.protocol](g, seed, config.epsilon, schedule)
+    success = result.broadcast_succeeded(source=_SOURCE)
+    violations = check_invariants(result)
+    # One structured record per trial, carrying the invariant thresholds
+    # so the live conformance monitor (repro.monitor) can judge the
+    # campaign as it streams — no-op without an ambient recorder, and
+    # shipped back from pool workers like every other event.
+    _telemetry_event(
+        "chaos_trial",
+        arm=arm,
+        seed=seed,
+        success=success,
+        violations=len(violations),
+        slots=result.slots,
+        nodes=config.n,
+        epsilon=config.epsilon,
+        mc_slack=config.mc_slack,
+        control_success_max=config.control_success_max,
+        horizon=horizon,
+    )
     return {
         "arm": arm,
         "seed": seed,
-        "success": result.broadcast_succeeded(source=_SOURCE),
+        "success": success,
         "slots": result.slots,
-        "violations": check_invariants(result),
+        "violations": violations,
         "faults": schedule.counts(),
     }
 

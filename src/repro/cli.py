@@ -16,11 +16,17 @@ Subcommands:
   ``find_set`` adversary.
 * ``telemetry`` — summarize (or validate) a JSON-lines event log
   produced by ``--telemetry``.
+* ``monitor`` — stream a telemetry log through the live conformance
+  checkers (:mod:`repro.monitor`): the paper's bounds as runtime SLOs,
+  a live status board, ``--follow`` for campaigns still running, and
+  ``--gate`` to exit nonzero when any alert fires (CI).
 * ``obs`` — cross-run observability (:mod:`repro.obs`): ``ingest``
   telemetry logs / bench records into a SQLite run store, ``compare``
   two runs, ``trend`` a metric with a CI regression gate (``--check``),
-  ``report`` terminal tables or an HTML dashboard, and ``explain``
-  causal slot provenance ("why didn't node v receive in slot t?").
+  ``report`` terminal tables or an HTML dashboard, ``explain``
+  causal slot provenance ("why didn't node v receive in slot t?"),
+  and ``export`` a log as a Chrome/Perfetto trace
+  (``--chrome-trace``).
 
 Every command takes ``--seed`` and is fully reproducible.  The
 experiment-style commands additionally take ``--jobs N`` (or honour
@@ -289,8 +295,77 @@ def _cmd_telemetry(args: argparse.Namespace) -> int:
     return 0
 
 
+def _cmd_monitor(args: argparse.Namespace) -> int:
+    import json
+
+    from repro.errors import ExperimentError
+    from repro.monitor import (
+        BoardRenderer,
+        MonitorConfig,
+        monitor_log,
+        read_log_records,
+        validate_chrome_trace,
+        write_chrome_trace,
+    )
+
+    config = MonitorConfig(
+        epsilon=args.epsilon,
+        alpha=args.alpha,
+        min_runs=args.min_runs,
+        diameter=args.diameter,
+        max_degree=args.max_degree,
+        deterministic_floor=args.assume_deterministic,
+    )
+    renderer_factory = None
+    if not args.json:
+        renderer_factory = lambda board: BoardRenderer(  # noqa: E731
+            board, interval=args.interval, plain=True if args.plain else None
+        )
+    try:
+        report = monitor_log(
+            args.log,
+            config=config,
+            follow=args.follow,
+            idle_timeout=args.idle_timeout,
+            renderer_factory=renderer_factory,
+            write_alerts=not args.no_write_alerts,
+        )
+    except ExperimentError as exc:
+        raise SystemExit(f"monitor: {exc}")
+    if args.chrome_trace:
+        trace = write_chrome_trace(read_log_records(args.log), args.chrome_trace)
+        errors = validate_chrome_trace(trace)
+        if errors:
+            raise SystemExit(
+                f"monitor: exported trace failed validation: {errors[0]}"
+            )
+        if not args.json:
+            print(f"wrote {args.chrome_trace} "
+                  f"({len(trace['traceEvents'])} trace events)")
+    if args.json:
+        print(json.dumps(report.to_json(), indent=2, sort_keys=True, default=repr))
+    else:
+        _print_monitor_verdict(report, gate=args.gate)
+    return 1 if (args.gate and report.gate_failed) else 0
+
+
+def _print_monitor_verdict(report, gate: bool) -> None:
+    """Human-readable close-out after the status board's final paint."""
+    print()
+    if report.alerts:
+        print(f"{len(report.alerts)} conformance alert(s) fired:")
+        for alert in report.alerts:
+            print(f"  ! {alert.describe()}")
+        if gate:
+            print("gate: FAILED")
+    else:
+        print(f"no conformance alerts over {report.records} records")
+        if gate:
+            print("gate: PASSED")
+
+
 def _cmd_obs(args: argparse.Namespace) -> int:
-    """Dispatch ``obs ingest|compare|trend|report|explain``."""
+    """Dispatch ``obs ingest|compare|trend|report|explain|export``."""
     import json
 
     from repro.errors import ExperimentError
@@ -307,6 +382,28 @@ def _cmd_obs(args: argparse.Namespace) -> int:
         trend_table,
     )
     from repro.analysis.tables import Table
+
+    if args.obs_command == "export":
+        # Pure log -> trace translation; no run store involved.
+        from repro.monitor import (
+            read_log_records,
+            validate_chrome_trace,
+            write_chrome_trace,
+        )
+
+        try:
+            records = read_log_records(args.log)
+        except ExperimentError as exc:
+            raise SystemExit(f"obs export: {exc}")
+        trace = write_chrome_trace(records, args.chrome_trace)
+        trace_errors = validate_chrome_trace(trace)
+        if trace_errors:
+            raise SystemExit(
+                f"obs export: trace failed validation: {trace_errors[0]}"
+            )
+        print(f"wrote {args.chrome_trace} ({len(trace['traceEvents'])} trace "
+              f"events from {len(records)} records)")
+        return 0
 
     try:
         with RunStore(args.db) as store:
@@ -366,28 +463,41 @@ def _cmd_obs(args: argparse.Namespace) -> int:
                         encoding="utf-8",
                     )
                     print(f"wrote {args.html}")
+                checkable = len(points) >= 2
                 if args.json:
-                    print(json.dumps(
-                        {"points": [vars(p) for p in points], "verdict": verdict},
-                        indent=2, sort_keys=True, default=repr,
-                    ))
+                    # Pure JSON on stdout, even with --check: scripts parse
+                    # this; the gate verdict rides in the payload + exit code.
+                    payload = {
+                        "points": [vars(p) for p in points],
+                        "verdict": verdict,
+                    }
+                    if args.check:
+                        payload["check"] = {
+                            "checked": checkable,
+                            "regressed": bool(verdict["regressed"]) if checkable
+                                         else False,
+                        }
+                    print(json.dumps(payload, indent=2, sort_keys=True,
+                                     default=repr))
                 else:
                     print(trend_table(args.metric, points, verdict).render())
                 if args.check:
-                    if len(points) < 2:
-                        print(f"trend check: only {len(points)} point(s); "
-                              f"nothing to compare against (pass)")
+                    if not checkable:
+                        if not args.json:
+                            print(f"trend check: only {len(points)} point(s); "
+                                  f"nothing to compare against (pass)")
                         return 0
-                    change = verdict["change"]
-                    print(
-                        f"trend check [{args.source}/{args.metric}]: "
-                        f"latest={verdict['latest']:.4g} "
-                        f"baseline={verdict['baseline']:.4g} "
-                        f"change={change:+.1%} "
-                        f"threshold={verdict['threshold']:.0%} "
-                        f"({verdict['direction']}) -> "
-                        f"{'REGRESSION' if verdict['regressed'] else 'OK'}"
-                    )
+                    if not args.json:
+                        change = verdict["change"]
+                        print(
+                            f"trend check [{args.source}/{args.metric}]: "
+                            f"latest={verdict['latest']:.4g} "
+                            f"baseline={verdict['baseline']:.4g} "
+                            f"change={change:+.1%} "
+                            f"threshold={verdict['threshold']:.0%} "
+                            f"({verdict['direction']}) -> "
+                            f"{'REGRESSION' if verdict['regressed'] else 'OK'}"
+                        )
                     return 1 if verdict["regressed"] else 0
                 return 0
 
@@ -414,6 +524,10 @@ def _cmd_obs(args: argparse.Namespace) -> int:
                     store, args.run, args.node, args.slot,
                     engine_run=args.engine_run,
                 )
+                if args.json:
+                    print(json.dumps(result, indent=2, sort_keys=True,
+                                     default=repr))
+                    return 0 if result["found"] else 1
                 print(result["answer"])
                 if result.get("others"):
                     print(f"(+{result['others']} more engine runs in this log "
@@ -484,6 +598,14 @@ def build_parser() -> argparse.ArgumentParser:
             "--obs-db", default=None, metavar="DB",
             help="auto-ingest the --telemetry log into this run-store "
                  "database when the command finishes (see 'obs ingest')",
+        )
+        p.add_argument(
+            "--monitor", action="store_true",
+            help="attach the live conformance monitor to the telemetry "
+                 "stream (requires --telemetry): the paper's bounds are "
+                 "checked as the campaign runs and violations land in the "
+                 "log as 'alert' events (see 'monitor' for the "
+                 "out-of-process version)",
         )
 
     p_bcast = sub.add_parser("broadcast", help="run one Decay broadcast")
@@ -577,6 +699,55 @@ def build_parser() -> argparse.ArgumentParser:
                        help="emit the machine-readable summary instead of tables")
     p_tel.set_defaults(func=_cmd_telemetry)
 
+    p_mon = sub.add_parser(
+        "monitor",
+        help="stream a telemetry log through the live conformance checkers "
+             "(theorem-bound SLOs, status board, alert gate)",
+    )
+    p_mon.add_argument("log", help="JSON-lines event log written by --telemetry")
+    p_mon.add_argument("--follow", action="store_true",
+                       help="keep tailing the log as the campaign appends to "
+                            "it (torn trailing lines are buffered, not errors)")
+    p_mon.add_argument("--gate", action="store_true",
+                       help="exit 1 if any conformance alert fires (CI gate)")
+    p_mon.add_argument("--epsilon", type=float, default=None,
+                       help="failure budget the SLOs assume (default: the "
+                            "log manifest's epsilon, else 0.1)")
+    p_mon.add_argument("--alpha", type=float, default=1e-4,
+                       help="statistical false-alarm bound per SLO: alerts "
+                            "fire only when the Hoeffding tail drops below "
+                            "this (default 1e-4)")
+    p_mon.add_argument("--min-runs", type=int, default=8,
+                       help="runs observed before the statistical SLOs may "
+                            "fire (default 8)")
+    p_mon.add_argument("--diameter", type=int, default=None,
+                       help="graph diameter for the Theorem 4 budget "
+                            "(default: worst case n-1)")
+    p_mon.add_argument("--max-degree", type=int, default=None,
+                       help="max degree for the Theorem 4 budget "
+                            "(default: worst case n-1)")
+    p_mon.add_argument("--assume-deterministic", action="store_true",
+                       help="arm the Omega(n) lower-bound floor checker "
+                            "(only sound for deterministic protocols)")
+    p_mon.add_argument("--interval", type=float, default=0.5,
+                       help="status-board refresh interval in seconds")
+    p_mon.add_argument("--idle-timeout", type=float, default=None,
+                       help="with --follow: stop after this many seconds "
+                            "without new records (default: follow until ^C)")
+    p_mon.add_argument("--no-write-alerts", action="store_true",
+                       help="do not append fired alerts to the log as "
+                            "'alert' records")
+    p_mon.add_argument("--plain", action="store_true",
+                       help="plain status lines instead of the in-place TTY "
+                            "board (automatic when stdout is not a TTY)")
+    p_mon.add_argument("--chrome-trace", default=None, metavar="PATH",
+                       help="also export the log as a Chrome/Perfetto "
+                            "trace-event file after the pass")
+    p_mon.add_argument("--json", action="store_true",
+                       help="emit the machine-readable monitor report "
+                            "instead of the board")
+    p_mon.set_defaults(func=_cmd_monitor)
+
     p_obs = sub.add_parser(
         "obs",
         help="cross-run observability: ingest telemetry logs into a run "
@@ -647,6 +818,17 @@ def build_parser() -> argparse.ArgumentParser:
                            help="engine-run tag within the log (e.g. r3) when "
                                 "a campaign recorded this (node, slot) more "
                                 "than once")
+    p_explain.add_argument("--json", action="store_true",
+                           help="emit the full explanation object as JSON")
+
+    p_export = obs_sub.add_parser(
+        "export",
+        help="export a telemetry log as a Chrome trace-event file "
+             "(open in chrome://tracing or ui.perfetto.dev)",
+    )
+    p_export.add_argument("log", help="JSON-lines event log written by --telemetry")
+    p_export.add_argument("--chrome-trace", required=True, metavar="PATH",
+                          help="where to write the trace JSON")
     p_obs.set_defaults(func=_cmd_obs)
 
     p_game = sub.add_parser("game", help="foil a hitting-game strategy")
@@ -664,7 +846,8 @@ def _manifest_config(args: argparse.Namespace) -> dict:
     config = {
         key: value
         for key, value in vars(args).items()
-        if key not in ("func", "telemetry", "profile", "log_level", "obs_db")
+        if key not in ("func", "telemetry", "profile", "log_level", "obs_db",
+                       "monitor")
         and not callable(value)
     }
     return config
@@ -696,6 +879,13 @@ def main(argv: list[str] | None = None) -> int:
     obs_db = getattr(args, "obs_db", None)
     if obs_db and not telemetry_path:
         raise SystemExit("--obs-db requires --telemetry (the log is what is ingested)")
+    wants_monitor = getattr(args, "monitor", False)
+    if wants_monitor and not telemetry_path:
+        raise SystemExit(
+            "--monitor requires --telemetry (the monitor subscribes to the "
+            "event stream; use 'repro monitor <log> --follow' to watch an "
+            "existing log instead)"
+        )
     # --provenance rides on the ambient REPRO_PROVENANCE gate so every
     # engine the command constructs (including in pool workers, which
     # inherit the environment) records causal slot provenance.
@@ -708,6 +898,13 @@ def main(argv: list[str] | None = None) -> int:
             from repro.telemetry import Telemetry, activate
 
             recorder = Telemetry.to_path(telemetry_path)
+            detach_monitor = None
+            if wants_monitor:
+                from repro.monitor import attach_monitor
+
+                # Attach before the manifest lands so the checkers see it
+                # (it selects the checker family and pins epsilon).
+                _live, detach_monitor = attach_monitor(recorder)
             recorder.write_manifest(
                 command=args.command,
                 seed=getattr(args, "seed", None),
@@ -715,6 +912,17 @@ def main(argv: list[str] | None = None) -> int:
             )
             with recorder, activate(recorder):
                 code = _dispatch(args)
+                if detach_monitor is not None:
+                    monitor_report = detach_monitor()
+            if detach_monitor is not None:
+                if monitor_report.alerts:
+                    print(f"\n[monitor] {len(monitor_report.alerts)} "
+                          f"conformance alert(s) fired:")
+                    for alert in monitor_report.alerts:
+                        print(f"[monitor]   ! {alert.describe()}")
+                else:
+                    print(f"\n[monitor] no conformance alerts over "
+                          f"{monitor_report.records} records")
             if obs_db:
                 from repro.obs import RunStore, ingest_log
 

@@ -1,0 +1,225 @@
+"""Live TTY status board for a running campaign.
+
+:class:`StatusBoard` folds the telemetry stream into a small rolling
+snapshot (runs completed, slots/sec, collision rate, campaign progress,
+open alerts); :class:`BoardRenderer` paints it.  On a real terminal the
+board redraws in place with ANSI cursor movement; when stdout is a pipe
+(CI, ``| tee``) it degrades to plain status lines emitted at most once
+per refresh interval, so logs stay readable and diffable.
+"""
+
+from __future__ import annotations
+
+import sys
+import time
+from typing import Any, TextIO
+
+from repro.monitor.conformance import Alert
+
+__all__ = ["StatusBoard", "BoardRenderer"]
+
+
+class StatusBoard:
+    """Rolling aggregate of the stream, cheap enough to update per record."""
+
+    def __init__(self) -> None:
+        self.records = 0
+        self.runs_begun = 0
+        self.runs_ended = 0
+        self.runs_succeeded = 0
+        self.slots = 0
+        self.transmissions = 0
+        self.collisions = 0
+        self.deliveries = 0
+        self.wall_s = 0.0
+        self.faults = 0
+        self.chaos_trials = 0
+        self.alerts: list[Alert] = []
+        self.command: str | None = None
+        self.progress_done: int | None = None
+        self.progress_total: int | None = None
+        self.last_run: str | None = None
+        self._nodes: dict[tuple[Any, Any], float] = {}
+
+    def update(self, record: dict[str, Any]) -> None:
+        self.records += 1
+        kind = record.get("kind")
+        if kind == "manifest":
+            command = record.get("command")
+            if isinstance(command, str):
+                self.command = command
+        elif kind == "run_begin":
+            self.runs_begun += 1
+            nodes = record.get("nodes")
+            if isinstance(nodes, (int, float)) and not isinstance(nodes, bool):
+                self._nodes[(record.get("chunk"), record.get("run"))] = nodes
+        elif kind == "run_end":
+            self.runs_ended += 1
+            run = record.get("run")
+            if isinstance(run, str):
+                self.last_run = run
+            for field_name, attr in (
+                ("slots", "slots"),
+                ("transmissions", "transmissions"),
+                ("collisions", "collisions"),
+                ("deliveries", "deliveries"),
+                ("wall_s", "wall_s"),
+            ):
+                value = record.get(field_name)
+                if isinstance(value, (int, float)) and not isinstance(value, bool):
+                    setattr(self, attr, getattr(self, attr) + value)
+            nodes = self._nodes.get((record.get("chunk"), record.get("run")))
+            informed = record.get("informed")
+            if (
+                nodes is not None
+                and isinstance(informed, (int, float))
+                and not isinstance(informed, bool)
+                and informed >= nodes
+            ):
+                self.runs_succeeded += 1
+        elif kind == "fault":
+            self.faults += 1
+        elif kind == "chaos_trial":
+            self.chaos_trials += 1
+        elif kind == "progress":
+            done = record.get("done")
+            total = record.get("total")
+            if isinstance(done, (int, float)) and not isinstance(done, bool):
+                self.progress_done = int(done)
+            if isinstance(total, (int, float)) and not isinstance(total, bool):
+                self.progress_total = int(total)
+
+    def note_alert(self, alert: Alert) -> None:
+        self.alerts.append(alert)
+
+    @property
+    def slots_per_sec(self) -> float:
+        return self.slots / self.wall_s if self.wall_s > 0 else 0.0
+
+    @property
+    def collision_rate(self) -> float:
+        return self.collisions / self.transmissions if self.transmissions else 0.0
+
+    @property
+    def success_rate(self) -> float | None:
+        if not self.runs_ended:
+            return None
+        return self.runs_succeeded / self.runs_ended
+
+    def snapshot(self) -> dict[str, Any]:
+        """Machine-readable board state (the ``--json`` report embeds it)."""
+        return {
+            "records": self.records,
+            "command": self.command,
+            "runs": {
+                "begun": self.runs_begun,
+                "ended": self.runs_ended,
+                "succeeded": self.runs_succeeded,
+            },
+            "slots": self.slots,
+            "slots_per_sec": self.slots_per_sec,
+            "collision_rate": self.collision_rate,
+            "deliveries": self.deliveries,
+            "faults": self.faults,
+            "chaos_trials": self.chaos_trials,
+            "progress": {
+                "done": self.progress_done,
+                "total": self.progress_total,
+            },
+            "alerts": [alert.record_fields() for alert in self.alerts],
+        }
+
+    # -- text rendering ---------------------------------------------------
+
+    def lines(self) -> list[str]:
+        """The board as fixed-order text lines (both render modes use it)."""
+        header = "repro monitor"
+        if self.command:
+            header += f" — {self.command}"
+        parts = [f"runs {self.runs_ended}/{self.runs_begun}"]
+        rate = self.success_rate
+        if rate is not None:
+            parts.append(f"success {rate:.0%}")
+        if self.progress_total:
+            done = self.progress_done or 0
+            parts.append(f"progress {done}/{self.progress_total}")
+        if self.chaos_trials:
+            parts.append(f"chaos trials {self.chaos_trials}")
+        run_line = "  ".join(parts)
+        engine_line = (
+            f"slots {self.slots}  "
+            f"slots/sec {self.slots_per_sec:,.0f}  "
+            f"collision rate {self.collision_rate:.1%}  "
+            f"faults {self.faults}"
+        )
+        if self.alerts:
+            alert_line = f"ALERTS OPEN: {len(self.alerts)}"
+        else:
+            alert_line = "alerts: none"
+        lines = [header, run_line, engine_line, alert_line]
+        for alert in self.alerts[-3:]:
+            lines.append(f"  ! {alert.describe()}")
+        return lines
+
+    def status_line(self) -> str:
+        """One-line form for the plain (non-TTY) renderer."""
+        parts = [f"records {self.records}", f"runs {self.runs_ended}"]
+        rate = self.success_rate
+        if rate is not None:
+            parts.append(f"success {rate:.0%}")
+        parts.append(f"slots/sec {self.slots_per_sec:,.0f}")
+        parts.append(f"collisions {self.collision_rate:.1%}")
+        if self.chaos_trials:
+            parts.append(f"chaos {self.chaos_trials}")
+        parts.append(f"alerts {len(self.alerts)}")
+        return "monitor: " + "  ".join(parts)
+
+
+class BoardRenderer:
+    """Paint a :class:`StatusBoard`, in place on a TTY, line-wise otherwise."""
+
+    def __init__(
+        self,
+        board: StatusBoard,
+        *,
+        stream: TextIO | None = None,
+        interval: float = 0.5,
+        plain: bool | None = None,
+    ) -> None:
+        self.board = board
+        self.stream = stream if stream is not None else sys.stdout
+        self.interval = interval
+        if plain is None:
+            plain = not self.stream.isatty()
+        self.plain = plain
+        self._painted_lines = 0
+        self._last_refresh = 0.0
+        self._last_plain = ""
+
+    def refresh(self, *, force: bool = False) -> None:
+        now = time.monotonic()
+        if not force and now - self._last_refresh < self.interval:
+            return
+        self._last_refresh = now
+        if self.plain:
+            line = self.board.status_line()
+            if force or line != self._last_plain:
+                self._last_plain = line
+                print(line, file=self.stream, flush=True)
+            return
+        lines = self.board.lines()
+        out = self.stream
+        if self._painted_lines:
+            out.write(f"\x1b[{self._painted_lines}F")  # cursor back to top
+        for line in lines:
+            out.write("\x1b[2K" + line + "\n")  # clear stale tail, repaint
+        if self._painted_lines > len(lines):
+            for _ in range(self._painted_lines - len(lines)):
+                out.write("\x1b[2K\n")
+            out.write(f"\x1b[{self._painted_lines - len(lines)}F")
+        self._painted_lines = len(lines)
+        out.flush()
+
+    def close(self) -> None:
+        """Final repaint so the last state stays on screen."""
+        self.refresh(force=True)

@@ -1,0 +1,133 @@
+"""Tail-follow reading of JSON-lines telemetry logs.
+
+Telemetry writers emit one ``<json>\\n`` line per record and flush as
+they go, so an out-of-process monitor can watch a campaign by polling
+the file for new bytes.  The subtlety is the *torn tail*: a reader can
+race the writer mid-flush and see half a record with no newline yet.
+:class:`TailReader` therefore decodes only newline-terminated lines and
+buffers the remainder until its newline arrives — a partially-written
+final line is *pending*, never an error.
+
+Two front ends:
+
+* :func:`read_log_records` — one-shot read of everything complete in
+  the file right now (the non-``--follow`` monitor path).
+* :func:`follow_records` — a generator that keeps polling and yields
+  records as the writer appends them (the ``--follow`` path), with an
+  optional idle timeout and stop predicate so CI runs terminate.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import time
+from pathlib import Path
+from typing import Any, Callable, Iterator
+
+from repro.errors import ExperimentError
+
+__all__ = ["TailReader", "read_log_records", "follow_records"]
+
+
+class TailReader:
+    """Incremental, torn-write-tolerant JSON-lines reader.
+
+    Each :meth:`poll` reads whatever bytes the writer has appended
+    since the last call, splits off the complete (newline-terminated)
+    lines and decodes them; an unterminated tail stays buffered until a
+    later poll completes it.  Lines that are complete but undecodable
+    (corrupt bytes, truncated by a crash *and* followed by more data)
+    are counted in :attr:`invalid` and skipped, mirroring the tolerant
+    batch reader in :mod:`repro.telemetry.summary`.
+    """
+
+    def __init__(self, path: str | os.PathLike[str]) -> None:
+        self.path = Path(path)
+        self.offset = 0
+        self.lineno = 0
+        self.invalid = 0
+        self._buffer = b""
+
+    @property
+    def pending(self) -> bool:
+        """True while a partially-written line is buffered."""
+        return bool(self._buffer)
+
+    def poll(self) -> list[dict[str, Any]]:
+        """Decode every record completed since the last poll."""
+        try:
+            size = self.path.stat().st_size
+        except OSError:
+            return []  # not created yet (monitor started first)
+        if size < self.offset:
+            # The file shrank: the writer truncated and restarted (a
+            # rerun over the same path).  Start over from the top.
+            self.offset = 0
+            self.lineno = 0
+            self._buffer = b""
+        if size == self.offset:
+            return []
+        with self.path.open("rb") as stream:
+            stream.seek(self.offset)
+            chunk = stream.read()
+        self.offset += len(chunk)
+        data = self._buffer + chunk
+        lines = data.split(b"\n")
+        self._buffer = lines.pop()  # b"" when data ended on a newline
+        records: list[dict[str, Any]] = []
+        for raw in lines:
+            self.lineno += 1
+            if not raw.strip():
+                continue
+            try:
+                record = json.loads(raw.decode("utf-8", errors="replace"))
+            except json.JSONDecodeError:
+                self.invalid += 1
+                continue
+            if isinstance(record, dict):
+                records.append(record)
+            else:
+                self.invalid += 1
+        return records
+
+
+def read_log_records(path: str | os.PathLike[str]) -> list[dict[str, Any]]:
+    """Everything complete in the log right now (torn tail ignored)."""
+    log = Path(path)
+    if not log.exists():
+        raise ExperimentError(f"no telemetry log at {log}")
+    return TailReader(log).poll()
+
+
+def follow_records(
+    path: str | os.PathLike[str],
+    *,
+    poll_interval: float = 0.2,
+    idle_timeout: float | None = None,
+    stop: Callable[[], bool] | None = None,
+) -> Iterator[dict[str, Any]]:
+    """Yield records live as the writer appends them.
+
+    Ends when ``stop()`` turns true, or when no new bytes have arrived
+    for ``idle_timeout`` seconds (``None``: follow until interrupted).
+    The file may not exist yet when following starts; the idle clock
+    covers the wait for its creation too.
+    """
+    reader = TailReader(path)
+    last_data = time.monotonic()
+    while True:
+        records = reader.poll()
+        if records:
+            last_data = time.monotonic()
+            yield from records
+        if stop is not None and stop():
+            yield from reader.poll()  # drain what raced the stop signal
+            return
+        if not records:
+            if (
+                idle_timeout is not None
+                and time.monotonic() - last_data >= idle_timeout
+            ):
+                return
+            time.sleep(poll_interval)

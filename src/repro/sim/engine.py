@@ -246,6 +246,12 @@ class Engine:
             wall = time.perf_counter() - run_t0
             slots_run = self.slot - start_slot
             metrics = self.metrics
+            extra: dict[str, Any] = {}
+            if metrics.first_reception:
+                # The slot the last first-reception landed in — when all
+                # nodes are informed this *is* the broadcast completion
+                # slot Theorem 4 budgets (repro.monitor checks it live).
+                extra["last_reception_slot"] = max(metrics.first_reception.values())
             tel.end_run(
                 slots=self.slot,
                 slots_run=slots_run,
@@ -256,6 +262,7 @@ class Engine:
                 deliveries=metrics.deliveries,
                 jam_transmissions=metrics.jam_transmissions,
                 informed=len(self._has_received),
+                **extra,
             )
         return RunResult(
             slots=self.slot,

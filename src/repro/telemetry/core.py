@@ -15,6 +15,15 @@ Design constraints (see the module docs in ``repro/telemetry/__init__.py``):
   processes instead buffer into their own in-memory recorder and ship
   records back to the parent (see :mod:`repro.parallel`), which merges
   them into the stream with :meth:`Telemetry.write_record`.
+* **Subscriber bus.**  In-process consumers (the live conformance
+  monitor, the status board — see :mod:`repro.monitor`) can
+  :meth:`~Telemetry.subscribe` a callback and observe every record as
+  it is written, including worker records merged via
+  :meth:`~Telemetry.write_record`.  With no subscriber attached the
+  cost is one falsy-tuple check per record, and with telemetry
+  disabled nothing changes at all — the strict no-op guarantee above
+  is untouched (the bench harness guards this:
+  ``benchmarks/bench_engine.py --bus-check``).
 """
 
 from __future__ import annotations
@@ -22,12 +31,13 @@ from __future__ import annotations
 import contextlib
 import hashlib
 import json
+import logging
 import os
 import platform
 import sys
 import time
 from pathlib import Path
-from typing import Any, Iterator, TextIO
+from typing import Any, Callable, Iterator, TextIO
 
 from repro._version import __version__
 from repro.telemetry.schema import SCHEMA, SCHEMA_VERSION
@@ -81,6 +91,13 @@ class Telemetry:
         self._run_seq = 0
         self._current_run: str | None = None
         self._closed = False
+        # Subscriber bus: an immutable tuple so dispatch never races a
+        # subscribe/unsubscribe, and the no-subscriber fast path is one
+        # falsy check.  Depth-guarded so a subscriber that emits records
+        # of its own (the monitor writing `alert` events) cannot recurse
+        # unboundedly.
+        self._subscribers: tuple[Callable[[dict[str, Any]], None], ...] = ()
+        self._dispatch_depth = 0
 
     # -- constructors ---------------------------------------------------
 
@@ -137,10 +154,51 @@ class Telemetry:
     def _write(self, record: dict[str, Any]) -> None:
         if self._records is not None:
             self._records.append(record)
+        else:
+            assert self._stream is not None
+            self._stream.write(json.dumps(record, default=repr) + "\n")
+            self._stream.flush()
+        if self._subscribers:
+            self._dispatch(record)
+
+    # -- subscriber bus -------------------------------------------------
+
+    def subscribe(
+        self, callback: Callable[[dict[str, Any]], None]
+    ) -> Callable[[], None]:
+        """Observe every record written to this recorder.
+
+        ``callback(record)`` runs synchronously after each record is
+        written (streamed or buffered), including pre-formed worker
+        records merged via :meth:`write_record`.  Exceptions raised by
+        a subscriber are logged and swallowed — a broken consumer must
+        never corrupt the recording.  Returns an unsubscribe callable.
+        """
+        self._subscribers = (*self._subscribers, callback)
+        return lambda: self.unsubscribe(callback)
+
+    def unsubscribe(self, callback: Callable[[dict[str, Any]], None]) -> None:
+        """Detach a subscriber (no-op when it is not attached)."""
+        self._subscribers = tuple(
+            existing for existing in self._subscribers if existing is not callback
+        )
+
+    def _dispatch(self, record: dict[str, Any]) -> None:
+        if self._dispatch_depth >= 4:  # runaway subscriber-emission guard
             return
-        assert self._stream is not None
-        self._stream.write(json.dumps(record, default=repr) + "\n")
-        self._stream.flush()
+        self._dispatch_depth += 1
+        try:
+            for callback in self._subscribers:
+                try:
+                    callback(record)
+                except Exception:  # noqa: BLE001 - isolate consumers
+                    logging.getLogger("repro.telemetry").exception(
+                        "telemetry subscriber %r failed; record dropped "
+                        "for that subscriber only",
+                        callback,
+                    )
+        finally:
+            self._dispatch_depth -= 1
 
     # -- manifest -------------------------------------------------------
 

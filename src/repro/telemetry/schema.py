@@ -51,6 +51,10 @@ KINDS: dict[str, frozenset[str]] = {
     "campaign_end": frozenset({"wall_s", "chunks"}),
     "chunk": frozenset({"index", "size", "wall_s"}),
     "progress": frozenset({"done", "total", "elapsed_s"}),
+    # chaos layer: one record per adversarial trial (arm, verdict)
+    "chaos_trial": frozenset({"arm", "seed", "success"}),
+    # conformance monitor (repro.monitor): a theorem-bound SLO fired
+    "alert": frozenset({"rule", "severity", "message"}),
     # profiling hook
     "profile": frozenset({"top"}),
 }
@@ -82,6 +86,10 @@ _NUMERIC = frozenset(
         "jobs",
         "retries",
         "timeouts",
+        "last_reception_slot",
+        "violations",
+        "informed",
+        "epsilon",
     }
 )
 

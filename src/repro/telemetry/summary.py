@@ -38,6 +38,13 @@ def read_records(
     With ``strict=True`` any schema violation raises
     :class:`ExperimentError`; otherwise invalid lines are skipped (a
     torn trailing line from a killed campaign is normal).
+
+    A final line with no terminating newline is a record the writer is
+    still mid-flush on (every writer emits ``<json>\\n`` and a reader
+    may race the flush): it is treated as *incomplete* rather than
+    invalid, in strict mode too.  :class:`repro.monitor.tail.TailReader`
+    is the live counterpart that buffers such a tail until its newline
+    arrives.
     """
     log = Path(path)
     if not log.exists():
@@ -50,6 +57,8 @@ def read_records(
         for number, line in enumerate(stream, start=1):
             if not line.strip():
                 continue
+            if not line.endswith("\n"):
+                break  # partially-written final line: writer mid-flush
             try:
                 record = json.loads(line)
             except json.JSONDecodeError as exc:
@@ -69,7 +78,11 @@ def validate_log(path: str | os.PathLike[str]) -> list[str]:
 
     The whole file is checked: a line that is not valid UTF-8 (or not
     valid JSON) is reported with its line number and validation moves
-    on to the next line, instead of aborting at the first bad byte.
+    on to the next line, instead of aborting at the first bad byte.  A
+    final line with no terminating newline is a record the writer is
+    still mid-flush on (a live campaign being validated while it runs)
+    and is skipped, not reported — the monitor's tail reader buffers
+    exactly such lines until the newline lands.
     """
     log = Path(path)
     if not log.exists():
@@ -77,6 +90,8 @@ def validate_log(path: str | os.PathLike[str]) -> list[str]:
     errors: list[str] = []
     with log.open("rb") as stream:
         for number, raw in enumerate(stream, start=1):
+            if not raw.endswith(b"\n") and raw.strip():
+                break  # partially-written final line: writer mid-flush
             try:
                 line = raw.decode("utf-8")
             except UnicodeDecodeError as exc:

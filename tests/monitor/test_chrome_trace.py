@@ -1,0 +1,101 @@
+"""Chrome trace-event export: structure, lanes, and the CI validator."""
+
+import json
+
+from repro.graphs import generators
+from repro.monitor.chrome_trace import (
+    chrome_trace,
+    chrome_trace_events,
+    validate_chrome_trace,
+    write_chrome_trace,
+)
+from repro.protocols import run_decay_broadcast
+from repro.telemetry import Telemetry, activate
+
+
+def real_records():
+    recorder = Telemetry.buffered()
+    recorder.write_manifest(command="experiment", seed=0, config={"n": 8})
+    with recorder, activate(recorder):
+        with recorder.span("campaign"):
+            run_decay_broadcast(generators.line(8), 0, seed=1, epsilon=0.1)
+        recorder.counter("reps_done", 1)
+    return recorder.drain()
+
+
+class TestExport:
+    def test_real_log_round_trips_and_validates(self, tmp_path):
+        trace = write_chrome_trace(real_records(), tmp_path / "trace.json")
+        assert validate_chrome_trace(trace) == []
+        reloaded = json.loads((tmp_path / "trace.json").read_text(encoding="utf-8"))
+        assert reloaded["displayTimeUnit"] == "ms"
+        assert reloaded["traceEvents"] == trace["traceEvents"]
+
+    def test_contains_run_slice_phase_instants_and_counters(self):
+        events = chrome_trace_events(real_records())
+        phases = {e["ph"] for e in events}
+        assert {"M", "X", "i", "C"} <= phases
+        runs = [e for e in events if e.get("cat") == "run"]
+        assert len(runs) == 1 and runs[0]["ph"] == "X" and runs[0]["dur"] >= 1
+        spans = [e for e in events if e.get("cat") == "span"]
+        assert any(e["name"] == "campaign" for e in spans)
+        assert any(e.get("cat") == "phase" for e in events)  # decay phase markers
+        counters = [e for e in events if e["ph"] == "C"]
+        assert any(e["name"] == "reps_done" for e in counters)
+
+    def test_timestamps_rebased_to_zero(self):
+        events = [e for e in chrome_trace_events(real_records()) if "ts" in e]
+        assert min(e["ts"] for e in events) == 0
+
+    def test_chunk_records_get_their_own_lane(self):
+        records = [
+            {"kind": "run_begin", "ts": 10.0, "run": "r1", "chunk": 2},
+            {"kind": "run_end", "ts": 10.5, "run": "r1", "chunk": 2,
+             "wall_s": 0.5},
+            {"kind": "chunk", "ts": 10.6, "index": 2, "chunk": 2,
+             "size": 4, "wall_s": 0.6, "pid": 123},
+        ]
+        events = chrome_trace_events(records)
+        lanes = {e["tid"] for e in events if e["ph"] != "M"}
+        assert lanes == {3}  # chunk 2 -> tid 3
+        names = {e["args"]["name"] for e in events
+                 if e["ph"] == "M" and e["name"] == "thread_name"}
+        assert "chunk 2" in names
+
+    def test_unfinished_run_rendered_as_instant(self):
+        records = [{"kind": "run_begin", "ts": 1.0, "run": "r1", "nodes": 8}]
+        events = chrome_trace_events(records)
+        unfinished = [e for e in events if "unfinished" in e.get("name", "")]
+        assert len(unfinished) == 1 and unfinished[0]["ph"] == "i"
+
+    def test_alert_records_become_instants(self):
+        records = [
+            {"kind": "alert", "ts": 2.0, "rule": "theorem1-decay",
+             "severity": "critical", "message": "boom"},
+        ]
+        [alert] = [e for e in chrome_trace_events(records) if e["ph"] == "i"]
+        assert alert["name"] == "alert:theorem1-decay"
+        assert alert["args"]["severity"] == "critical"
+
+
+class TestValidator:
+    def test_rejects_non_object(self):
+        assert validate_chrome_trace([]) == ["trace must be a JSON object"]
+
+    def test_rejects_missing_events(self):
+        assert validate_chrome_trace({}) == ["traceEvents must be a list"]
+
+    def test_rejects_bad_event_shapes(self):
+        trace = {"traceEvents": [
+            {"ph": "Z", "name": "x", "pid": 1, "tid": 0, "ts": 0},
+            {"ph": "X", "name": "x", "pid": 1, "tid": 0, "ts": -5, "dur": 0},
+            {"ph": "i", "pid": 1, "tid": 0, "ts": 1},
+        ]}
+        errors = validate_chrome_trace(trace)
+        assert any("unsupported ph" in e for e in errors)
+        assert any("non-negative" in e for e in errors)
+        assert any("positive dur" in e for e in errors)
+        assert any("missing name" in e for e in errors)
+
+    def test_accepts_generated_trace(self):
+        assert validate_chrome_trace(chrome_trace(real_records())) == []

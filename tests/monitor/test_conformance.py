@@ -1,0 +1,261 @@
+"""Monte-Carlo validation of the conformance checkers.
+
+The statistical SLOs are calibrated so that, per evaluation, a nominal
+campaign trips with probability at most ``alpha`` (the Hoeffding tail
+is an upper bound on the false-alarm probability).  With fixed seeds
+the runs below are deterministic, so these tests are exact, not flaky:
+nominal seeded campaigns must never fire, and a jammed campaign whose
+broadcasts provably cannot complete must fire once enough evidence
+accumulates.
+"""
+
+import math
+
+import pytest
+
+from repro.analysis.theory import hoeffding_lower_tail
+from repro.graphs import generators
+from repro.monitor.conformance import (
+    AccountingChecker,
+    BroadcastBudgetChecker,
+    ChaosInvariantChecker,
+    ConformanceMonitor,
+    DecaySuccessChecker,
+    MonitorConfig,
+    OmegaFloorChecker,
+    default_checkers,
+)
+from repro.protocols import run_decay_broadcast
+from repro.sim.faults import FaultSchedule, JamFault
+from repro.telemetry import Telemetry, activate
+
+
+def campaign_records(*, reps, graph_factory, seed0=0, faults=None, epsilon=0.1):
+    """Telemetry records of a seeded broadcast campaign (in memory)."""
+    recorder = Telemetry.buffered()
+    recorder.write_manifest(command="experiment", seed=seed0,
+                            config={"epsilon": epsilon})
+    with recorder, activate(recorder):
+        for rep in range(reps):
+            run_decay_broadcast(
+                graph_factory(), 0, seed=seed0 + rep, epsilon=epsilon,
+                faults=faults,
+            )
+    return recorder.drain()
+
+
+def feed_all(monitor, records):
+    for record in records:
+        monitor.feed(record)
+    monitor.finish()
+    return monitor.alerts
+
+
+class TestNominalCampaignsNeverFire:
+    """Provably quiet: seeded nominal runs stay inside every SLO."""
+
+    @staticmethod
+    def _gnp24():
+        from repro.rng import spawn
+
+        return generators.random_gnp(24, 8.0 / 24, spawn(7, "mon"))
+
+    @pytest.mark.parametrize("factory,label", [
+        (lambda: generators.line(12), "line-12"),
+        (lambda: generators.grid(4, 6), "grid-4x6"),
+        (_gnp24.__func__, "gnp-24"),
+    ])
+    def test_no_alerts_on_nominal_runs(self, factory, label):
+        records = campaign_records(reps=12, graph_factory=factory)
+        config = MonitorConfig(epsilon=0.1)
+        monitor = ConformanceMonitor(default_checkers(config))
+        alerts = feed_all(monitor, records)
+        assert alerts == [], f"{label}: nominal campaign fired {alerts}"
+
+    def test_hoeffding_margin_on_nominal_tally(self):
+        # Even a campaign losing a quarter of its runs is statistically
+        # compatible with the 80% floor at this sample size: the gate
+        # needs overwhelming evidence, not one bad streak.
+        assert hoeffding_lower_tail(12, 0.8, 9) >= MonitorConfig().alpha
+        # Total failure, by contrast, is incompatible as soon as the
+        # min-runs warmup is over.
+        assert hoeffding_lower_tail(8, 0.8, 0) < MonitorConfig().alpha
+        assert math.isclose(
+            hoeffding_lower_tail(8, 0.8, 0), math.exp(-2 * 8 * 0.8**2)
+        )
+
+
+class TestJammedCampaignFires:
+    """A jammer severing the only path guarantees failure — and an alert."""
+
+    def _jammed_records(self, reps=10):
+        # line(8) with node 1 jammed for the whole run: the source's
+        # only neighbor never relays, so broadcast can never complete.
+        schedule = FaultSchedule(jam_faults=[JamFault(node=1, start=0, end=10**6)])
+        return campaign_records(
+            reps=reps, graph_factory=lambda: generators.line(8), faults=schedule
+        )
+
+    def test_theorem1_checker_fires(self):
+        config = MonitorConfig(epsilon=0.1)
+        monitor = ConformanceMonitor(default_checkers(config))
+        alerts = feed_all(monitor, self._jammed_records())
+        rules = {alert.rule for alert in alerts}
+        assert "theorem1-decay" in rules
+        decay = next(a for a in alerts if a.rule == "theorem1-decay")
+        assert decay.severity == "critical"
+        assert decay.threshold == pytest.approx(0.8)
+        assert decay.value == 0.0
+
+    def test_alert_latches_once(self):
+        checker = DecaySuccessChecker(MonitorConfig(epsilon=0.1))
+        monitor = ConformanceMonitor([checker])
+        alerts = feed_all(monitor, self._jammed_records(reps=20))
+        assert len(alerts) == 1  # latched after the first firing
+
+    def test_fires_exactly_at_min_runs_under_total_failure(self):
+        config = MonitorConfig(epsilon=0.1, min_runs=8)
+        checker = DecaySuccessChecker(config)
+        monitor = ConformanceMonitor([checker])
+        fired_at = None
+        for record in self._jammed_records(reps=10):
+            if monitor.feed(record):
+                fired_at = checker.trials
+                break
+        assert fired_at == 8
+
+
+class TestBudgetChecker:
+    def test_budget_uses_worst_case_topology_when_unknown(self):
+        checker = BroadcastBudgetChecker(MonitorConfig(epsilon=0.1))
+        from repro.core.bounds import theorem4_slot_bound
+
+        assert checker.budget_for(16) == theorem4_slot_bound(16, 15, 15, 0.1)
+
+    def test_fires_when_completions_exceed_budget(self):
+        # Fabricated stream: every run "succeeds" but far over budget.
+        config = MonitorConfig(epsilon=0.1, diameter=2, max_degree=2)
+        checker = BroadcastBudgetChecker(config)
+        monitor = ConformanceMonitor([checker])
+        budget = checker.budget_for(8)
+        records = []
+        for i in range(10):
+            records.append({"kind": "run_begin", "ts": float(i), "run": f"r{i}",
+                            "nodes": 8, "initiators": 1})
+            records.append({"kind": "run_end", "ts": float(i) + 0.5,
+                            "run": f"r{i}", "informed": 8, "deliveries": 10,
+                            "last_reception_slot": budget + 1000})
+        alerts = feed_all(monitor, records)
+        assert [a.rule for a in alerts] == ["theorem4-budget"]
+
+
+class TestLowerBoundAndAccounting:
+    def _run_pair(self, i, **end_fields):
+        begin = {"kind": "run_begin", "ts": float(i), "run": f"r{i}",
+                 "nodes": 16, "initiators": 1}
+        end = {"kind": "run_end", "ts": float(i) + 0.5, "run": f"r{i}",
+               "informed": 16, "deliveries": 30}
+        end.update(end_fields)
+        return [begin, end]
+
+    def test_omega_floor_fires_on_impossible_completion(self):
+        config = MonitorConfig(deterministic_floor=True)
+        monitor = ConformanceMonitor([OmegaFloorChecker(config)])
+        alerts = feed_all(monitor, self._run_pair(0, last_reception_slot=3))
+        assert [a.rule for a in alerts] == ["omega-n-floor"]
+        assert alerts[0].threshold == 8  # ceil(16/2)
+
+    def test_omega_floor_quiet_at_or_above_floor(self):
+        config = MonitorConfig(deterministic_floor=True)
+        monitor = ConformanceMonitor([OmegaFloorChecker(config)])
+        assert feed_all(monitor, self._run_pair(0, last_reception_slot=8)) == []
+
+    def test_accounting_fires_when_deliveries_cannot_explain_informed(self):
+        monitor = ConformanceMonitor([AccountingChecker(MonitorConfig())])
+        alerts = feed_all(monitor, self._run_pair(0, deliveries=3))
+        assert [a.rule for a in alerts] == ["delivery-accounting"]
+
+    def test_accounting_quiet_when_consistent(self):
+        monitor = ConformanceMonitor([AccountingChecker(MonitorConfig())])
+        assert feed_all(monitor, self._run_pair(0, deliveries=15)) == []
+
+
+def chaos_trial(i, *, arm, success, violations=0, epsilon=0.1, mc_slack=0.1,
+                control_success_max=0.0):
+    return {"kind": "chaos_trial", "ts": float(i), "arm": arm, "seed": i,
+            "success": success, "violations": violations, "epsilon": epsilon,
+            "mc_slack": mc_slack, "control_success_max": control_success_max}
+
+
+class TestChaosChecker:
+    def test_nominal_chaos_stream_is_quiet(self):
+        records = [chaos_trial(i, arm="proviso", success=True) for i in range(10)]
+        records += [chaos_trial(i + 10, arm="control", success=False)
+                    for i in range(10)]
+        monitor = ConformanceMonitor([ChaosInvariantChecker(MonitorConfig())])
+        assert feed_all(monitor, records) == []
+
+    def test_safety_violation_fires_immediately(self):
+        monitor = ConformanceMonitor([ChaosInvariantChecker(MonitorConfig())])
+        alerts = feed_all(
+            monitor, [chaos_trial(0, arm="proviso", success=True, violations=2)]
+        )
+        assert [a.rule for a in alerts] == ["chaos-safety"]
+
+    def test_liveness_breach_fires_after_evidence_accumulates(self):
+        records = [chaos_trial(i, arm="proviso", success=False) for i in range(10)]
+        monitor = ConformanceMonitor([ChaosInvariantChecker(MonitorConfig())])
+        alerts = feed_all(monitor, records)
+        assert [a.rule for a in alerts] == ["chaos-liveness"]
+        assert alerts[0].threshold == pytest.approx(0.8)  # 1 - eps - slack
+
+    def test_control_success_fires_on_first_trial(self):
+        monitor = ConformanceMonitor([ChaosInvariantChecker(MonitorConfig())])
+        alerts = feed_all(monitor, [chaos_trial(0, arm="control", success=True)])
+        assert [a.rule for a in alerts] == ["chaos-control"]
+
+
+class TestCheckerSelection:
+    def test_chaos_manifest_omits_broadcast_slos(self):
+        checkers = default_checkers(
+            MonitorConfig(), manifest={"command": "chaos"}
+        )
+        rules = {type(c).__name__ for c in checkers}
+        assert "DecaySuccessChecker" not in rules
+        assert "ChaosInvariantChecker" in rules
+
+    def test_chaos_records_disarm_broadcast_slos_dynamically(self):
+        # No manifest hint: the monitor starts with the broadcast SLOs
+        # armed, then drops them on the first chaos_trial — the control
+        # arm fails broadcasts by design and must not trip Theorem 1.
+        monitor = ConformanceMonitor(default_checkers(MonitorConfig()))
+        records = []
+        for i in range(10):
+            records.append({"kind": "run_begin", "ts": float(i), "run": f"r{i}",
+                            "nodes": 16, "initiators": 1})
+            records.append({"kind": "run_end", "ts": float(i) + 0.5,
+                            "run": f"r{i}", "informed": 1, "deliveries": 0})
+            records.append(chaos_trial(i, arm="control", success=False))
+        assert feed_all(monitor, records) == []
+
+    def test_alert_records_are_never_rechecked(self):
+        monitor = ConformanceMonitor(default_checkers(MonitorConfig()))
+        monitor.feed({"kind": "alert", "ts": 0.0, "rule": "theorem1-decay",
+                      "severity": "critical", "message": "from a prior pass"})
+        assert monitor.alerts == []
+        assert monitor.records_seen == 0
+
+
+class TestEpsilonResolution:
+    def test_manifest_epsilon_wins_when_not_overridden(self):
+        config = MonitorConfig.from_manifest(
+            {"command": "experiment", "config": {"epsilon": 0.2}}
+        )
+        assert config.epsilon == pytest.approx(0.2)
+        assert DecaySuccessChecker(config).target == pytest.approx(0.6)
+
+    def test_cli_epsilon_overrides_manifest(self):
+        config = MonitorConfig.from_manifest(
+            {"config": {"epsilon": 0.2}}, epsilon=0.05
+        )
+        assert config.epsilon == pytest.approx(0.05)

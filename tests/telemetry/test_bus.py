@@ -1,0 +1,90 @@
+"""The recorder's subscriber bus: dispatch, isolation, and the no-op guarantee."""
+
+import logging
+
+from repro.telemetry.core import Telemetry, activate, event
+
+
+class TestSubscription:
+    def test_subscriber_sees_emitted_records(self):
+        seen = []
+        with Telemetry.buffered() as tel:
+            tel.subscribe(seen.append)
+            tel.emit("event", name="x")
+        assert [r["kind"] for r in seen] == ["event"]
+        assert seen[0]["name"] == "x"
+
+    def test_subscriber_sees_shipped_worker_records(self):
+        # Pool workers ship pre-formed records through write_record; the
+        # bus must cover that path too or campaign monitoring misses
+        # every chunk.
+        seen = []
+        with Telemetry.buffered() as tel:
+            tel.subscribe(seen.append)
+            tel.write_record({"kind": "run_end", "ts": 1.0, "chunk": 3})
+        assert seen == [{"kind": "run_end", "ts": 1.0, "chunk": 3}]
+
+    def test_unsubscribe_stops_delivery(self):
+        seen = []
+        with Telemetry.buffered() as tel:
+            unsubscribe = tel.subscribe(seen.append)
+            tel.emit("event", name="first")
+            unsubscribe()
+            tel.emit("event", name="second")
+        assert [r["name"] for r in seen] == ["first"]
+
+    def test_multiple_subscribers_all_receive(self):
+        a, b = [], []
+        with Telemetry.buffered() as tel:
+            tel.subscribe(a.append)
+            tel.subscribe(b.append)
+            tel.emit("event", name="x")
+        assert len(a) == len(b) == 1
+
+    def test_records_still_recorded_without_subscribers(self):
+        with Telemetry.buffered() as tel:
+            tel.emit("event", name="x")
+            assert [r["kind"] for r in tel.drain()] == ["event"]
+
+
+class TestIsolation:
+    def test_failing_subscriber_does_not_break_recording(self, caplog):
+        def explode(record):
+            raise RuntimeError("subscriber bug")
+
+        seen = []
+        with Telemetry.buffered() as tel:
+            tel.subscribe(explode)
+            tel.subscribe(seen.append)
+            with caplog.at_level(logging.ERROR, logger="repro.telemetry"):
+                tel.emit("event", name="x")
+            assert len(tel.drain()) == 1
+        assert len(seen) == 1  # later subscribers unaffected
+        assert any("subscriber" in r.message for r in caplog.records)
+
+    def test_subscriber_may_emit_without_unbounded_recursion(self):
+        # A monitor emits `alert` records back into the stream it
+        # watches; the depth guard bounds the feedback loop.
+        with Telemetry.buffered() as tel:
+            def echo(record):
+                tel.emit("event", name="echo")
+
+            tel.subscribe(echo)
+            tel.emit("event", name="seed")
+            records = tel.drain()
+        assert 2 <= len(records) <= 16  # terminated, not runaway
+
+
+class TestDisabledPath:
+    def test_ambient_helpers_never_touch_bus_when_inactive(self):
+        # The strict no-op guarantee: with no recorder active, the fast
+        # helpers return before any record (or dispatch) is constructed.
+        event("event", name="x")  # must simply not raise
+
+    def test_no_dispatch_state_when_no_subscribers(self):
+        with Telemetry.buffered() as tel:
+            with activate(tel):
+                event("event", name="x")
+            records = tel.drain()
+        assert len(records) == 1
+        assert tel._subscribers == ()

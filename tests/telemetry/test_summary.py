@@ -64,9 +64,19 @@ class TestReadRecords:
         _write_log(log, SAMPLE, torn_tail=True)
         assert len(read_records(log)) == len(SAMPLE)
 
-    def test_strict_raises_on_torn_tail(self, tmp_path):
+    def test_strict_treats_torn_tail_as_incomplete(self, tmp_path):
+        # A final line with no newline is a record the writer is still
+        # mid-flush on (every writer emits "<json>\n"): strict mode
+        # skips it as incomplete rather than erroring, so a live log
+        # can be read while the campaign is running.
         log = tmp_path / "log.jsonl"
         _write_log(log, SAMPLE, torn_tail=True)
+        assert len(read_records(log, strict=True)) == len(SAMPLE)
+
+    def test_strict_still_raises_on_interior_corruption(self, tmp_path):
+        log = tmp_path / "log.jsonl"
+        log.write_text('not json\n{"kind": "counter", "ts": 1.0, '
+                       '"name": "x", "value": 1}\n', encoding="utf-8")
         with pytest.raises(ExperimentError):
             read_records(log, strict=True)
 
