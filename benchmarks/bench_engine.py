@@ -51,6 +51,15 @@ TOPOLOGIES = [
 DEFAULT_JSON_PATH = pathlib.Path(__file__).resolve().parent.parent / "BENCH_engine.json"
 
 
+#: Trials advanced simultaneously by the ``batched`` bench backend.
+DEFAULT_BATCH = 64
+
+#: Bench backends: the reference engine, the vectorized engine run one
+#: trial at a time (apples-to-apples per-run cost), and the vectorized
+#: engine in its batched campaign mode (its actual operating point).
+BENCH_BACKENDS = ("reference", "numpy", "batched")
+
+
 def _run(graph, slots: int) -> float:
     """One timed engine run over ``slots`` slots; returns seconds."""
     programs = make_aloha_programs(graph, 0, p=0.2)
@@ -62,37 +71,126 @@ def _run(graph, slots: int) -> float:
     return elapsed
 
 
-def measure_slots_per_sec(*, slots: int | None = None, rounds: int | None = None) -> dict:
-    """Best-of-``rounds`` slots/sec per reference topology."""
+def _run_vectorized(graph, slots: int, batch: int) -> float:
+    """One timed vectorized run of ``batch`` trials; returns seconds.
+
+    Timing covers ``run()`` only — stream seeding happens at
+    construction, mirroring :func:`_run`, which also excludes program
+    and engine construction.  Trial seeds start at the reference run's
+    seed 1, so ``batch=1`` times the exact same run the reference
+    backend does.
+    """
+    from repro.sim.vectorized import AlohaBatch
+
+    runner = AlohaBatch(graph, range(1, batch + 1), source=0, p=0.2, slots=slots)
+    start = time.perf_counter()
+    results = runner.run()
+    elapsed = time.perf_counter() - start
+    assert all(result.slots == slots for result in results)
+    return elapsed
+
+
+def measure_slots_per_sec(
+    *,
+    slots: int | None = None,
+    rounds: int | None = None,
+    backend: str = "reference",
+    batch: int = DEFAULT_BATCH,
+) -> dict:
+    """Best-of-``rounds`` slots/sec per reference topology.
+
+    ``backend`` is one of :data:`BENCH_BACKENDS`; the ``batched``
+    backend advances ``batch`` trials simultaneously and counts
+    ``slots * batch`` simulated slots per run (combined campaign
+    throughput — the quantity campaigns actually experience).
+    """
+    if backend not in BENCH_BACKENDS:
+        raise ValueError(
+            f"unknown bench backend {backend!r}; choose from {BENCH_BACKENDS}"
+        )
     scale = os.environ.get("REPRO_BENCH_SCALE", "quick")
     if slots is None:
         slots = 500 if scale == "full" else 200
     if rounds is None:
         rounds = 5 if scale == "full" else 3
+    trials = batch if backend == "batched" else 1
     topologies = {}
     total_time = 0.0
     for name, factory in TOPOLOGIES:
         graph = factory()
-        best = min(_run(graph, slots) for _ in range(rounds))
+        if backend == "reference":
+            best = min(_run(graph, slots) for _ in range(rounds))
+        else:
+            best = min(_run_vectorized(graph, slots, trials) for _ in range(rounds))
         total_time += best
         topologies[name] = {
             "nodes": graph.num_nodes(),
             "edges": graph.num_edges(),
-            "slots_per_sec": round(slots / best, 1),
+            "slots_per_sec": round(slots * trials / best, 1),
             "ms_per_run": round(best * 1e3, 2),
         }
     from repro.telemetry.core import git_sha
 
-    return {
+    payload = {
         "schema": "repro-bench-engine/1",
         "scale": scale,
         "slots_per_run": slots,
         "rounds": rounds,
         "topologies": topologies,
-        "combined_slots_per_sec": round(slots * len(topologies) / total_time, 1),
+        "combined_slots_per_sec": round(
+            slots * trials * len(topologies) / total_time, 1
+        ),
         "recorded": round(time.time(), 2),
         "git_sha": git_sha(),
     }
+    if backend != "reference":
+        payload["backend"] = backend
+        if backend == "batched":
+            payload["batch"] = batch
+    return payload
+
+
+def measure_backend_matrix(
+    *,
+    slots: int | None = None,
+    rounds: int | None = None,
+    batch: int = DEFAULT_BATCH,
+    backends: tuple[str, ...] = BENCH_BACKENDS,
+) -> dict[str, dict]:
+    """One measurement per backend (same topologies, same slot budget)."""
+    return {
+        name: measure_slots_per_sec(
+            slots=slots, rounds=rounds, backend=name, batch=batch
+        )
+        for name in backends
+    }
+
+
+def render_backend_matrix(matrix: dict[str, dict]) -> str:
+    """The backend comparison as one aligned slots/sec table."""
+    names = [name for name, _ in TOPOLOGIES] + ["combined"]
+    lines = [" ".join([f"{'topology':<12}"] + [f"{b:>12}" for b in matrix])]
+    reference = matrix.get("reference")
+    for row in names:
+        cells = [f"{row:<12}"]
+        for measurement in matrix.values():
+            value = (
+                measurement["combined_slots_per_sec"]
+                if row == "combined"
+                else measurement["topologies"][row]["slots_per_sec"]
+            )
+            cells.append(f"{value:>12.1f}")
+        lines.append(" ".join(cells))
+    if reference is not None and len(matrix) > 1:
+        cells = [f"{'speedup':<12}"]
+        for measurement in matrix.values():
+            ratio = (
+                measurement["combined_slots_per_sec"]
+                / reference["combined_slots_per_sec"]
+            )
+            cells.append(f"{ratio:>11.1f}x")
+        lines.append(" ".join(cells))
+    return "\n".join(lines)
 
 
 #: Append-only slots/sec trajectory (one measurement per line); the obs
@@ -128,6 +226,24 @@ def write_bench_json(
     if path is None:
         path = os.environ.get("REPRO_BENCH_JSON", DEFAULT_JSON_PATH)
     payload = measure_slots_per_sec(**measure_kwargs)
+    # Record the vectorized backends alongside the reference numbers
+    # when NumPy is importable; the top-level keys stay the reference
+    # measurement so existing trend tooling keeps reading one series.
+    from repro.sim.backends import numpy_available
+
+    if numpy_available():
+        batch = measure_kwargs.get("batch", DEFAULT_BATCH)
+        payload["backends"] = {
+            name: measure_slots_per_sec(**{**measure_kwargs, "backend": name})
+            for name in BENCH_BACKENDS
+            if name != "reference"
+        }
+        payload["speedup_batched_vs_reference"] = round(
+            payload["backends"]["batched"]["combined_slots_per_sec"]
+            / payload["combined_slots_per_sec"],
+            2,
+        )
+        payload["batch"] = batch
     pathlib.Path(path).write_text(
         json.dumps(payload, indent=2, sort_keys=True) + "\n", encoding="utf-8"
     )
@@ -145,6 +261,7 @@ def check_against_baseline(
     *,
     tolerance: float | None = None,
     payload: dict | None = None,
+    backend: str = "reference",
 ) -> tuple[bool, str]:
     """Measure now and compare against the committed baseline.
 
@@ -152,7 +269,11 @@ def check_against_baseline(
     dropped more than ``tolerance`` (fraction, default
     ``REPRO_BENCH_TOLERANCE`` or 0.35) below the baseline.  Pass a
     ``payload`` from :func:`measure_slots_per_sec` to compare an
-    existing measurement instead of taking a fresh one.
+    existing measurement instead of taking a fresh one.  Each backend
+    checks against its *own* baseline series: ``reference`` against the
+    top-level keys, the vectorized backends against their entry under
+    ``baseline["backends"]`` — comparing a batched measurement against
+    the reference baseline would declare a bogus 15x "improvement".
     """
     if path is None:
         path = os.environ.get("REPRO_BENCH_JSON", DEFAULT_JSON_PATH)
@@ -170,6 +291,15 @@ def check_against_baseline(
             f"baseline {baseline_path} is unreadable ({exc}); "
             f"re-record it by running without --check"
         )
+    if backend != "reference":
+        backends = baseline.get("backends") if isinstance(baseline, dict) else None
+        baseline = backends.get(backend) if isinstance(backends, dict) else None
+        if baseline is None:
+            return False, (
+                f"baseline {baseline_path} has no '{backend}' entry under "
+                f"'backends' (recorded without NumPy?); re-record it by "
+                f"running without --check with the fast extra installed"
+            )
     if not isinstance(baseline, dict) or not isinstance(
         baseline.get("combined_slots_per_sec"), (int, float)
     ):
@@ -190,12 +320,14 @@ def check_against_baseline(
                 f"by running without --check"
             )
     base = baseline["combined_slots_per_sec"]
-    current = payload if payload is not None else measure_slots_per_sec()
+    current = (
+        payload if payload is not None else measure_slots_per_sec(backend=backend)
+    )
     now = current["combined_slots_per_sec"]
     floor = base * (1.0 - tolerance)
     ok = now >= floor
     message = (
-        f"combined slots/sec: current={now:.1f} baseline={base:.1f} "
+        f"combined slots/sec [{backend}]: current={now:.1f} baseline={base:.1f} "
         f"floor={floor:.1f} (tolerance {tolerance:.0%}) -> "
         f"{'OK' if ok else 'REGRESSION'}"
     )
@@ -302,11 +434,44 @@ if __name__ == "__main__":
              "no-op subscriber; the measurement is appended to the bench "
              "history with variant=bus-no-subscriber",
     )
+    parser.add_argument(
+        "--backend", default="reference",
+        choices=[*BENCH_BACKENDS, "all"],
+        help="engine backend to measure: 'reference' (default), 'numpy' "
+             "(vectorized, batch of 1), 'batched' (vectorized, --batch "
+             "trials at once), or 'all' to print a per-topology "
+             "comparison matrix; with --check, the named backend is "
+             "compared against its own entry in the baseline",
+    )
+    parser.add_argument(
+        "--batch", type=int, default=DEFAULT_BATCH,
+        help=f"trials per batch for the 'batched' backend "
+             f"(default {DEFAULT_BATCH})",
+    )
     args = parser.parse_args()
     if args.check:
-        ok, message = check_against_baseline(args.json)
+        if args.backend == "all":
+            parser.error("--check needs a single backend, not 'all'")
+        ok, message = check_against_baseline(args.json, backend=args.backend)
         print(message)
         raise SystemExit(0 if ok else 1)
+    if args.backend != "reference":
+        from repro.sim.backends import numpy_available
+
+        if not numpy_available():
+            print(
+                f"backend '{args.backend}' needs NumPy (pip install "
+                f"'.[fast]'); only 'reference' runs without it"
+            )
+            raise SystemExit(2)
+    if args.backend == "all":
+        matrix = measure_backend_matrix(batch=args.batch)
+        print(render_backend_matrix(matrix))
+        raise SystemExit(0)
+    if args.backend != "reference":
+        payload = measure_slots_per_sec(backend=args.backend, batch=args.batch)
+        print(json.dumps(payload, indent=2, sort_keys=True))
+        raise SystemExit(0)
     if args.bus_check:
         current = measure_slots_per_sec()
         ok, message = check_against_baseline(args.json, payload=current)

@@ -47,6 +47,7 @@ from repro.graphs.properties import is_connected, max_degree
 from repro.parallel import resilient_map
 from repro.protocols.decay_broadcast import run_decay_broadcast
 from repro.rng import seed_sequence, spawn
+from repro.sim.backends import resolve_backend
 from repro.sim.engine import RunResult
 from repro.sim.faults import (
     CrashFault,
@@ -103,6 +104,33 @@ PROTOCOLS: dict[str, Callable[[Graph, int, float, FaultSchedule], RunResult]] = 
 }
 
 
+def _run_decay_numpy(g: Graph, seed: int, epsilon: float, faults: FaultSchedule):
+    from repro.sim.vectorized import run_decay_broadcast_batch
+
+    return run_decay_broadcast_batch(g, _SOURCE, [seed], epsilon=epsilon, faults=faults)[0]
+
+
+def _run_decay_unaligned_numpy(
+    g: Graph, seed: int, epsilon: float, faults: FaultSchedule
+):
+    from repro.sim.vectorized import run_decay_broadcast_batch
+
+    return run_decay_broadcast_batch(
+        g, _SOURCE, [seed], epsilon=epsilon, faults=faults, align_phases=False
+    )[0]
+
+
+#: Vectorized counterparts (seed-identical; enforced by the parity
+#: suite).  Chaos trials each draw their own topology and schedule, so
+#: there is nothing to batch *across* trials — the vectorized runner
+#: still resolves each slot with array ops.  Protocols without an entry
+#: fall back to their reference runner.
+VECTOR_PROTOCOLS: dict[str, Callable[[Graph, int, float, FaultSchedule], Any]] = {
+    "decay": _run_decay_numpy,
+    "decay-unaligned": _run_decay_unaligned_numpy,
+}
+
+
 @dataclass(frozen=True)
 class ChaosConfig:
     """One chaos campaign, fully specified (and fully replayable).
@@ -113,6 +141,10 @@ class ChaosConfig:
     allowance added to ε when judging the liveness invariant, and
     ``control_success_max`` the ceiling the control arm must stay
     under (0.0: severing a cut must always break broadcast).
+    ``backend`` picks the engine backend per
+    :func:`repro.sim.backends.resolve_backend`; verdicts are
+    seed-identical either way, and it never enters the journal
+    fingerprint, so campaigns resume across backends.
     """
 
     n: int = 48
@@ -130,6 +162,7 @@ class ChaosConfig:
     control_success_max: float = 0.0
     jobs: int | None = None
     task_timeout: float | None = None
+    backend: str | None = None
 
     def __post_init__(self) -> None:
         if self.n < 2:
@@ -259,6 +292,17 @@ def check_invariants(
 
 def _run_chaos_trial(task: tuple[str, int, ChaosConfig]) -> dict[str, Any]:
     """One seeded trial (module-level so campaigns cross process pools)."""
+    return _chaos_trial(task, "reference")
+
+
+def _run_chaos_trials_numpy(
+    tasks: list[tuple[str, int, ChaosConfig]],
+) -> list[dict[str, Any]]:
+    """Chunk runner for the numpy backend (resilient_map ``batch_fn``)."""
+    return [_chaos_trial(task, "numpy") for task in tasks]
+
+
+def _chaos_trial(task: tuple[str, int, ChaosConfig], backend: str) -> dict[str, Any]:
     arm, seed, config = task
     g = _trial_graph(seed, config.n)
     tree = spanning_tree(g, _SOURCE)
@@ -275,7 +319,10 @@ def _run_chaos_trial(task: tuple[str, int, ChaosConfig]) -> dict[str, Any]:
         schedule = build_control_schedule(g, tree, seed)
     else:  # pragma: no cover - arms are fixed by run_chaos_campaign
         raise ExperimentError(f"unknown chaos arm {arm!r}")
-    result = PROTOCOLS[config.protocol](g, seed, config.epsilon, schedule)
+    runner = PROTOCOLS[config.protocol]
+    if backend == "numpy":
+        runner = VECTOR_PROTOCOLS.get(config.protocol, runner)
+    result = runner(g, seed, config.epsilon, schedule)
     success = result.broadcast_succeeded(source=_SOURCE)
     violations = check_invariants(result)
     # One structured record per trial, carrying the invariant thresholds
@@ -410,10 +457,11 @@ def run_chaos_campaign(
     with ``resume=True``.
     """
     config = config or ChaosConfig()
-    # Execution knobs (jobs, task_timeout) do not define the campaign:
-    # strip them from the task payloads so the journal fingerprint —
-    # and thus --resume — is stable across worker counts.
-    trial_config = replace(config, jobs=None, task_timeout=None)
+    # Execution knobs (jobs, task_timeout, backend) do not define the
+    # campaign: strip them from the task payloads so the journal
+    # fingerprint — and thus --resume — is stable across worker counts
+    # and engine backends.
+    trial_config = replace(config, jobs=None, task_timeout=None, backend=None)
     tasks: list[tuple[str, int, ChaosConfig]] = []
     for arm in ARMS:
         for seed in seed_sequence(config.master_seed, config.reps, "chaos", arm):
@@ -426,6 +474,7 @@ def run_chaos_campaign(
         len(tasks),
         config.master_seed,
     )
+    backend = resolve_backend(config.backend)
     outcomes = resilient_map(
         _run_chaos_trial,
         tasks,
@@ -433,6 +482,7 @@ def run_chaos_campaign(
         task_timeout=config.task_timeout,
         journal=journal,
         resume=resume,
+        batch_fn=_run_chaos_trials_numpy if backend == "numpy" else None,
     )
     report = ChaosReport(config=config, outcomes=outcomes)
     logger.info(

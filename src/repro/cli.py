@@ -138,7 +138,7 @@ def _cmd_gap(args: argparse.Namespace) -> int:
 
     config = ExperimentConfig(
         reps=args.reps, master_seed=args.seed, quick=args.quick, jobs=args.jobs,
-        task_timeout=args.task_timeout,
+        task_timeout=args.task_timeout, backend=args.backend,
     )
     table = run_gap_table(config)
     print(table.render())
@@ -187,7 +187,7 @@ def _cmd_experiment(args: argparse.Namespace) -> int:
     module = importlib.import_module(module_name)
     config = ExperimentConfig(
         reps=args.reps, master_seed=args.seed, quick=args.quick, jobs=args.jobs,
-        task_timeout=args.task_timeout,
+        task_timeout=args.task_timeout, backend=args.backend,
     )
     for name in functions:
         table = getattr(module, name)(config)
@@ -245,6 +245,7 @@ def _cmd_chaos(args: argparse.Namespace) -> int:
         protocol=args.protocol,
         jobs=args.jobs,
         task_timeout=args.task_timeout,
+        backend=args.backend,
     )
     report = run_chaos_campaign(config, journal=args.journal, resume=args.resume)
     if args.json:
@@ -641,6 +642,13 @@ def build_parser() -> argparse.ArgumentParser:
             help="per-repetition wall-clock budget on the pool; a chunk "
                  "exceeding it is presumed hung, its workers are terminated "
                  "and it is retried (default: unbounded)",
+        )
+        p.add_argument(
+            "--backend", default=None, choices=["reference", "numpy", "auto"],
+            help="engine backend for seeded runs (default: $REPRO_BACKEND "
+                 "or reference); numpy batches Monte-Carlo trials through "
+                 "the vectorized engine — seed-for-seed identical results, "
+                 "needs the 'fast' extra; auto uses numpy when available",
         )
 
     p_gap = sub.add_parser("gap", help="print the exponential-gap table (E5)")

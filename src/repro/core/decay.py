@@ -15,10 +15,16 @@ contenders drop out each slot; Theorem 1 shows a lone survivor slot
 exists with probability > 1/2 within ``2 log d`` slots, and with
 probability ≥ 2/3 eventually.
 
-Two implementations are provided:
+Three implementations are provided:
 
 * :class:`DecayProcess` — the per-node state machine used inside
   engine protocols (:mod:`repro.protocols.decay_broadcast` etc.).
+* :func:`decay_step` — the same slot transition over *arrays* of
+  per-node state (``active`` flags and transmission counters), used by
+  the vectorized backend (:mod:`repro.sim.vectorized`) to advance every
+  contender of every batched trial in one call.  It consumes coins via
+  a caller-supplied ``draw(mask)`` hook for exactly the nodes the
+  scalar machine would flip for, so backend parity holds draw-for-draw.
 * :func:`simulate_decay_game` — a direct simulation of the
   single-receiver game of Theorem 1 (``d`` contenders, one receiver),
   used by the E1 experiment where spinning up a full engine per sample
@@ -34,7 +40,7 @@ import random
 
 from repro.errors import ProtocolError
 
-__all__ = ["DecayProcess", "simulate_decay_game"]
+__all__ = ["DecayProcess", "decay_step", "simulate_decay_game"]
 
 
 class DecayProcess:
@@ -94,6 +100,37 @@ class DecayProcess:
         elif self._rng.random() >= self.p_continue:
             self._active = False  # coin = 0
         return True
+
+
+def decay_step(active, sent, k: int, draw, *, p_continue: float = 0.5):
+    """One slot of ``Decay(k, ·)`` over arrays of per-node state.
+
+    ``active`` (bool) and ``sent`` (int) are same-shape arrays — one
+    element per in-Decay node — mutated in place exactly as
+    :meth:`DecayProcess.wants_transmit` mutates its scalars; the return
+    value is the transmit mask for the slot (a copy of ``active`` on
+    entry).  ``draw(mask)`` must return the next uniform of each masked
+    node's stream, in row-major mask order; it is called only for nodes
+    whose scalar machine would flip the coin this slot (``sent + 1 < k``
+    while active), which is what keeps per-node draw order — and thus
+    backend parity — identical.
+
+    Duck-typed over NumPy arrays (any array type with boolean masking
+    and in-place arithmetic works); nothing here imports NumPy.
+    """
+    if k < 1:
+        raise ProtocolError("Decay requires k >= 1 (it sends at least once)")
+    if not 0.0 <= p_continue <= 1.0:
+        raise ProtocolError("p_continue must be in [0, 1]")
+    transmit = active.copy()
+    needs_coin = active & (sent + 1 < k)
+    sent += active  # each active node sends this slot
+    active &= sent < k  # "at most k times"
+    if needs_coin.any():
+        stopped = needs_coin.copy()
+        stopped[needs_coin] = draw(needs_coin) >= p_continue  # coin = 0
+        active &= ~stopped
+    return transmit
 
 
 def simulate_decay_game(

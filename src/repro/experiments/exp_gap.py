@@ -27,11 +27,13 @@ from repro.analysis.theory import fit_linear
 from repro.experiments.runner import ExperimentConfig
 from repro.graphs.generators import c_n
 from repro.graphs.graph import Graph
+from repro.parallel import resilient_map
 from repro.protocols.base import run_broadcast
 from repro.protocols.decay_broadcast import run_decay_broadcast
 from repro.protocols.dfs_broadcast import make_dfs_programs
 from repro.protocols.round_robin import make_round_robin_programs
 from repro.rng import spawn
+from repro.sim.backends import resolve_backend
 
 __all__ = ["run_gap_table", "gap_growth_fits", "sample_hidden_sets"]
 
@@ -52,6 +54,39 @@ def sample_hidden_sets(n: int, count: int, seed: int) -> list[frozenset[int]]:
         size = rng.randint(1, n)
         samples.append(frozenset(rng.sample(range(1, n + 1), size)))
     return samples[:count]
+
+
+def _rand_run(task: tuple[int, frozenset[int], int, float]) -> int | None:
+    """One randomized repetition (reference backend): completion slot."""
+    n, hidden_set, seed, epsilon = task
+    g = c_n(n, hidden_set)
+    result = run_decay_broadcast(g, source=0, seed=seed, epsilon=epsilon)
+    return result.broadcast_completion_slot(source=0)
+
+
+def _rand_run_batch(
+    tasks: list[tuple[int, frozenset[int], int, float]],
+) -> list[int | None]:
+    """A chunk of randomized repetitions on the vectorized backend.
+
+    Seed-for-seed equivalent to mapping :func:`_rand_run` (the parity
+    the backend suite guarantees); trials sharing a hidden set — and
+    therefore a topology — advance together in one batch.
+    """
+    from repro.sim.vectorized import run_decay_broadcast_batch
+
+    grouped: dict[tuple[int, frozenset[int], float], list[int]] = {}
+    for position, (n, hidden_set, _seed, epsilon) in enumerate(tasks):
+        grouped.setdefault((n, hidden_set, epsilon), []).append(position)
+    slots: list[int | None] = [None] * len(tasks)
+    for (n, hidden_set, epsilon), positions in grouped.items():
+        g = c_n(n, hidden_set)
+        results = run_decay_broadcast_batch(
+            g, 0, [tasks[p][2] for p in positions], epsilon=epsilon
+        )
+        for position, result in zip(positions, results):
+            slots[position] = result.broadcast_completion_slot(source=0)
+    return slots
 
 
 def _deterministic_worst_case(
@@ -99,19 +134,23 @@ def run_gap_table(
             "gap_dfs_over_rand",
         ],
     )
+    backend = resolve_backend(config.backend)
     for n in sizes:
         hidden_sets = sample_hidden_sets(n, hidden_set_count, config.master_seed)
         # Randomized: over seeds AND hidden sets (its behaviour is S-independent
         # by design — it never reads IDs — but we vary S anyway for fairness).
-        rand_slots: list[float] = []
-        seeds = config.seeds("gap-rand", n)
-        for i, seed in enumerate(seeds):
-            s = hidden_sets[i % len(hidden_sets)]
-            g = c_n(n, s)
-            result = run_decay_broadcast(g, source=0, seed=seed, epsilon=epsilon)
-            slot = result.broadcast_completion_slot(source=0)
-            if slot is not None:
-                rand_slots.append(slot)
+        tasks = [
+            (n, hidden_sets[i % len(hidden_sets)], seed, epsilon)
+            for i, seed in enumerate(config.seeds("gap-rand", n))
+        ]
+        slots = resilient_map(
+            _rand_run,
+            tasks,
+            jobs=config.effective_jobs(),
+            task_timeout=config.task_timeout,
+            batch_fn=_rand_run_batch if backend == "numpy" else None,
+        )
+        rand_slots: list[float] = [slot for slot in slots if slot is not None]
         frame = n + 2  # IDs 0..n+1
         rr_worst = _deterministic_worst_case(
             lambda g: make_round_robin_programs(g, 0, frame_size=frame),

@@ -50,6 +50,12 @@ class ExperimentConfig:
     every ``jobs`` value.  ``task_timeout`` (seconds per repetition,
     ``None`` = unbounded) bounds how long a pooled repetition may run
     before its worker is presumed hung and the chunk is retried.
+
+    ``backend`` selects the engine backend for experiments that support
+    batched execution (see :mod:`repro.sim.backends`): ``None`` defers
+    to ``$REPRO_BACKEND``, ``"auto"`` picks the vectorized NumPy
+    backend when installed.  Backends are seed-for-seed identical, so
+    result tables do not depend on the choice.
     """
 
     reps: int = 30
@@ -57,6 +63,7 @@ class ExperimentConfig:
     quick: bool = False
     jobs: int | None = None
     task_timeout: float | None = None
+    backend: str | None = None
     extra: dict[str, Any] = field(default_factory=dict)
 
     def seeds(self, *tags: object) -> list[int]:

@@ -1,0 +1,68 @@
+"""Dense adjacency-matrix export for the vectorized backend.
+
+:func:`adjacency_matrix` flattens a :class:`~repro.graphs.graph.Graph`
+(or :class:`~repro.graphs.graph.DiGraph`) into the array form the NumPy
+backend resolves slots with: a stable node ordering, its inverse index,
+and a float32 matrix ``hears`` with ``hears[t, r] == 1`` iff a
+transmission by ``t`` is audible at ``r`` — so a batch of transmit
+vectors ``X`` (trials x nodes) turns into audible-transmitter counts in
+one matmul, ``X @ hears``.
+
+The export is cached on the graph instance keyed by its
+:attr:`~repro.graphs.graph.Graph.version` counter, so repeated batch
+runs over an unchanged topology reuse the same arrays and any mutation
+(edge faults included) invalidates the cache for free.
+
+NumPy is imported lazily, at call time: merely importing this module —
+e.g. via ``repro.graphs`` consumers — must keep working without it.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Any, Hashable
+
+from repro.graphs.graph import DiGraph, Graph
+
+__all__ = ["AdjacencyExport", "adjacency_matrix"]
+
+Node = Hashable
+
+_CACHE_ATTR = "_dense_adjacency_cache"
+
+
+@dataclass
+class AdjacencyExport:
+    """A graph flattened to arrays (see module docs for conventions)."""
+
+    #: node labels in the graph's insertion order
+    nodes: list[Node]
+    #: label -> position in :attr:`nodes`
+    index: dict[Node, int]
+    #: ``(n, n)`` float32; ``hears[t, r] == 1`` iff ``r`` hears ``t``
+    hears: Any
+
+    def __len__(self) -> int:
+        return len(self.nodes)
+
+
+def adjacency_matrix(graph: Graph) -> AdjacencyExport:
+    """The dense-array form of ``graph``, cached per graph version."""
+    cached = getattr(graph, _CACHE_ATTR, None)
+    if cached is not None and cached[0] == graph.version:
+        return cached[1]
+    import numpy as np
+
+    nodes = graph.nodes
+    index = {node: position for position, node in enumerate(nodes)}
+    hears = np.zeros((len(nodes), len(nodes)), dtype=np.float32)
+    if isinstance(graph, DiGraph):
+        for u, v in graph.edges:  # directed: u's transmissions reach v
+            hears[index[u], index[v]] = 1.0
+    else:
+        for u, v in graph.edges:
+            hears[index[u], index[v]] = 1.0
+            hears[index[v], index[u]] = 1.0
+    export = AdjacencyExport(nodes=nodes, index=index, hears=hears)
+    setattr(graph, _CACHE_ATTR, (graph.version, export))
+    return export

@@ -406,11 +406,27 @@ class CampaignJournal:
 # -- resilient execution -------------------------------------------------
 
 
-def _run_chunk(fn: Callable[[T], R], chunk: list[T]) -> list[R]:
-    return [fn(item) for item in chunk]
+def _run_chunk(
+    fn: Callable[[T], R],
+    chunk: list[T],
+    batch_fn: Callable[[list[T]], list[R]] | None = None,
+) -> list[R]:
+    if batch_fn is None:
+        return [fn(item) for item in chunk]
+    results = list(batch_fn(chunk))
+    if len(results) != len(chunk):
+        raise ExperimentError(
+            f"batch_fn returned {len(results)} results for a chunk of "
+            f"{len(chunk)} items; it must return exactly one per item"
+        )
+    return results
 
 
-def _run_chunk_timed(fn: Callable[[T], R], chunk: list[T]) -> dict[str, Any]:
+def _run_chunk_timed(
+    fn: Callable[[T], R],
+    chunk: list[T],
+    batch_fn: Callable[[list[T]], list[R]] | None = None,
+) -> dict[str, Any]:
     """Worker-side chunk runner that also captures telemetry.
 
     Activates a fresh in-memory recorder so everything the chunk's
@@ -422,7 +438,7 @@ def _run_chunk_timed(fn: Callable[[T], R], chunk: list[T]) -> dict[str, Any]:
     recorder = Telemetry.buffered()
     start = time.perf_counter()
     with activate(recorder):
-        results = [fn(item) for item in chunk]
+        results = _run_chunk(fn, chunk, batch_fn)
     return {
         "results": results,
         "wall_s": time.perf_counter() - start,
@@ -459,6 +475,7 @@ def resilient_map(
     backoff_base: float = 0.25,
     journal: str | os.PathLike[str] | CampaignJournal | None = None,
     resume: bool = False,
+    batch_fn: Callable[[list[T]], list[R]] | None = None,
 ) -> list[R]:
     """:func:`parallel_map` hardened for long campaigns (see module docs).
 
@@ -468,6 +485,14 @@ def resilient_map(
     seconds per task, and completed chunks checkpointed to ``journal``.
     Exceptions raised by ``fn`` itself are deterministic and propagate
     immediately — only infrastructure failures are retried.
+
+    ``batch_fn``, when given, runs a whole chunk in one call instead of
+    ``fn`` item by item — the hook the vectorized backend uses to
+    advance a chunk's trials simultaneously.  It must return exactly
+    one result per item, in order, and must agree with ``fn`` on every
+    item (the backend parity suite enforces this for the engine
+    backends): journals are fingerprinted by ``fn`` alone, so a
+    campaign journaled under one backend can resume under the other.
     """
     items = list(items)
     if task_timeout is not None and task_timeout <= 0:
@@ -521,13 +546,17 @@ def resilient_map(
     )
 
     if remaining:
-        use_pool = jobs > 1 and _picklable(fn, items[0])
+        use_pool = (
+            jobs > 1
+            and _picklable(fn, items[0])
+            and (batch_fn is None or _picklable(batch_fn))
+        )
         if jobs > 1 and not use_pool:
             _warn_serial_fallback(fn)
         if not use_pool:
             for index in remaining:
                 chunk_t0 = time.perf_counter()
-                chunk_results = _run_chunk(fn, chunks[index])
+                chunk_results = _run_chunk(fn, chunks[index], batch_fn)
                 results[index] = chunk_results
                 if journal_obj is not None:
                     journal_obj.record_chunk(index, chunk_results)
@@ -556,6 +585,7 @@ def resilient_map(
                 journal_obj=journal_obj,
                 telemetry=telemetry,
                 progress=progress,
+                batch_fn=batch_fn,
             )
 
     if telemetry is not None:
@@ -583,6 +613,7 @@ def _resilient_pool_run(
     journal_obj: CampaignJournal | None,
     telemetry: "Telemetry | None" = None,
     progress: "_ProgressReporter | None" = None,
+    batch_fn: Callable[[list[T]], list[R]] | None = None,
 ) -> dict[str, int]:
     """Drive the pending chunks through a pool, surviving worker failures.
 
@@ -603,7 +634,7 @@ def _resilient_pool_run(
     executor = ProcessPoolExecutor(max_workers=jobs)
     futures = {}
     for index in remaining:
-        futures[index] = executor.submit(runner, fn, chunks[index])
+        futures[index] = executor.submit(runner, fn, chunks[index], batch_fn)
         submit_ts[index] = time.perf_counter()
 
     def _record_chunk(index: int, payload: Any, *, fallback: bool = False) -> list[Any]:
@@ -673,12 +704,14 @@ def _resilient_pool_run(
                         attempts[index],
                     )
                     chunk_results = _record_chunk(
-                        index, _run_chunk(fn, chunks[index]), fallback=True
+                        index, _run_chunk(fn, chunks[index], batch_fn), fallback=True
                     )
                     executor = ProcessPoolExecutor(max_workers=jobs)
                     futures = {}
                     for later in still_pending[1:]:
-                        futures[later] = executor.submit(runner, fn, chunks[later])
+                        futures[later] = executor.submit(
+                            runner, fn, chunks[later], batch_fn
+                        )
                         submit_ts[later] = time.perf_counter()
                 else:
                     delay = backoff_base * (2 ** (attempts[index] - 1))
@@ -694,7 +727,9 @@ def _resilient_pool_run(
                     executor = ProcessPoolExecutor(max_workers=jobs)
                     futures = {}
                     for pending in still_pending:
-                        futures[pending] = executor.submit(runner, fn, chunks[pending])
+                        futures[pending] = executor.submit(
+                            runner, fn, chunks[pending], batch_fn
+                        )
                         submit_ts[pending] = time.perf_counter()
                     continue
             results[index] = chunk_results

@@ -6,9 +6,21 @@ slot ``t`` iff **exactly one** of its neighbours transmits in slot ``t``;
 otherwise it hears nothing, and — in the default no-collision-detection
 medium — cannot distinguish silence from collision.
 
-Entry point: :class:`~repro.sim.engine.Engine`.
+Entry point: :class:`~repro.sim.engine.Engine` (the canonical
+reference backend).  A vectorized NumPy backend for batched campaigns
+lives in :mod:`repro.sim.vectorized`; select between them with
+:mod:`repro.sim.backends` (:func:`resolve_backend`).  The vectorized
+module itself is *not* imported here — it requires NumPy, which is an
+optional extra.
 """
 
+from repro.sim.backends import (
+    BACKENDS,
+    BackendUnavailable,
+    available_backends,
+    numpy_available,
+    resolve_backend,
+)
 from repro.sim.engine import Engine, RunResult
 from repro.sim.faults import (
     CrashFault,
@@ -33,6 +45,11 @@ from repro.sim.trace import SlotRecord, Trace
 __all__ = [
     "Engine",
     "RunResult",
+    "BACKENDS",
+    "BackendUnavailable",
+    "available_backends",
+    "numpy_available",
+    "resolve_backend",
     "Context",
     "NodeProgram",
     "Intent",

@@ -1,0 +1,177 @@
+"""Vectorized banks of CPython-compatible Mersenne Twister streams.
+
+The reference engine gives every node its own ``random.Random`` seeded
+by :func:`repro.rng.spawn_for_node`, and seed-for-seed parity between
+backends (the contract the parity suite enforces) therefore requires
+the NumPy backend to draw *bit-identical* uniforms from *the same*
+per-node streams.  ``numpy.random`` cannot do that — its MT19937 uses
+a different seeding algorithm and a different double extraction — so
+this module reimplements exactly what CPython does, across many
+streams at once:
+
+* :func:`init_streams` replicates ``random.Random(seed).seed`` for a
+  vector of 64-bit seeds: the ``init_genrand(19650218)`` base state,
+  then ``init_by_array`` over the seed split into little-endian 32-bit
+  words (one word when the high half is zero, two otherwise).
+* :class:`MTStreams` serves ``random.random()`` values stream by
+  stream.  State lives in a ``(624, S)`` uint32 matrix (row-major over
+  the Mersenne index, so the twist works on contiguous rows); each
+  twist of a stream yields a block of 312 doubles via the standard
+  temper + 53-bit extraction ``((a >> 5) * 2^26 + (b >> 6)) / 2^53``.
+
+Streams advance independently: a node that flips no coin this slot
+consumes nothing, which is what keeps the per-node draw *order* — the
+only thing parity depends on — identical to the reference engine.
+
+This module imports NumPy at module load; gate imports through
+:mod:`repro.sim.backends` so the library works without it.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+__all__ = ["init_streams", "MTStreams"]
+
+_U32 = np.uint32
+_UPPER = _U32(0x80000000)
+_LOWER = _U32(0x7FFFFFFF)
+_MATRIX_A = _U32(0x9908B0DF)
+
+_N = 624  # MT19937 state words
+_M = 397  # twist offset
+#: random() values produced per twist (two state words per double).
+BLOCK = _N // 2
+
+
+def _base_state() -> np.ndarray:
+    """``init_genrand(19650218)`` — the seed-independent prefix state."""
+    mt = np.empty(_N, dtype=np.uint32)
+    mt[0] = 19650218
+    for i in range(1, _N):
+        prev = int(mt[i - 1])
+        mt[i] = (1812433253 * (prev ^ (prev >> 30)) + i) & 0xFFFFFFFF
+    return mt
+
+
+_BASE = _base_state()
+
+
+def init_streams(seeds) -> np.ndarray:
+    """State matrix ``(624, S)`` equal to ``random.Random(seed)`` per seed.
+
+    ``seeds`` are the non-negative 64-bit ints :func:`repro.rng.derive_seed`
+    produces.  CPython splits such a seed into 32-bit words little-endian
+    and feeds them to ``init_by_array``; a seed below 2**32 uses a
+    one-word key, which the two-word recurrence reproduces by selecting
+    the one-word term stream-wise (``keylen2`` mask).
+    """
+    seeds = np.asarray(seeds, dtype=np.uint64)
+    key0 = (seeds & np.uint64(0xFFFFFFFF)).astype(np.uint32)
+    key1 = (seeds >> np.uint64(32)).astype(np.uint32)
+    keylen2 = key1 != 0
+    mt = np.repeat(_BASE[:, None], len(seeds), axis=1)
+    i = 1
+    jmod = 0
+    # key[j] + j for the two-word streams; one-word streams always add
+    # key[0] + 0 (j stays 0 when keylen == 1).
+    term2 = [key0.copy(), key1 + _U32(1)]
+    with np.errstate(over="ignore"):
+        for _ in range(_N):
+            term = np.where(keylen2, term2[jmod], key0)
+            prev = mt[i - 1]
+            mt[i] = (mt[i] ^ ((prev ^ (prev >> _U32(30))) * _U32(1664525))) + term
+            i += 1
+            jmod ^= 1
+            if i >= _N:
+                mt[0] = mt[_N - 1]
+                i = 1
+        for _ in range(_N - 1):
+            prev = mt[i - 1]
+            mt[i] = (mt[i] ^ ((prev ^ (prev >> _U32(30))) * _U32(1566083941))) - _U32(i)
+            i += 1
+            if i >= _N:
+                mt[0] = mt[_N - 1]
+                i = 1
+    mt[0] = 0x80000000
+    return np.ascontiguousarray(mt)
+
+
+def _twist(mt: np.ndarray) -> None:
+    """Advance every stream one generation, in place.
+
+    Chunks stay <= 227 wide so each reads only state already final for
+    this generation (the dependency ``mt[i + 397]`` crosses into the new
+    state from index 227 on).
+    """
+    mtn = np.empty_like(mt)
+    with np.errstate(over="ignore"):
+        for lo, hi in ((0, 227), (227, 454), (454, _N - 1)):
+            y = (mt[lo:hi] & _UPPER) | (mt[lo + 1 : hi + 1] & _LOWER)
+            dep = mt[lo + _M : hi + _M] if hi + _M <= _N else mtn[lo + _M - _N : hi + _M - _N]
+            # (y & 1) * A == A where the low bit is set, 0 elsewhere.
+            mtn[lo:hi] = dep ^ (y >> _U32(1)) ^ ((y & _U32(1)) * _MATRIX_A)
+        y = (mt[_N - 1] & _UPPER) | (mtn[0] & _LOWER)
+        mtn[_N - 1] = mtn[_M - 1] ^ (y >> _U32(1)) ^ ((y & _U32(1)) * _MATRIX_A)
+    mt[:] = mtn
+
+
+def _extract(mt: np.ndarray) -> np.ndarray:
+    """Temper a twisted state and pack it into ``(312, S)`` doubles."""
+    with np.errstate(over="ignore"):
+        w = mt ^ (mt >> _U32(11))
+        w ^= (w << _U32(7)) & _U32(0x9D2C5680)
+        w ^= (w << _U32(15)) & _U32(0xEFC60000)
+        w ^= w >> _U32(18)
+    a = (w[0::2] >> _U32(5)).astype(np.float64)
+    b = (w[1::2] >> _U32(6)).astype(np.float64)
+    return (a * 67108864.0 + b) * (1.0 / 9007199254740992.0)
+
+
+class MTStreams:
+    """A bank of independent ``random.Random``-equivalent streams.
+
+    ``draw(idx)`` returns, for each stream index in ``idx``, the next
+    value its ``random.random()`` would produce.  Only the streams in
+    ``idx`` advance.  Exhausted streams are refilled a 312-value block
+    at a time; when every stream needs refilling at once the twist runs
+    over the whole contiguous state matrix (the fast path on the first
+    draw), otherwise only the needed columns are gathered.
+    """
+
+    def __init__(self, seeds) -> None:
+        self._mt = init_streams(seeds)
+        self._count = self._mt.shape[1]
+        self._buf = np.empty((BLOCK, self._count), dtype=np.float64)
+        self._pos = np.zeros(self._count, dtype=np.int64)
+        # Fill every stream's first block now, while the whole state
+        # matrix can be twisted contiguously in one pass.  Streams begin
+        # drawing at scattered slots; lazily filling each on first draw
+        # would splinter this into many gather-refills, which cost ~6x
+        # more per stream than the full-matrix path.
+        _twist(self._mt)
+        self._buf[:] = _extract(self._mt)
+
+    def __len__(self) -> int:
+        return self._count
+
+    def draw(self, idx: np.ndarray) -> np.ndarray:
+        """Next ``random.random()`` value of each stream in ``idx``."""
+        pos = self._pos
+        need = idx[pos[idx] >= BLOCK]
+        if need.size:
+            self._refill(need)
+        vals = self._buf[pos[idx], idx]
+        pos[idx] += 1
+        return vals
+
+    def _refill(self, idx: np.ndarray) -> None:
+        if idx.size == self._count:
+            _twist(self._mt)
+            self._buf[:] = _extract(self._mt)
+        else:
+            cols = self._mt[:, idx]  # fancy index -> contiguous copy
+            _twist(cols)
+            self._mt[:, idx] = cols
+            self._buf[:, idx] = _extract(cols)
+        self._pos[idx] = 0

@@ -262,6 +262,24 @@ class Telemetry:
         self.emit("run_end", run=run_id, **fields)
         self._current_run = None
 
+    def open_run(self, **fields: Any) -> str:
+        """Allocate a run id and emit its ``run_begin`` without making
+        it *the* current run.
+
+        The batched backend interleaves many runs inside one slot loop,
+        so no single run can own the ambient scope; events for such runs
+        carry an explicit ``run=`` field instead.  Interleaves safely
+        with engine-managed :meth:`begin_run`/:meth:`end_run` scopes.
+        """
+        self._run_seq += 1
+        run_id = f"r{self._run_seq}"
+        self.emit("run_begin", run=run_id, **fields)
+        return run_id
+
+    def close_run(self, run_id: str, **fields: Any) -> None:
+        """Emit ``run_end`` for a run opened with :meth:`open_run`."""
+        self.emit("run_end", run=run_id, **fields)
+
     # -- metrics --------------------------------------------------------
 
     def counter(self, name: str, value: int | float = 1, **fields: Any) -> None:

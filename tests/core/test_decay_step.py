@@ -1,0 +1,88 @@
+"""Array ``decay_step`` vs the scalar ``DecayProcess`` state machine.
+
+``decay_step`` is the piece of the paper's Decay procedure the
+vectorized backend executes per slot; its contract is that each array
+element evolves — and consumes coins — exactly as one
+:class:`~repro.core.decay.DecayProcess` would.  Driving both from
+duplicate per-node random streams must therefore reproduce the scalar
+machine bit for bit, including when draws happen at all.
+"""
+
+import random
+
+import pytest
+
+np = pytest.importorskip("numpy")
+
+from repro.core.decay import DecayProcess, decay_step
+from repro.errors import ProtocolError
+
+
+def _paired_streams(n, tag):
+    return (
+        [random.Random(tag * 1009 + i) for i in range(n)],
+        [random.Random(tag * 1009 + i) for i in range(n)],
+    )
+
+
+@pytest.mark.parametrize("k", [1, 2, 4, 6])
+@pytest.mark.parametrize("p_continue", [0.0, 0.25, 0.5, 1.0])
+def test_matches_scalar_machine_slot_for_slot(k, p_continue):
+    n = 32
+    scalar_rngs, array_rngs = _paired_streams(n, k * 100 + int(p_continue * 10))
+    procs = [DecayProcess(k, "m", rng, p_continue=p_continue) for rng in scalar_rngs]
+    active = np.ones(n, dtype=bool)
+    sent = np.zeros(n, dtype=np.int64)
+
+    def draw(mask):
+        return np.array(
+            [array_rngs[i].random() for i in np.flatnonzero(mask)]
+        )
+
+    for _ in range(k + 2):
+        expected = np.array([proc.wants_transmit() for proc in procs])
+        got = decay_step(active, sent, k, draw, p_continue=p_continue)
+        assert np.array_equal(got, expected)
+        assert np.array_equal(active, np.array([proc.active for proc in procs]))
+    assert not active.any()  # "at most k times" exhausted everywhere
+
+
+def test_draw_consumption_matches_the_scalar_machine():
+    """Coins are flipped for exactly the nodes (and slots) the scalar
+    machine flips them — the invariant backend RNG parity rests on."""
+    n = 8
+    k = 4
+    draws = []
+
+    def draw(mask):
+        draws.append(int(mask.sum()))
+        return np.full(int(mask.sum()), 0.0)  # always continue (p=0.5)
+
+    active = np.ones(n, dtype=bool)
+    sent = np.zeros(n, dtype=np.int64)
+    for _ in range(k):
+        decay_step(active, sent, k, draw)
+    # A node flips while active and sent+1 < k: slots 0..k-2 inclusive.
+    assert draws == [n] * (k - 1)
+
+
+def test_k1_never_draws():
+    def draw(mask):  # pragma: no cover - must not be reached
+        raise AssertionError("Decay(1) flips no coin")
+
+    active = np.ones(5, dtype=bool)
+    sent = np.zeros(5, dtype=np.int64)
+    transmit = decay_step(active, sent, 1, draw)
+    assert transmit.all()
+    assert not active.any()
+
+
+def test_validation_mirrors_decay_process():
+    active = np.ones(2, dtype=bool)
+    sent = np.zeros(2, dtype=np.int64)
+    with pytest.raises(ProtocolError):
+        decay_step(active, sent, 0, lambda mask: np.zeros(int(mask.sum())))
+    with pytest.raises(ProtocolError):
+        decay_step(
+            active, sent, 2, lambda mask: np.zeros(int(mask.sum())), p_continue=1.5
+        )

@@ -1,0 +1,71 @@
+"""Dense adjacency export: array conventions and version-keyed caching."""
+
+import pytest
+
+np = pytest.importorskip("numpy")
+
+from repro.graphs import DiGraph, Graph, line, star
+from repro.graphs.matrix import AdjacencyExport, adjacency_matrix
+
+
+def test_undirected_export_is_symmetric():
+    g = line(4)  # 0-1-2-3
+    export = adjacency_matrix(g)
+    assert len(export) == 4
+    assert export.nodes == g.nodes
+    assert export.index == {node: i for i, node in enumerate(g.nodes)}
+    assert export.hears.dtype == np.float32
+    assert np.array_equal(export.hears, export.hears.T)
+    for u, v in g.edges:
+        assert export.hears[export.index[u], export.index[v]] == 1.0
+    assert export.hears.sum() == 2 * len(g.edges)
+    assert np.diagonal(export.hears).sum() == 0.0
+
+
+def test_directed_export_is_one_way():
+    g = DiGraph()
+    g.add_edge("a", "b")
+    export = adjacency_matrix(g)
+    assert export.hears[export.index["a"], export.index["b"]] == 1.0
+    assert export.hears[export.index["b"], export.index["a"]] == 0.0
+
+
+def test_matmul_counts_audible_transmitters():
+    """The one identity the vectorized resolver rests on."""
+    g = star(4)  # hub 0, leaves 1..4
+    export = adjacency_matrix(g)
+    transmit = np.zeros((1, len(export)), dtype=np.float32)
+    transmit[0, export.index[1]] = 1.0
+    transmit[0, export.index[2]] = 1.0
+    counts = transmit @ export.hears
+    assert counts[0, export.index[0]] == 2.0  # the hub hears both leaves
+    assert counts[0, export.index[3]] == 0.0  # leaves hear only the hub
+
+
+def test_export_cached_until_graph_mutates():
+    g = line(3)
+    first = adjacency_matrix(g)
+    assert adjacency_matrix(g) is first  # same version -> same arrays
+    g.add_edge(0, 2)
+    second = adjacency_matrix(g)
+    assert second is not first
+    assert second.hears[second.index[0], second.index[2]] == 1.0
+    assert adjacency_matrix(g) is second
+
+
+def test_copy_does_not_inherit_the_cache():
+    """A copy at the same version must not alias the original's arrays."""
+    g = line(3)
+    original = adjacency_matrix(g)
+    clone = g.copy()
+    clone.remove_edge(0, 1)
+    export = adjacency_matrix(clone)
+    assert export.hears[export.index[0], export.index[1]] == 0.0
+    assert original.hears[original.index[0], original.index[1]] == 1.0
+
+
+def test_export_type_shape():
+    export = adjacency_matrix(Graph())
+    assert isinstance(export, AdjacencyExport)
+    assert len(export) == 0
+    assert export.hears.shape == (0, 0)

@@ -1,0 +1,93 @@
+"""Backend selection rules and the no-NumPy degradation path."""
+
+import sys
+
+import pytest
+
+from repro.errors import SimulationError
+from repro.sim import backends
+from repro.sim.backends import (
+    BACKENDS,
+    BackendUnavailable,
+    available_backends,
+    numpy_available,
+    resolve_backend,
+)
+
+
+@pytest.fixture(autouse=True)
+def _clean_env(monkeypatch):
+    monkeypatch.delenv("REPRO_BACKEND", raising=False)
+
+
+class TestResolution:
+    def test_none_defaults_to_reference(self):
+        assert resolve_backend(None) == "reference"
+
+    def test_explicit_reference(self):
+        assert resolve_backend("reference") == "reference"
+
+    def test_unknown_backend_rejected(self):
+        with pytest.raises(SimulationError, match="unknown backend"):
+            resolve_backend("cuda")
+
+    def test_env_var_supplies_default(self, monkeypatch):
+        monkeypatch.setenv("REPRO_BACKEND", "auto")
+        resolved = resolve_backend(None)
+        assert resolved in ("reference", "numpy")
+        assert resolved == ("numpy" if numpy_available() else "reference")
+
+    def test_blank_env_var_means_reference(self, monkeypatch):
+        monkeypatch.setenv("REPRO_BACKEND", "  ")
+        assert resolve_backend(None) == "reference"
+
+    def test_env_var_validated_like_an_argument(self, monkeypatch):
+        monkeypatch.setenv("REPRO_BACKEND", "fortran")
+        with pytest.raises(SimulationError, match="unknown backend"):
+            resolve_backend(None)
+
+    def test_backends_tuple_is_the_cli_choice_set(self):
+        assert BACKENDS == ("reference", "numpy", "auto")
+
+
+class TestWithNumpy:
+    """These run only where NumPy imports (the fast-extra CI leg)."""
+
+    pytestmark = pytest.mark.skipif(
+        not numpy_available(), reason="needs the fast extra"
+    )
+
+    def test_auto_prefers_numpy(self):
+        assert resolve_backend("auto") == "numpy"
+
+    def test_available_backends_lists_both(self):
+        assert available_backends() == ("reference", "numpy")
+
+
+class TestWithoutNumpy:
+    """Simulate a NumPy-free install by poisoning the import slot."""
+
+    @pytest.fixture(autouse=True)
+    def _no_numpy(self, monkeypatch):
+        monkeypatch.setitem(sys.modules, "numpy", None)
+
+    def test_numpy_not_available(self):
+        assert not numpy_available()
+
+    def test_available_backends_is_reference_only(self):
+        assert available_backends() == ("reference",)
+
+    def test_auto_falls_back_silently(self):
+        assert resolve_backend("auto") == "reference"
+
+    def test_explicit_numpy_raises_with_install_hint(self):
+        with pytest.raises(BackendUnavailable, match=r"\[fast\]"):
+            resolve_backend("numpy")
+
+    def test_env_requested_numpy_also_raises(self, monkeypatch):
+        monkeypatch.setenv("REPRO_BACKEND", "numpy")
+        with pytest.raises(BackendUnavailable):
+            resolve_backend(None)
+
+    def test_backend_unavailable_is_a_simulation_error(self):
+        assert issubclass(backends.BackendUnavailable, SimulationError)

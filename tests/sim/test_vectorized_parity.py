@@ -1,0 +1,187 @@
+"""Bit-for-bit parity of the vectorized backend with the reference engine.
+
+The backend contract (see :mod:`repro.sim.vectorized`): for the same
+(graph, seed, protocol parameters, fault schedule), the NumPy batch
+backend must produce *identical* :class:`~repro.sim.metrics.RunMetrics`,
+node results and completion slots to the reference engine — not
+statistically similar, identical.  These tests sweep randomized
+topologies × seeds × fault families (crash, transient crash, jam, edge
+cut, link loss, combined), so any divergence in draw ordering, fault
+timing or slot-resolution rules fails loudly on a concrete seed.
+"""
+
+import pytest
+
+np = pytest.importorskip("numpy")
+
+from repro.graphs import complete, grid, random_gnp, star
+from repro.protocols.aloha import make_aloha_programs
+from repro.protocols.decay_broadcast import run_decay_broadcast
+from repro.rng import seed_sequence, spawn
+from repro.sim import (
+    CrashFault,
+    EdgeFault,
+    Engine,
+    FaultSchedule,
+    JamFault,
+    LinkLossFault,
+)
+from repro.sim.metrics import RunMetrics
+from repro.sim.vectorized import run_aloha_batch, run_decay_broadcast_batch
+
+TOPOLOGIES = {
+    "gnp-16": lambda: random_gnp(16, 0.25, spawn(7, "parity")),
+    "grid-4x4": lambda: grid(4, 4),
+    "complete-8": lambda: complete(8),
+    "star-9": lambda: star(9),
+}
+
+# Every schedule references only nodes 0..7, present in all topologies.
+SCHEDULES = {
+    "none": None,
+    "crash": FaultSchedule(
+        crash_faults=[
+            CrashFault(slot=3, node=1),
+            CrashFault(slot=2, node=2, until=6),
+        ]
+    ),
+    "jam": FaultSchedule(jam_faults=[JamFault(node=1, start=2, end=7)]),
+    "edge": FaultSchedule(edge_faults=[EdgeFault(slot=4, u=0, v=1)]),
+    "loss": FaultSchedule(link_loss_faults=[LinkLossFault(p=0.3, start=1, end=30)]),
+    "combined": FaultSchedule(
+        crash_faults=[CrashFault(slot=5, node=2, until=9)],
+        jam_faults=[JamFault(node=3, start=3, end=8)],
+        link_loss_faults=[LinkLossFault(p=0.2, start=0)],
+    ),
+}
+
+
+def _seeds(*tags, count=3):
+    return list(seed_sequence(20260807, count, "vec-parity", *tags))
+
+
+def assert_metrics_equal(ref: RunMetrics, vec: RunMetrics) -> None:
+    assert vec.slots == ref.slots
+    assert vec.transmissions == ref.transmissions
+    assert vec.collisions == ref.collisions
+    assert vec.deliveries == ref.deliveries
+    assert vec.jam_transmissions == ref.jam_transmissions
+    assert vec.first_reception == ref.first_reception
+    assert vec.transmissions_per_node == ref.transmissions_per_node
+    assert vec.collisions_per_node == ref.collisions_per_node
+
+
+def _reference_aloha(graph, seed, *, slots, p, active_slots=None, faults=None):
+    programs = make_aloha_programs(graph, 0, p=p, active_slots=active_slots)
+    engine = Engine(graph, programs, seed=seed, initiators={0}, faults=faults)
+    return engine.run(slots)
+
+
+@pytest.mark.parametrize("topology", sorted(TOPOLOGIES))
+@pytest.mark.parametrize("schedule", sorted(SCHEDULES))
+def test_aloha_parity(topology, schedule):
+    graph = TOPOLOGIES[topology]()
+    faults = SCHEDULES[schedule]
+    seeds = _seeds("aloha", topology, schedule)
+    batch = run_aloha_batch(graph, 0, seeds, p=0.3, slots=60, faults=faults)
+    for seed, vec in zip(seeds, batch):
+        ref = _reference_aloha(graph, seed, slots=60, p=0.3, faults=faults)
+        assert_metrics_equal(ref.metrics, vec.metrics)
+        assert vec.slots == ref.slots
+        assert vec.node_results() == ref.node_results()
+        assert vec.broadcast_completion_slot(
+            source=0
+        ) == ref.broadcast_completion_slot(source=0)
+
+
+@pytest.mark.parametrize("schedule", ["none", "crash", "jam"])
+def test_aloha_parity_with_active_slots_bound(schedule):
+    graph = TOPOLOGIES["gnp-16"]()
+    faults = SCHEDULES[schedule]
+    seeds = _seeds("aloha-bound", schedule)
+    batch = run_aloha_batch(
+        graph, 0, seeds, p=0.3, slots=80, active_slots=20, faults=faults
+    )
+    for seed, vec in zip(seeds, batch):
+        ref = _reference_aloha(
+            graph, seed, slots=80, p=0.3, active_slots=20, faults=faults
+        )
+        assert_metrics_equal(ref.metrics, vec.metrics)
+        assert vec.node_results() == ref.node_results()
+
+
+@pytest.mark.parametrize("topology", sorted(TOPOLOGIES))
+@pytest.mark.parametrize("schedule", sorted(SCHEDULES))
+def test_decay_parity(topology, schedule):
+    graph = TOPOLOGIES[topology]()
+    faults = SCHEDULES[schedule]
+    seeds = _seeds("decay", topology, schedule)
+    batch = run_decay_broadcast_batch(graph, 0, seeds, faults=faults)
+    for seed, vec in zip(seeds, batch):
+        ref = run_decay_broadcast(graph, 0, seed=seed, faults=faults)
+        assert_metrics_equal(ref.metrics, vec.metrics)
+        assert vec.slots == ref.slots
+        assert vec.node_results() == ref.node_results()
+        assert vec.broadcast_completion_slot(
+            source=0
+        ) == ref.broadcast_completion_slot(source=0)
+        assert vec.broadcast_succeeded(source=0) == ref.broadcast_succeeded(source=0)
+
+
+@pytest.mark.parametrize("stop", ["informed", "terminated"])
+@pytest.mark.parametrize("align_phases", [True, False])
+def test_decay_parity_stop_and_alignment_modes(stop, align_phases):
+    graph = TOPOLOGIES["gnp-16"]()
+    seeds = _seeds("decay-modes", stop, align_phases)
+    batch = run_decay_broadcast_batch(
+        graph, 0, seeds, stop=stop, align_phases=align_phases
+    )
+    for seed, vec in zip(seeds, batch):
+        ref = run_decay_broadcast(
+            graph, 0, seed=seed, stop=stop, align_phases=align_phases
+        )
+        assert_metrics_equal(ref.metrics, vec.metrics)
+        assert vec.node_results() == ref.node_results()
+
+
+def test_decay_parity_with_degree_and_size_bounds():
+    graph = TOPOLOGIES["grid-4x4"]()
+    seeds = _seeds("decay-bounds")
+    kwargs = dict(epsilon=0.2, upper_bound_n=32, max_degree_bound=8)
+    batch = run_decay_broadcast_batch(graph, 0, seeds, **kwargs)
+    for seed, vec in zip(seeds, batch):
+        ref = run_decay_broadcast(graph, 0, seed=seed, **kwargs)
+        assert_metrics_equal(ref.metrics, vec.metrics)
+        assert vec.node_results() == ref.node_results()
+
+
+def test_batch_size_never_changes_results():
+    """Chunking is an execution detail: every batch_size gives one answer."""
+    graph = TOPOLOGIES["gnp-16"]()
+    seeds = _seeds("chunking", count=7)
+    full = run_decay_broadcast_batch(graph, 0, seeds)
+    for batch_size in (1, 2, 3, len(seeds)):
+        chunked = run_decay_broadcast_batch(graph, 0, seeds, batch_size=batch_size)
+        for a, b in zip(full, chunked):
+            assert_metrics_equal(a.metrics, b.metrics)
+            assert a.node_results() == b.node_results()
+
+
+def test_merged_campaign_metrics_match_reference():
+    """RunMetrics.merge_all over a campaign is backend-independent."""
+    graph = TOPOLOGIES["complete-8"]()
+    faults = SCHEDULES["combined"]
+    seeds = _seeds("merge", count=5)
+    vec = run_decay_broadcast_batch(graph, 0, seeds, faults=faults)
+    ref = [run_decay_broadcast(graph, 0, seed=seed, faults=faults) for seed in seeds]
+    merged_vec = RunMetrics.merge_all(r.metrics for r in vec)
+    merged_ref = RunMetrics.merge_all(r.metrics for r in ref)
+    assert_metrics_equal(merged_ref, merged_vec)
+
+
+def test_vectorized_results_carry_no_trace_or_provenance():
+    """The batch backend's documented non-goals stay None, not fakes."""
+    graph = star(6)
+    (result,) = run_aloha_batch(graph, 0, [11], p=0.5, slots=10)
+    assert result.trace is None
+    assert result.provenance is None
