@@ -63,6 +63,7 @@ __all__ = [
     "ChaosConfig",
     "ChaosReport",
     "run_chaos_campaign",
+    "chaos_tasks",
     "build_proviso_schedule",
     "build_control_schedule",
     "check_invariants",
@@ -442,6 +443,24 @@ class ChaosReport:
         )
 
 
+def chaos_tasks(config: ChaosConfig) -> list[tuple[str, int, ChaosConfig]]:
+    """The campaign's full, ordered task list (both arms, all seeds).
+
+    Execution knobs (jobs, task_timeout, backend) do not define the
+    campaign: they are stripped from the task payloads so the journal
+    fingerprint — and thus ``--resume``, and the fabric's lease-store
+    campaign identity — is stable across worker counts and engine
+    backends.  Shared by :func:`run_chaos_campaign` and the distributed
+    fabric's ``chaos`` spec (:mod:`repro.fabric.specs`).
+    """
+    trial_config = replace(config, jobs=None, task_timeout=None, backend=None)
+    tasks: list[tuple[str, int, ChaosConfig]] = []
+    for arm in ARMS:
+        for seed in seed_sequence(config.master_seed, config.reps, "chaos", arm):
+            tasks.append((arm, seed, trial_config))
+    return tasks
+
+
 def run_chaos_campaign(
     config: ChaosConfig | None = None,
     *,
@@ -457,15 +476,7 @@ def run_chaos_campaign(
     with ``resume=True``.
     """
     config = config or ChaosConfig()
-    # Execution knobs (jobs, task_timeout, backend) do not define the
-    # campaign: strip them from the task payloads so the journal
-    # fingerprint — and thus --resume — is stable across worker counts
-    # and engine backends.
-    trial_config = replace(config, jobs=None, task_timeout=None, backend=None)
-    tasks: list[tuple[str, int, ChaosConfig]] = []
-    for arm in ARMS:
-        for seed in seed_sequence(config.master_seed, config.reps, "chaos", arm):
-            tasks.append((arm, seed, trial_config))
+    tasks = chaos_tasks(config)
     logger.info(
         "chaos campaign: protocol=%s n=%d reps=%d/arm (%d trials), seed=%d",
         config.protocol,

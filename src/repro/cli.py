@@ -27,6 +27,14 @@ Subcommands:
   causal slot provenance ("why didn't node v receive in slot t?"),
   and ``export`` a log as a Chrome/Perfetto trace
   (``--chrome-trace``).
+* ``fabric`` — the crash-safe distributed campaign fabric
+  (:mod:`repro.fabric`): ``run`` a registered campaign spec across N
+  worker subprocesses coordinating through a shared SQLite lease
+  store (optionally under a ``--fault-plan``), ``worker`` is the
+  subprocess entry point, and ``chaos`` runs the self-verification
+  harness — a seeded fault plan kills/stalls real workers and the
+  spliced results are asserted byte-identical to a serial run with
+  zero fencing violations.
 
 Every command takes ``--seed`` and is fully reproducible.  The
 experiment-style commands additionally take ``--jobs N`` (or honour
@@ -545,6 +553,130 @@ def _cmd_obs(args: argparse.Namespace) -> int:
     raise SystemExit(f"unknown obs subcommand {args.obs_command!r}")
 
 
+def _parse_params(pairs: list[str]) -> dict:
+    """``--param key=value`` pairs; values parse as JSON, else strings."""
+    import json
+
+    params: dict = {}
+    for pair in pairs:
+        if "=" not in pair:
+            raise SystemExit(f"--param {pair!r} is not key=value")
+        key, raw = pair.split("=", 1)
+        try:
+            params[key] = json.loads(raw)
+        except ValueError:
+            params[key] = raw
+    return params
+
+
+def _fabric_fault_plan(args: argparse.Namespace, worker_ids: list[str]):
+    """The plan from --fault-plan, else a seeded random one (chaos)."""
+    from repro.fabric.faultplan import FaultPlan
+
+    if getattr(args, "fault_plan", None):
+        return FaultPlan.parse(args.fault_plan)
+    if getattr(args, "random_faults", False):
+        return FaultPlan.random(
+            args.seed,
+            worker_ids,
+            kills=args.kills,
+            stalls=args.stalls,
+            stales=args.stales,
+            partitions=args.partitions,
+            max_ordinal=args.max_ordinal,
+            stall_duration=2.5 * args.lease_ttl,
+            partition_duration=2.5 * args.lease_ttl,
+        )
+    return FaultPlan()
+
+
+def _cmd_fabric(args: argparse.Namespace) -> int:
+    import json
+
+    from repro.errors import ExperimentError
+
+    try:
+        if args.fabric_command == "worker":
+            from repro.fabric.faultplan import FaultPlan
+            from repro.fabric.worker import WorkerConfig, run_worker
+
+            if args.fault_plan_json:
+                plan = FaultPlan.from_json(args.fault_plan_json)
+            elif args.fault_plan:
+                plan = FaultPlan.parse(args.fault_plan)
+            else:
+                plan = FaultPlan()
+            return run_worker(WorkerConfig(
+                store=args.store,
+                campaign=args.campaign,
+                worker_id=args.worker_id,
+                lease_ttl=args.lease_ttl,
+                poll_interval=args.poll_interval,
+                stale_timeout=args.stale_timeout,
+                fault_plan=plan,
+            ))
+
+        from repro.fabric.coordinator import FabricConfig
+
+        worker_ids = [f"w{index}" for index in range(args.workers)]
+        params = _parse_params(args.param)
+        config = FabricConfig(
+            spec=args.spec,
+            params=params,
+            store=args.store,
+            workers=args.workers,
+            chunksize=args.chunksize,
+            lease_ttl=args.lease_ttl,
+            stale_timeout=args.stale_timeout,
+            fault_plan=_fabric_fault_plan(args, worker_ids),
+            journal=getattr(args, "journal", None),
+            timeout=args.timeout,
+        )
+
+        if args.fabric_command == "chaos":
+            from repro.fabric.verify import verify_fabric
+
+            report = verify_fabric(config)
+            if args.json:
+                print(json.dumps(
+                    {
+                        "passed": report.passed,
+                        "byte_identical": report.byte_identical,
+                        "fencing_errors": report.fencing_errors,
+                        "visibility_errors": report.visibility_errors,
+                        "fault_plan": config.fault_plan.spec(),
+                        "takeovers": report.result.takeovers,
+                        "fence_rejects": report.result.fence_rejects,
+                        "chunks": report.result.chunks,
+                        "wall_s": report.result.wall_s,
+                        "worker_exits": report.result.worker_exits,
+                    },
+                    indent=2, sort_keys=True, default=repr,
+                ))
+            else:
+                print(report.render())
+            return 0 if report.passed else 1
+
+        # fabric run
+        from repro.fabric.coordinator import run_fabric
+        from repro.fabric.specs import resolve_spec
+
+        result = run_fabric(config)
+        print(result.summary())
+        spec = resolve_spec(config.spec, config.params)
+        code = 0
+        if spec.summarize is not None:
+            text, ok = spec.summarize(result.results)
+            print()
+            print(text)
+            code = 0 if ok else 1
+        if result.journal is not None:
+            print(f"journal: {result.journal} (resumable by resilient_map)")
+        return code
+    except ExperimentError as exc:
+        raise SystemExit(f"fabric {args.fabric_command}: {exc}")
+
+
 def _cmd_report(args: argparse.Namespace) -> int:
     from repro.experiments.report import build_report
 
@@ -838,6 +970,97 @@ def build_parser() -> argparse.ArgumentParser:
     p_export.add_argument("--chrome-trace", required=True, metavar="PATH",
                           help="where to write the trace JSON")
     p_obs.set_defaults(func=_cmd_obs)
+
+    p_fab = sub.add_parser(
+        "fabric",
+        help="crash-safe distributed campaign fabric: lease-fenced worker "
+             "subprocesses over a shared SQLite store",
+    )
+    fab_sub = p_fab.add_subparsers(dest="fabric_command", required=True)
+
+    def add_fabric_common(p: argparse.ArgumentParser) -> None:
+        p.add_argument("--store", default="fabric.db", metavar="DB",
+                       help="shared SQLite lease store (created if missing); "
+                            "per-worker logs land next to it")
+        p.add_argument("--lease-ttl", type=float, default=2.0,
+                       help="seconds a chunk lease survives without a "
+                            "heartbeat before any worker may take it over")
+        p.add_argument("--stale-timeout", type=float, default=30.0,
+                       help="how long a 'stale' fault waits to be superseded "
+                            "before giving up on demonstrating the rejection")
+
+    def add_fabric_campaign(p: argparse.ArgumentParser) -> None:
+        p.add_argument("--spec", default="slow-squares",
+                       help="registered campaign spec "
+                            "(squares, slow-squares, chaos, ...)")
+        p.add_argument("--param", action="append", default=[],
+                       metavar="KEY=VALUE",
+                       help="spec parameter (repeatable); values parse as "
+                            "JSON, e.g. --param n=24 --param delay=0.05")
+        p.add_argument("--workers", type=int, default=3,
+                       help="worker subprocesses (0 = coordinator only)")
+        p.add_argument("--chunksize", type=int, default=None,
+                       help="items per chunk lease (default: derived from "
+                            "item count and worker count)")
+        p.add_argument("--timeout", type=float, default=300.0,
+                       help="overall campaign deadline in seconds")
+        p.add_argument("--fault-plan", default=None, metavar="PLAN",
+                       help="harness faults to inject, e.g. "
+                            "'kill@w1#0,stall@w0#1=3.0,stale@w2#0' "
+                            "(see repro.fabric.faultplan)")
+
+    p_fab_run = fab_sub.add_parser(
+        "run", help="run a campaign spec across worker subprocesses"
+    )
+    add_common(p_fab_run)
+    add_fabric_common(p_fab_run)
+    add_fabric_campaign(p_fab_run)
+    p_fab_run.add_argument("--journal", default=None, metavar="PATH",
+                           help="also write the spliced results as a "
+                                "resilient_map campaign journal "
+                                "(byte-identical, resumable)")
+    add_observability(p_fab_run)
+    p_fab_run.set_defaults(func=_cmd_fabric)
+
+    p_fab_worker = fab_sub.add_parser(
+        "worker", help="one fabric worker process (spawned by 'fabric run')"
+    )
+    p_fab_worker.add_argument("--store", required=True)
+    p_fab_worker.add_argument("--campaign", required=True,
+                              help="campaign fingerprint in the lease store")
+    p_fab_worker.add_argument("--worker-id", required=True)
+    p_fab_worker.add_argument("--lease-ttl", type=float, default=2.0)
+    p_fab_worker.add_argument("--poll-interval", type=float, default=0.1)
+    p_fab_worker.add_argument("--stale-timeout", type=float, default=30.0)
+    p_fab_worker.add_argument("--fault-plan", default=None)
+    p_fab_worker.add_argument("--fault-plan-json", default=None,
+                              help="serialized per-worker fault sub-plan "
+                                   "(coordinator internal)")
+    p_fab_worker.set_defaults(func=_cmd_fabric)
+
+    p_fab_chaos = fab_sub.add_parser(
+        "chaos",
+        help="self-verification: run the campaign under a seeded fault plan "
+             "and assert byte-identical results with sound fencing",
+    )
+    add_common(p_fab_chaos)
+    add_fabric_common(p_fab_chaos)
+    add_fabric_campaign(p_fab_chaos)
+    p_fab_chaos.add_argument("--kills", type=int, default=1,
+                             help="workers to kill -9 mid-chunk (seeded plan)")
+    p_fab_chaos.add_argument("--stalls", type=int, default=1,
+                             help="workers to stall past their lease")
+    p_fab_chaos.add_argument("--stales", type=int, default=1,
+                             help="stale-commit attempts to force")
+    p_fab_chaos.add_argument("--partitions", type=int, default=0,
+                             help="store-partition windows to inject")
+    p_fab_chaos.add_argument("--max-ordinal", type=int, default=1,
+                             help="latest per-worker chunk ordinal a random "
+                                  "fault may target")
+    p_fab_chaos.add_argument("--json", action="store_true",
+                             help="emit the machine-readable verdict")
+    add_observability(p_fab_chaos)
+    p_fab_chaos.set_defaults(func=_cmd_fabric, random_faults=True)
 
     p_game = sub.add_parser("game", help="foil a hitting-game strategy")
     add_common(p_game)

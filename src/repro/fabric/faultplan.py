@@ -1,0 +1,258 @@
+"""Seed-driven fault plans applied to *real* fabric worker processes.
+
+:mod:`repro.chaos` injects faults into the simulated radio network;
+this module injects them into the harness itself.  A plan is a set of
+deterministic actions addressed by ``(worker id, chunk ordinal)`` —
+the ordinal counts the chunks *that worker* has claimed, so the plan
+is reproducible without wall-clock coordination however the chunk race
+turns out.
+
+Grammar (one action per comma-separated term)::
+
+    kill@w1#0            worker w1 SIGKILLs itself (-9) at the start of
+                         computing its 1st claimed chunk
+    stall@w0#2=3.0       worker w0 stalls 3.0s mid-chunk with
+                         heartbeats suppressed (lease expires; a live
+                         worker takes the chunk over)
+    stale@w2#1           worker w2 computes its 2nd chunk, then holds
+                         the result until the chunk is taken over and
+                         only then attempts the commit — which the
+                         fencing token must reject
+    partition@w1#0=2.0   worker w1 loses the store for 2.0s while
+                         computing (heartbeats fail silently); the
+                         chunk commit lands only if the fence survived
+
+``FaultPlan.random(seed, workers)`` draws a plan from a master seed
+via the repo's tagged seed-splitting (:mod:`repro.rng`), so a chaos
+run is replayable from its seed alone.  Plans serialize to JSON to
+cross the coordinator → worker process boundary.
+"""
+
+from __future__ import annotations
+
+import json
+from dataclasses import dataclass, field
+from typing import Any
+
+from repro.errors import ExperimentError
+from repro.rng import spawn
+
+__all__ = ["FaultAction", "FaultPlan", "ACTION_KINDS"]
+
+ACTION_KINDS = ("kill", "stall", "stale", "partition")
+
+#: Actions whose grammar takes a ``=duration`` argument.
+_TIMED = {"stall", "partition"}
+
+#: Default duration (seconds) when a timed action omits ``=``.
+_DEFAULT_DURATION = 2.0
+
+
+@dataclass(frozen=True)
+class FaultAction:
+    """One scheduled fault: *kind* hits *worker* at chunk *ordinal*."""
+
+    kind: str
+    worker: str
+    ordinal: int
+    duration: float = 0.0
+
+    def __post_init__(self) -> None:
+        if self.kind not in ACTION_KINDS:
+            raise ExperimentError(
+                f"unknown fault kind {self.kind!r}; "
+                f"choose from {', '.join(ACTION_KINDS)}"
+            )
+        if self.ordinal < 0:
+            raise ExperimentError(f"chunk ordinal must be >= 0, got {self.ordinal}")
+        if self.duration < 0:
+            raise ExperimentError(f"duration must be >= 0, got {self.duration}")
+
+    def spec(self) -> str:
+        """The grammar term for this action (inverse of parsing)."""
+        base = f"{self.kind}@{self.worker}#{self.ordinal}"
+        if self.kind in _TIMED:
+            return f"{base}={self.duration:g}"
+        return base
+
+
+@dataclass(frozen=True)
+class FaultPlan:
+    """A deterministic schedule of harness faults for one campaign."""
+
+    actions: tuple[FaultAction, ...] = field(default_factory=tuple)
+
+    # -- construction ---------------------------------------------------
+
+    @classmethod
+    def parse(cls, text: str) -> "FaultPlan":
+        """Parse the comma-separated grammar (see module docs)."""
+        actions: list[FaultAction] = []
+        for term in text.split(","):
+            term = term.strip()
+            if not term:
+                continue
+            try:
+                kind, rest = term.split("@", 1)
+            except ValueError:
+                raise ExperimentError(
+                    f"fault term {term!r} is missing '@worker' "
+                    "(expected e.g. 'kill@w1#0')"
+                ) from None
+            duration = _DEFAULT_DURATION if kind.strip() in _TIMED else 0.0
+            if "=" in rest:
+                rest, raw_duration = rest.rsplit("=", 1)
+                try:
+                    duration = float(raw_duration)
+                except ValueError:
+                    raise ExperimentError(
+                        f"fault term {term!r} has a non-numeric duration "
+                        f"{raw_duration!r}"
+                    ) from None
+            if "#" in rest:
+                worker, raw_ordinal = rest.rsplit("#", 1)
+                try:
+                    ordinal = int(raw_ordinal)
+                except ValueError:
+                    raise ExperimentError(
+                        f"fault term {term!r} has a non-integer chunk "
+                        f"ordinal {raw_ordinal!r}"
+                    ) from None
+            else:
+                worker, ordinal = rest, 0
+            if not worker:
+                raise ExperimentError(f"fault term {term!r} has an empty worker id")
+            actions.append(
+                FaultAction(kind.strip(), worker.strip(), ordinal, duration)
+            )
+        return cls(tuple(actions))
+
+    @classmethod
+    def random(
+        cls,
+        seed: int,
+        workers: list[str],
+        *,
+        kills: int = 1,
+        stalls: int = 1,
+        stales: int = 1,
+        partitions: int = 0,
+        max_ordinal: int = 2,
+        stall_duration: float = 2.0,
+        partition_duration: float = 2.0,
+    ) -> "FaultPlan":
+        """Draw a plan from a master seed (replayable, order-stable).
+
+        Fault targets are drawn without replacement per fault kind, so
+        asking for ``kills=1, stalls=1`` on three workers hits two
+        *distinct* workers whenever possible — a single run can then
+        demonstrate kill takeover and stall takeover at once while at
+        least one worker stays healthy enough to do the taking over.
+        """
+        if not workers:
+            raise ExperimentError("FaultPlan.random needs at least one worker id")
+        rng = spawn(seed, "fabric-faultplan")
+        actions: list[FaultAction] = []
+        pool = list(workers)
+        rng.shuffle(pool)
+        cursor = 0
+
+        def next_worker() -> str:
+            nonlocal cursor
+            worker = pool[cursor % len(pool)]
+            cursor += 1
+            return worker
+
+        for _ in range(kills):
+            actions.append(
+                FaultAction("kill", next_worker(), rng.randrange(0, max_ordinal + 1))
+            )
+        for _ in range(stalls):
+            actions.append(
+                FaultAction(
+                    "stall",
+                    next_worker(),
+                    rng.randrange(0, max_ordinal + 1),
+                    stall_duration,
+                )
+            )
+        for _ in range(stales):
+            actions.append(
+                FaultAction("stale", next_worker(), rng.randrange(0, max_ordinal + 1))
+            )
+        for _ in range(partitions):
+            actions.append(
+                FaultAction(
+                    "partition",
+                    next_worker(),
+                    rng.randrange(0, max_ordinal + 1),
+                    partition_duration,
+                )
+            )
+        return cls(tuple(actions))
+
+    # -- queries --------------------------------------------------------
+
+    def for_worker(self, worker: str) -> "FaultPlan":
+        """The sub-plan a single worker needs to carry."""
+        return FaultPlan(
+            tuple(action for action in self.actions if action.worker == worker)
+        )
+
+    def at(self, worker: str, ordinal: int) -> list[FaultAction]:
+        """Actions that fire when ``worker`` claims its ``ordinal``-th chunk."""
+        return [
+            action
+            for action in self.actions
+            if action.worker == worker and action.ordinal == ordinal
+        ]
+
+    def count(self, kind: str) -> int:
+        return sum(1 for action in self.actions if action.kind == kind)
+
+    def faulted_workers(self, *kinds: str) -> set[str]:
+        """Workers hit by any action (optionally restricted to kinds)."""
+        wanted = set(kinds) if kinds else set(ACTION_KINDS)
+        return {a.worker for a in self.actions if a.kind in wanted}
+
+    def __bool__(self) -> bool:
+        return bool(self.actions)
+
+    # -- serialisation --------------------------------------------------
+
+    def spec(self) -> str:
+        """The grammar string for the whole plan."""
+        return ",".join(action.spec() for action in self.actions)
+
+    def to_json(self) -> str:
+        return json.dumps(
+            [
+                {
+                    "kind": a.kind,
+                    "worker": a.worker,
+                    "ordinal": a.ordinal,
+                    "duration": a.duration,
+                }
+                for a in self.actions
+            ]
+        )
+
+    @classmethod
+    def from_json(cls, text: str) -> "FaultPlan":
+        try:
+            raw: Any = json.loads(text)
+            return cls(
+                tuple(
+                    FaultAction(
+                        entry["kind"],
+                        entry["worker"],
+                        int(entry["ordinal"]),
+                        float(entry.get("duration", 0.0)),
+                    )
+                    for entry in raw
+                )
+            )
+        except ExperimentError:
+            raise
+        except Exception as exc:
+            raise ExperimentError(f"invalid fault-plan JSON: {exc}") from exc

@@ -1,0 +1,119 @@
+"""The campaign-spec registry: how fabric workers know *what* to run.
+
+A fabric worker is a separate OS process launched from the CLI; it
+cannot be handed a closure.  Instead the lease store records a spec
+*name* plus JSON *params*, and every worker independently rebuilds the
+identical ``(fn, items)`` pair from this registry — exactly the
+discipline :mod:`repro.parallel` relies on (chunk inputs are
+re-derived seeds, not consumed stream state), lifted across process
+and host boundaries.
+
+Registered specs:
+
+* ``squares`` — trivial arithmetic demo/smoke spec (``{"n": 64}``);
+* ``slow-squares`` — same, with a per-item sleep (``{"n", "delay"}``)
+  so tests and fault drills have wide windows to kill workers in;
+* ``chaos`` — the repo's adversarial two-arm invariant campaign
+  (:mod:`repro.chaos`), parameterised by ``ChaosConfig`` fields: the
+  real workload the fabric exists to scale out.
+
+Third parties register their own with :func:`register_spec`; builders
+must live at module level (workers import them by name).
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass, field
+from typing import Any, Callable
+
+from repro.errors import ExperimentError
+
+__all__ = ["FabricSpec", "register_spec", "resolve_spec", "SPECS"]
+
+
+@dataclass(frozen=True)
+class FabricSpec:
+    """One resolved campaign: the callable, its items, and reporting."""
+
+    name: str
+    fn: Callable[[Any], Any]
+    items: list = field(default_factory=list)
+    #: Optional post-splice renderer: ``summarize(results) -> (text, ok)``.
+    summarize: Callable[[list], tuple[str, bool]] | None = None
+
+
+def _square(x: int) -> int:
+    return x * x
+
+
+def _build_squares(params: dict[str, Any]) -> FabricSpec:
+    n = int(params.get("n", 64))
+    return FabricSpec("squares", _square, list(range(n)))
+
+
+def _slow_square(task: tuple[int, float]) -> int:
+    x, delay = task
+    time.sleep(delay)
+    return x * x
+
+
+def _build_slow_squares(params: dict[str, Any]) -> FabricSpec:
+    n = int(params.get("n", 24))
+    delay = float(params.get("delay", 0.1))
+    return FabricSpec("slow-squares", _slow_square, [(x, delay) for x in range(n)])
+
+
+def _summarize_chaos(config: Any, outcomes: list) -> tuple[str, bool]:
+    from repro.chaos import ChaosReport
+
+    report = ChaosReport(config=config, outcomes=outcomes)
+    lines = [report.table().render(), ""]
+    verdict = "PASSED" if report.passed else "FAILED"
+    lines.append(
+        f"campaign {verdict} "
+        f"(liveness={'ok' if report.liveness_ok else 'BROKEN'}, "
+        f"control_breaks={'yes' if report.control_broken else 'NO'}, "
+        f"safety_violations={len(report.safety_violations)})"
+    )
+    return "\n".join(lines), report.passed
+
+
+def _build_chaos(params: dict[str, Any]) -> FabricSpec:
+    import functools
+
+    from repro.chaos import ChaosConfig, _run_chaos_trial, chaos_tasks
+
+    try:
+        config = ChaosConfig(**params)
+    except TypeError as exc:
+        raise ExperimentError(f"chaos spec params: {exc}") from exc
+    return FabricSpec(
+        "chaos",
+        _run_chaos_trial,
+        chaos_tasks(config),
+        summarize=functools.partial(_summarize_chaos, config),
+    )
+
+
+SPECS: dict[str, Callable[[dict[str, Any]], FabricSpec]] = {
+    "squares": _build_squares,
+    "slow-squares": _build_slow_squares,
+    "chaos": _build_chaos,
+}
+
+
+def register_spec(name: str, builder: Callable[[dict[str, Any]], FabricSpec]) -> None:
+    """Register a campaign spec builder under ``name``."""
+    SPECS[name] = builder
+
+
+def resolve_spec(name: str, params: dict[str, Any] | None = None) -> FabricSpec:
+    """Build the spec; every worker calling this with the same
+    ``(name, params)`` derives the identical campaign."""
+    builder = SPECS.get(name)
+    if builder is None:
+        raise ExperimentError(
+            f"unknown fabric spec {name!r}; choose from {', '.join(sorted(SPECS))}"
+        )
+    return builder(dict(params or {}))

@@ -1,0 +1,105 @@
+"""Chunk geometry, payload encoding, and the byte-identical splice.
+
+This is the shared vocabulary between the single-host pool
+(:mod:`repro.parallel`) and the multi-worker fabric
+(:mod:`repro.fabric`): both cut a campaign's item list into the same
+contiguous chunks, encode completed chunk results the same way, and
+reassemble ("splice") them into the final result list in index order.
+Because every function here is deterministic in its inputs, a campaign
+journaled by the pool, resumed by the fabric, and finished by a third
+party still splices to exactly the bytes a serial loop would have
+produced — the invariant the whole resilience story hangs on.
+
+The payload encoding (``base64(pickle(results))``) and the campaign
+fingerprint are the *on-disk contract* of
+:class:`repro.parallel.CampaignJournal` and the fabric's lease store;
+changing either breaks resume compatibility and must bump the journal
+version.
+"""
+
+from __future__ import annotations
+
+import base64
+import hashlib
+import pickle
+from typing import Any, Callable, Sequence, TypeVar
+
+from repro.errors import ExperimentError
+
+__all__ = [
+    "campaign_fingerprint",
+    "default_chunksize",
+    "make_chunks",
+    "encode_chunk",
+    "decode_chunk",
+    "splice",
+]
+
+T = TypeVar("T")
+
+#: Chunks handed to each worker; >1 smooths out uneven task durations.
+CHUNKS_PER_WORKER = 4
+
+
+def campaign_fingerprint(fn: Callable[..., Any], items: Sequence[Any]) -> str:
+    """A stable digest of *which campaign this is*.
+
+    Built from the callable's qualified name and the item list, so
+    resuming with a different experiment or different seeds fails
+    loudly instead of splicing unrelated results together.  Execution
+    knobs — worker counts, backends, batch functions — deliberately do
+    not enter the digest: a campaign journaled under one backend can
+    resume under another (the parity suite makes that sound).
+    """
+    hasher = hashlib.sha256()
+    hasher.update(getattr(fn, "__module__", "?").encode())
+    hasher.update(b"\x1f")
+    hasher.update(getattr(fn, "__qualname__", repr(fn)).encode())
+    hasher.update(b"\x1f")
+    try:
+        hasher.update(pickle.dumps(list(items)))
+    except Exception:
+        hasher.update(repr(list(items)).encode())
+    return hasher.hexdigest()
+
+
+def default_chunksize(
+    num_items: int, jobs: int, *, chunks_per_worker: int = CHUNKS_PER_WORKER
+) -> int:
+    """Contiguous chunk length for dispatching ``num_items`` tasks."""
+    return max(1, -(-num_items // (max(1, jobs) * chunks_per_worker)))
+
+
+def make_chunks(items: Sequence[T], chunksize: int) -> list[list[T]]:
+    """Cut ``items`` into the contiguous chunks a campaign dispatches."""
+    if chunksize < 1:
+        raise ExperimentError(f"chunksize must be >= 1, got {chunksize}")
+    items = list(items)
+    return [items[i : i + chunksize] for i in range(0, len(items), chunksize)]
+
+
+def encode_chunk(results: Sequence[Any]) -> str:
+    """Encode one chunk's results as the journal/lease-store payload."""
+    return base64.b64encode(pickle.dumps(list(results))).decode("ascii")
+
+
+def decode_chunk(payload: str) -> list[Any]:
+    """Inverse of :func:`encode_chunk`."""
+    return pickle.loads(base64.b64decode(payload))
+
+
+def splice(
+    num_chunks: int, results: dict[int, list[Any]], *, where: str = "campaign"
+) -> list[Any]:
+    """Reassemble completed chunks into the flat, in-order result list.
+
+    Raises :class:`ExperimentError` when any chunk is missing — a
+    splice must never silently drop or reorder results.
+    """
+    missing = [index for index in range(num_chunks) if index not in results]
+    if missing:
+        raise ExperimentError(
+            f"{where}: cannot splice — chunk(s) {missing[:8]} of {num_chunks} "
+            "never completed"
+        )
+    return [value for index in range(num_chunks) for value in results[index]]

@@ -1,0 +1,426 @@
+"""The shared SQLite lease store behind the campaign fabric.
+
+One database file coordinates any number of worker processes (on one
+host or a shared filesystem): it pins the campaign identity and chunk
+geometry, hands out chunk **leases**, receives **heartbeats**, and
+accepts committed chunk payloads — all under WAL mode with a busy
+timeout, so concurrent workers queue on the write lock instead of
+failing.
+
+Crash safety rests on two rules, both enforced *inside* single
+``BEGIN IMMEDIATE`` transactions so no interleaving can violate them:
+
+* **Lease takeover** — a chunk may be (re)claimed iff it is pending or
+  its lease has expired.  Every grant increments the chunk's
+  **fencing token**, a per-chunk monotonic counter.
+* **Fenced commit** — a commit is accepted iff the committing fence is
+  the chunk's *current* fence.  A worker that stalled past its lease
+  and was superseded holds a stale fence; its late commit matches zero
+  rows and is recorded as a ``fence_reject`` event instead of data.
+  (A lease that expired but was never taken over keeps its fence, so
+  its commit still lands — the result is deterministic either way.)
+
+Every grant, commit, rejection, and worker lifecycle transition is
+appended to an ``events`` table, which the coordinator drains into
+telemetry (``lease``/``worker`` records) and the verification harness
+audits for fencing violations.
+"""
+
+from __future__ import annotations
+
+import contextlib
+import json
+import os
+import sqlite3
+import time
+from dataclasses import dataclass
+from pathlib import Path
+from typing import Any, Iterator
+
+from repro.errors import ExperimentError
+
+__all__ = ["LEASE_SCHEMA_VERSION", "Lease", "LeaseStore", "DEFAULT_BUSY_TIMEOUT_MS"]
+
+#: Bumped whenever the table layout changes incompatibly.
+LEASE_SCHEMA_VERSION = 1
+
+#: Default wait (ms) for a competing worker's transaction to finish.
+DEFAULT_BUSY_TIMEOUT_MS = 10_000
+
+_TABLES = """
+CREATE TABLE IF NOT EXISTS campaigns (
+    id INTEGER PRIMARY KEY,
+    fingerprint TEXT NOT NULL UNIQUE,
+    spec TEXT,
+    params TEXT,
+    items INTEGER NOT NULL,
+    chunksize INTEGER NOT NULL,
+    chunks INTEGER NOT NULL,
+    created REAL
+);
+CREATE TABLE IF NOT EXISTS chunks (
+    campaign_id INTEGER NOT NULL REFERENCES campaigns(id) ON DELETE CASCADE,
+    idx INTEGER NOT NULL,
+    state TEXT NOT NULL DEFAULT 'pending',
+    fence INTEGER NOT NULL DEFAULT 0,
+    owner TEXT,
+    lease_expires REAL,
+    attempts INTEGER NOT NULL DEFAULT 0,
+    payload TEXT,
+    committed_by TEXT,
+    committed_fence INTEGER,
+    completed REAL,
+    PRIMARY KEY (campaign_id, idx)
+);
+CREATE INDEX IF NOT EXISTS chunks_claimable
+    ON chunks(campaign_id, state, lease_expires);
+CREATE TABLE IF NOT EXISTS events (
+    id INTEGER PRIMARY KEY,
+    campaign_id INTEGER NOT NULL,
+    ts REAL NOT NULL,
+    worker TEXT,
+    kind TEXT NOT NULL,
+    idx INTEGER,
+    fence INTEGER,
+    detail TEXT
+);
+CREATE INDEX IF NOT EXISTS events_campaign ON events(campaign_id, id);
+"""
+
+
+@dataclass(frozen=True)
+class Lease:
+    """One granted chunk lease: *this fence* owns *this chunk* until
+    *expires* (or until a heartbeat extends it)."""
+
+    campaign_id: int
+    index: int
+    fence: int
+    expires: float
+
+
+def _row_to_dict(cursor: sqlite3.Cursor, row: tuple) -> dict[str, Any]:
+    return {desc[0]: value for desc, value in zip(cursor.description, row)}
+
+
+class LeaseStore:
+    """Open (creating if needed) the lease store at ``path``.
+
+    Each process (and each thread — sqlite connections are not shared
+    across threads) opens its own :class:`LeaseStore` on the same
+    path; SQLite's locking does the rest.
+    """
+
+    def __init__(
+        self,
+        path: str | os.PathLike[str],
+        *,
+        busy_timeout_ms: int = DEFAULT_BUSY_TIMEOUT_MS,
+    ) -> None:
+        self.path = Path(path)
+        if self.path.parent and not self.path.parent.exists():
+            self.path.parent.mkdir(parents=True, exist_ok=True)
+        self.conn = sqlite3.connect(str(self.path))
+        self.conn.row_factory = _row_to_dict
+        self.conn.execute("PRAGMA foreign_keys = ON")
+        self.conn.execute("PRAGMA journal_mode=WAL")
+        self.conn.execute(f"PRAGMA busy_timeout = {int(busy_timeout_ms)}")
+        self.conn.execute("PRAGMA synchronous = NORMAL")
+        self._init_schema()
+
+    def _init_schema(self) -> None:
+        (row,) = self.conn.execute("PRAGMA user_version").fetchall()
+        version = row["user_version"]
+        if version > LEASE_SCHEMA_VERSION:
+            raise ExperimentError(
+                f"{self.path} uses lease-store schema v{version}, newer than "
+                f"this build's v{LEASE_SCHEMA_VERSION}; upgrade the package"
+            )
+        self.conn.executescript(_TABLES)
+        if version < LEASE_SCHEMA_VERSION:
+            self.conn.execute(f"PRAGMA user_version = {LEASE_SCHEMA_VERSION}")
+        self.conn.commit()
+
+    # -- lifecycle ------------------------------------------------------
+
+    def close(self) -> None:
+        with contextlib.suppress(sqlite3.Error):
+            self.conn.close()
+
+    def __enter__(self) -> "LeaseStore":
+        return self
+
+    def __exit__(self, *exc_info: Any) -> None:
+        self.close()
+
+    @contextlib.contextmanager
+    def _txn(self) -> Iterator[sqlite3.Connection]:
+        """One immediate (write-locked) transaction; commits or rolls back."""
+        if not self.conn.in_transaction:
+            self.conn.execute("BEGIN IMMEDIATE")
+        try:
+            yield self.conn
+        except BaseException:
+            self.conn.rollback()
+            raise
+        self.conn.commit()
+
+    # -- campaigns ------------------------------------------------------
+
+    def create_campaign(
+        self,
+        fingerprint: str,
+        *,
+        spec: str,
+        params: dict[str, Any] | None,
+        items: int,
+        chunksize: int,
+    ) -> int:
+        """Register a campaign (idempotent) and seed its chunk rows.
+
+        Re-registering the same fingerprint is a *resume*: the existing
+        chunk states (done chunks, live leases) are kept, so a crashed
+        coordinator restarts where the fabric left off.  A fingerprint
+        collision with different geometry is a caller bug and raises.
+        """
+        if items < 0 or chunksize < 1:
+            raise ExperimentError(
+                f"invalid campaign geometry: items={items} chunksize={chunksize}"
+            )
+        num_chunks = -(-items // chunksize) if items else 0
+        with self._txn() as conn:
+            existing = conn.execute(
+                "SELECT * FROM campaigns WHERE fingerprint = ?", (fingerprint,)
+            ).fetchone()
+            if existing is not None:
+                if existing["items"] != items or existing["chunksize"] != chunksize:
+                    raise ExperimentError(
+                        f"campaign {fingerprint[:12]} already registered with "
+                        f"different geometry (items {existing['items']} vs "
+                        f"{items}, chunksize {existing['chunksize']} vs "
+                        f"{chunksize}); refusing to resume"
+                    )
+                return int(existing["id"])
+            cursor = conn.execute(
+                "INSERT INTO campaigns"
+                " (fingerprint, spec, params, items, chunksize, chunks, created)"
+                " VALUES (?, ?, ?, ?, ?, ?, ?)",
+                (
+                    fingerprint,
+                    spec,
+                    json.dumps(params or {}, sort_keys=True, default=repr),
+                    items,
+                    chunksize,
+                    num_chunks,
+                    time.time(),
+                ),
+            )
+            campaign_id = int(cursor.lastrowid)
+            conn.executemany(
+                "INSERT INTO chunks (campaign_id, idx) VALUES (?, ?)",
+                [(campaign_id, index) for index in range(num_chunks)],
+            )
+        return campaign_id
+
+    def campaign(self, fingerprint: str) -> dict[str, Any] | None:
+        row = self.conn.execute(
+            "SELECT * FROM campaigns WHERE fingerprint = ?", (fingerprint,)
+        ).fetchone()
+        if row is not None and row["params"]:
+            row["params"] = json.loads(row["params"])
+        return row
+
+    def campaign_by_id(self, campaign_id: int) -> dict[str, Any] | None:
+        row = self.conn.execute(
+            "SELECT * FROM campaigns WHERE id = ?", (campaign_id,)
+        ).fetchone()
+        if row is not None and row["params"]:
+            row["params"] = json.loads(row["params"])
+        return row
+
+    # -- leases ---------------------------------------------------------
+
+    def claim(
+        self, campaign_id: int, worker: str, *, ttl: float, now: float | None = None
+    ) -> Lease | None:
+        """Atomically claim the lowest claimable chunk, if any.
+
+        Claimable: ``pending``, or ``leased`` with an expired lease
+        (that grant is a **takeover** — the previous owner stopped
+        heartbeating).  Every grant increments the chunk's fencing
+        token.  Returns ``None`` when nothing is claimable right now
+        (all done, or all leased and alive).
+        """
+        now = time.time() if now is None else now
+        with self._txn() as conn:
+            row = conn.execute(
+                "SELECT idx, state, fence, owner FROM chunks"
+                " WHERE campaign_id = ? AND (state = 'pending' OR"
+                "   (state = 'leased' AND lease_expires < ?))"
+                " ORDER BY idx LIMIT 1",
+                (campaign_id, now),
+            ).fetchone()
+            if row is None:
+                return None
+            fence = int(row["fence"]) + 1
+            expires = now + ttl
+            conn.execute(
+                "UPDATE chunks SET state = 'leased', fence = ?, owner = ?,"
+                " lease_expires = ?, attempts = attempts + 1"
+                " WHERE campaign_id = ? AND idx = ?",
+                (fence, worker, expires, campaign_id, row["idx"]),
+            )
+            takeover = row["state"] == "leased"
+            self._log(
+                conn,
+                campaign_id,
+                worker,
+                "takeover" if takeover else "claim",
+                idx=row["idx"],
+                fence=fence,
+                detail=(f"expired lease of {row['owner']}" if takeover else None),
+            )
+            return Lease(campaign_id, int(row["idx"]), fence, expires)
+
+    def heartbeat(
+        self, lease: Lease, worker: str, *, ttl: float, now: float | None = None
+    ) -> bool:
+        """Extend a live lease; returns False when the fence is stale
+        (the chunk was taken over or already committed) — the caller
+        should stop wasting cycles on it."""
+        now = time.time() if now is None else now
+        with self._txn() as conn:
+            cursor = conn.execute(
+                "UPDATE chunks SET lease_expires = ?"
+                " WHERE campaign_id = ? AND idx = ? AND fence = ?"
+                "   AND state = 'leased'",
+                (now + ttl, lease.campaign_id, lease.index, lease.fence),
+            )
+            return cursor.rowcount == 1
+
+    def commit(
+        self,
+        lease: Lease,
+        worker: str,
+        payload: str,
+        *,
+        now: float | None = None,
+    ) -> bool:
+        """Commit a completed chunk **iff** the lease's fence is current.
+
+        This is the fencing guarantee: a worker that was presumed dead
+        and superseded holds an old fence, so its late commit updates
+        zero rows and is logged as ``fence_reject`` — the campaign's
+        data can never be written under an expired fencing token.
+        """
+        now = time.time() if now is None else now
+        with self._txn() as conn:
+            cursor = conn.execute(
+                "UPDATE chunks SET state = 'done', payload = ?,"
+                " committed_by = ?, committed_fence = ?, completed = ?,"
+                " owner = NULL, lease_expires = NULL"
+                " WHERE campaign_id = ? AND idx = ? AND fence = ?"
+                "   AND state = 'leased'",
+                (
+                    payload,
+                    worker,
+                    lease.fence,
+                    now,
+                    lease.campaign_id,
+                    lease.index,
+                    lease.fence,
+                ),
+            )
+            accepted = cursor.rowcount == 1
+            self._log(
+                conn,
+                lease.campaign_id,
+                worker,
+                "commit" if accepted else "fence_reject",
+                idx=lease.index,
+                fence=lease.fence,
+                detail=None if accepted else "stale fence: lease was superseded",
+            )
+            return accepted
+
+    # -- queries --------------------------------------------------------
+
+    def chunk_state(self, campaign_id: int, index: int) -> dict[str, Any]:
+        row = self.conn.execute(
+            "SELECT * FROM chunks WHERE campaign_id = ? AND idx = ?",
+            (campaign_id, index),
+        ).fetchone()
+        if row is None:
+            raise ExperimentError(
+                f"campaign {campaign_id} has no chunk {index}"
+            )
+        return row
+
+    def counts(self, campaign_id: int) -> dict[str, int]:
+        """Chunk-state histogram, e.g. ``{'pending': 2, 'done': 10}``."""
+        rows = self.conn.execute(
+            "SELECT state, COUNT(*) AS n FROM chunks WHERE campaign_id = ?"
+            " GROUP BY state",
+            (campaign_id,),
+        ).fetchall()
+        return {row["state"]: int(row["n"]) for row in rows}
+
+    def all_done(self, campaign_id: int) -> bool:
+        row = self.conn.execute(
+            "SELECT COUNT(*) AS n FROM chunks"
+            " WHERE campaign_id = ? AND state != 'done'",
+            (campaign_id,),
+        ).fetchone()
+        return int(row["n"]) == 0
+
+    def completed_payloads(self, campaign_id: int) -> dict[int, str]:
+        rows = self.conn.execute(
+            "SELECT idx, payload FROM chunks"
+            " WHERE campaign_id = ? AND state = 'done' ORDER BY idx",
+            (campaign_id,),
+        ).fetchall()
+        return {int(row["idx"]): row["payload"] for row in rows}
+
+    # -- event log ------------------------------------------------------
+
+    def _log(
+        self,
+        conn: sqlite3.Connection,
+        campaign_id: int,
+        worker: str | None,
+        kind: str,
+        *,
+        idx: int | None = None,
+        fence: int | None = None,
+        detail: str | None = None,
+    ) -> None:
+        conn.execute(
+            "INSERT INTO events (campaign_id, ts, worker, kind, idx, fence, detail)"
+            " VALUES (?, ?, ?, ?, ?, ?, ?)",
+            (campaign_id, time.time(), worker, kind, idx, fence, detail),
+        )
+
+    def log_worker_event(
+        self,
+        campaign_id: int,
+        worker: str,
+        kind: str,
+        *,
+        idx: int | None = None,
+        fence: int | None = None,
+        detail: str | None = None,
+    ) -> None:
+        """Record a worker lifecycle/fault event (own transaction)."""
+        with self._txn() as conn:
+            self._log(
+                conn, campaign_id, worker, kind, idx=idx, fence=fence, detail=detail
+            )
+
+    def events(
+        self, campaign_id: int, *, after_id: int = 0
+    ) -> list[dict[str, Any]]:
+        """All events (optionally only those newer than ``after_id``)."""
+        return self.conn.execute(
+            "SELECT * FROM events WHERE campaign_id = ? AND id > ? ORDER BY id",
+            (campaign_id, after_id),
+        ).fetchall()

@@ -1,0 +1,172 @@
+"""Chaos-style verification: a faulted fabric run must equal serial.
+
+``verify_fabric`` runs the campaign twice:
+
+1. **Serial reference** — a plain in-process loop over the spec's
+   items, pickled with the same payload encoding the fabric uses;
+2. **Fabric under faults** — :func:`repro.fabric.coordinator.run_fabric`
+   with the given fault plan applied to real worker subprocesses.
+
+and then audits three things:
+
+* **Byte identity** — ``pickle(fabric results) == pickle(serial
+  results)``.  Not "equal", *identical bytes*: the splice contract.
+* **Fencing soundness** — replaying the store's event log, every chunk
+  was committed exactly once, under the fence that was current at
+  commit time; every stale attempt shows up as ``fence_reject``, never
+  as data.  (This is the "no chunk ever committed under an expired
+  fencing token" acceptance criterion, checked from the audit trail
+  rather than trusted from the implementation.)
+* **Fault visibility** — the plan actually bit: plans with kills or
+  stalls produced at least one lease takeover, and plans with stale
+  actions produced at least one fence rejection.
+
+Used by the test suite and by ``python -m repro fabric chaos``.
+"""
+
+from __future__ import annotations
+
+import pickle
+from dataclasses import dataclass, field
+from typing import Any
+
+from repro.fabric.coordinator import FabricConfig, FabricResult, run_fabric
+from repro.fabric.specs import resolve_spec
+
+__all__ = ["FabricVerifyReport", "verify_fabric"]
+
+
+@dataclass
+class FabricVerifyReport:
+    """The verdict of one fabric-vs-serial verification run."""
+
+    config: FabricConfig
+    result: FabricResult
+    byte_identical: bool
+    fencing_errors: list[str] = field(default_factory=list)
+    visibility_errors: list[str] = field(default_factory=list)
+
+    @property
+    def passed(self) -> bool:
+        return (
+            self.byte_identical
+            and not self.fencing_errors
+            and not self.visibility_errors
+        )
+
+    def render(self) -> str:
+        lines = [self.result.summary()]
+        lines.append(
+            "splice vs serial reference: "
+            + ("byte-identical" if self.byte_identical else "MISMATCH")
+        )
+        for error in self.fencing_errors:
+            lines.append(f"fencing violation: {error}")
+        for error in self.visibility_errors:
+            lines.append(f"fault not visible: {error}")
+        plan = self.config.fault_plan
+        lines.append(
+            f"fault plan: {plan.spec() or '<none>'} "
+            f"({len(plan.actions)} action(s) over "
+            f"{len(plan.faulted_workers())} worker(s))"
+        )
+        lines.append("verification " + ("PASSED" if self.passed else "FAILED"))
+        return "\n".join(lines)
+
+
+def _audit_fencing(result: FabricResult) -> list[str]:
+    """Replay the event log; return every fencing-contract violation.
+
+    The replayed model: each chunk's fence is bumped by every
+    claim/takeover, and a commit is legitimate iff its fence equals the
+    fence of the *latest* grant for that chunk.  Rejections must carry
+    a genuinely superseded fence.
+    """
+    errors: list[str] = []
+    current_fence: dict[int, int] = {}
+    committed: dict[int, int] = {}
+    for event in result.events:
+        kind = event["kind"]
+        index = event["idx"]
+        fence = event["fence"]
+        if kind in ("claim", "takeover"):
+            previous = current_fence.get(index, 0)
+            if fence != previous + 1:
+                errors.append(
+                    f"chunk {index}: grant fence jumped {previous} -> {fence} "
+                    "(fences must be monotonic by exactly 1)"
+                )
+            current_fence[index] = fence
+            if index in committed:
+                errors.append(
+                    f"chunk {index}: re-granted (fence {fence}) after it "
+                    f"was already committed at fence {committed[index]}"
+                )
+        elif kind == "commit":
+            if fence != current_fence.get(index):
+                errors.append(
+                    f"chunk {index}: committed under fence {fence} but the "
+                    f"current fence was {current_fence.get(index)} — a stale "
+                    "(expired/superseded) token landed data"
+                )
+            if index in committed:
+                errors.append(
+                    f"chunk {index}: committed twice "
+                    f"(fences {committed[index]} and {fence})"
+                )
+            committed[index] = fence
+        elif kind == "fence_reject":
+            if fence == current_fence.get(index) and index not in committed:
+                errors.append(
+                    f"chunk {index}: commit under the *current* fence {fence} "
+                    "was rejected — the store refused legitimate data"
+                )
+    for index in range(result.chunks):
+        if index not in committed:
+            errors.append(f"chunk {index}: never committed")
+    return errors
+
+
+def _audit_visibility(config: FabricConfig, result: FabricResult) -> list[str]:
+    """Check that the fault plan demonstrably happened."""
+    errors: list[str] = []
+    plan = config.fault_plan
+    fired = {
+        (event["worker"], event["detail"])
+        for event in result.events
+        if event["kind"] == "fault"
+    }
+    fired_workers = {worker for worker, _ in fired}
+    missing = plan.faulted_workers() - fired_workers
+    if missing:
+        errors.append(
+            f"worker(s) {sorted(missing)} were scheduled for faults that "
+            "never fired (did they claim enough chunks? lower max_ordinal)"
+        )
+    if plan.count("kill") + plan.count("stall") > 0 and result.takeovers == 0:
+        errors.append(
+            "plan kills/stalls workers but no lease takeover was recorded"
+        )
+    if plan.count("stale") > 0 and result.fence_rejects < plan.count("stale"):
+        errors.append(
+            f"plan schedules {plan.count('stale')} stale-commit attempt(s) "
+            f"but only {result.fence_rejects} fence rejection(s) were recorded"
+        )
+    return errors
+
+
+def verify_fabric(config: FabricConfig) -> FabricVerifyReport:
+    """Run serial reference + faulted fabric; audit and compare."""
+    spec = resolve_spec(config.spec, config.params)
+    reference = [spec.fn(item) for item in spec.items]
+
+    result = run_fabric(config)
+
+    byte_identical = pickle.dumps(result.results) == pickle.dumps(reference)
+    return FabricVerifyReport(
+        config=config,
+        result=result,
+        byte_identical=byte_identical,
+        fencing_errors=_audit_fencing(result),
+        visibility_errors=_audit_visibility(config, result),
+    )

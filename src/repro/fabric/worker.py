@@ -1,0 +1,330 @@
+"""The fabric worker loop: claim → heartbeat → compute → fenced commit.
+
+One worker is one OS process (``python -m repro fabric worker``).  It
+rebuilds the campaign's ``(fn, items)`` from the spec registry, then
+loops: claim a chunk lease from the shared store, heartbeat from a
+background thread while computing, and commit the encoded results
+under the lease's fencing token.  Everything that can kill it —
+``kill -9``, stalls past the lease, store partitions — is survivable
+by construction: the lease expires, a peer takes the chunk over, and
+the fencing token guarantees the resurrected worker's late commit is
+rejected rather than spliced.
+
+Graceful drain: SIGTERM sets a flag; the worker finishes (and
+commits) the chunk in flight, then exits 0 without claiming another.
+
+Fault-plan hooks (:mod:`repro.fabric.faultplan`) fire at deterministic
+points — addressed by the worker's *claim ordinal*, not wall time — so
+chaos runs are replayable:
+
+* ``kill``      — SIGKILL self right after claiming (lease dies with us);
+* ``stall``     — sleep mid-chunk with heartbeats suppressed;
+* ``stale``     — compute, then *wait to be superseded* before
+  attempting the commit: the canonical fencing-token test;
+* ``partition`` — a window in which no store traffic happens
+  (heartbeats suppressed, commit deferred past the window).
+"""
+
+from __future__ import annotations
+
+import logging
+import os
+import signal
+import threading
+import time
+from dataclasses import dataclass, field
+from pathlib import Path
+
+from repro.errors import ExperimentError
+from repro.fabric.faultplan import FaultAction, FaultPlan
+from repro.fabric.specs import resolve_spec
+from repro.fabric.splice import encode_chunk, make_chunks
+from repro.fabric.store import Lease, LeaseStore
+from repro.parallel import backoff_delay
+from repro.rng import derive_seed
+
+__all__ = ["WorkerConfig", "run_worker"]
+
+logger = logging.getLogger("repro.fabric.worker")
+
+
+@dataclass
+class WorkerConfig:
+    """Everything one worker process needs (all CLI-expressible)."""
+
+    store: str | os.PathLike[str]
+    campaign: str  # campaign fingerprint in the lease store
+    worker_id: str
+    lease_ttl: float = 5.0
+    poll_interval: float = 0.1
+    backoff_base: float = 0.05
+    backoff_cap: float = 1.0
+    heartbeat_interval: float | None = None  # default: lease_ttl / 3
+    fault_plan: FaultPlan = field(default_factory=FaultPlan)
+    stale_timeout: float = 30.0
+    campaign_wait: float = 10.0
+    install_signal_handler: bool = True
+
+    def __post_init__(self) -> None:
+        if self.lease_ttl <= 0:
+            raise ExperimentError(f"lease_ttl must be positive, got {self.lease_ttl}")
+
+
+class _Heartbeat(threading.Thread):
+    """Extends one lease periodically from its own store connection.
+
+    ``suppress_until`` simulates a worker that stopped talking to the
+    store (stall / partition faults): heartbeats are skipped until the
+    deadline passes, letting the lease expire while the worker is, in
+    fact, alive — exactly the condition fencing tokens exist for.
+    """
+
+    def __init__(
+        self,
+        store_path: Path,
+        lease: Lease,
+        worker_id: str,
+        *,
+        interval: float,
+        ttl: float,
+    ) -> None:
+        super().__init__(daemon=True, name=f"heartbeat-{worker_id}-c{lease.index}")
+        self._store_path = store_path
+        self._lease = lease
+        self._worker_id = worker_id
+        self._interval = interval
+        self._ttl = ttl
+        self._halt = threading.Event()
+        self.suppress_until = 0.0
+        self.lost = False  # fence went stale under us
+
+    def run(self) -> None:
+        try:
+            store = LeaseStore(self._store_path)
+        except Exception:  # pragma: no cover - store vanished mid-run
+            return
+        try:
+            while not self._halt.wait(self._interval):
+                if time.time() < self.suppress_until:
+                    continue
+                try:
+                    alive = store.heartbeat(
+                        self._lease, self._worker_id, ttl=self._ttl
+                    )
+                except Exception:  # transient lock/partition trouble
+                    continue
+                if not alive:
+                    self.lost = True
+                    return
+        finally:
+            store.close()
+
+    def stop(self) -> None:
+        self._halt.set()
+
+
+def _fault(actions: list[FaultAction], kind: str) -> FaultAction | None:
+    for action in actions:
+        if action.kind == kind:
+            return action
+    return None
+
+
+def run_worker(config: WorkerConfig) -> int:
+    """Run one worker until the campaign is done (or drained).  Returns
+    a process exit code (0 = clean)."""
+    drain = threading.Event()
+    if config.install_signal_handler:
+        try:
+            signal.signal(signal.SIGTERM, lambda *_: drain.set())
+        except ValueError:  # not the main thread (in-process embedding)
+            pass
+
+    store = LeaseStore(config.store)
+    deadline = time.monotonic() + config.campaign_wait
+    campaign = store.campaign(config.campaign)
+    while campaign is None and time.monotonic() < deadline:
+        time.sleep(config.poll_interval)
+        campaign = store.campaign(config.campaign)
+    if campaign is None:
+        logger.error(
+            "worker %s: no campaign %s in %s",
+            config.worker_id,
+            config.campaign[:12],
+            config.store,
+        )
+        return 2
+
+    campaign_id = int(campaign["id"])
+    spec = resolve_spec(campaign["spec"], campaign["params"])
+    chunks = make_chunks(spec.items, int(campaign["chunksize"]))
+    if len(chunks) != int(campaign["chunks"]):
+        raise ExperimentError(
+            f"worker {config.worker_id}: spec resolves to {len(chunks)} chunks "
+            f"but the store registered {campaign['chunks']} — spec and store "
+            "disagree about the campaign"
+        )
+    heartbeat_interval = (
+        config.heartbeat_interval
+        if config.heartbeat_interval is not None
+        else config.lease_ttl / 3.0
+    )
+    my_plan = config.fault_plan.for_worker(config.worker_id)
+    jitter_stream = derive_seed(0, "fabric-idle", config.worker_id) % (2**31)
+
+    store.log_worker_event(
+        campaign_id, config.worker_id, "worker_start", detail=f"pid={os.getpid()}"
+    )
+    ordinal = 0  # chunks claimed by THIS worker (fault-plan address)
+    committed = 0
+    idle_attempts = 0
+    exit_reason = "done"
+    try:
+        while True:
+            if drain.is_set():
+                exit_reason = "drained"
+                break
+            if store.all_done(campaign_id):
+                break
+            lease = store.claim(
+                campaign_id, config.worker_id, ttl=config.lease_ttl
+            )
+            if lease is None:
+                # Nothing claimable: peers hold live leases.  Back off
+                # with seeded jitter and re-poll (they may yet die).
+                idle_attempts += 1
+                delay = min(
+                    config.backoff_cap,
+                    backoff_delay(
+                        config.backoff_base, idle_attempts, chunk_index=jitter_stream
+                    ),
+                )
+                time.sleep(max(config.poll_interval, delay))
+                continue
+            idle_attempts = 0
+            actions = my_plan.at(config.worker_id, ordinal)
+            ordinal += 1
+            if _fault(actions, "kill") is not None:
+                store.log_worker_event(
+                    campaign_id,
+                    config.worker_id,
+                    "fault",
+                    idx=lease.index,
+                    fence=lease.fence,
+                    detail="kill",
+                )
+                os.kill(os.getpid(), signal.SIGKILL)  # never returns
+
+            heartbeat = _Heartbeat(
+                Path(config.store),
+                lease,
+                config.worker_id,
+                interval=heartbeat_interval,
+                ttl=config.lease_ttl,
+            )
+            heartbeat.start()
+            try:
+                partition = _fault(actions, "partition")
+                if partition is not None:
+                    heartbeat.suppress_until = time.time() + partition.duration
+                    store.log_worker_event(
+                        campaign_id,
+                        config.worker_id,
+                        "fault",
+                        idx=lease.index,
+                        fence=lease.fence,
+                        detail=f"partition {partition.duration:g}s",
+                    )
+                stall = _fault(actions, "stall")
+                if stall is not None:
+                    store.log_worker_event(
+                        campaign_id,
+                        config.worker_id,
+                        "fault",
+                        idx=lease.index,
+                        fence=lease.fence,
+                        detail=f"stall {stall.duration:g}s",
+                    )
+                    heartbeat.suppress_until = time.time() + stall.duration
+                    time.sleep(stall.duration)
+
+                results = [spec.fn(item) for item in chunks[lease.index]]
+                payload = encode_chunk(results)
+
+                stale = _fault(actions, "stale")
+                if stale is not None:
+                    # The canonical fencing drill: stop heartbeating,
+                    # wait until someone supersedes our lease, and only
+                    # then attempt the commit.  The store MUST reject it.
+                    heartbeat.stop()
+                    store.log_worker_event(
+                        campaign_id,
+                        config.worker_id,
+                        "fault",
+                        idx=lease.index,
+                        fence=lease.fence,
+                        detail="stale-commit: waiting to be superseded",
+                    )
+                    stale_deadline = time.monotonic() + config.stale_timeout
+                    while time.monotonic() < stale_deadline and not drain.is_set():
+                        current = store.chunk_state(campaign_id, lease.index)
+                        if int(current["fence"]) > lease.fence:
+                            break
+                        time.sleep(config.poll_interval)
+                if partition is not None:
+                    # No store traffic until the partition heals.
+                    remaining = heartbeat.suppress_until - time.time()
+                    if remaining > 0:
+                        time.sleep(remaining)
+
+                accepted = store.commit(lease, config.worker_id, payload)
+                if accepted:
+                    committed += 1
+                else:
+                    logger.warning(
+                        "worker %s: commit of chunk %d rejected (stale fence %d)",
+                        config.worker_id,
+                        lease.index,
+                        lease.fence,
+                    )
+            finally:
+                heartbeat.stop()
+                heartbeat.join(timeout=2.0)
+    finally:
+        store.log_worker_event(
+            campaign_id,
+            config.worker_id,
+            "worker_exit",
+            detail=f"{exit_reason}, committed={committed}",
+        )
+        store.close()
+    return 0
+
+
+def worker_argv(config: WorkerConfig) -> list[str]:
+    """The ``python -m repro fabric worker`` argv for this config."""
+    import sys
+
+    argv = [
+        sys.executable,
+        "-m",
+        "repro",
+        "fabric",
+        "worker",
+        "--store",
+        str(config.store),
+        "--campaign",
+        config.campaign,
+        "--worker-id",
+        config.worker_id,
+        "--lease-ttl",
+        str(config.lease_ttl),
+        "--poll-interval",
+        str(config.poll_interval),
+        "--stale-timeout",
+        str(config.stale_timeout),
+    ]
+    plan = config.fault_plan.for_worker(config.worker_id)
+    if plan:
+        argv += ["--fault-plan-json", plan.to_json()]
+    return argv

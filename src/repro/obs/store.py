@@ -96,16 +96,38 @@ def _row_to_dict(cursor: sqlite3.Cursor, row: tuple) -> dict[str, Any]:
     return {desc[0]: value for desc, value in zip(cursor.description, row)}
 
 
-class RunStore:
-    """Open (creating if needed) the run store at ``path``."""
+#: Default wait (ms) for a competing writer's transaction to finish.
+DEFAULT_BUSY_TIMEOUT_MS = 5000
 
-    def __init__(self, path: str | os.PathLike[str]) -> None:
+
+class RunStore:
+    """Open (creating if needed) the run store at ``path``.
+
+    The store is opened in WAL journal mode with a busy timeout so
+    several processes can ingest concurrently (e.g. parallel CI legs or
+    fabric workers sharing one database): WAL lets readers proceed
+    under a writer, and the busy timeout makes competing writers queue
+    instead of failing with ``database is locked``.  Ingest stays
+    idempotent under that concurrency — ``upsert_run`` runs in one
+    immediate transaction keyed on the manifest fingerprint.
+    """
+
+    def __init__(
+        self,
+        path: str | os.PathLike[str],
+        *,
+        busy_timeout_ms: int = DEFAULT_BUSY_TIMEOUT_MS,
+    ) -> None:
         self.path = Path(path)
         if self.path.parent and not self.path.parent.exists():
             self.path.parent.mkdir(parents=True, exist_ok=True)
         self.conn = sqlite3.connect(str(self.path))
         self.conn.row_factory = _row_to_dict
         self.conn.execute("PRAGMA foreign_keys = ON")
+        # Best-effort: some filesystems refuse WAL; sqlite then keeps
+        # the prior journal mode and everything still works, serially.
+        self.conn.execute("PRAGMA journal_mode=WAL")
+        self.conn.execute(f"PRAGMA busy_timeout = {int(busy_timeout_ms)}")
         self._init_schema()
 
     def _init_schema(self) -> None:
@@ -141,6 +163,12 @@ class RunStore:
         phases, provenance) of a replaced run are dropped, so a
         re-ingested log lands exactly once however many times it is
         ingested.
+
+        The check-then-write runs under an immediate (write-locked)
+        transaction: two processes ingesting the same log concurrently
+        serialize on the lock instead of racing the existence check —
+        the loser sees the winner's row and takes the replace path, so
+        exactly one run row survives either way.
         """
         columns = (
             "command", "seed", "created", "git_sha", "host", "package_version",
@@ -148,6 +176,8 @@ class RunStore:
             "ingested_at",
         )
         values = [info.get(column) for column in columns]
+        if not self.conn.in_transaction:
+            self.conn.execute("BEGIN IMMEDIATE")
         existing = self.conn.execute(
             "SELECT id FROM runs WHERE fingerprint = ?", (fingerprint,)
         ).fetchone()

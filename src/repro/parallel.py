@@ -65,8 +65,6 @@ journals store exactly the chunk results, with or without it.
 
 from __future__ import annotations
 
-import base64
-import hashlib
 import json
 import logging
 import os
@@ -77,6 +75,19 @@ from pathlib import Path
 from typing import Any, Callable, Iterable, Sequence, TypeVar
 
 from repro.errors import ExperimentError
+from repro.fabric.splice import (
+    CHUNKS_PER_WORKER as _CHUNKS_PER_WORKER,
+)
+from repro.fabric.splice import (
+    campaign_fingerprint,
+    decode_chunk,
+    encode_chunk,
+    splice,
+)
+from repro.fabric.splice import (
+    default_chunksize as _default_chunksize,
+)
+from repro.rng import spawn
 from repro.telemetry.core import Telemetry, activate, get_active
 
 __all__ = [
@@ -86,15 +97,14 @@ __all__ = [
     "resilient_map",
     "resilient_starmap",
     "CampaignJournal",
+    "backoff_delay",
+    "default_chunksize",
 ]
 
 T = TypeVar("T")
 R = TypeVar("R")
 
 logger = logging.getLogger("repro.parallel")
-
-#: Chunks handed to each worker; >1 smooths out uneven task durations.
-_CHUNKS_PER_WORKER = 4
 
 #: Environment override for the progress-heartbeat interval (seconds).
 _PROGRESS_INTERVAL_ENV = "REPRO_PROGRESS_SECS"
@@ -222,8 +232,13 @@ def _warn_serial_fallback(fn: Callable[..., Any]) -> None:
 
 
 def default_chunksize(num_items: int, jobs: int) -> int:
-    """Contiguous chunk length for dispatching ``num_items`` tasks."""
-    return max(1, -(-num_items // (jobs * _CHUNKS_PER_WORKER)))
+    """Contiguous chunk length for dispatching ``num_items`` tasks.
+
+    Shared with the multi-worker fabric (see
+    :mod:`repro.fabric.splice`) so both execution layers cut a campaign
+    into the same chunks and journals stay interchangeable.
+    """
+    return _default_chunksize(num_items, jobs, chunks_per_worker=_CHUNKS_PER_WORKER)
 
 
 def parallel_map(
@@ -283,7 +298,10 @@ class CampaignJournal:
     the chunk geometry, and then one record per completed chunk with
     its pickled results.  Appends are flushed per chunk, so a killed
     campaign loses at most the chunk in flight; a truncated trailing
-    line (torn write) is ignored on load.
+    line (torn write — a crash mid-:meth:`record_chunk`) is truncated
+    away on load, like :class:`repro.monitor.tail.TailReader` does, so
+    subsequent appends never concatenate onto the torn prefix.
+    Corruption *before* the final line is a real error and raises.
 
     Resuming re-runs only the missing chunks and fixes ``chunksize``
     from the header, so the final result list is byte-identical to an
@@ -302,20 +320,11 @@ class CampaignJournal:
     def fingerprint(fn: Callable[..., Any], items: Sequence[Any]) -> str:
         """A stable digest of *which campaign this is*.
 
-        Built from the callable's qualified name and the item list, so
-        resuming with a different experiment or different seeds fails
-        loudly instead of splicing unrelated results together.
+        Delegates to :func:`repro.fabric.splice.campaign_fingerprint`
+        so the pool and the distributed fabric agree on campaign
+        identity (their journals are interchangeable).
         """
-        hasher = hashlib.sha256()
-        hasher.update(getattr(fn, "__module__", "?").encode())
-        hasher.update(b"\x1f")
-        hasher.update(getattr(fn, "__qualname__", repr(fn)).encode())
-        hasher.update(b"\x1f")
-        try:
-            hasher.update(pickle.dumps(list(items)))
-        except Exception:
-            hasher.update(repr(list(items)).encode())
-        return hasher.hexdigest()
+        return campaign_fingerprint(fn, items)
 
     # -- lifecycle ----------------------------------------------------
 
@@ -364,8 +373,7 @@ class CampaignJournal:
 
     def record_chunk(self, index: int, results: list[Any]) -> None:
         """Append one completed chunk (flushed immediately)."""
-        payload = base64.b64encode(pickle.dumps(results)).decode("ascii")
-        record = {"kind": "chunk", "index": index, "payload": payload}
+        record = {"kind": "chunk", "index": index, "payload": encode_chunk(results)}
         with self.path.open("a", encoding="utf-8") as stream:
             stream.write(json.dumps(record) + "\n")
             stream.flush()
@@ -374,30 +382,61 @@ class CampaignJournal:
     # -- internals ----------------------------------------------------
 
     def _load(self) -> tuple[dict[str, Any], dict[int, list[Any]]]:
+        """Parse the journal, truncating a torn final line in place.
+
+        A crash mid-:meth:`record_chunk` leaves an unterminated (or
+        otherwise undecodable) final line.  That line is *expected*
+        debris, not corruption: it is logged, the file is truncated to
+        the last good record, and the campaign resumes — so later
+        appends start on a clean line instead of concatenating onto the
+        torn prefix.  Undecodable lines with complete records *after*
+        them cannot be explained by a torn write and raise.
+        """
+        data = self.path.read_bytes()
+        lines = data.split(b"\n")
+        tail = lines.pop()  # b"" when the file ends on a newline
+        good_bytes = 0
         header: dict[str, Any] | None = None
         completed: dict[int, list[Any]] = {}
-        with self.path.open("r", encoding="utf-8") as stream:
-            for line_number, line in enumerate(stream):
-                try:
-                    record = json.loads(line)
-                except json.JSONDecodeError:
-                    # Torn trailing write from a killed run: drop it.
-                    logger.warning(
-                        "journal %s: ignoring corrupt line %d",
-                        self.path,
-                        line_number + 1,
+        parsed: list[tuple[int, dict[str, Any]]] = []
+        torn_at: int | None = None
+        for line_number, raw in enumerate(lines, start=1):
+            try:
+                record = json.loads(raw)
+                if not isinstance(record, dict):
+                    raise ValueError("record is not an object")
+                if record.get("kind") == "chunk":
+                    # Decode eagerly: a torn payload is torn debris too.
+                    record["_results"] = decode_chunk(record["payload"])
+            except Exception:
+                torn_at = line_number
+                break
+            parsed.append((line_number, record))
+            good_bytes += len(raw) + 1
+        if torn_at is not None and torn_at < len(lines):
+            raise ExperimentError(
+                f"journal {self.path} is corrupt at line {torn_at} with "
+                "complete records after it; this is not a torn tail — "
+                "refusing to guess (restart without --resume)"
+            )
+        if torn_at is not None or tail:
+            logger.warning(
+                "journal %s: truncating torn final line (crash mid-append); "
+                "resuming from the last complete chunk",
+                self.path,
+            )
+            with self.path.open("r+b") as stream:
+                stream.truncate(good_bytes)
+        for line_number, record in parsed:
+            if record.get("kind") == "header":
+                if record.get("version") != self.VERSION:
+                    raise ExperimentError(
+                        f"journal {self.path} has unsupported version "
+                        f"{record.get('version')!r}"
                     )
-                    break
-                if record.get("kind") == "header":
-                    if record.get("version") != self.VERSION:
-                        raise ExperimentError(
-                            f"journal {self.path} has unsupported version "
-                            f"{record.get('version')!r}"
-                        )
-                    header = record
-                elif record.get("kind") == "chunk":
-                    payload = base64.b64decode(record["payload"])
-                    completed[int(record["index"])] = pickle.loads(payload)
+                header = record
+            elif record.get("kind") == "chunk":
+                completed[int(record["index"])] = record["_results"]
         if header is None:
             raise ExperimentError(f"journal {self.path} has no header record")
         return header, completed
@@ -445,6 +484,22 @@ def _run_chunk_timed(
         "pid": os.getpid(),
         "events": recorder.drain(),
     }
+
+
+def backoff_delay(base: float, attempt: int, *, chunk_index: int = 0) -> float:
+    """Exponential backoff with *seeded*, deterministic jitter.
+
+    ``base * 2**(attempt-1)`` scaled by a factor in ``[0.5, 1.5)``
+    drawn from a stream derived from ``(chunk_index, attempt)`` — the
+    same chunk retried the same number of times always sleeps the same
+    amount, so resilience behaviour is replayable, while distinct
+    chunks/attempts decorrelate (no thundering-herd resubmission when
+    many campaigns share a host).
+    """
+    if attempt < 1:
+        return 0.0
+    jitter = 0.5 + spawn(chunk_index, "retry-backoff", attempt).random()
+    return base * (2 ** (attempt - 1)) * jitter
 
 
 def _terminate_workers(executor: Any) -> None:
@@ -597,7 +652,7 @@ def resilient_map(
             retries=stats["retries"],
             timeouts=stats["timeouts"],
         )
-    return [value for index in range(len(chunks)) for value in results[index]]
+    return splice(len(chunks), results, where=f"journal {journal!r}" if journal else "campaign")
 
 
 def _resilient_pool_run(
@@ -714,7 +769,9 @@ def _resilient_pool_run(
                         )
                         submit_ts[later] = time.perf_counter()
                 else:
-                    delay = backoff_base * (2 ** (attempts[index] - 1))
+                    delay = backoff_delay(
+                        backoff_base, attempts[index], chunk_index=index
+                    )
                     logger.warning(
                         "%s on chunk %d; retry %d/%d after %.2fs backoff",
                         type(exc).__name__,
@@ -738,6 +795,14 @@ def _resilient_pool_run(
             if progress is not None:
                 progress.note(len(chunks[index]))
             position += 1
+    except KeyboardInterrupt:
+        # Re-raise promptly, but never leave orphaned children behind:
+        # shutdown(wait=False) alone would abandon live (possibly hung)
+        # worker processes.  The journal already holds every completed
+        # chunk, so ^C + --resume loses at most the chunks in flight.
+        logger.warning("interrupted; terminating pool workers before re-raising")
+        _terminate_workers(executor)
+        raise
     finally:
         executor.shutdown(wait=False, cancel_futures=True)
     return {

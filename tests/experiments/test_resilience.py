@@ -7,6 +7,7 @@ failures occur, the final result list is exactly what the serial loop
 would have produced.
 """
 
+import json
 import os
 import pickle
 import signal
@@ -18,6 +19,7 @@ import pytest
 from repro.errors import ExperimentError
 from repro.parallel import (
     CampaignJournal,
+    backoff_delay,
     parallel_map,
     resilient_map,
     resilient_starmap,
@@ -255,3 +257,140 @@ class TestCampaignJournal:
             _square, items, jobs=4, journal=tmp_path / "pooled.jsonl"
         )
         assert got == serial
+
+
+def _write_pid_and_hang(task):
+    x, directory = task
+    Path(directory, f"{os.getpid()}.pid").touch()
+    time.sleep(60)
+    return x
+
+
+class TestTornJournalRecovery:
+    """Satellite: the journal tolerates a torn final line the way
+    ``monitor.tail`` does — truncate the debris and resume."""
+
+    def _write_full(self, tmp_path):
+        journal = tmp_path / "campaign.jsonl"
+        items = list(range(8))
+        full = resilient_map(_square, items, jobs=1, chunksize=2, journal=journal)
+        return journal, items, full
+
+    def test_journal_sliced_mid_byte_resumes_byte_identically(self, tmp_path):
+        journal, items, full = self._write_full(tmp_path)
+        data = journal.read_bytes()
+        # Slice mid-way through the final record: a crash mid-append.
+        journal.write_bytes(data[: len(data) - 7])
+        resumed = resilient_map(
+            _square, items, jobs=1, chunksize=2, journal=journal, resume=True
+        )
+        assert pickle.dumps(resumed) == pickle.dumps(full)
+
+    def test_every_slice_point_recovers(self, tmp_path):
+        # Whatever byte the crash landed on, resume must succeed: the
+        # torn suffix only ever claims the final (incomplete) record.
+        journal, items, full = self._write_full(tmp_path)
+        data = journal.read_bytes()
+        header_end = data.index(b"\n") + 1
+        for cut in range(header_end, len(data)):
+            journal.write_bytes(data[:cut])
+            resumed = resilient_map(
+                _square, items, jobs=1, chunksize=2, journal=journal, resume=True
+            )
+            assert resumed == full, f"slice at byte {cut} broke resume"
+
+    def test_appends_after_torn_tail_land_on_clean_lines(self, tmp_path):
+        # The bug this guards against: appending to a file whose last
+        # line is torn *concatenates* onto the debris, corrupting the
+        # next record too.  The load must truncate first.
+        journal, items, full = self._write_full(tmp_path)
+        data = journal.read_bytes()
+        journal.write_bytes(data[: len(data) - 7])
+        resilient_map(
+            _square, items, jobs=1, chunksize=2, journal=journal, resume=True
+        )
+        for line in journal.read_bytes().splitlines():
+            json.loads(line)  # every line is whole again
+
+    def test_midfile_corruption_refuses_to_guess(self, tmp_path):
+        journal, items, _ = self._write_full(tmp_path)
+        lines = journal.read_text().splitlines()
+        lines[2] = lines[2][:-5]  # torn record with complete ones after it
+        journal.write_text("\n".join(lines) + "\n")
+        with pytest.raises(ExperimentError, match="corrupt at line 3"):
+            resilient_map(
+                _square, items, jobs=1, chunksize=2, journal=journal, resume=True
+            )
+
+
+class TestBackoffDelay:
+    """Satellite: retry backoff uses seeded deterministic jitter."""
+
+    def test_deterministic(self):
+        assert backoff_delay(0.1, 3, chunk_index=7) == backoff_delay(
+            0.1, 3, chunk_index=7
+        )
+
+    def test_exponential_envelope_with_jitter(self):
+        for attempt in (1, 2, 3, 4):
+            for chunk in range(8):
+                delay = backoff_delay(0.1, attempt, chunk_index=chunk)
+                nominal = 0.1 * 2 ** (attempt - 1)
+                assert 0.5 * nominal <= delay < 1.5 * nominal
+
+    def test_jitter_varies_across_chunks_and_attempts(self):
+        delays = {backoff_delay(0.1, 2, chunk_index=c) for c in range(16)}
+        assert len(delays) > 1
+        assert backoff_delay(0.1, 1, chunk_index=0) != backoff_delay(
+            0.1, 2, chunk_index=0
+        ) / 2  # jitter is re-drawn per attempt, not scaled
+
+    def test_zeroth_attempt_is_immediate(self):
+        assert backoff_delay(0.1, 0) == 0.0
+
+
+class TestKeyboardInterruptCleanup:
+    """Satellite: ^C mid-campaign re-raises promptly and leaves no
+    orphaned pool children computing in the background."""
+
+    @staticmethod
+    def _alive(pid):
+        try:
+            os.kill(pid, 0)
+        except ProcessLookupError:
+            return False
+        try:  # a zombie is dead enough: it computes nothing
+            with open(f"/proc/{pid}/stat", encoding="ascii") as stream:
+                state = stream.read().rsplit(")", 1)[1].split()[0]
+            return state != "Z"
+        except OSError:
+            return False
+
+    def test_interrupt_terminates_pool_children(self, tmp_path):
+        import threading
+
+        pid_dir = tmp_path / "pids"
+        pid_dir.mkdir()
+
+        def interrupter():
+            deadline = time.time() + 20
+            while time.time() < deadline:
+                if len(list(pid_dir.glob("*.pid"))) >= 2:
+                    break
+                time.sleep(0.05)
+            os.kill(os.getpid(), signal.SIGINT)
+
+        threading.Thread(target=interrupter, daemon=True).start()
+        items = [(x, str(pid_dir)) for x in range(4)]
+        started = time.time()
+        with pytest.raises(KeyboardInterrupt):
+            resilient_map(_write_pid_and_hang, items, jobs=2, chunksize=1)
+        assert time.time() - started < 30  # re-raised promptly, no hang
+
+        pids = [int(path.stem) for path in pid_dir.glob("*.pid")]
+        assert len(pids) >= 2
+        deadline = time.time() + 10
+        while time.time() < deadline and any(self._alive(p) for p in pids):
+            time.sleep(0.1)
+        survivors = [p for p in pids if self._alive(p)]
+        assert not survivors, f"orphaned pool children: {survivors}"

@@ -1,0 +1,97 @@
+"""Tests for the deterministic fault-plan grammar and seeding."""
+
+import pytest
+
+from repro.errors import ExperimentError
+from repro.fabric.faultplan import ACTION_KINDS, FaultAction, FaultPlan
+
+
+class TestGrammar:
+    def test_parse_full_plan(self):
+        plan = FaultPlan.parse("kill@w1#0, stall@w0#2=3.5, stale@w2#1")
+        assert [a.kind for a in plan.actions] == ["kill", "stall", "stale"]
+        assert plan.actions[1] == FaultAction("stall", "w0", 2, 3.5)
+
+    def test_parse_defaults(self):
+        plan = FaultPlan.parse("stall@w0")  # ordinal 0, default duration
+        (action,) = plan.actions
+        assert (action.ordinal, action.duration) == (0, 2.0)
+
+    def test_spec_roundtrips(self):
+        text = "kill@w1#0,stall@w0#2=3.5,stale@w2#1,partition@w1#1=0.5"
+        assert FaultPlan.parse(text).spec() == text
+
+    def test_json_roundtrips(self):
+        plan = FaultPlan.parse("kill@w1#0,partition@w0#1=1.5")
+        assert FaultPlan.from_json(plan.to_json()) == plan
+
+    @pytest.mark.parametrize("bad", [
+        "explode@w0#0",       # unknown kind
+        "kill",               # missing @worker
+        "kill@#0",            # empty worker
+        "kill@w0#x",          # non-integer ordinal
+        "stall@w0#0=fast",    # non-numeric duration
+    ])
+    def test_bad_terms_raise(self, bad):
+        with pytest.raises(ExperimentError):
+            FaultPlan.parse(bad)
+
+
+class TestAddressing:
+    def test_at_matches_worker_and_ordinal(self):
+        plan = FaultPlan.parse("kill@w1#2,stale@w1#2,stall@w0#2")
+        assert [a.kind for a in plan.at("w1", 2)] == ["kill", "stale"]
+        assert plan.at("w1", 1) == []
+        assert plan.at("w2", 2) == []
+
+    def test_for_worker_subplan(self):
+        plan = FaultPlan.parse("kill@w1#0,stall@w0#1,stale@w1#1")
+        sub = plan.for_worker("w1")
+        assert all(a.worker == "w1" for a in sub.actions)
+        assert len(sub.actions) == 2
+        assert not plan.for_worker("w9")
+
+    def test_counts_and_faulted_workers(self):
+        plan = FaultPlan.parse("kill@w1#0,stall@w0#1,stale@w2#0")
+        assert plan.count("kill") == 1
+        assert plan.faulted_workers() == {"w0", "w1", "w2"}
+        assert plan.faulted_workers("kill", "stall") == {"w0", "w1"}
+
+
+class TestSeededPlans:
+    def test_same_seed_same_plan(self):
+        workers = ["w0", "w1", "w2"]
+        assert FaultPlan.random(7, workers) == FaultPlan.random(7, workers)
+
+    def test_different_seed_can_differ(self):
+        workers = ["w0", "w1", "w2"]
+        plans = {FaultPlan.random(seed, workers).spec() for seed in range(20)}
+        assert len(plans) > 1
+
+    def test_default_plan_hits_distinct_workers(self):
+        # kill + stall + stale on three workers must target three
+        # distinct workers: >=30% of the fleet faulted, with the stale
+        # worker alive to demonstrate the fence rejection.
+        for seed in range(10):
+            plan = FaultPlan.random(seed, ["w0", "w1", "w2"])
+            assert len(plan.faulted_workers()) == 3
+
+    def test_needs_workers(self):
+        with pytest.raises(ExperimentError):
+            FaultPlan.random(0, [])
+
+    def test_all_kinds_constructible(self):
+        plan = FaultPlan.random(
+            3, ["w0", "w1"], kills=1, stalls=1, stales=1, partitions=1
+        )
+        assert {a.kind for a in plan.actions} == set(ACTION_KINDS)
+
+
+class TestValidation:
+    def test_negative_ordinal_rejected(self):
+        with pytest.raises(ExperimentError):
+            FaultAction("kill", "w0", -1)
+
+    def test_negative_duration_rejected(self):
+        with pytest.raises(ExperimentError):
+            FaultAction("stall", "w0", 0, -2.0)

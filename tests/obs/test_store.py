@@ -156,3 +156,75 @@ class TestTrendOrdering:
             store.add_metrics(b, {"slots_per_sec": 20.0})
             trend = store.metric_trend("slots_per_sec")
             assert [row["value"] for row in trend] == [10.0, 20.0]
+
+
+class TestConcurrentIngest:
+    """Satellite: the run store serves simultaneous writers — WAL mode,
+    a busy timeout, and an idempotent write-locked upsert."""
+
+    def test_wal_mode_and_busy_timeout(self, tmp_path):
+        with RunStore(tmp_path / "runs.db") as store:
+            (mode,) = store.conn.execute("PRAGMA journal_mode").fetchone().values()
+            assert mode == "wal"
+            (timeout,) = store.conn.execute("PRAGMA busy_timeout").fetchone().values()
+            assert timeout >= 1000
+
+    def test_two_simultaneous_writers_upsert_one_row(self, tmp_path):
+        import threading
+
+        path = tmp_path / "runs.db"
+        barrier = threading.Barrier(2)
+        outcomes = {}
+
+        def ingest(name):
+            with RunStore(path) as store:
+                barrier.wait()  # maximize the race on the existence check
+                for _ in range(5):
+                    outcomes[name] = store.upsert_run("same-fp", _info())
+
+        threads = [
+            threading.Thread(target=ingest, args=(f"t{i}",)) for i in range(2)
+        ]
+        for thread in threads:
+            thread.start()
+        for thread in threads:
+            thread.join(timeout=30)
+            assert not thread.is_alive()
+
+        with RunStore(path) as store:
+            rows = store.conn.execute(
+                "SELECT id FROM runs WHERE fingerprint = 'same-fp'"
+            ).fetchall()
+            assert len(rows) == 1  # exactly one run row survived the race
+        # Both writers finished (no "database is locked" escape).
+        assert set(outcomes) == {"t0", "t1"}
+
+    def test_concurrent_writers_across_processes(self, tmp_path):
+        import subprocess
+        import sys
+
+        path = tmp_path / "runs.db"
+        script = (
+            "import sys\n"
+            "from repro.obs import RunStore\n"
+            "info = {'command': 'gap', 'seed': 1, 'created': 100.0,\n"
+            "        'git_sha': 'abc', 'host': 'h', 'package_version': '0',\n"
+            "        'config_fingerprint': 'cfg', 'config_json': '{}',\n"
+            "        'source_path': 'x.jsonl', 'records': 10,\n"
+            "        'ingested_at': 200.0}\n"
+            "with RunStore(sys.argv[1]) as store:\n"
+            "    for _ in range(20):\n"
+            "        store.upsert_run('same-fp', info)\n"
+        )
+        procs = [
+            subprocess.Popen([sys.executable, "-c", script, str(path)])
+            for _ in range(2)
+        ]
+        for proc in procs:
+            assert proc.wait(timeout=60) == 0
+
+        with RunStore(path) as store:
+            rows = store.conn.execute(
+                "SELECT id FROM runs WHERE fingerprint = 'same-fp'"
+            ).fetchall()
+        assert len(rows) == 1
