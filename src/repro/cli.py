@@ -31,10 +31,19 @@ Subcommands:
   (:mod:`repro.fabric`): ``run`` a registered campaign spec across N
   worker subprocesses coordinating through a shared SQLite lease
   store (optionally under a ``--fault-plan``), ``worker`` is the
-  subprocess entry point, and ``chaos`` runs the self-verification
+  subprocess entry point, ``chaos`` runs the self-verification
   harness — a seeded fault plan kills/stalls real workers and the
   spliced results are asserted byte-identical to a serial run with
-  zero fencing violations.
+  zero fencing violations — and ``autopsy`` reconstructs a finished
+  (or crashed) campaign's lease/fence/takeover timeline from the
+  store's audit log and verifies the fencing contract post hoc.
+* ``fleet`` — fleet observability (:mod:`repro.fleet`): ``board``
+  follows the lease store plus every worker's telemetry log with
+  per-worker health lanes under the conformance SLO gates, ``trace``
+  merges coordinator + worker logs into one Chrome/Perfetto trace
+  with a process lane per worker, and ``metrics`` reconstructs the
+  campaign's metrics registry from ``metrics`` snapshot records and
+  prints the Prometheus text exposition.
 
 Every command takes ``--seed`` and is fully reproducible.  The
 experiment-style commands additionally take ``--jobs N`` (or honour
@@ -529,6 +538,38 @@ def _cmd_obs(args: argparse.Namespace) -> int:
                 return 0
 
             if args.obs_command == "explain":
+                if args.fabric:
+                    run = store.resolve_run(args.run)
+                    metrics = store.metrics_for(run["id"])
+                    fabric_metrics = {
+                        name: value for name, value in sorted(metrics.items())
+                        if name.startswith(("fabric.", "fleet."))
+                        or name in ("alerts", "chaos_trials")
+                    }
+                    if args.json:
+                        print(json.dumps(
+                            {"run": run, "fabric": fabric_metrics},
+                            indent=2, sort_keys=True, default=repr,
+                        ))
+                        return 0 if fabric_metrics else 1
+                    if not fabric_metrics:
+                        print(f"run {run['id']}: no fabric/fleet aggregates "
+                              "(not a fabric campaign log?)")
+                        return 1
+                    table = Table(
+                        f"Fabric aggregates — run {run['id']} "
+                        f"({str(run['fingerprint'])[:8]})",
+                        ["metric", "value"],
+                    )
+                    for name, value in fabric_metrics.items():
+                        table.add_row(name, value)
+                    print(table.render())
+                    return 0
+                if args.node is None or args.slot is None:
+                    raise SystemExit(
+                        "obs explain: --node and --slot are required "
+                        "(or use --fabric for fabric campaign aggregates)"
+                    )
                 result = explain_from_store(
                     store, args.run, args.node, args.slot,
                     engine_run=args.engine_run,
@@ -590,12 +631,194 @@ def _fabric_fault_plan(args: argparse.Namespace, worker_ids: list[str]):
     return FaultPlan()
 
 
+def _fleet_stream_label(path) -> str:
+    """Worker id from a ``<store>.<worker>.telemetry.jsonl`` name, else
+    ``""`` (the coordinator lane)."""
+    from pathlib import Path
+
+    parts = Path(path).name.split(".")
+    if len(parts) >= 4 and parts[-2:] == ["telemetry", "jsonl"]:
+        return parts[-3]
+    return ""
+
+
+def _resolve_store_campaign(store_path, prefix: str | None) -> str | None:
+    """Expand a campaign fingerprint prefix against the lease store.
+
+    Returns the full fingerprint, or ``None`` when it cannot be
+    resolved unambiguously (caller decides whether that is fatal).
+    """
+    if not store_path.exists():
+        return None
+    from repro.fabric.store import LeaseStore
+
+    lease_store = LeaseStore(store_path)
+    try:
+        rows = lease_store.conn.execute(
+            "SELECT fingerprint FROM campaigns ORDER BY id"
+        ).fetchall()
+    finally:
+        lease_store.close()
+    fingerprints = [str(row["fingerprint"]) for row in rows]
+    if prefix is None:
+        return fingerprints[0] if len(fingerprints) == 1 else None
+    matches = [f for f in fingerprints if f.startswith(prefix)]
+    return matches[0] if len(matches) == 1 else prefix
+
+
+def _cmd_fleet(args: argparse.Namespace) -> int:
+    """Dispatch ``fleet board|trace|metrics``."""
+    import json
+    from pathlib import Path
+
+    from repro.errors import ExperimentError
+
+    try:
+        if args.fleet_command == "board":
+            from repro.fleet.board import FleetBoard, follow_fleet
+            from repro.monitor import BoardRenderer, MonitorConfig
+            from repro.monitor.live import LiveMonitor
+
+            store_path = Path(args.store)
+            campaign = _resolve_store_campaign(store_path, args.campaign)
+            if campaign is None:
+                raise SystemExit(
+                    "fleet board: pass --campaign (the store is missing, "
+                    "empty, or holds several campaigns)"
+                )
+            logs = [Path(p) for p in args.log]
+            if not args.no_auto_logs:
+                parent = store_path.parent or Path(".")
+                for found in sorted(
+                    parent.glob(f"{store_path.name}.*.telemetry.jsonl")
+                ):
+                    if found not in logs:
+                        logs.append(found)
+            renderer_factory = None
+            if not args.json:
+                renderer_factory = lambda board: BoardRenderer(  # noqa: E731
+                    board, interval=args.interval,
+                    plain=True if args.plain else None,
+                )
+            live = LiveMonitor(
+                MonitorConfig(epsilon=args.epsilon),
+                board=FleetBoard(),
+                renderer_factory=renderer_factory,
+            )
+            for record in follow_fleet(
+                args.store, campaign, logs=logs, idle_timeout=args.idle_timeout
+            ):
+                live.ingest(record)
+            report = live.finish()
+            if args.json:
+                print(json.dumps(report.to_json(), indent=2, sort_keys=True,
+                                 default=repr))
+            else:
+                print()
+                for line in live.board.lines():
+                    print(line)
+                if report.alerts:
+                    print(f"{len(report.alerts)} conformance alert(s) fired:")
+                    for alert in report.alerts:
+                        print(f"  ! {alert.describe()}")
+            return 1 if (args.gate and report.gate_failed) else 0
+
+        if args.fleet_command == "trace":
+            from repro.monitor.chrome_trace import (
+                merge_records,
+                validate_chrome_trace,
+                write_chrome_trace,
+            )
+            from repro.monitor.tail import read_log_records
+
+            streams: dict[str, list] = {}
+            for path in args.logs:
+                label = _fleet_stream_label(path)
+                streams.setdefault(label, []).extend(read_log_records(path))
+            trace = write_chrome_trace(merge_records(streams), args.out)
+            errors = validate_chrome_trace(trace)
+            if errors:
+                raise SystemExit(
+                    f"fleet trace: merged trace failed validation: {errors[0]}"
+                )
+            print(f"wrote {args.out} ({len(trace['traceEvents'])} trace "
+                  f"events from {len(args.logs)} log(s))")
+            return 0
+
+        if args.fleet_command == "metrics":
+            from repro.fleet.metrics import MetricsRegistry, registry_from_snapshot
+            from repro.monitor.tail import read_log_records
+
+            registry = MetricsRegistry()
+            snapshots = 0
+            for path in args.logs:
+                for record in read_log_records(path):
+                    if record.get("kind") == "metrics" and isinstance(
+                        record.get("snapshot"), dict
+                    ):
+                        registry_from_snapshot(record["snapshot"], into=registry)
+                        snapshots += 1
+            if not snapshots:
+                raise SystemExit(
+                    "fleet metrics: no 'metrics' snapshot records in the "
+                    "given log(s)"
+                )
+            if args.prom:
+                registry.write_prometheus(args.prom)
+                print(f"wrote {args.prom} ({snapshots} snapshot(s) merged)")
+            if args.json:
+                print(json.dumps(registry.snapshot(), indent=2, sort_keys=True,
+                                 default=repr))
+            elif not args.prom:
+                print(registry.prometheus_text(), end="")
+            return 0
+    except ExperimentError as exc:
+        raise SystemExit(f"fleet {args.fleet_command}: {exc}")
+    raise SystemExit(f"unknown fleet subcommand {args.fleet_command!r}")
+
+
 def _cmd_fabric(args: argparse.Namespace) -> int:
     import json
 
     from repro.errors import ExperimentError
 
     try:
+        if args.fabric_command == "autopsy":
+            from pathlib import Path
+
+            from repro.fleet.autopsy import (
+                autopsy,
+                land_autopsy,
+                render_autopsy_html,
+            )
+
+            report = autopsy(
+                args.store,
+                args.campaign,
+                journal=args.journal,
+                telemetry_log=args.telemetry_log,
+            )
+            if args.html:
+                Path(args.html).write_text(
+                    render_autopsy_html(report), encoding="utf-8"
+                )
+            if args.autopsy_obs_db:
+                from repro.obs import RunStore
+
+                with RunStore(args.autopsy_obs_db) as obs_store:
+                    run_id = land_autopsy(report, obs_store)
+            if args.json:
+                print(json.dumps(report.to_json(), indent=2, sort_keys=True,
+                                 default=repr))
+            else:
+                print(report.render())
+                if args.html:
+                    print(f"html timeline: {args.html}")
+                if args.autopsy_obs_db:
+                    print(f"obs store: landed as run {run_id} in "
+                          f"{args.autopsy_obs_db}")
+            return 0 if report.passed else 1
+
         if args.fabric_command == "worker":
             from repro.fabric.faultplan import FaultPlan
             from repro.fabric.worker import WorkerConfig, run_worker
@@ -661,6 +884,18 @@ def _cmd_fabric(args: argparse.Namespace) -> int:
         from repro.fabric.coordinator import run_fabric
         from repro.fabric.specs import resolve_spec
 
+        chrome_trace = getattr(args, "chrome_trace", None)
+        telemetry_path = getattr(args, "telemetry", None)
+        # Fleet mode: per-worker telemetry logs feed the merged trace
+        # and the autopsy cross-check; on automatically whenever any
+        # fleet output is requested.
+        config.worker_telemetry = bool(
+            getattr(args, "worker_telemetry", False)
+            or telemetry_path
+            or chrome_trace
+        )
+        config.prom = getattr(args, "prom", None)
+
         result = run_fabric(config)
         print(result.summary())
         spec = resolve_spec(config.spec, config.params)
@@ -672,6 +907,36 @@ def _cmd_fabric(args: argparse.Namespace) -> int:
             code = 0 if ok else 1
         if result.journal is not None:
             print(f"journal: {result.journal} (resumable by resilient_map)")
+        if result.trace_id is not None and (telemetry_path or chrome_trace):
+            print(f"trace: {result.trace_id}")
+        if result.prom is not None:
+            print(f"prometheus: {result.prom}")
+        if chrome_trace:
+            from pathlib import Path
+
+            from repro.monitor.chrome_trace import (
+                merge_records,
+                validate_chrome_trace,
+                write_chrome_trace,
+            )
+            from repro.monitor.tail import read_log_records
+
+            streams: dict[str, list] = {}
+            if telemetry_path:
+                streams[""] = read_log_records(telemetry_path)
+            for worker_id, log in sorted(result.worker_logs.items()):
+                if Path(log).exists():
+                    streams[worker_id] = read_log_records(log)
+            trace = write_chrome_trace(merge_records(streams), chrome_trace)
+            trace_errors = validate_chrome_trace(trace)
+            if trace_errors:
+                raise SystemExit(
+                    f"fabric run: merged trace failed validation: "
+                    f"{trace_errors[0]}"
+                )
+            print(f"chrome trace: {chrome_trace} "
+                  f"({len(trace['traceEvents'])} events merged from "
+                  f"{len(streams)} process stream(s))")
         return code
     except ExperimentError as exc:
         raise SystemExit(f"fabric {args.fabric_command}: {exc}")
@@ -951,9 +1216,13 @@ def build_parser() -> argparse.ArgumentParser:
     p_explain.add_argument("db")
     p_explain.add_argument("--run", default="latest",
                            help="run id, fingerprint prefix, 'latest' or 'prev'")
-    p_explain.add_argument("--node", required=True,
+    p_explain.add_argument("--node", default=None,
                            help="node label as printed (e.g. 5, or '(1, 2)')")
-    p_explain.add_argument("--slot", required=True, type=int)
+    p_explain.add_argument("--slot", default=None, type=int)
+    p_explain.add_argument("--fabric", action="store_true",
+                           help="print the run's fabric/fleet aggregates "
+                                "(lease audit counts, registry totals) "
+                                "instead of slot provenance")
     p_explain.add_argument("--engine-run", default=None, metavar="TAG",
                            help="engine-run tag within the log (e.g. r3) when "
                                 "a campaign recorded this (node, slot) more "
@@ -1019,6 +1288,19 @@ def build_parser() -> argparse.ArgumentParser:
                            help="also write the spliced results as a "
                                 "resilient_map campaign journal "
                                 "(byte-identical, resumable)")
+    p_fab_run.add_argument("--prom", default=None, metavar="PATH",
+                           help="write the campaign's metrics registry as a "
+                                "Prometheus text exposition when it finishes")
+    p_fab_run.add_argument("--chrome-trace", default=None, metavar="PATH",
+                           help="merge the coordinator and per-worker "
+                                "telemetry logs into one Chrome/Perfetto "
+                                "trace with a process lane per worker "
+                                "(implies --worker-telemetry)")
+    p_fab_run.add_argument("--worker-telemetry", action="store_true",
+                           help="give each worker its own telemetry log at "
+                                "<store>.<worker>.telemetry.jsonl, stamped "
+                                "with the campaign trace (automatic with "
+                                "--telemetry or --chrome-trace)")
     add_observability(p_fab_run)
     p_fab_run.set_defaults(func=_cmd_fabric)
 
@@ -1036,6 +1318,10 @@ def build_parser() -> argparse.ArgumentParser:
     p_fab_worker.add_argument("--fault-plan-json", default=None,
                               help="serialized per-worker fault sub-plan "
                                    "(coordinator internal)")
+    p_fab_worker.add_argument("--telemetry", default=None, metavar="PATH",
+                              help="stream this worker's events to PATH; the "
+                                   "coordinator's trace context (inherited "
+                                   "via the environment) stamps every record")
     p_fab_worker.set_defaults(func=_cmd_fabric)
 
     p_fab_chaos = fab_sub.add_parser(
@@ -1061,6 +1347,111 @@ def build_parser() -> argparse.ArgumentParser:
                              help="emit the machine-readable verdict")
     add_observability(p_fab_chaos)
     p_fab_chaos.set_defaults(func=_cmd_fabric, random_faults=True)
+
+    p_fab_autopsy = fab_sub.add_parser(
+        "autopsy",
+        help="reconstruct a finished (or crashed) campaign's lease/fence/"
+             "takeover timeline from the store's audit log, verify the "
+             "fencing contract, and cross-check the journal splice",
+    )
+    p_fab_autopsy.add_argument("--store", default="fabric.db", metavar="DB",
+                               help="the campaign's SQLite lease store")
+    p_fab_autopsy.add_argument("--campaign", default=None, metavar="PREFIX",
+                               help="campaign fingerprint prefix (default: "
+                                    "the store's only campaign)")
+    p_fab_autopsy.add_argument("--journal", default=None, metavar="PATH",
+                               help="cross-check the splice against this "
+                                    "campaign journal byte-for-byte")
+    p_fab_autopsy.add_argument("--telemetry-log", default=None, metavar="PATH",
+                               help="cross-check the store's audit trail "
+                                    "against this telemetry log (coverage + "
+                                    "final metrics snapshot reconciliation)")
+    p_fab_autopsy.add_argument("--html", default=None, metavar="PATH",
+                               help="write a self-contained HTML timeline "
+                                    "dashboard (one lane per chunk)")
+    # dest avoids the global --obs-db/--telemetry pairing in main():
+    # autopsy lands store rows itself rather than re-ingesting a log.
+    p_fab_autopsy.add_argument("--obs-db", dest="autopsy_obs_db", default=None,
+                               metavar="DB",
+                               help="land the autopsy as obs-store rows "
+                                    "(idempotent per campaign)")
+    p_fab_autopsy.add_argument("--json", action="store_true",
+                               help="emit the machine-readable report")
+    p_fab_autopsy.set_defaults(func=_cmd_fabric)
+
+    p_fleet = sub.add_parser(
+        "fleet",
+        help="fleet observability for fabric campaigns: live multi-process "
+             "board, merged Chrome traces, metrics registry exposition",
+    )
+    fleet_sub = p_fleet.add_subparsers(dest="fleet_command", required=True)
+
+    p_fleet_board = fleet_sub.add_parser(
+        "board",
+        help="follow the lease store plus every worker telemetry log and "
+             "render per-worker health lanes under the live status board",
+    )
+    p_fleet_board.add_argument("--store", default="fabric.db", metavar="DB",
+                               help="the campaign's SQLite lease store")
+    p_fleet_board.add_argument("--campaign", default=None, metavar="PREFIX",
+                               help="campaign fingerprint prefix (default: "
+                                    "the store's only campaign)")
+    p_fleet_board.add_argument("--log", action="append", default=[],
+                               metavar="PATH",
+                               help="telemetry log to tail alongside the "
+                                    "store (repeatable)")
+    p_fleet_board.add_argument("--no-auto-logs", action="store_true",
+                               help="do not auto-discover "
+                                    "<store>.<worker>.telemetry.jsonl logs "
+                                    "next to the store")
+    p_fleet_board.add_argument("--epsilon", type=float, default=None,
+                               help="failure budget the conformance SLOs "
+                                    "assume (default: from the stream's "
+                                    "manifest)")
+    p_fleet_board.add_argument("--idle-timeout", type=float, default=10.0,
+                               help="stop after this many seconds without "
+                                    "new records (default 10)")
+    p_fleet_board.add_argument("--interval", type=float, default=0.5,
+                               help="status-board refresh interval in seconds")
+    p_fleet_board.add_argument("--plain", action="store_true",
+                               help="plain status lines instead of the "
+                                    "in-place TTY board")
+    p_fleet_board.add_argument("--gate", action="store_true",
+                               help="exit 1 if any conformance alert fires")
+    p_fleet_board.add_argument("--json", action="store_true",
+                               help="emit the final board + monitor report "
+                                    "as JSON")
+    p_fleet_board.set_defaults(func=_cmd_fleet)
+
+    p_fleet_trace = fleet_sub.add_parser(
+        "trace",
+        help="merge coordinator + per-worker telemetry logs into one "
+             "Chrome/Perfetto trace with a process lane per worker",
+    )
+    p_fleet_trace.add_argument("logs", nargs="+",
+                               help="telemetry logs; worker ids are parsed "
+                                    "from <store>.<worker>.telemetry.jsonl "
+                                    "names, other logs land on the "
+                                    "coordinator lane")
+    p_fleet_trace.add_argument("--out", required=True, metavar="PATH",
+                               help="where to write the merged trace JSON")
+    p_fleet_trace.set_defaults(func=_cmd_fleet)
+
+    p_fleet_metrics = fleet_sub.add_parser(
+        "metrics",
+        help="reconstruct the metrics registry from 'metrics' snapshot "
+             "records and print the Prometheus text exposition",
+    )
+    p_fleet_metrics.add_argument("logs", nargs="+",
+                                 help="telemetry logs holding 'metrics' "
+                                      "snapshot records (later snapshots "
+                                      "overwrite earlier series)")
+    p_fleet_metrics.add_argument("--prom", default=None, metavar="PATH",
+                                 help="write the exposition to PATH instead "
+                                      "of stdout")
+    p_fleet_metrics.add_argument("--json", action="store_true",
+                                 help="emit the merged snapshot as JSON")
+    p_fleet_metrics.set_defaults(func=_cmd_fleet)
 
     p_game = sub.add_parser("game", help="foil a hitting-game strategy")
     add_common(p_game)

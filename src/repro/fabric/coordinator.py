@@ -48,6 +48,11 @@ from repro.fabric.splice import (
 )
 from repro.fabric.store import LeaseStore
 from repro.fabric.worker import WorkerConfig, run_worker, worker_argv
+from repro.fleet.board import store_event_record
+from repro.fleet.metrics import MetricsRegistry, get_registry, set_registry
+from repro.fleet.metrics import counter as metric_count
+from repro.fleet.metrics import gauge as metric_gauge
+from repro.fleet.tracectx import TraceContext
 from repro.telemetry import get_active
 
 __all__ = ["FabricConfig", "FabricResult", "run_fabric"]
@@ -78,6 +83,14 @@ class FabricConfig:
     #: Capture each worker's stderr/stdout to ``<store>.<worker>.log``.
     capture_logs: bool = True
     install_signal_handler: bool = True
+    #: Give each worker its own telemetry log
+    #: (``<store>.<worker>.telemetry.jsonl``), stamped with the
+    #: campaign's trace context — the fleet-mode input for the merged
+    #: Chrome trace and the autopsy cross-check.
+    worker_telemetry: bool = False
+    #: Write the coordinator registry's Prometheus text exposition here
+    #: after the campaign.
+    prom: str | os.PathLike[str] | None = None
 
     def __post_init__(self) -> None:
         if self.workers < 0:
@@ -99,6 +112,9 @@ class FabricResult:
     worker_exits: dict[str, int | None]
     events: list[dict[str, Any]]
     journal: Path | None = None
+    trace_id: str | None = None
+    worker_logs: dict[str, Path] = field(default_factory=dict)
+    prom: Path | None = None
 
     def summary(self) -> str:
         return (
@@ -124,29 +140,22 @@ def _child_env() -> dict[str, str]:
 def _forward_events(
     store: LeaseStore, campaign_id: int, after_id: int
 ) -> tuple[int, list[dict[str, Any]]]:
-    """Drain new store events; mirror them into active telemetry."""
+    """Drain new store events; mirror them into active telemetry and
+    count lease transitions in the ambient metrics registry."""
     fresh = store.events(campaign_id, after_id=after_id)
     recorder = get_active()
-    for record in fresh:
-        after_id = max(after_id, int(record["id"]))
+    for event in fresh:
+        after_id = max(after_id, int(event["id"]))
+        if event["kind"] in _LEASE_EVENT_KINDS:
+            metric_count(f"{event['kind']}_total", worker=str(event["worker"] or ""))
         if recorder is None:
             continue
-        extras = {
-            key: record[source]
-            for key, source in (
-                ("worker", "worker"),
-                ("fence", "fence"),
-                ("detail", "detail"),
-                ("index", "idx"),
-            )
-            if record[source] is not None
-        }
-        if record["kind"] in _LEASE_EVENT_KINDS:
-            # lease records always carry an index (it is required).
-            recorder.emit("lease", event=record["kind"], **extras)
-        else:  # worker_start / worker_exit / fault / ...
-            worker = extras.pop("worker", record["worker"])
-            recorder.emit("worker", worker=worker, event=record["kind"], **extras)
+        # One shared translation (the fleet board uses the same one),
+        # so the live view and the forwarded log can never drift.
+        record = store_event_record(event)
+        kind = record.pop("kind")
+        record["store_ts"] = record.pop("ts")
+        recorder.emit(kind, **record)
     return after_id, fresh
 
 
@@ -179,7 +188,22 @@ def run_fabric(config: FabricConfig) -> FabricResult:
         chunksize=chunksize,
     )
 
+    # Fleet wiring: one campaign = one trace, rooted at the coordinator
+    # and propagated to every worker through the environment; counters
+    # for the store's audit events accumulate in an ambient registry.
+    # All of it is inert when telemetry is off.
     recorder = get_active()
+    trace = TraceContext.root(fingerprint)
+    trace_installed = False
+    previous_trace: Any = None
+    own_registry: MetricsRegistry | None = None
+    if recorder is not None:
+        if recorder.trace is None:
+            previous_trace = recorder.set_trace(trace)
+            trace_installed = True
+        if get_registry() is None:
+            own_registry = MetricsRegistry()
+            set_registry(own_registry)
     if recorder is not None:
         recorder.emit(
             "fabric_begin",
@@ -201,7 +225,9 @@ def run_fabric(config: FabricConfig) -> FabricResult:
     procs: dict[str, subprocess.Popen] = {}
     log_handles: list[Any] = []
     exits: dict[str, int | None] = {}
+    worker_logs: dict[str, Path] = {}
     env = _child_env()
+    trace.to_env(env)
     for worker_id in worker_ids:
         worker_config = WorkerConfig(
             store=store_path,
@@ -212,6 +238,11 @@ def run_fabric(config: FabricConfig) -> FabricResult:
             fault_plan=config.fault_plan,
             stale_timeout=config.stale_timeout,
         )
+        if config.worker_telemetry:
+            worker_config.telemetry = store_path.with_name(
+                f"{store_path.name}.{worker_id}.telemetry.jsonl"
+            )
+            worker_logs[worker_id] = Path(worker_config.telemetry)
         if config.capture_logs:
             handle = store_path.with_name(
                 f"{store_path.name}.{worker_id}.log"
@@ -255,6 +286,11 @@ def run_fabric(config: FabricConfig) -> FabricResult:
                     exits[worker_id] = code
                     logger.info("fabric worker %s exited with %d", worker_id, code)
             live = [w for w, p in procs.items() if p.poll() is None]
+            metric_gauge("workers_live", float(len(live)))
+            metric_gauge(
+                "chunks_committed",
+                float(sum(1 for e in events if e["kind"] == "commit")),
+            )
             if not live and not store.all_done(campaign_id):
                 # Every subprocess is gone with work still open.  The
                 # campaign must still finish: run the worker loop right
@@ -324,6 +360,14 @@ def run_fabric(config: FabricConfig) -> FabricResult:
                 fence_rejects=fence_rejects,
                 fallback=fallback_ran,
             )
+        prom_path: Path | None = None
+        registry = get_registry()
+        if registry is not None:
+            metric_gauge("chunks_committed", float(num_chunks))
+            registry.emit(recorder)
+            if config.prom is not None:
+                registry.write_prometheus(config.prom)
+                prom_path = Path(config.prom)
         return FabricResult(
             results=results,
             fingerprint=fingerprint,
@@ -336,6 +380,9 @@ def run_fabric(config: FabricConfig) -> FabricResult:
             worker_exits=exits,
             events=events,
             journal=journal_path,
+            trace_id=trace.trace_id,
+            worker_logs=worker_logs,
+            prom=prom_path,
         )
     finally:
         for proc in procs.values():
@@ -343,4 +390,8 @@ def run_fabric(config: FabricConfig) -> FabricResult:
                 proc.kill()
         for handle in log_handles:
             handle.close()
+        if own_registry is not None:
+            set_registry(None)
+        if trace_installed and recorder is not None:
+            recorder.set_trace(previous_trace)
         store.close()

@@ -40,8 +40,14 @@ from repro.fabric.faultplan import FaultAction, FaultPlan
 from repro.fabric.specs import resolve_spec
 from repro.fabric.splice import encode_chunk, make_chunks
 from repro.fabric.store import Lease, LeaseStore
+from repro.fleet.metrics import MetricsRegistry, get_registry, set_registry
+from repro.fleet.metrics import counter as metric_count
+from repro.fleet.metrics import gauge as metric_gauge
+from repro.fleet.metrics import observe as metric_observe
+from repro.fleet.tracectx import TraceContext
 from repro.parallel import backoff_delay
 from repro.rng import derive_seed
+from repro.telemetry import get_active
 
 __all__ = ["WorkerConfig", "run_worker"]
 
@@ -64,6 +70,9 @@ class WorkerConfig:
     stale_timeout: float = 30.0
     campaign_wait: float = 10.0
     install_signal_handler: bool = True
+    #: Per-worker telemetry log (the coordinator points each worker at
+    #: ``<store>.<worker>.telemetry.jsonl`` when fleet mode is on).
+    telemetry: str | os.PathLike[str] | None = None
 
     def __post_init__(self) -> None:
         if self.lease_ttl <= 0:
@@ -104,7 +113,18 @@ class _Heartbeat(threading.Thread):
         except Exception:  # pragma: no cover - store vanished mid-run
             return
         try:
+            last_tick = time.monotonic()
             while not self._halt.wait(self._interval):
+                # Scheduling lag: how far past the intended interval this
+                # tick fired.  A loaded host shows up here long before it
+                # shows up as an expired lease.
+                now = time.monotonic()
+                metric_observe(
+                    "heartbeat_lag_seconds",
+                    max(0.0, now - last_tick - self._interval),
+                    worker=self._worker_id,
+                )
+                last_tick = now
                 if time.time() < self.suppress_until:
                     continue
                 try:
@@ -172,9 +192,32 @@ def run_worker(config: WorkerConfig) -> int:
     my_plan = config.fault_plan.for_worker(config.worker_id)
     jitter_stream = derive_seed(0, "fabric-idle", config.worker_id) % (2**31)
 
+    # Fleet wiring: adopt the coordinator's trace (propagated through
+    # the environment) and make sure a metrics registry is ambient, so
+    # the instrumentation below lands somewhere.  Both are strict
+    # no-ops when this worker runs without telemetry.
+    recorder = get_active()
+    own_registry: MetricsRegistry | None = None
+    if recorder is not None:
+        if recorder.trace is None:
+            context = TraceContext.from_env(f"worker:{config.worker_id}")
+            if context is not None:
+                recorder.set_trace(context)
+        if get_registry() is None:
+            own_registry = MetricsRegistry()
+            set_registry(own_registry)
+
     store.log_worker_event(
         campaign_id, config.worker_id, "worker_start", detail=f"pid={os.getpid()}"
     )
+    if recorder is not None:
+        recorder.emit(
+            "worker",
+            worker=config.worker_id,
+            event="worker_start",
+            pid=os.getpid(),
+            campaign=config.campaign[:16],
+        )
     ordinal = 0  # chunks claimed by THIS worker (fault-plan address)
     committed = 0
     idle_attempts = 0
@@ -202,6 +245,8 @@ def run_worker(config: WorkerConfig) -> int:
                 time.sleep(max(config.poll_interval, delay))
                 continue
             idle_attempts = 0
+            metric_count("claim_total", worker=config.worker_id)
+            metric_gauge("leases_held", 1.0, worker=config.worker_id)
             actions = my_plan.at(config.worker_id, ordinal)
             ordinal += 1
             if _fault(actions, "kill") is not None:
@@ -248,8 +293,10 @@ def run_worker(config: WorkerConfig) -> int:
                     heartbeat.suppress_until = time.time() + stall.duration
                     time.sleep(stall.duration)
 
+                chunk_started = time.perf_counter()
                 results = [spec.fn(item) for item in chunks[lease.index]]
                 payload = encode_chunk(results)
+                chunk_wall = time.perf_counter() - chunk_started
 
                 stale = _fault(actions, "stale")
                 if stale is not None:
@@ -278,14 +325,40 @@ def run_worker(config: WorkerConfig) -> int:
                         time.sleep(remaining)
 
                 accepted = store.commit(lease, config.worker_id, payload)
+                metric_gauge("leases_held", 0.0, worker=config.worker_id)
+                metric_observe("chunk_seconds", chunk_wall, worker=config.worker_id)
                 if accepted:
                     committed += 1
+                    metric_count("commit_total", worker=config.worker_id)
+                    metric_count(
+                        "splice_bytes_total",
+                        float(len(payload)),
+                        worker=config.worker_id,
+                    )
+                    if chunk_wall > 0:
+                        metric_gauge(
+                            "slots_per_second",
+                            len(chunks[lease.index]) / chunk_wall,
+                            worker=config.worker_id,
+                        )
                 else:
+                    metric_count("fence_reject_total", worker=config.worker_id)
                     logger.warning(
                         "worker %s: commit of chunk %d rejected (stale fence %d)",
                         config.worker_id,
                         lease.index,
                         lease.fence,
+                    )
+                if recorder is not None:
+                    recorder.emit(
+                        "chunk",
+                        index=lease.index,
+                        size=len(chunks[lease.index]),
+                        wall_s=chunk_wall,
+                        worker=config.worker_id,
+                        fence=lease.fence,
+                        accepted=accepted,
+                        bytes=len(payload),
                     )
             finally:
                 heartbeat.stop()
@@ -297,6 +370,17 @@ def run_worker(config: WorkerConfig) -> int:
             "worker_exit",
             detail=f"{exit_reason}, committed={committed}",
         )
+        if recorder is not None:
+            recorder.emit(
+                "worker",
+                worker=config.worker_id,
+                event="worker_exit",
+                detail=f"{exit_reason}, committed={committed}",
+            )
+            if own_registry is not None:
+                own_registry.emit(recorder, worker=config.worker_id)
+        if own_registry is not None:
+            set_registry(None)
         store.close()
     return 0
 
@@ -324,6 +408,8 @@ def worker_argv(config: WorkerConfig) -> list[str]:
         "--stale-timeout",
         str(config.stale_timeout),
     ]
+    if config.telemetry is not None:
+        argv += ["--telemetry", str(config.telemetry)]
     plan = config.fault_plan.for_worker(config.worker_id)
     if plan:
         argv += ["--fault-plan-json", plan.to_json()]

@@ -1,0 +1,345 @@
+"""The live fleet board: one view over every process in a fabric run.
+
+A fabric campaign scatters its observable state across the lease
+store's audit log (claims, takeovers, commits, fence rejections,
+worker lifecycle) and N per-worker telemetry logs (runs, slots,
+faults).  This module reunites them:
+
+* :func:`store_event_record` — the one translation from a lease-store
+  ``events`` row to a schema-valid telemetry record (``lease`` or
+  ``worker`` kind, carrying the store's own timestamp).  The
+  coordinator's event forwarding and the fleet board share it, so the
+  two views can never drift apart.
+* :class:`FleetBoard` — a :class:`~repro.monitor.board.StatusBoard`
+  that additionally folds ``lease``/``worker`` records into per-worker
+  **health lanes** (live/exited, claims, commits, takeovers, fence
+  rejections, last fault), rendered under the usual campaign lines.
+* :func:`follow_fleet` — a generator that tails the lease store *and*
+  every worker telemetry log concurrently, yielding one merged,
+  ts-ordered record stream — the input both the board and the
+  existing conformance SLO gates judge.
+
+``python -m repro fleet board`` is the front end.
+"""
+
+from __future__ import annotations
+
+import os
+import time
+from dataclasses import dataclass
+from pathlib import Path
+from typing import Any, Callable, Iterator, Mapping, Sequence
+
+from repro.monitor.board import StatusBoard
+from repro.monitor.tail import TailReader
+
+__all__ = ["WorkerLane", "FleetBoard", "follow_fleet", "store_event_record"]
+
+#: Store event kinds that describe a lease transition (vs worker life).
+LEASE_EVENT_KINDS = frozenset({"claim", "takeover", "commit", "fence_reject"})
+
+
+def store_event_record(event: Mapping[str, Any]) -> dict[str, Any]:
+    """One lease-store ``events`` row as a schema-valid telemetry record.
+
+    Lease transitions become ``lease`` records (``event`` + required
+    ``index``); everything else (``worker_start`` / ``worker_exit`` /
+    ``fault``) becomes a ``worker`` record.  The store's own timestamp
+    and row id ride along (``ts``, ``store_id``) so merged streams sort
+    and dedupe on the store's ordering, not the reader's.
+    """
+    kind = str(event.get("kind", ""))
+    record: dict[str, Any] = {
+        "ts": float(event.get("ts") or 0.0),
+    }
+    if event.get("id") is not None:
+        record["store_id"] = int(event["id"])
+    for key, source in (
+        ("worker", "worker"),
+        ("fence", "fence"),
+        ("detail", "detail"),
+    ):
+        if event.get(source) is not None:
+            record[key] = event[source]
+    if kind in LEASE_EVENT_KINDS:
+        record["kind"] = "lease"
+        record["event"] = kind
+        record["index"] = int(event["idx"]) if event.get("idx") is not None else -1
+    else:
+        record["kind"] = "worker"
+        record["event"] = kind
+        record.setdefault("worker", str(event.get("worker") or "?"))
+        if event.get("idx") is not None:
+            record["index"] = int(event["idx"])
+    return record
+
+
+@dataclass
+class WorkerLane:
+    """Rolling health of one fabric worker, fed from merged records."""
+
+    worker: str
+    state: str = "unknown"  # unknown -> live -> exited
+    claims: int = 0
+    commits: int = 0
+    takeovers: int = 0
+    fence_rejects: int = 0
+    faults: int = 0
+    holding: int | None = None  # chunk index currently leased
+    last_fault: str | None = None
+    last_ts: float | None = None
+    exit_detail: str | None = None
+
+    def snapshot(self) -> dict[str, Any]:
+        return {
+            "worker": self.worker,
+            "state": self.state,
+            "claims": self.claims,
+            "commits": self.commits,
+            "takeovers": self.takeovers,
+            "fence_rejects": self.fence_rejects,
+            "faults": self.faults,
+            "holding": self.holding,
+            "last_fault": self.last_fault,
+            "exit_detail": self.exit_detail,
+        }
+
+    def describe(self) -> str:
+        parts = [
+            f"{self.worker:<12.12}",
+            f"{self.state:<7}",
+            f"claims {self.claims}",
+            f"commits {self.commits}",
+        ]
+        if self.takeovers:
+            parts.append(f"takeovers {self.takeovers}")
+        if self.fence_rejects:
+            parts.append(f"REJECTS {self.fence_rejects}")
+        if self.holding is not None:
+            parts.append(f"chunk {self.holding}")
+        if self.last_fault:
+            parts.append(f"fault: {self.last_fault}")
+        return "  ".join(parts)
+
+
+class FleetBoard(StatusBoard):
+    """A status board with per-worker health lanes.
+
+    Everything :class:`StatusBoard` tracks still works (the merged
+    stream contains the workers' run/slot records); on top of it,
+    ``lease`` and ``worker`` records update one :class:`WorkerLane`
+    per fabric worker, and ``fabric_begin``/``fabric_end`` pin the
+    campaign geometry and outcome.
+    """
+
+    def __init__(self) -> None:
+        super().__init__()
+        self.lanes: dict[str, WorkerLane] = {}
+        self.chunks_total: int | None = None
+        self.chunks_committed: set[int] = set()
+        self.fabric_done = False
+        self.takeovers = 0
+        self.fence_rejects = 0
+
+    def _lane(self, worker: Any) -> WorkerLane | None:
+        if not isinstance(worker, str) or not worker:
+            return None
+        lane = self.lanes.get(worker)
+        if lane is None:
+            lane = WorkerLane(worker)
+            self.lanes[worker] = lane
+        return lane
+
+    def update(self, record: dict[str, Any]) -> None:
+        kind = record.get("kind")
+        if kind == "lease":
+            self._update_lease(record)
+        elif kind == "worker":
+            self._update_worker(record)
+        elif kind == "fabric_begin":
+            chunks = record.get("chunks")
+            if isinstance(chunks, int) and not isinstance(chunks, bool):
+                self.chunks_total = chunks
+        elif kind == "fabric_end":
+            self.fabric_done = True
+        super().update(record)
+
+    def _update_lease(self, record: dict[str, Any]) -> None:
+        event = record.get("event")
+        index = record.get("index")
+        lane = self._lane(record.get("worker"))
+        if lane is not None:
+            lane.last_ts = record.get("ts")
+            if lane.state == "unknown":
+                lane.state = "live"
+        if event == "claim":
+            if lane is not None:
+                lane.claims += 1
+                lane.holding = index if isinstance(index, int) else None
+        elif event == "takeover":
+            self.takeovers += 1
+            if lane is not None:
+                lane.claims += 1
+                lane.takeovers += 1
+                lane.holding = index if isinstance(index, int) else None
+        elif event == "commit":
+            if isinstance(index, int) and not isinstance(index, bool):
+                self.chunks_committed.add(index)
+            if lane is not None:
+                lane.commits += 1
+                lane.holding = None
+        elif event == "fence_reject":
+            self.fence_rejects += 1
+            if lane is not None:
+                lane.fence_rejects += 1
+                lane.holding = None
+
+    def _update_worker(self, record: dict[str, Any]) -> None:
+        lane = self._lane(record.get("worker"))
+        if lane is None:
+            return
+        lane.last_ts = record.get("ts")
+        event = record.get("event")
+        if event == "worker_start":
+            lane.state = "live"
+        elif event == "worker_exit":
+            lane.state = "exited"
+            detail = record.get("detail")
+            lane.exit_detail = detail if isinstance(detail, str) else None
+            lane.holding = None
+        elif event == "fault":
+            lane.faults += 1
+            detail = record.get("detail")
+            lane.last_fault = detail if isinstance(detail, str) else str(event)
+            if isinstance(detail, str) and detail.startswith("kill"):
+                lane.state = "killed"
+
+    # -- reporting --------------------------------------------------------
+
+    def snapshot(self) -> dict[str, Any]:
+        out = super().snapshot()
+        out["fleet"] = {
+            "workers": {
+                worker: lane.snapshot()
+                for worker, lane in sorted(self.lanes.items())
+            },
+            "chunks_total": self.chunks_total,
+            "chunks_committed": len(self.chunks_committed),
+            "takeovers": self.takeovers,
+            "fence_rejects": self.fence_rejects,
+            "fabric_done": self.fabric_done,
+        }
+        return out
+
+    def lines(self) -> list[str]:
+        lines = super().lines()
+        if self.lanes or self.chunks_total is not None:
+            committed = len(self.chunks_committed)
+            total = self.chunks_total if self.chunks_total is not None else "?"
+            lines.append(
+                f"fleet: chunks {committed}/{total}  "
+                f"takeovers {self.takeovers}  "
+                f"fence rejects {self.fence_rejects}"
+                + ("  [done]" if self.fabric_done else "")
+            )
+        for worker in sorted(self.lanes):
+            lines.append("  " + self.lanes[worker].describe())
+        return lines
+
+    def status_line(self) -> str:
+        line = super().status_line()
+        if self.lanes:
+            live = sum(
+                1 for lane in self.lanes.values() if lane.state in ("live", "unknown")
+            )
+            line += (
+                f"  workers {live}/{len(self.lanes)}"
+                f"  chunks {len(self.chunks_committed)}"
+                f"/{self.chunks_total if self.chunks_total is not None else '?'}"
+            )
+            if self.fence_rejects:
+                line += f"  rejects {self.fence_rejects}"
+        return line
+
+
+def follow_fleet(
+    store: str | os.PathLike[str],
+    campaign: str,
+    *,
+    logs: Sequence[str | os.PathLike[str]] = (),
+    poll_interval: float = 0.2,
+    idle_timeout: float | None = None,
+    stop: Callable[[], bool] | None = None,
+    until_done: bool = True,
+) -> Iterator[dict[str, Any]]:
+    """Yield one merged, ts-ordered record stream for a fabric campaign.
+
+    Tails the lease store's audit log (translated through
+    :func:`store_event_record`) and every telemetry log in ``logs``
+    concurrently.  Each poll cycle's harvest is sorted by ``ts`` before
+    yielding, so downstream consumers (board, conformance checkers) see
+    per-cycle causal order without waiting for the campaign to end.
+
+    Ends when ``stop()`` turns true; when ``until_done`` and the store
+    reports every chunk committed (after one final drain); or when no
+    process has produced anything for ``idle_timeout`` seconds.
+    """
+    from repro.fabric.store import LeaseStore
+
+    store_path = Path(store)
+    readers = [TailReader(path) for path in logs]
+    lease_store: Any = None
+    campaign_id: int | None = None
+    after_id = 0
+    last_data = time.monotonic()
+
+    def harvest() -> list[dict[str, Any]]:
+        nonlocal lease_store, campaign_id, after_id
+        batch: list[dict[str, Any]] = []
+        if lease_store is None and store_path.exists():
+            lease_store = LeaseStore(store_path)
+        if lease_store is not None and campaign_id is None:
+            row = lease_store.campaign(campaign)
+            campaign_id = int(row["id"]) if row is not None else None
+        if campaign_id is not None:
+            for event in lease_store.events(campaign_id, after_id=after_id):
+                after_id = max(after_id, int(event["id"]))
+                batch.append(store_event_record(event))
+        for reader in readers:
+            batch.extend(reader.poll())
+        batch.sort(
+            key=lambda r: (
+                float(ts)
+                if isinstance(ts := r.get("ts"), (int, float))
+                and not isinstance(ts, bool)
+                else 0.0
+            )
+        )
+        return batch
+
+    try:
+        while True:
+            batch = harvest()
+            if batch:
+                last_data = time.monotonic()
+                yield from batch
+            if stop is not None and stop():
+                yield from harvest()  # drain what raced the stop signal
+                return
+            if (
+                until_done
+                and campaign_id is not None
+                and lease_store.all_done(campaign_id)
+            ):
+                yield from harvest()
+                return
+            if not batch:
+                if (
+                    idle_timeout is not None
+                    and time.monotonic() - last_data >= idle_timeout
+                ):
+                    return
+                time.sleep(poll_interval)
+    finally:
+        if lease_store is not None:
+            lease_store.close()

@@ -40,6 +40,12 @@ class TailReader:
     (corrupt bytes, truncated by a crash *and* followed by more data)
     are counted in :attr:`invalid` and skipped, mirroring the tolerant
     batch reader in :mod:`repro.telemetry.summary`.
+
+    The reader also survives the file being replaced underneath it:
+    an in-place truncation (size shrank) or a rotation (same path, new
+    inode) resets the cursor to the top of the new file instead of
+    stalling at a stale offset; rotations are counted in
+    :attr:`rotations`.
     """
 
     def __init__(self, path: str | os.PathLike[str]) -> None:
@@ -47,6 +53,8 @@ class TailReader:
         self.offset = 0
         self.lineno = 0
         self.invalid = 0
+        self.rotations = 0
+        self._inode: int | None = None
         self._buffer = b""
 
     @property
@@ -54,18 +62,36 @@ class TailReader:
         """True while a partially-written line is buffered."""
         return bool(self._buffer)
 
+    def _reset(self) -> None:
+        self.offset = 0
+        self.lineno = 0
+        self._buffer = b""
+
     def poll(self) -> list[dict[str, Any]]:
         """Decode every record completed since the last poll."""
         try:
-            size = self.path.stat().st_size
+            stat = self.path.stat()
         except OSError:
-            return []  # not created yet (monitor started first)
+            # Not created yet (monitor started first), or mid-rotation:
+            # the old file was renamed away and the new one isn't there
+            # yet.  Keep the remembered inode — the replacement file
+            # gets a different one, which is exactly how the next poll
+            # detects the rotation even if the new file happens to be
+            # the same size as the old offset.
+            return []
+        size = stat.st_size
+        if self._inode is not None and stat.st_ino != self._inode:
+            # The path now names a different file: the log was rotated
+            # (renamed away and recreated).  Without this check the
+            # reader would keep comparing the *new* file's size against
+            # the *old* offset and silently stall forever.
+            self.rotations += 1
+            self._reset()
+        self._inode = stat.st_ino
         if size < self.offset:
-            # The file shrank: the writer truncated and restarted (a
-            # rerun over the same path).  Start over from the top.
-            self.offset = 0
-            self.lineno = 0
-            self._buffer = b""
+            # The file shrank in place: the writer truncated and
+            # restarted (a rerun over the same path).  Start over.
+            self._reset()
         if size == self.offset:
             return []
         with self.path.open("rb") as stream:

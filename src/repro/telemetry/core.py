@@ -35,6 +35,7 @@ import logging
 import os
 import platform
 import sys
+import threading
 import time
 from pathlib import Path
 from typing import Any, Callable, Iterator, TextIO
@@ -98,6 +99,16 @@ class Telemetry:
         # unboundedly.
         self._subscribers: tuple[Callable[[dict[str, Any]], None], ...] = ()
         self._dispatch_depth = 0
+        # Distributed trace context (repro.fleet.tracectx): when set,
+        # every record is stamped with trace/span/parent identity.
+        # None = no stamping, no cost.
+        self._trace: Any = None
+        # Serializes writes + subscriber dispatch: worker ship-back can
+        # merge records from multiple threads (resilient_map callbacks,
+        # fabric event forwarding), and interleaved JSON lines would
+        # tear the log.  Reentrant because a subscriber may emit back
+        # into this recorder (the monitor writing `alert` records).
+        self._write_lock = threading.RLock()
 
     # -- constructors ---------------------------------------------------
 
@@ -129,6 +140,25 @@ class Telemetry:
         """The run id events are being attributed to (engine-managed)."""
         return self._current_run
 
+    @property
+    def trace(self) -> Any:
+        """The installed trace context, or ``None`` (no stamping)."""
+        return self._trace
+
+    def set_trace(self, context: Any) -> Any:
+        """Install (or clear, with ``None``) a distributed trace context.
+
+        While installed, every record written — emitted locally or
+        merged via :meth:`write_record` — is stamped with the context's
+        ``trace``/``span``/``parent`` identity (see
+        :class:`repro.fleet.tracectx.TraceContext`; pre-stamped worker
+        records keep their own span fields).  Returns the previous
+        context.
+        """
+        previous = self._trace
+        self._trace = context
+        return previous
+
     # -- low-level emission ---------------------------------------------
 
     def emit(self, kind: str, **fields: Any) -> None:
@@ -152,14 +182,17 @@ class Telemetry:
         self._write(record)
 
     def _write(self, record: dict[str, Any]) -> None:
-        if self._records is not None:
-            self._records.append(record)
-        else:
-            assert self._stream is not None
-            self._stream.write(json.dumps(record, default=repr) + "\n")
-            self._stream.flush()
-        if self._subscribers:
-            self._dispatch(record)
+        if self._trace is not None:
+            self._trace.stamp(record)
+        with self._write_lock:
+            if self._records is not None:
+                self._records.append(record)
+            else:
+                assert self._stream is not None
+                self._stream.write(json.dumps(record, default=repr) + "\n")
+                self._stream.flush()
+            if self._subscribers:
+                self._dispatch(record)
 
     # -- subscriber bus -------------------------------------------------
 
@@ -250,8 +283,9 @@ class Telemetry:
 
     def begin_run(self, **fields: Any) -> str:
         """Open a run scope; subsequent records carry its id."""
-        self._run_seq += 1
-        run_id = f"r{self._run_seq}"
+        with self._write_lock:
+            self._run_seq += 1
+            run_id = f"r{self._run_seq}"
         self._current_run = run_id
         self.emit("run_begin", run=run_id, **fields)
         return run_id
@@ -271,8 +305,12 @@ class Telemetry:
         carry an explicit ``run=`` field instead.  Interleaves safely
         with engine-managed :meth:`begin_run`/:meth:`end_run` scopes.
         """
-        self._run_seq += 1
-        run_id = f"r{self._run_seq}"
+        # Seq allocation shares the write lock: concurrent open_run
+        # calls (fabric event forwarding vs an in-process engine) must
+        # never mint the same run id.
+        with self._write_lock:
+            self._run_seq += 1
+            run_id = f"r{self._run_seq}"
         self.emit("run_begin", run=run_id, **fields)
         return run_id
 

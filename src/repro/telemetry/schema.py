@@ -62,6 +62,8 @@ KINDS: dict[str, frozenset[str]] = {
     "lease": frozenset({"event", "index"}),
     # conformance monitor (repro.monitor): a theorem-bound SLO fired
     "alert": frozenset({"rule", "severity", "message"}),
+    # fleet metrics registry snapshot (repro.fleet.metrics)
+    "metrics": frozenset({"snapshot"}),
     # profiling hook
     "profile": frozenset({"top"}),
 }

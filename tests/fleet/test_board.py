@@ -1,0 +1,191 @@
+"""The fleet board: store-row translation, worker lanes, merged follow."""
+
+import json
+
+from repro.fabric.store import LeaseStore
+from repro.fleet.board import FleetBoard, follow_fleet, store_event_record
+
+
+class TestStoreEventRecord:
+    def test_lease_transition_becomes_lease_record(self):
+        record = store_event_record(
+            {
+                "id": 7,
+                "ts": 12.5,
+                "worker": "w1",
+                "kind": "takeover",
+                "idx": 3,
+                "fence": 2,
+                "detail": "expired lease of w0",
+            }
+        )
+        assert record == {
+            "kind": "lease",
+            "event": "takeover",
+            "ts": 12.5,
+            "store_id": 7,
+            "worker": "w1",
+            "index": 3,
+            "fence": 2,
+            "detail": "expired lease of w0",
+        }
+
+    def test_lifecycle_event_becomes_worker_record(self):
+        record = store_event_record(
+            {"id": 1, "ts": 1.0, "worker": "w0", "kind": "worker_start",
+             "idx": None, "fence": None, "detail": None}
+        )
+        assert record["kind"] == "worker"
+        assert record["event"] == "worker_start"
+        assert record["worker"] == "w0"
+        assert "index" not in record
+
+    def test_schema_validates_translated_records(self):
+        from repro.telemetry.schema import validate_record
+
+        lease = store_event_record(
+            {"id": 1, "ts": 1.0, "worker": "w0", "kind": "commit",
+             "idx": 0, "fence": 1, "detail": None}
+        )
+        worker = store_event_record(
+            {"id": 2, "ts": 2.0, "worker": "w0", "kind": "fault",
+             "idx": 0, "fence": 1, "detail": "kill"}
+        )
+        assert validate_record(lease) == []
+        assert validate_record(worker) == []
+
+
+def _feed(board, records):
+    for record in records:
+        board.update(record)
+
+
+class TestFleetBoard:
+    def test_lanes_track_worker_health(self):
+        board = FleetBoard()
+        _feed(board, [
+            {"kind": "fabric_begin", "ts": 0.0, "chunks": 2, "workers": 2},
+            {"kind": "worker", "ts": 0.1, "event": "worker_start", "worker": "w0"},
+            {"kind": "lease", "ts": 0.2, "event": "claim", "worker": "w0",
+             "index": 0, "fence": 1},
+            {"kind": "lease", "ts": 0.3, "event": "claim", "worker": "w1",
+             "index": 1, "fence": 1},
+            {"kind": "worker", "ts": 0.4, "event": "fault", "worker": "w1",
+             "detail": "kill"},
+            {"kind": "lease", "ts": 0.5, "event": "commit", "worker": "w0",
+             "index": 0, "fence": 1},
+            {"kind": "lease", "ts": 0.6, "event": "takeover", "worker": "w0",
+             "index": 1, "fence": 2},
+            {"kind": "lease", "ts": 0.7, "event": "fence_reject", "worker": "w1",
+             "index": 1, "fence": 1},
+            {"kind": "lease", "ts": 0.8, "event": "commit", "worker": "w0",
+             "index": 1, "fence": 2},
+            {"kind": "worker", "ts": 0.9, "event": "worker_exit", "worker": "w0",
+             "detail": "done, committed=2"},
+            {"kind": "fabric_end", "ts": 1.0, "chunks": 2},
+        ])
+        fleet = board.snapshot()["fleet"]
+        assert fleet["chunks_total"] == 2
+        assert fleet["chunks_committed"] == 2
+        assert fleet["takeovers"] == 1
+        assert fleet["fence_rejects"] == 1
+        assert fleet["fabric_done"] is True
+        w0, w1 = fleet["workers"]["w0"], fleet["workers"]["w1"]
+        assert w0["state"] == "exited"
+        assert w0["claims"] == 2  # the plain claim + the takeover grant
+        assert w0["commits"] == 2
+        assert w0["takeovers"] == 1
+        assert w0["exit_detail"] == "done, committed=2"
+        assert w1["state"] == "killed"
+        assert w1["fence_rejects"] == 1
+        assert w1["last_fault"] == "kill"
+
+    def test_committed_chunks_dedupe_by_index(self):
+        board = FleetBoard()
+        _feed(board, [
+            {"kind": "lease", "ts": 0.1, "event": "commit", "worker": "w0",
+             "index": 0, "fence": 1},
+            {"kind": "lease", "ts": 0.2, "event": "commit", "worker": "w0",
+             "index": 0, "fence": 1},
+        ])
+        assert board.snapshot()["fleet"]["chunks_committed"] == 1
+
+    def test_lines_and_status_line_carry_fleet_state(self):
+        board = FleetBoard()
+        _feed(board, [
+            {"kind": "fabric_begin", "ts": 0.0, "chunks": 4, "workers": 1},
+            {"kind": "lease", "ts": 0.1, "event": "claim", "worker": "w0",
+             "index": 0, "fence": 1},
+            {"kind": "lease", "ts": 0.2, "event": "fence_reject", "worker": "w0",
+             "index": 0, "fence": 1},
+        ])
+        body = "\n".join(board.lines())
+        assert "fleet: chunks 0/4" in body
+        assert "REJECTS 1" in body
+        status = board.status_line()
+        assert "workers 1/1" in status
+        assert "rejects 1" in status
+
+    def test_plain_status_board_records_flow_through(self):
+        # The merged stream also carries ordinary run/slot records; the
+        # base board behaviour must be untouched by the fleet overlay.
+        board = FleetBoard()
+        board.update({"kind": "run_end", "ts": 1.0, "slots": 10,
+                      "transmissions": 4, "collisions": 1, "delivered": True})
+        assert board.snapshot()["fleet"]["workers"] == {}
+
+
+class TestFollowFleet:
+    def _scripted_store(self, tmp_path):
+        store = LeaseStore(tmp_path / "fab.db")
+        campaign_id = store.create_campaign(
+            "cafe" * 16, spec="slow-squares", params={}, items=2, chunksize=1
+        )
+        store.log_worker_event(campaign_id, "w0", "worker_start")
+        for index in range(2):
+            lease = store.claim(campaign_id, "w0", ttl=30.0)
+            assert lease is not None and lease.index == index
+            assert store.commit(lease, "w0", payload=json.dumps([index]))
+        store.log_worker_event(campaign_id, "w0", "worker_exit",
+                               detail="done, committed=2")
+        return store
+
+    def test_merges_store_events_and_worker_logs(self, tmp_path):
+        store = self._scripted_store(tmp_path)
+        store.close()
+        log = tmp_path / "w0.telemetry.jsonl"
+        log.write_text(
+            json.dumps({"kind": "run_end", "ts": 0.0, "slots": 5,
+                        "transmissions": 1, "collisions": 0,
+                        "delivered": True}) + "\n",
+            encoding="utf-8",
+        )
+        records = list(
+            follow_fleet(tmp_path / "fab.db", "cafe" * 16, logs=[log],
+                         poll_interval=0.01, idle_timeout=1.0)
+        )
+        kinds = sorted({r["kind"] for r in records})
+        assert kinds == ["lease", "run_end", "worker"]
+        # until_done fired: the campaign is fully committed, so the
+        # follow ended without waiting out the idle timeout.
+        lease_events = [r["event"] for r in records if r["kind"] == "lease"]
+        assert lease_events.count("claim") == 2
+        assert lease_events.count("commit") == 2
+
+    def test_board_over_followed_stream(self, tmp_path):
+        store = self._scripted_store(tmp_path)
+        store.close()
+        board = FleetBoard()
+        for record in follow_fleet(tmp_path / "fab.db", "cafe" * 16,
+                                   poll_interval=0.01, idle_timeout=1.0):
+            board.update(record)
+        fleet = board.snapshot()["fleet"]
+        assert fleet["chunks_committed"] == 2
+        assert fleet["workers"]["w0"]["state"] == "exited"
+
+    def test_missing_store_times_out_idle(self, tmp_path):
+        records = list(
+            follow_fleet(tmp_path / "nope.db", "cafe" * 16,
+                         poll_interval=0.01, idle_timeout=0.05)
+        )
+        assert records == []

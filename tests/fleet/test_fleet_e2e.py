@@ -1,0 +1,142 @@
+"""End-to-end fleet observability: a real faulted fabric run must yield
+one merged, validator-clean Chrome trace with per-worker lanes, a
+metrics registry that reconciles with the store's audit log, and a
+passing byte-stable autopsy — the PR's acceptance criteria, executed.
+"""
+
+import json
+
+import pytest
+
+from repro.fabric.coordinator import FabricConfig, run_fabric
+from repro.fabric.faultplan import FaultPlan
+from repro.fleet.autopsy import autopsy
+from repro.fleet.metrics import snapshot_totals
+from repro.monitor.chrome_trace import (
+    chrome_trace,
+    merge_records,
+    validate_chrome_trace,
+)
+from repro.monitor.tail import read_log_records
+from repro.telemetry import Telemetry, activate
+
+
+@pytest.fixture(scope="module")
+def drill(tmp_path_factory):
+    """One seeded kill drill, shared by every assertion below."""
+    tmp_path = tmp_path_factory.mktemp("fleet_drill")
+    config = FabricConfig(
+        spec="slow-squares",
+        params={"n": 8, "delay": 0.05},
+        store=tmp_path / "fab.db",
+        workers=2,
+        lease_ttl=1.0,
+        fault_plan=FaultPlan.parse("kill@w1#0"),
+        journal=tmp_path / "fab.journal.jsonl",
+        timeout=120.0,
+        worker_telemetry=True,
+        prom=tmp_path / "fab.prom",
+    )
+    log = tmp_path / "fab.telemetry.jsonl"
+    recorder = Telemetry.to_path(log)
+    recorder.write_manifest(command="fabric", seed=0,
+                            config={"spec": "slow-squares"})
+    with recorder, activate(recorder):
+        result = run_fabric(config)
+    return tmp_path, config, result, log
+
+
+class TestDrillOutcome:
+    def test_kill_forced_a_takeover(self, drill):
+        _, _, result, _ = drill
+        assert result.takeovers >= 1
+        assert -9 in result.worker_exits.values()
+        assert [r * r for r in range(8)] == list(result.results)
+
+    def test_trace_id_assigned_and_deterministic(self, drill):
+        _, _, result, _ = drill
+        from repro.fleet.tracectx import TraceContext
+
+        assert result.trace_id == TraceContext.root(result.fingerprint).trace_id
+
+
+class TestMergedTrace:
+    def test_worker_logs_exist_and_share_the_trace(self, drill):
+        _, _, result, log = drill
+        assert set(result.worker_logs) == {"w0", "w1"}
+        coordinator_records = read_log_records(log)
+        traced = [r for r in coordinator_records if "trace" in r]
+        assert traced and all(r["trace"] == result.trace_id for r in traced)
+        for worker, worker_log in result.worker_logs.items():
+            records = read_log_records(worker_log)
+            stamped = [r for r in records if "trace" in r]
+            # The context crossed the process boundary via the env.
+            assert stamped, f"{worker} wrote no trace-stamped records"
+            assert all(r["trace"] == result.trace_id for r in stamped)
+
+    def test_merged_chrome_trace_validates_with_worker_lanes(self, drill):
+        _, _, result, log = drill
+        streams = {"": read_log_records(log)}
+        for worker, worker_log in result.worker_logs.items():
+            streams[worker] = read_log_records(worker_log)
+        trace = chrome_trace(merge_records(streams))
+        assert validate_chrome_trace(trace) == []
+        events = trace["traceEvents"]
+        # One process lane per worker plus the coordinator's.
+        lanes = {e["pid"] for e in events if "pid" in e}
+        assert len(lanes) >= 3
+        names = {e.get("name") for e in events}
+        assert "lease:takeover" in names  # the kill left its instant behind
+
+
+class TestMetricsReconcile:
+    def test_prometheus_file_written(self, drill):
+        tmp_path, _, result, _ = drill
+        assert result.prom is not None
+        text = result.prom.read_text(encoding="utf-8")
+        assert "repro_takeover_total" in text
+        assert "repro_commit_total" in text
+
+    def test_final_snapshot_matches_the_store_audit(self, drill):
+        tmp_path, _, result, log = drill
+        from repro.fabric.store import LeaseStore
+
+        snapshots = [r for r in read_log_records(log)
+                     if r.get("kind") == "metrics"]
+        assert snapshots
+        totals = snapshot_totals(snapshots[-1]["snapshot"])
+        with LeaseStore(tmp_path / "fab.db") as store:
+            row = store.campaign(result.fingerprint)
+            events = store.events(int(row["id"]))
+        by_kind = {}
+        for event in events:
+            by_kind[event["kind"]] = by_kind.get(event["kind"], 0) + 1
+        assert totals["takeover_total"] == by_kind.get("takeover", 0)
+        assert totals["commit_total"] == by_kind.get("commit", 0)
+        assert totals["chunks_committed"] == result.chunks
+
+
+class TestAutopsyAcceptance:
+    def test_autopsy_passes_and_attributes_every_chunk(self, drill):
+        tmp_path, _, result, log = drill
+        report = autopsy(tmp_path / "fab.db",
+                         journal=tmp_path / "fab.journal.jsonl",
+                         telemetry_log=log)
+        assert report.passed, report.render()
+        attribution = report.attribution()
+        assert sorted(attribution) == list(range(result.chunks))
+        for worker, fence in attribution.values():
+            assert worker in ("w0", "w1")
+            assert fence >= 1
+        assert report.journal_check["matched"]
+        assert report.telemetry_check["problems"] == []
+
+    def test_autopsy_is_byte_stable_across_invocations(self, drill):
+        tmp_path, _, _, log = drill
+        kwargs = dict(journal=tmp_path / "fab.journal.jsonl",
+                      telemetry_log=log)
+        first = autopsy(tmp_path / "fab.db", **kwargs)
+        second = autopsy(tmp_path / "fab.db", **kwargs)
+        assert first.render() == second.render()
+        assert (json.dumps(first.to_json(), sort_keys=True, default=repr)
+                == json.dumps(second.to_json(), sort_keys=True, default=repr))

@@ -1,0 +1,161 @@
+"""The fleet metrics registry: instruments, exposition, ambient no-op."""
+
+import threading
+
+import pytest
+
+from repro.fleet.metrics import (
+    MetricsRegistry,
+    activate_metrics,
+    counter,
+    gauge,
+    get_registry,
+    observe,
+    registry_from_snapshot,
+    set_registry,
+    snapshot_totals,
+)
+from repro.telemetry import Telemetry
+
+
+class TestInstruments:
+    def test_counter_accumulates_and_refuses_decrease(self):
+        registry = MetricsRegistry()
+        registry.counter("commits").inc()
+        registry.counter("commits").inc(2.0)
+        assert registry.counter("commits").sample() == 3.0
+        with pytest.raises(ValueError):
+            registry.counter("commits").inc(-1.0)
+
+    def test_gauge_moves_both_ways(self):
+        registry = MetricsRegistry()
+        g = registry.gauge("leases_held")
+        g.set(2.0)
+        g.dec()
+        g.inc(0.5)
+        assert g.sample() == 1.5
+
+    def test_histogram_buckets_are_cumulative(self):
+        registry = MetricsRegistry()
+        h = registry.histogram("chunk_seconds", buckets=(0.1, 1.0))
+        for value in (0.05, 0.5, 0.5, 5.0):
+            h.observe(value)
+        assert h.cumulative() == [(0.1, 1), (1.0, 3), (float("inf"), 4)]
+        assert h.count == 4
+        assert h.total == pytest.approx(6.05)
+
+    def test_labels_key_distinct_series(self):
+        registry = MetricsRegistry()
+        registry.counter("commit_total", worker="w0").inc()
+        registry.counter("commit_total", worker="w1").inc(2)
+        assert registry.counter("commit_total", worker="w0").sample() == 1.0
+        assert registry.totals()["commit_total"] == 3.0
+
+    def test_kind_conflict_raises(self):
+        registry = MetricsRegistry()
+        registry.counter("x")
+        with pytest.raises(ValueError):
+            registry.gauge("x")
+
+    def test_registry_is_thread_safe(self):
+        registry = MetricsRegistry()
+
+        def hammer():
+            for _ in range(500):
+                registry.counter("hits", worker="shared").inc()
+
+        threads = [threading.Thread(target=hammer) for _ in range(4)]
+        for t in threads:
+            t.start()
+        for t in threads:
+            t.join()
+        assert registry.totals()["hits"] == 2000.0
+
+
+class TestExposition:
+    def _populated(self):
+        registry = MetricsRegistry()
+        registry.counter("fence_reject_total", worker="w2").inc()
+        registry.counter("claim_total", worker="w0").inc(3)
+        registry.gauge("workers_live").set(2)
+        registry.histogram("chunk_seconds", buckets=(0.5, 1.0), worker="w0").observe(0.2)
+        return registry
+
+    def test_prometheus_text_is_deterministic(self):
+        a, b = self._populated(), self._populated()
+        text = a.prometheus_text()
+        assert text == b.prometheus_text()
+        assert "# TYPE repro_claim_total counter" in text
+        assert 'repro_fence_reject_total{worker="w2"} 1' in text
+        assert 'repro_chunk_seconds_bucket{worker="w0",le="+Inf"} 1' in text
+        assert 'repro_chunk_seconds_count{worker="w0"} 1' in text
+
+    def test_snapshot_round_trips_through_registry_from_snapshot(self):
+        original = self._populated()
+        rebuilt = registry_from_snapshot(original.snapshot())
+        assert rebuilt.prometheus_text() == original.prometheus_text()
+        assert rebuilt.totals() == original.totals()
+
+    def test_from_snapshot_into_overwrites_not_accumulates(self):
+        # `fleet metrics` folds successive snapshots of the *same*
+        # process into one registry; later snapshots must replace the
+        # earlier state of a series, never double-count it.
+        registry = MetricsRegistry()
+        early = MetricsRegistry()
+        early.counter("commit_total", worker="w0").inc(2)
+        late = MetricsRegistry()
+        late.counter("commit_total", worker="w0").inc(5)
+        registry_from_snapshot(early.snapshot(), into=registry)
+        registry_from_snapshot(late.snapshot(), into=registry)
+        assert registry.totals()["commit_total"] == 5.0
+
+    def test_snapshot_totals_matches_registry_totals(self):
+        registry = self._populated()
+        assert snapshot_totals(registry.snapshot()) == registry.totals()
+
+    def test_emit_rides_the_telemetry_stream(self):
+        registry = self._populated()
+        with Telemetry.buffered() as tel:
+            registry.emit(tel, worker="w0")
+            [record] = tel.drain()
+        assert record["kind"] == "metrics"
+        assert record["worker"] == "w0"
+        assert snapshot_totals(record["snapshot"]) == registry.totals()
+
+    def test_write_prometheus(self, tmp_path):
+        registry = self._populated()
+        target = tmp_path / "out" / "metrics.prom"
+        text = registry.write_prometheus(target)
+        assert target.read_text(encoding="utf-8") == text == registry.prometheus_text()
+
+
+class TestAmbient:
+    def test_helpers_noop_without_registry(self):
+        assert get_registry() is None
+        # Must not raise, allocate a registry, or record anything.
+        counter("commit_total", worker="w0")
+        gauge("workers_live", 3.0)
+        observe("chunk_seconds", 0.5)
+        assert get_registry() is None
+
+    def test_activate_metrics_scopes_the_registry(self):
+        registry = MetricsRegistry()
+        with activate_metrics(registry) as active:
+            assert active is registry is get_registry()
+            counter("commit_total", worker="w0")
+            gauge("leases_held", 1.0, worker="w0")
+            observe("chunk_seconds", 0.2, worker="w0")
+        assert get_registry() is None
+        assert registry.totals() == {
+            "commit_total": 1.0,
+            "leases_held": 1.0,
+            "chunk_seconds": 1.0,
+        }
+
+    def test_set_registry_returns_previous(self):
+        first, second = MetricsRegistry(), MetricsRegistry()
+        assert set_registry(first) is None
+        try:
+            assert set_registry(second) is first
+        finally:
+            set_registry(None)

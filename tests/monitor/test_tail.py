@@ -139,3 +139,61 @@ class TestBatchReadersTolerateTruncation:
         assert records == read_records(log)
         assert reader.pending
         assert reader.invalid == 0
+
+
+class TestRotation:
+    """Satellite regression: a rotated log must be re-opened, not
+    silently stalled on a stale offset."""
+
+    def test_rename_away_and_recreate_resets_to_top(self, tmp_path):
+        log = write_lines(tmp_path / "log.jsonl",
+                          [{"kind": "event", "n": i} for i in range(3)])
+        reader = TailReader(log)
+        assert len(reader.poll()) == 3
+        # Rotate: the writer renames the log aside and starts a fresh
+        # file at the same path.  The new file is *longer* than the old
+        # offset, so a size-only check would misread from mid-record.
+        log.rename(tmp_path / "log.jsonl.1")
+        write_lines(log, [{"kind": "event", "n": 100 + i} for i in range(5)])
+        records = reader.poll()
+        assert [r["n"] for r in records] == [100, 101, 102, 103, 104]
+        assert reader.rotations == 1
+
+    def test_poll_during_rotation_gap_is_empty_then_recovers(self, tmp_path):
+        log = write_lines(tmp_path / "log.jsonl", [{"kind": "event", "n": 0}])
+        reader = TailReader(log)
+        assert len(reader.poll()) == 1
+        log.rename(tmp_path / "log.jsonl.1")  # mid-rotation: path missing
+        assert reader.poll() == []
+        write_lines(log, [{"kind": "event", "n": 1}])
+        [record] = reader.poll()
+        assert record["n"] == 1
+
+    def test_pending_tail_is_dropped_on_rotation(self, tmp_path):
+        log = write_lines(tmp_path / "log.jsonl",
+                          [{"kind": "event", "n": 0}],
+                          torn_tail='{"kind": "event", "n"')
+        reader = TailReader(log)
+        reader.poll()
+        assert reader.pending
+        log.rename(tmp_path / "log.jsonl.1")
+        write_lines(log, [{"kind": "event", "n": 7}])
+        [record] = reader.poll()
+        # The old torn half must not be glued onto the new file's bytes.
+        assert record["n"] == 7
+        assert not reader.pending
+        assert reader.invalid == 0
+
+    def test_follow_records_survives_rotation(self, tmp_path):
+        log = write_lines(tmp_path / "log.jsonl", [{"kind": "event", "n": 0}])
+
+        def rotate_later():
+            time.sleep(0.05)
+            log.rename(tmp_path / "log.jsonl.1")
+            write_lines(log, [{"kind": "event", "n": 1}])
+
+        writer = threading.Thread(target=rotate_later)
+        writer.start()
+        got = list(follow_records(log, poll_interval=0.01, idle_timeout=0.5))
+        writer.join()
+        assert [r["n"] for r in got] == [0, 1]

@@ -137,3 +137,58 @@ class TestAutoDetect:
         with RunStore(tmp_path / "runs.db") as store:
             with pytest.raises(ExperimentError, match="no such file"):
                 ingest_path(store, tmp_path / "absent.jsonl")
+
+
+class TestFleetIngest:
+    """Satellite: PR 5/7 record kinds land as per-run fabric aggregates."""
+
+    def _fleet_records(self):
+        return [
+            {"kind": "fabric_begin", "ts": 0.0, "spec": "slow-squares",
+             "workers": 2, "chunks": 2},
+            {"kind": "lease", "ts": 0.2, "event": "claim", "worker": "w0",
+             "index": 0, "fence": 1},
+            {"kind": "lease", "ts": 0.3, "event": "takeover", "worker": "w0",
+             "index": 1, "fence": 2},
+            {"kind": "lease", "ts": 0.4, "event": "fence_reject",
+             "worker": "w1", "index": 1, "fence": 1},
+            {"kind": "lease", "ts": 0.5, "event": "commit", "worker": "w0",
+             "index": 0, "fence": 1},
+            {"kind": "alert", "ts": 0.6, "source": "monitor", "seq": 1,
+             "rule": "slot-bound", "severity": "error", "message": "late"},
+            {"kind": "chaos_trial", "ts": 0.7, "arm": "jam", "seed": 3,
+             "success": True},
+            {"kind": "metrics", "ts": 0.8, "snapshot": {
+                "commit_total": {"kind": "counter", "series": [
+                    {"labels": {"worker": "w0"}, "value": 1.0}]},
+                "heartbeat_lag_seconds": {"kind": "histogram", "series": [
+                    {"labels": {"worker": "w0"}, "count": 3, "sum": 0.01,
+                     "buckets": [[0.1, 3], ["+Inf", 3]]}]}}},
+            {"kind": "fabric_end", "ts": 1.0, "chunks": 2, "wall_s": 1.0},
+        ]
+
+    def test_fabric_aggregates_land_as_metrics(self, tmp_path):
+        log = _write_log(tmp_path / "fleet.jsonl", self._fleet_records())
+        with RunStore(tmp_path / "runs.db") as store:
+            result = ingest_log(store, log)
+            metrics = store.metrics_for(result.run_id)
+        assert metrics["fabric.runs"] == 1.0
+        assert metrics["fabric.chunks"] == 2.0
+        assert metrics["fabric.workers"] == 2.0
+        assert metrics["fabric.takeovers"] == 1.0
+        assert metrics["fabric.fence_rejects"] == 1.0
+        assert metrics["fabric.lease.claim"] == 1.0
+        assert metrics["fabric.lease.commit"] == 1.0
+        assert metrics["alerts"] == 1.0
+        assert metrics["chaos_trials"] == 1.0
+        # Registry totals from the last snapshot (histograms as counts).
+        assert metrics["fleet.commit_total"] == 1.0
+        assert metrics["fleet.heartbeat_lag_seconds"] == 3.0
+
+    def test_plain_logs_grow_no_fabric_metrics(self, tmp_path):
+        log = _write_log(tmp_path / "plain.jsonl", _log_records())
+        with RunStore(tmp_path / "runs.db") as store:
+            result = ingest_log(store, log)
+            metrics = store.metrics_for(result.run_id)
+        assert not any(name.startswith(("fabric.", "fleet."))
+                       for name in metrics)

@@ -157,3 +157,57 @@ class TestRendering:
     def test_summary_json_round_trips(self):
         payload = json.loads(summary_json(summarize(SAMPLE)))
         assert payload["runs"]["slots"] == 40
+
+
+FLEET_SAMPLE = [
+    {"kind": "fabric_begin", "ts": 0.0, "spec": "slow-squares", "workers": 2,
+     "chunks": 2},
+    {"kind": "worker", "ts": 0.1, "event": "worker_start", "worker": "w0"},
+    {"kind": "lease", "ts": 0.2, "event": "claim", "worker": "w0",
+     "index": 0, "fence": 1},
+    {"kind": "lease", "ts": 0.3, "event": "claim", "worker": "w1",
+     "index": 1, "fence": 1},
+    {"kind": "lease", "ts": 0.4, "event": "takeover", "worker": "w0",
+     "index": 1, "fence": 2},
+    {"kind": "lease", "ts": 0.5, "event": "fence_reject", "worker": "w1",
+     "index": 1, "fence": 1},
+    {"kind": "lease", "ts": 0.6, "event": "commit", "worker": "w0",
+     "index": 0, "fence": 1},
+    {"kind": "lease", "ts": 0.7, "event": "commit", "worker": "w0",
+     "index": 1, "fence": 2},
+    {"kind": "alert", "ts": 0.8, "source": "monitor", "seq": 1,
+     "rule": "slot-bound", "severity": "error", "message": "late"},
+    {"kind": "metrics", "ts": 0.9, "snapshot": {
+        "commit_total": {"kind": "counter", "series": [
+            {"labels": {"worker": "w0"}, "value": 2.0}]}}},
+    {"kind": "fabric_end", "ts": 1.0, "chunks": 2, "wall_s": 1.0},
+]
+
+
+class TestFleetRollup:
+    def test_summarize_counts_fleet_kinds(self):
+        fleet = summarize(FLEET_SAMPLE)["fleet"]
+        assert fleet["lease_events"] == {
+            "claim": 2, "commit": 2, "fence_reject": 1, "takeover": 1,
+        }
+        assert fleet["workers"] == ["w0", "w1"]
+        assert fleet["takeovers"] == 1
+        assert fleet["fence_rejects"] == 1
+        assert fleet["fabric_runs"] == 1
+        assert fleet["fabric_chunks"] == 2
+        assert fleet["alerts"] == 1
+        assert fleet["metrics_snapshots"] == 1
+        assert fleet["metrics_totals"] == {"commit_total": 2.0}
+
+    def test_logs_without_fleet_records_stay_silent(self):
+        fleet = summarize(SAMPLE)["fleet"]
+        assert fleet["lease_events"] == {}
+        assert fleet["fabric_runs"] == 0
+        text = render_summary(summarize(SAMPLE))
+        assert "Fleet" not in text
+
+    def test_render_contains_fleet_tables(self):
+        text = render_summary(summarize(FLEET_SAMPLE))
+        assert "Fleet (fabric lease audit + registry totals)" in text
+        assert "Fleet metrics (last registry snapshot, label-summed)" in text
+        assert "fence_rejects" in text

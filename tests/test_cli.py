@@ -359,3 +359,112 @@ class TestTelemetryValidateRobustness:
         assert "line 2" in out and "line 3" in out and "line 4" in out
         assert "not valid UTF-8" in out
         assert "INVALID (3 errors)" in out
+
+
+class TestFleetCommands:
+    """The fleet/autopsy front ends over a scripted lease store."""
+
+    FINGERPRINT = "fade" * 16
+
+    def _scripted(self, tmp_path):
+        import json as _json
+
+        from repro.fabric.store import LeaseStore
+
+        store = LeaseStore(tmp_path / "fab.db")
+        campaign_id = store.create_campaign(
+            self.FINGERPRINT, spec="slow-squares", params={}, items=2,
+            chunksize=1,
+        )
+        store.log_worker_event(campaign_id, "w0", "worker_start")
+        for index in range(2):
+            lease = store.claim(campaign_id, "w0", ttl=30.0)
+            store.commit(lease, "w0", payload=_json.dumps([index]))
+        store.close()
+        return tmp_path / "fab.db"
+
+    def _telemetry_log(self, tmp_path):
+        import json as _json
+
+        from repro.fleet.metrics import MetricsRegistry
+
+        registry = MetricsRegistry()
+        registry.counter("commit_total", worker="w0").inc(2)
+        log = tmp_path / "telemetry.jsonl"
+        log.write_text(
+            _json.dumps({"kind": "lease", "ts": 1.0, "event": "commit",
+                         "index": 0, "worker": "w0"}) + "\n"
+            + _json.dumps({"kind": "metrics", "ts": 2.0,
+                           "snapshot": registry.snapshot()}) + "\n",
+            encoding="utf-8",
+        )
+        return log
+
+    def test_fabric_autopsy_passes_and_writes_html(self, tmp_path, capsys):
+        db = self._scripted(tmp_path)
+        html = tmp_path / "autopsy.html"
+        code = main(["fabric", "autopsy", "--store", str(db),
+                     "--html", str(html)])
+        out = capsys.readouterr().out
+        assert code == 0
+        assert "autopsy PASSED" in out
+        assert "chunk attribution" in out
+        assert html.exists()
+
+    def test_fabric_autopsy_json_and_campaign_prefix(self, tmp_path, capsys):
+        db = self._scripted(tmp_path)
+        code = main(["fabric", "autopsy", "--store", str(db),
+                     "--campaign", self.FINGERPRINT[:6], "--json"])
+        payload = json.loads(capsys.readouterr().out)
+        assert code == 0
+        assert payload["passed"] is True
+        assert payload["attribution"] == {"0": ["w0", 1], "1": ["w0", 1]}
+
+    def test_fleet_metrics_merges_snapshots(self, tmp_path, capsys):
+        log = self._telemetry_log(tmp_path)
+        prom = tmp_path / "merged.prom"
+        code = main(["fleet", "metrics", str(log), "--prom", str(prom)])
+        assert code == 0
+        text = prom.read_text(encoding="utf-8")
+        assert 'repro_commit_total{worker="w0"} 2' in text
+
+    def test_fleet_metrics_without_snapshots_errors(self, tmp_path):
+        log = tmp_path / "empty.jsonl"
+        log.write_text('{"kind": "event", "ts": 1.0, "name": "x"}\n',
+                       encoding="utf-8")
+        with pytest.raises(SystemExit):
+            main(["fleet", "metrics", str(log)])
+
+    def test_fleet_trace_writes_validated_chrome_trace(self, tmp_path, capsys):
+        log = self._telemetry_log(tmp_path)
+        out_path = tmp_path / "trace.json"
+        code = main(["fleet", "trace", str(log), "--out", str(out_path)])
+        assert code == 0
+        trace = json.loads(out_path.read_text(encoding="utf-8"))
+        from repro.monitor.chrome_trace import validate_chrome_trace
+
+        assert validate_chrome_trace(trace) == []
+
+    def test_fleet_board_reports_store_activity(self, tmp_path, capsys):
+        db = self._scripted(tmp_path)
+        code = main(["fleet", "board", "--store", str(db), "--plain",
+                     "--idle-timeout", "0.5", "--json"])
+        payload = json.loads(capsys.readouterr().out)
+        assert code == 0
+        fleet = payload["board"]["fleet"]
+        assert fleet["chunks_committed"] == 2
+        assert fleet["workers"]["w0"]["commits"] == 2
+
+    def test_obs_explain_fabric_after_autopsy_landing(self, tmp_path, capsys):
+        db = self._scripted(tmp_path)
+        obs_db = tmp_path / "obs.db"
+        code = main(["fabric", "autopsy", "--store", str(db),
+                     "--obs-db", str(obs_db)])
+        capsys.readouterr()
+        assert code == 0
+        code = main(["obs", "explain", str(obs_db), "--run", "latest",
+                     "--fabric"])
+        out = capsys.readouterr().out
+        assert code == 0
+        assert "fabric.chunks_committed" in out
+        assert "Fabric aggregates" in out
