@@ -27,6 +27,16 @@ the pre-bus engine.  The check measures exactly as ``--check`` does
 reports the marginal cost of an attached no-op subscriber when
 telemetry *is* on, so the overhead of in-process monitoring stays
 visible in the history (appended with ``variant: bus-no-subscriber``).
+
+``--perf-overhead`` is the :mod:`repro.perf` variant: the engine with
+no ambient session must match the bare hot path (that leg *is* the
+bare hot path — one global load plus a ``None`` check), and an active
+sampler-only session at the default 97 Hz must cost at most
+``REPRO_PERF_TOLERANCE`` percent (default 5).  The tracemalloc leg is
+reported but not asserted.  ``--check --flame PATH`` adds perf
+forensics to the regression gate: on failure the measurement is
+re-taken under the sampling profiler and a flamegraph naming the
+hottest frame lands at PATH.
 """
 
 from __future__ import annotations
@@ -387,6 +397,115 @@ def measure_subscriber_overhead(*, slots: int | None = None, rounds: int | None 
     return result
 
 
+#: Allowed sampling-profiler overhead, percent (``--perf-overhead``).
+DEFAULT_PERF_TOLERANCE_PCT = 5.0
+
+
+def measure_perf_overhead(
+    *, slots: int | None = None, rounds: int | None = None, hz: float | None = None
+) -> dict:
+    """Marginal cost of an active :mod:`repro.perf` sampling session.
+
+    Three legs on the grid topology, best-of-``rounds`` each:
+
+    * ``disabled`` — no session (the default engine hot path: one
+      module-global load plus a ``None`` check per run);
+    * ``sampled`` — an ambient :class:`~repro.perf.PerfSession` at
+      ``hz``, sampler only (the ``REPRO_PERF`` worker configuration);
+    * ``traced`` — the same session with :mod:`tracemalloc` accounting
+      (the ``--perf`` CLI default).
+
+    The CI gate holds ``sampler_overhead_pct`` under
+    ``REPRO_PERF_TOLERANCE`` (default 5%): the sampler runs on its own
+    thread, so the sampled leg's only hot-path cost is the ambient
+    check the disabled leg pays too.  The traced leg is *reported*, not
+    asserted — tracemalloc hooks every allocation and its cost scales
+    with allocation rate, which is exactly what it exists to expose.
+    """
+    from repro.perf import DEFAULT_HZ, PerfSession
+    from repro.perf import core as perf_core
+
+    scale = os.environ.get("REPRO_BENCH_SCALE", "quick")
+    if slots is None:
+        slots = 500 if scale == "full" else 200
+    if rounds is None:
+        rounds = 5 if scale == "full" else 3
+    if hz is None:
+        hz = DEFAULT_HZ
+    graph = grid(16, 16)
+    _run(graph, slots)  # warm-up: imports and allocator steady-state
+
+    def leg(memory: bool | None) -> float:
+        if memory is None:
+            return min(_run(graph, slots) for _ in range(rounds))
+        best = float("inf")
+        for _ in range(rounds):
+            session = PerfSession(hz, memory=memory)
+            previous = perf_core.set_active(session)
+            session.start()
+            try:
+                best = min(best, _run(graph, slots))
+            finally:
+                session.stop()
+                perf_core.set_active(previous)
+        return best
+
+    disabled = leg(None)
+    sampled = leg(False)
+    traced = leg(True)
+    return {
+        "slots_per_run": slots,
+        "rounds": rounds,
+        "hz": hz,
+        "disabled_slots_per_sec": round(slots / disabled, 1),
+        "sampled_slots_per_sec": round(slots / sampled, 1),
+        "traced_slots_per_sec": round(slots / traced, 1),
+        "sampler_overhead_pct": round((sampled - disabled) / disabled * 100.0, 2),
+        "tracemalloc_overhead_pct": round((traced - disabled) / disabled * 100.0, 2),
+    }
+
+
+def profile_regression(
+    flame_path: str | os.PathLike,
+    *,
+    backend: str = "reference",
+    hz: float | None = None,
+    message: str = "",
+) -> str | None:
+    """Re-measure under the sampling profiler and write a flamegraph.
+
+    The ``--check`` gate calls this after a regression verdict: the
+    profiled re-measurement shows where the wall time went, and the
+    returned culprit — the hottest self-time frame — names the prime
+    suspect in both the gate output and the flamegraph subtitle.
+    """
+    from repro.perf import DEFAULT_HZ, PerfSession, render_flamegraph, top_frames
+    from repro.perf import core as perf_core
+
+    session = PerfSession(hz if hz is not None else 2 * DEFAULT_HZ, memory=False)
+    previous = perf_core.set_active(session)
+    session.start()
+    try:
+        measure_slots_per_sec(backend=backend)
+    finally:
+        session.stop()
+        perf_core.set_active(previous)
+    frames = top_frames(session.counts, top=1)
+    culprit = frames[0]["frame"] if frames else None
+    subtitle = message or "bench --check regression profile"
+    if culprit:
+        subtitle += f" — hottest frame: {culprit}"
+    pathlib.Path(flame_path).write_text(
+        render_flamegraph(
+            session.counts,
+            title=f"bench perf gate — {backend} regression",
+            subtitle=subtitle,
+        ),
+        encoding="utf-8",
+    )
+    return culprit
+
+
 def test_engine_slot_throughput(benchmark, engine_topology):
     name, factory = engine_topology
     g = factory()
@@ -435,6 +554,21 @@ if __name__ == "__main__":
              "history with variant=bus-no-subscriber",
     )
     parser.add_argument(
+        "--perf-overhead", action="store_true",
+        help="measure the marginal cost of an active sampling-profiler "
+             "session (repro.perf) and exit 1 if the sampler-only leg "
+             "costs more than $REPRO_PERF_TOLERANCE percent (default 5); "
+             "the tracemalloc leg is reported, not asserted; the "
+             "measurement is appended to the bench history with "
+             "variant=perf-overhead",
+    )
+    parser.add_argument(
+        "--flame", default=None, metavar="HTML",
+        help="with --check: on regression, re-measure under the sampling "
+             "profiler and write a flamegraph here naming the hottest "
+             "frame (the gate's prime suspect)",
+    )
+    parser.add_argument(
         "--backend", default="reference",
         choices=[*BENCH_BACKENDS, "all"],
         help="engine backend to measure: 'reference' (default), 'numpy' "
@@ -454,6 +588,27 @@ if __name__ == "__main__":
             parser.error("--check needs a single backend, not 'all'")
         ok, message = check_against_baseline(args.json, backend=args.backend)
         print(message)
+        if not ok and args.flame:
+            culprit = profile_regression(
+                args.flame, backend=args.backend, message=message
+            )
+            print(f"perf gate: wrote {args.flame}"
+                  + (f" (hottest frame: {culprit})" if culprit else ""))
+        raise SystemExit(0 if ok else 1)
+    if args.perf_overhead:
+        overhead = measure_perf_overhead()
+        print(json.dumps(overhead, indent=2, sort_keys=True))
+        tolerance_pct = float(
+            os.environ.get("REPRO_PERF_TOLERANCE", DEFAULT_PERF_TOLERANCE_PCT)
+        )
+        ok = overhead["sampler_overhead_pct"] <= tolerance_pct
+        print(f"sampler overhead: {overhead['sampler_overhead_pct']:+.2f}% "
+              f"(tolerance {tolerance_pct:.0f}%) -> "
+              f"{'OK' if ok else 'REGRESSION'}")
+        if os.environ.get("REPRO_BENCH_HISTORY", "unset") != "":
+            record = {"variant": "perf-overhead", **overhead,
+                      "recorded": round(time.time(), 2)}
+            append_bench_history(record)
         raise SystemExit(0 if ok else 1)
     if args.backend != "reference":
         from repro.sim.backends import numpy_available

@@ -37,6 +37,12 @@ Subcommands:
   zero fencing violations — and ``autopsy`` reconstructs a finished
   (or crashed) campaign's lease/fence/takeover timeline from the
   store's audit log and verifies the fencing contract post hoc.
+* ``perf`` — the performance plane (:mod:`repro.perf`): ``record``
+  runs any repro command under the wall-clock sampling profiler and
+  writes folded stacks plus a self-contained flamegraph HTML,
+  ``flame`` renders a ``.folded`` file or a telemetry log's
+  ``perf_profile`` records, and ``diff`` reports per-frame share
+  drift between two profiles.
 * ``fleet`` — fleet observability (:mod:`repro.fleet`): ``board``
   follows the lease store plus every worker's telemetry log with
   per-worker health lanes under the conformance SLO gates, ``trace``
@@ -67,7 +73,14 @@ Observability (see :mod:`repro.telemetry`):
   ``repro.parallel`` and verdict lines from ``repro.chaos``;
 * ``--provenance`` (with ``--telemetry``) records causal slot
   provenance as ``prov`` events, and ``--obs-db DB`` auto-ingests the
-  finished log into the run store (see :mod:`repro.obs`).
+  finished log into the run store (see :mod:`repro.obs`);
+* ``--perf`` (same commands) attaches the sampling profiler
+  (:mod:`repro.perf`): folded wall-clock stacks plus traced memory
+  per span land in the telemetry log as ``perf_profile`` /
+  ``perf_span`` events (pool and fabric workers sample themselves via
+  the inherited ``REPRO_PERF`` gate), ``--perf-hz`` tunes the rate and
+  ``--perf-out BASE`` writes ``BASE.folded`` + a flamegraph
+  ``BASE.html``.
 """
 
 from __future__ import annotations
@@ -80,6 +93,9 @@ from typing import Callable
 from repro.experiments.runner import ExperimentConfig
 
 __all__ = ["main", "build_parser"]
+
+# repro.perf's ENV_VAR, inlined so the no---perf path never imports it.
+_PERF_ENV = "REPRO_PERF"
 
 
 def _make_topology(kind: str, n: int, seed: int):
@@ -537,7 +553,112 @@ def _cmd_obs(args: argparse.Namespace) -> int:
                     print("\n\n".join(t.render() for t in run_tables(store, run)))
                 return 0
 
+            if args.obs_command == "perf":
+                from repro.obs import (
+                    DEFAULT_BASELINE_K,
+                    DEFAULT_THRESHOLD,
+                    perf_overview,
+                )
+
+                if args.metric:
+                    # Cross-run trend + CI gate over one perf.* metric;
+                    # perf metrics default to direction "down" (cost).
+                    points = trend_points(store, args.metric, source="runs")
+                    verdict = detect_regression(
+                        [p.value for p in points],
+                        threshold=(args.threshold if args.threshold is not None
+                                   else DEFAULT_THRESHOLD),
+                        baseline_k=(args.baseline_k
+                                    if args.baseline_k is not None
+                                    else DEFAULT_BASELINE_K),
+                        metric=args.metric,
+                    )
+                    checkable = len(points) >= 2
+                    if args.json:
+                        payload = {
+                            "points": [vars(p) for p in points],
+                            "verdict": verdict,
+                        }
+                        if args.check:
+                            payload["check"] = {
+                                "checked": checkable,
+                                "regressed": bool(verdict["regressed"])
+                                             if checkable else False,
+                            }
+                        print(json.dumps(payload, indent=2, sort_keys=True,
+                                         default=repr))
+                    else:
+                        print(trend_table(args.metric, points, verdict).render())
+                    if args.check and checkable and verdict["regressed"]:
+                        if not args.json:
+                            print(f"perf check [{args.metric}]: "
+                                  f"latest={verdict['latest']:.4g} "
+                                  f"baseline={verdict['baseline']:.4g} "
+                                  f"change={verdict['change']:+.1%} -> "
+                                  f"REGRESSION")
+                        return 1
+                    return 0
+
+                overview = perf_overview(store, args.run)
+                if args.json:
+                    print(json.dumps(overview, indent=2, sort_keys=True,
+                                     default=repr))
+                    return 0
+                run = overview["run"]
+                header = (f"Perf plane — run {run['id']} "
+                          f"({str(run['fingerprint'])[:8]})")
+                if overview["samples"]:
+                    header += (f" — {overview['samples']:g} samples over "
+                               f"{overview['sample_wall_s'] or 0:g}s")
+                print(header)
+                if overview["spans"]:
+                    table = Table(
+                        "Span costs (sampled time + traced memory)",
+                        ["span", "secs", "samples", "peak KiB"],
+                    )
+                    for row in overview["spans"]:
+                        table.add_row(
+                            row["label"],
+                            f"{row.get('secs', 0.0):.3f}",
+                            f"{row.get('samples', 0):g}",
+                            f"{row.get('mem_peak_kb', 0.0):.1f}",
+                        )
+                    print()
+                    print(table.render())
+                if overview["hotspots"]:
+                    table = Table(
+                        "cProfile hotspots (from --profile)",
+                        ["function", "cumtime s", "tottime s"],
+                    )
+                    for row in overview["hotspots"]:
+                        table.add_row(
+                            row["func"],
+                            f"{row.get('cumtime_s', 0.0):.3f}",
+                            f"{row.get('tottime_s', 0.0):.3f}",
+                        )
+                    print()
+                    print(table.render())
+                return 0
+
             if args.obs_command == "explain":
+                if getattr(args, "perf_aggregates", False):
+                    from repro.obs import perf_overview
+
+                    overview = perf_overview(store, args.run)
+                    if args.json:
+                        print(json.dumps(overview, indent=2, sort_keys=True,
+                                         default=repr))
+                        return 0
+                    run = overview["run"]
+                    table = Table(
+                        f"Perf aggregates — run {run['id']} "
+                        f"({str(run['fingerprint'])[:8]})",
+                        ["metric", "value"],
+                    )
+                    for name, value in sorted(overview["metrics"].items()):
+                        table.add_row(name, value)
+                    print(table.render())
+                    return 0
                 if args.fabric:
                     run = store.resolve_run(args.run)
                     metrics = store.metrics_for(run["id"])
@@ -592,6 +713,116 @@ def _cmd_obs(args: argparse.Namespace) -> int:
     except ExperimentError as exc:
         raise SystemExit(f"obs {args.obs_command}: {exc}")
     raise SystemExit(f"unknown obs subcommand {args.obs_command!r}")
+
+
+def _cmd_perf(args: argparse.Namespace) -> int:
+    """Dispatch ``perf record|flame|diff``."""
+    import json
+    import pathlib
+
+    from repro.analysis.tables import Table
+    from repro.perf import (
+        DEFAULT_HZ,
+        PerfSession,
+        diff_folded,
+        load_stacks,
+        render_flamegraph,
+        top_frames,
+    )
+    from repro.perf import activate as perf_activate
+
+    if args.perf_command == "record":
+        cmd = list(args.cmd)
+        if cmd and cmd[0] == "--":
+            cmd = cmd[1:]
+        if not cmd:
+            raise SystemExit(
+                "perf record: give the repro command to profile, e.g. "
+                "'repro perf record gap --quick'"
+            )
+        if cmd[0] == "perf":
+            raise SystemExit("perf record: cannot record 'perf' itself")
+        hz = args.hz if args.hz is not None else DEFAULT_HZ
+        session = PerfSession(hz, memory=not args.no_memory)
+        with perf_activate(session):
+            try:
+                code = main(cmd)
+            except SystemExit as exc:
+                code = exc.code if isinstance(exc.code, int) else 1
+        base = args.out
+        folded_path = pathlib.Path(f"{base}.folded")
+        folded_path.write_text(session.folded_text(), encoding="utf-8")
+        html_path = pathlib.Path(f"{base}.html")
+        html_path.write_text(
+            render_flamegraph(
+                session.counts,
+                title=f"repro {' '.join(cmd)}",
+                subtitle=(f"{session.sampler.samples} samples @ {hz:g} Hz "
+                          f"over {session.sampler.wall_s:.2f}s"),
+            ),
+            encoding="utf-8",
+        )
+        print(f"\n[perf] {session.sampler.samples} samples @ {hz:g} Hz "
+              f"({len(session.counts)} distinct stacks)")
+        print(f"[perf] wrote {folded_path} and {html_path}")
+        spans = session.span_table()
+        if spans:
+            table = Table(
+                "Span costs (sampled time + traced memory)",
+                ["span", "count", "secs", "samples", "peak KiB"],
+            )
+            for row in spans:
+                table.add_row(row["label"], row["count"],
+                              f"{row['secs']:.3f}", row["samples"],
+                              f"{row['mem_peak_kb']:.1f}")
+            print()
+            print(table.render())
+        frames = top_frames(session.counts, top=10)
+        if frames:
+            table = Table("Hottest frames", ["frame", "self", "total", "share"])
+            for row in frames:
+                table.add_row(row["frame"], row["self"], row["total"],
+                              f"{row['share']:.1%}")
+            print()
+            print(table.render())
+        return code
+
+    if args.perf_command == "flame":
+        stacks = load_stacks(args.input)
+        if not stacks:
+            raise SystemExit(f"perf flame: no folded stacks or perf_profile "
+                             f"records in {args.input}")
+        title = args.title or f"repro perf — {args.input}"
+        pathlib.Path(args.out).write_text(
+            render_flamegraph(stacks, title=title), encoding="utf-8"
+        )
+        print(f"wrote {args.out} ({sum(stacks.values())} samples, "
+              f"{len(stacks)} distinct stacks)")
+        return 0
+
+    if args.perf_command == "diff":
+        before = load_stacks(args.before)
+        after = load_stacks(args.after)
+        rows = diff_folded(before, after, top=args.top)
+        if args.json:
+            print(json.dumps(rows, indent=2, sort_keys=True))
+            return 0
+        table = Table(
+            f"Frame share drift — {args.before} vs {args.after} "
+            f"(+ = costlier after)",
+            ["frame", "before", "after", "delta"],
+        )
+        for row in rows:
+            table.add_row(
+                row["frame"],
+                f"{row['before_share']:.1%}",
+                f"{row['after_share']:.1%}",
+                f"{row['delta_share']:+.1%}",
+            )
+        print(table.render())
+        return 0
+
+    raise SystemExit(f"unknown perf subcommand {args.perf_command!r}")
 
 
 def _parse_params(pairs: list[str]) -> dict:
@@ -1005,6 +1236,22 @@ def build_parser() -> argparse.ArgumentParser:
                  "log as 'alert' events (see 'monitor' for the "
                  "out-of-process version)",
         )
+        p.add_argument(
+            "--perf", action="store_true",
+            help="run under the sampling profiler (repro.perf): wall-clock "
+                 "stacks plus traced memory per span land in the telemetry "
+                 "log as 'perf_profile'/'perf_span' events; pool and fabric "
+                 "workers inherit the session via $REPRO_PERF",
+        )
+        p.add_argument(
+            "--perf-hz", type=float, default=None, metavar="HZ",
+            help="sampling rate for --perf (default: $REPRO_PERF or 97)",
+        )
+        p.add_argument(
+            "--perf-out", default=None, metavar="BASE",
+            help="with --perf: also write BASE.folded (collapsed stacks) "
+                 "and BASE.html (flamegraph) when the command finishes",
+        )
 
     p_bcast = sub.add_parser("broadcast", help="run one Decay broadcast")
     add_common(p_bcast)
@@ -1223,6 +1470,13 @@ def build_parser() -> argparse.ArgumentParser:
                            help="print the run's fabric/fleet aggregates "
                                 "(lease audit counts, registry totals) "
                                 "instead of slot provenance")
+    # dest avoids main()'s --perf session wiring: this flag selects what
+    # to print, it does not ask to profile the explain command itself.
+    p_explain.add_argument("--perf", dest="perf_aggregates",
+                           action="store_true",
+                           help="print the run's perf-plane aggregates "
+                                "(sampled span costs, cProfile hotspots) "
+                                "instead of slot provenance")
     p_explain.add_argument("--engine-run", default=None, metavar="TAG",
                            help="engine-run tag within the log (e.g. r3) when "
                                 "a campaign recorded this (node, slot) more "
@@ -1238,7 +1492,81 @@ def build_parser() -> argparse.ArgumentParser:
     p_export.add_argument("log", help="JSON-lines event log written by --telemetry")
     p_export.add_argument("--chrome-trace", required=True, metavar="PATH",
                           help="where to write the trace JSON")
+
+    p_obs_perf = obs_sub.add_parser(
+        "perf",
+        help="the perf plane of an ingested run: sampled span costs, "
+             "traced memory, cProfile hotspots, and a cross-run "
+             "regression gate over any perf.* metric",
+    )
+    p_obs_perf.add_argument("db")
+    p_obs_perf.add_argument("--run", default="latest",
+                            help="run id, fingerprint prefix, 'latest' or 'prev'")
+    p_obs_perf.add_argument("--metric", default=None, metavar="NAME",
+                            help="trend this perf.* metric over ordered runs "
+                                 "instead of printing the per-run overview")
+    p_obs_perf.add_argument("--check", action="store_true",
+                            help="with --metric: exit 1 when the latest point "
+                                 "regressed beyond --threshold vs the median "
+                                 "of the last --baseline-k points (CI gate)")
+    p_obs_perf.add_argument("--threshold", type=float, default=None,
+                            help="relative regression threshold (default 0.2)")
+    p_obs_perf.add_argument("--baseline-k", type=int, default=None,
+                            help="baseline = median of this many prior points "
+                                 "(default 3)")
+    p_obs_perf.add_argument("--json", action="store_true")
     p_obs.set_defaults(func=_cmd_obs)
+
+    p_perf = sub.add_parser(
+        "perf",
+        help="performance plane: record any command under the sampling "
+             "profiler, render folded stacks as a flamegraph, diff two "
+             "profiles",
+    )
+    perf_sub = p_perf.add_subparsers(dest="perf_command", required=True)
+
+    p_perf_rec = perf_sub.add_parser(
+        "record",
+        help="run any repro command under the sampling profiler and "
+             "write BASE.folded + BASE.html",
+    )
+    p_perf_rec.add_argument("--hz", type=float, default=None,
+                            help="sampling rate (default 97)")
+    p_perf_rec.add_argument("--out", default="perf", metavar="BASE",
+                            help="artifact basename: BASE.folded collapsed "
+                                 "stacks and BASE.html flamegraph "
+                                 "(default: perf)")
+    p_perf_rec.add_argument("--no-memory", action="store_true",
+                            help="skip tracemalloc accounting (lower overhead)")
+    p_perf_rec.add_argument("cmd", nargs=argparse.REMAINDER,
+                            help="the repro command to profile, e.g. "
+                                 "'gap --quick --jobs 2'")
+    p_perf_rec.set_defaults(func=_cmd_perf)
+
+    p_perf_flame = perf_sub.add_parser(
+        "flame",
+        help="render a .folded file or a telemetry log's perf_profile "
+             "records as a self-contained flamegraph HTML",
+    )
+    p_perf_flame.add_argument("input",
+                              help=".folded stacks or a --telemetry JSONL log "
+                                   "(perf_profile records are merged)")
+    p_perf_flame.add_argument("--out", required=True, metavar="HTML",
+                              help="where to write the flamegraph")
+    p_perf_flame.add_argument("--title", default=None)
+    p_perf_flame.set_defaults(func=_cmd_perf)
+
+    p_perf_diff = perf_sub.add_parser(
+        "diff",
+        help="per-frame share drift between two profiles (each side a "
+             ".folded file or telemetry log)",
+    )
+    p_perf_diff.add_argument("before")
+    p_perf_diff.add_argument("after")
+    p_perf_diff.add_argument("--top", type=int, default=20,
+                             help="rows to show, biggest growth first")
+    p_perf_diff.add_argument("--json", action="store_true")
+    p_perf_diff.set_defaults(func=_cmd_perf)
 
     p_fab = sub.add_parser(
         "fabric",
@@ -1469,10 +1797,49 @@ def _manifest_config(args: argparse.Namespace) -> dict:
         key: value
         for key, value in vars(args).items()
         if key not in ("func", "telemetry", "profile", "log_level", "obs_db",
-                       "monitor")
+                       "monitor", "perf", "perf_hz", "perf_out")
         and not callable(value)
     }
     return config
+
+
+def _finish_perf(args, session, recorder, previous_ambient) -> None:
+    """Stop a ``--perf`` session: clear the ambient registry, emit the
+    ``perf_*`` records into the telemetry stream (when there is one),
+    and write the ``--perf-out`` artifacts."""
+    from repro.perf import core as _perf_core
+    from repro.perf import render_flamegraph
+
+    session.stop()
+    _perf_core.set_active(previous_ambient)
+    if recorder is not None:
+        session.emit(recorder)
+    print(f"\n[perf] {session.sampler.samples} samples @ {session.hz:g} Hz "
+          f"over {session.sampler.wall_s:.2f}s "
+          f"({len(session.counts)} distinct stacks)")
+    if recorder is None:
+        # Nowhere durable to land the records: show the attribution here.
+        for row in session.span_table():
+            print(f"[perf]   {row['label']}: {row['secs']:.3f}s "
+                  f"({row['samples']} samples, "
+                  f"peak {row['mem_peak_kb']:.1f} KiB)")
+    base = getattr(args, "perf_out", None)
+    if base:
+        import pathlib
+
+        pathlib.Path(f"{base}.folded").write_text(
+            session.folded_text(), encoding="utf-8"
+        )
+        pathlib.Path(f"{base}.html").write_text(
+            render_flamegraph(
+                session.counts,
+                title=f"repro {args.command}",
+                subtitle=(f"{session.sampler.samples} samples @ "
+                          f"{session.hz:g} Hz"),
+            ),
+            encoding="utf-8",
+        )
+        print(f"[perf] wrote {base}.folded and {base}.html")
 
 
 def _dispatch(args: argparse.Namespace) -> int:
@@ -1515,6 +1882,24 @@ def main(argv: list[str] | None = None) -> int:
     previous_provenance = os.environ.get("REPRO_PROVENANCE")
     if wants_provenance:
         os.environ["REPRO_PROVENANCE"] = "1"
+    # --perf similarly rides on REPRO_PERF so pool/fabric workers sample
+    # themselves; the parent session is made ambient around dispatch and
+    # its records land in the telemetry stream before the log closes.
+    wants_perf = getattr(args, "perf", False)
+    previous_perf = os.environ.get(_PERF_ENV) if wants_perf else None
+    perf_session = None
+    perf_previous_ambient = None
+    if wants_perf:
+        from repro.perf import DEFAULT_HZ, PerfSession, hz_from_env
+        from repro.perf import core as _perf_core
+
+        perf_hz = getattr(args, "perf_hz", None)
+        if perf_hz is None:
+            perf_hz = hz_from_env() or DEFAULT_HZ
+        perf_session = PerfSession(perf_hz)
+        perf_session.to_env(os.environ)
+        perf_previous_ambient = _perf_core.set_active(perf_session)
+        perf_session.start()
     try:
         if telemetry_path:
             from repro.telemetry import Telemetry, activate
@@ -1536,6 +1921,10 @@ def main(argv: list[str] | None = None) -> int:
                 code = _dispatch(args)
                 if detach_monitor is not None:
                     monitor_report = detach_monitor()
+                if perf_session is not None:
+                    _finish_perf(args, perf_session, recorder,
+                                 perf_previous_ambient)
+                    perf_session = None
             if detach_monitor is not None:
                 if monitor_report.alerts:
                     print(f"\n[monitor] {len(monitor_report.alerts)} "
@@ -1552,8 +1941,24 @@ def main(argv: list[str] | None = None) -> int:
                     result = ingest_log(store, telemetry_path)
                 print(f"[obs] {result.describe()}")
             return code
-        return _dispatch(args)
+        code = _dispatch(args)
+        if perf_session is not None:
+            _finish_perf(args, perf_session, None, perf_previous_ambient)
+            perf_session = None
+        return code
     finally:
+        if perf_session is not None:
+            # An exception path: stop the sampler and clear the registry
+            # without emitting (there may be nowhere to emit to).
+            from repro.perf import core as _perf_core
+
+            perf_session.stop()
+            _perf_core.set_active(perf_previous_ambient)
+        if wants_perf:
+            if previous_perf is None:
+                os.environ.pop(_PERF_ENV, None)
+            else:
+                os.environ[_PERF_ENV] = previous_perf
         if wants_provenance:
             if previous_provenance is None:
                 os.environ.pop("REPRO_PROVENANCE", None)

@@ -53,6 +53,7 @@ from repro.fleet.metrics import MetricsRegistry, get_registry, set_registry
 from repro.fleet.metrics import counter as metric_count
 from repro.fleet.metrics import gauge as metric_gauge
 from repro.fleet.tracectx import TraceContext
+from repro.perf import core as perf_core
 from repro.telemetry import get_active
 
 __all__ = ["FabricConfig", "FabricResult", "run_fabric"]
@@ -228,6 +229,12 @@ def run_fabric(config: FabricConfig) -> FabricResult:
     worker_logs: dict[str, Path] = {}
     env = _child_env()
     trace.to_env(env)
+    # Performance plane: a session activated programmatically (not via
+    # the CLI's REPRO_PERF env save/restore) still reaches the workers —
+    # each samples itself and ships perf records via its telemetry log.
+    perf_session = perf_core.get_active()
+    if perf_session is not None:
+        perf_session.to_env(env)
     for worker_id in worker_ids:
         worker_config = WorkerConfig(
             store=store_path,

@@ -46,6 +46,7 @@ from repro.fleet.metrics import gauge as metric_gauge
 from repro.fleet.metrics import observe as metric_observe
 from repro.fleet.tracectx import TraceContext
 from repro.parallel import backoff_delay
+from repro.perf import core as perf_core
 from repro.rng import derive_seed
 from repro.telemetry import get_active
 
@@ -207,6 +208,21 @@ def run_worker(config: WorkerConfig) -> int:
             own_registry = MetricsRegistry()
             set_registry(own_registry)
 
+    # Performance plane: the coordinator propagates REPRO_PERF=<hz>
+    # when sampling is on, so each worker profiles itself for its whole
+    # lifetime under a "fabric.worker:<id>" span; the perf records land
+    # in the worker's own telemetry log on exit, tagged with the worker
+    # id, and the obs layer aggregates them like any other record.
+    perf_session = None
+    perf_hz = perf_core.hz_from_env()
+    if perf_hz is not None and perf_core.get_active() is None:
+        perf_session = perf_core.PerfSession(
+            perf_hz, memory=True, tag=f"worker:{config.worker_id}"
+        )
+        perf_core.set_active(perf_session)
+        perf_session.start()
+        perf_session.span_push(f"fabric.worker:{config.worker_id}")
+
     store.log_worker_event(
         campaign_id, config.worker_id, "worker_start", detail=f"pid={os.getpid()}"
     )
@@ -294,7 +310,11 @@ def run_worker(config: WorkerConfig) -> int:
                     time.sleep(stall.duration)
 
                 chunk_started = time.perf_counter()
-                results = [spec.fn(item) for item in chunks[lease.index]]
+                perf_core.span_push("fabric.chunk")
+                try:
+                    results = [spec.fn(item) for item in chunks[lease.index]]
+                finally:
+                    perf_core.span_pop()
                 payload = encode_chunk(results)
                 chunk_wall = time.perf_counter() - chunk_started
 
@@ -370,6 +390,12 @@ def run_worker(config: WorkerConfig) -> int:
             "worker_exit",
             detail=f"{exit_reason}, committed={committed}",
         )
+        if perf_session is not None:
+            perf_session.span_pop()
+            perf_session.stop()
+            perf_core.set_active(None)
+            if recorder is not None:
+                perf_session.emit(recorder, worker=config.worker_id)
         if recorder is not None:
             recorder.emit(
                 "worker",

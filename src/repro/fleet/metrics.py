@@ -57,10 +57,20 @@ def _label_key(labels: dict[str, str]) -> tuple[tuple[str, str], ...]:
     return tuple(sorted((str(k), str(v)) for k, v in labels.items()))
 
 
+def _escape_label_value(value: str) -> str:
+    """Prometheus text-format label-value escaping: backslash, double
+    quote, and newline must be escaped or the exposition line tears."""
+    return (
+        value.replace("\\", "\\\\").replace('"', '\\"').replace("\n", "\\n")
+    )
+
+
 def _label_text(key: tuple[tuple[str, str], ...]) -> str:
     if not key:
         return ""
-    inner = ",".join(f'{name}="{value}"' for name, value in key)
+    inner = ",".join(
+        f'{name}="{_escape_label_value(value)}"' for name, value in key
+    )
     return "{" + inner + "}"
 
 
@@ -131,6 +141,35 @@ class Histogram:
             out.append((bound, running))
         out.append((float("inf"), self.count))
         return out
+
+    def quantile(self, q: float) -> float | None:
+        """Estimate the ``q``-quantile from the cumulative buckets.
+
+        Standard Prometheus-style estimation: find the first bucket
+        whose cumulative count covers rank ``q * count`` and
+        interpolate linearly inside it.  Returns ``None`` on an empty
+        histogram; a single observation answers every quantile with
+        (an estimate bounded by) its own bucket.  Observations landing
+        in the +Inf bucket clamp to the highest finite bound.
+        """
+        if not 0.0 <= q <= 1.0:
+            raise ValueError(f"quantile must be in [0, 1], got {q}")
+        if self.count == 0:
+            return None
+        rank = q * self.count
+        previous_bound = 0.0
+        previous_cum = 0
+        for bound, cum in self.cumulative():
+            if cum >= rank and cum > 0:
+                if bound == float("inf"):
+                    return self.bounds[-1] if self.bounds else self.total
+                width = bound - previous_bound
+                in_bucket = cum - previous_cum
+                if in_bucket <= 0 or width <= 0:
+                    return bound
+                return previous_bound + width * (rank - previous_cum) / in_bucket
+            previous_bound, previous_cum = bound, cum
+        return self.bounds[-1] if self.bounds else None
 
 
 class MetricsRegistry:

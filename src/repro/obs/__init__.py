@@ -39,6 +39,7 @@ from repro.obs.query import (
     detect_regression,
     explain_from_store,
     metric_direction,
+    perf_overview,
     trend_points,
 )
 from repro.obs.report import (
@@ -64,6 +65,7 @@ __all__ = [
     "compare_runs",
     "explain_from_store",
     "metric_direction",
+    "perf_overview",
     "DEFAULT_THRESHOLD",
     "DEFAULT_BASELINE_K",
     "run_tables",

@@ -473,11 +473,45 @@ def _run_chunk_timed(
     is buffered and shipped back to the parent with the results; the
     parent merges the events into its stream.  The results list is
     exactly what :func:`_run_chunk` would have produced.
+
+    When the parent asked for profiling (``REPRO_PERF=<hz>`` in the
+    inherited environment — see :mod:`repro.perf`), the chunk also runs
+    under its own sampling-profiler session labelled ``pool.chunk``;
+    the resulting ``perf_profile``/``perf_span`` records ride the same
+    ship-back and are merged chunk-tagged like every other worker
+    event, so the parent's log attributes samples per chunk.
     """
+    from repro.perf import core as perf_core
+
     recorder = Telemetry.buffered()
+    # An ambient session means this chunk runs *in the parent process*
+    # (serial fallback / jobs=1): label it there instead of racing a
+    # second sampler.  Otherwise honour the env gate a parent set for
+    # its subprocess pool.
+    ambient = perf_core.get_active()
+    perf_session = None
+    previous = None
+    if ambient is not None:
+        ambient.span_push("pool.chunk")
+    else:
+        perf_hz = perf_core.hz_from_env()
+        if perf_hz is not None:
+            perf_session = perf_core.PerfSession(perf_hz, memory=True)
+            previous = perf_core.set_active(perf_session)
+            perf_session.start()
+            perf_session.span_push("pool.chunk")
     start = time.perf_counter()
-    with activate(recorder):
-        results = _run_chunk(fn, chunk, batch_fn)
+    try:
+        with activate(recorder):
+            results = _run_chunk(fn, chunk, batch_fn)
+    finally:
+        if ambient is not None:
+            ambient.span_pop()
+        elif perf_session is not None:
+            perf_session.span_pop()
+            perf_session.stop()
+            perf_core.set_active(previous)
+            perf_session.emit(recorder)
     return {
         "results": results,
         "wall_s": time.perf_counter() - start,

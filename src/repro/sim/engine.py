@@ -45,6 +45,7 @@ from repro.sim.provenance import (
     SILENCE as PROV_SILENCE,
     ProvenanceRecorder,
 )
+from repro.perf import core as _perf
 from repro.sim.trace import SlotRecord, Trace
 from repro.telemetry.core import Telemetry, get_active
 
@@ -208,6 +209,16 @@ class Engine:
                 program.on_start(self._contexts[node])
             self._started = True
         tel = self._telemetry
+        # Perf attribution (repro.perf): snapshot once per run — with no
+        # session active the per-slot loop below pays nothing.  The run
+        # is one "engine.run" span; each slot batch laps an inner
+        # "engine.slot_batch" span so sampled time and traced memory
+        # are attributed batch by batch.
+        perf = _perf.get_active()
+        if perf is not None:
+            perf.span_push("engine.run")
+            if tel is not None:
+                perf.span_push("engine.slot_batch")
         if tel is not None:
             start_slot = batch_slot0 = self.slot
             next_batch = self.slot + tel.slot_batch
@@ -242,6 +253,13 @@ class Engine:
                 tel.gauge("slots_per_sec", round(rate, 1), slot=self.slot)
                 batch_t0, batch_slot0 = now, self.slot
                 next_batch = self.slot + tel.slot_batch
+                if perf is not None:
+                    perf.span_pop()
+                    perf.span_push("engine.slot_batch")
+        if perf is not None:
+            if tel is not None:
+                perf.span_pop()  # engine.slot_batch
+            perf.span_pop()  # engine.run
         if tel is not None:
             wall = time.perf_counter() - run_t0
             slots_run = self.slot - start_slot

@@ -51,6 +51,7 @@ from repro.core.decay import decay_step
 from repro.errors import ProtocolError, SimulationError
 from repro.graphs.graph import Graph
 from repro.graphs.matrix import adjacency_matrix
+from repro.perf import core as _perf_core
 from repro.sim.faults import FaultSchedule
 from repro.sim.metrics import RunMetrics
 from repro.sim.mtstreams import MTStreams
@@ -197,6 +198,7 @@ class _VectorBatch:
         self._loss_faults = tuple(self._faults.link_loss_faults)
 
         self._tel = None
+        self._perf = None
         self._run_ids: list[str] = []
         self._t0 = 0.0
         self._ran = False
@@ -221,6 +223,12 @@ class _VectorBatch:
             raise SimulationError("a batch can only run once")
         self._ran = True
         self._tel = get_active()
+        # Perf attribution: snapshot once, branch on a local per slot —
+        # with no session active the loop pays one None check per slot
+        # against array ops that each cost orders of magnitude more.
+        self._perf = perf = _perf_core.get_active()
+        if perf is not None:
+            perf.span_push(f"vector.run:{self.protocol}")
         self._t0 = time.perf_counter()
         if self._tel is not None:
             edges = self._g.num_edges()
@@ -250,10 +258,19 @@ class _VectorBatch:
             if not live.any():
                 break
             self._apply_faults(slot)
+            if perf is not None:
+                perf.span_push("vector.intents")
             transmit, receiver = self._intents(slot)
+            if perf is not None:
+                perf.span_pop()
+                perf.span_push("resolve.kernel")
             self._resolve(slot, transmit, receiver)
+            if perf is not None:
+                perf.span_pop()
             slot += 1
         self._retire(live.copy(), slot)
+        if perf is not None:
+            perf.span_pop()  # vector.run
         return [self._result(trial) for trial in range(self._trials)]
 
     # -- stop conditions ------------------------------------------------
@@ -526,7 +543,12 @@ class AlohaBatch(_VectorBatch):
                 contending &= ~past_bound
         draw_idx = np.flatnonzero(contending.ravel())
         if draw_idx.size:
+            perf = self._perf
+            if perf is not None:
+                perf.span_push("rng.bank")
             coins = self._streams.draw(draw_idx)
+            if perf is not None:
+                perf.span_pop()
             transmit.reshape(-1)[draw_idx[coins < self._p]] = True
         receiver = eligible & ~transmit
         if past_bound is not None:
@@ -636,13 +658,27 @@ class DecayBroadcastBatch(_VectorBatch):
             flat_sent = self._d_sent.reshape(-1)
             sub_active = flat_active[acting_idx]
             sub_sent = flat_sent[acting_idx]
+            perf = self._perf
+
+            def draw(mask: np.ndarray) -> np.ndarray:
+                if perf is not None:
+                    perf.span_push("rng.bank")
+                coins = self._streams.draw(acting_idx[mask])
+                if perf is not None:
+                    perf.span_pop()
+                return coins
+
+            if perf is not None:
+                perf.span_push("decay.phase")
             sub_transmit = decay_step(
                 sub_active,
                 sub_sent,
                 self._k,
-                lambda mask: self._streams.draw(acting_idx[mask]),
+                draw,
                 p_continue=self._p_continue,
             )
+            if perf is not None:
+                perf.span_pop()
             flat_active[acting_idx] = sub_active
             flat_sent[acting_idx] = sub_sent
             transmit.reshape(-1)[acting_idx[sub_transmit]] = True

@@ -41,6 +41,7 @@ from pathlib import Path
 from typing import Any, Callable, Iterator, TextIO
 
 from repro._version import __version__
+from repro.perf import core as _perf_core
 from repro.telemetry.schema import SCHEMA, SCHEMA_VERSION
 
 __all__ = [
@@ -332,11 +333,23 @@ class Telemetry:
 
     @contextlib.contextmanager
     def span(self, name: str, **fields: Any) -> Iterator[None]:
-        """Time a block; emits one ``span`` record with its duration."""
+        """Time a block; emits one ``span`` record with its duration.
+
+        When a perf session is active (:mod:`repro.perf`), the block is
+        also pushed as a perf span, so sampled wall time and traced
+        memory are attributed to ``name`` — telemetry spans double as
+        perf attribution points.  With perf off this is one global load
+        plus a ``None`` check.
+        """
+        perf_session = _perf_core.get_active()
+        if perf_session is not None:
+            perf_session.span_push(name)
         start = time.perf_counter()
         try:
             yield
         finally:
+            if perf_session is not None:
+                perf_session.span_pop()
             self.emit("span", name=name, dur_s=time.perf_counter() - start, **fields)
 
     # -- lifecycle ------------------------------------------------------

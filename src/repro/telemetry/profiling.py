@@ -21,11 +21,30 @@ __all__ = ["profile_call", "hotspots"]
 R = TypeVar("R")
 
 
-def hotspots(stats: pstats.Stats, top: int = 15) -> list[dict[str, Any]]:
-    """The ``top`` entries by cumulative time, machine-readable."""
+#: ``sort`` choices -> index into pstats' ``(cc, nc, tt, ct, callers)``
+#: tuples.  pstats aliases accepted by ``sort_stats`` map here too.
+_SORT_INDEX = {
+    "cumulative": 3,
+    "cumtime": 3,
+    "tottime": 2,
+    "time": 2,
+}
+
+
+def hotspots(
+    stats: pstats.Stats, top: int = 15, *, sort: str = "cumulative"
+) -> list[dict[str, Any]]:
+    """The ``top`` entries ordered by ``sort``, machine-readable.
+
+    ``sort`` accepts the same cumulative/tottime spellings as
+    ``pstats.Stats.sort_stats`` (unknown keys fall back to cumulative),
+    so the emitted ``profile`` event ranks the same way as the rendered
+    table.
+    """
     rows: list[dict[str, Any]] = []
+    index = _SORT_INDEX.get(sort, 3)
     entries = sorted(
-        stats.stats.items(), key=lambda item: item[1][3], reverse=True  # type: ignore[attr-defined]
+        stats.stats.items(), key=lambda item: item[1][index], reverse=True  # type: ignore[attr-defined]
     )
     for (filename, line, name), (cc, nc, tt, ct, _callers) in entries[:top]:
         rows.append(
@@ -60,5 +79,5 @@ def profile_call(
     pstats.Stats(profiler, stream=buffer).sort_stats(sort).print_stats(top)
     recorder = _core.get_active()
     if recorder is not None:
-        recorder.emit("profile", top=hotspots(stats, top), sort=sort)
+        recorder.emit("profile", top=hotspots(stats, top, sort=sort), sort=sort)
     return result, buffer.getvalue()

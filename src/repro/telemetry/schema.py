@@ -66,6 +66,9 @@ KINDS: dict[str, frozenset[str]] = {
     "metrics": frozenset({"snapshot"}),
     # profiling hook
     "profile": frozenset({"top"}),
+    # sampling profiler (repro.perf): folded-stack capture + per-span cost
+    "perf_profile": frozenset({"samples", "hz", "dur_s", "stacks"}),
+    "perf_span": frozenset({"label", "samples", "secs"}),
 }
 
 #: Fields that, when present, must be numbers.
@@ -103,6 +106,12 @@ _NUMERIC = frozenset(
         "workers",
         "takeovers",
         "fence_rejects",
+        "samples",
+        "hz",
+        "secs",
+        "mem_peak_kb",
+        "mem_net_kb",
+        "stacks_dropped",
     }
 )
 

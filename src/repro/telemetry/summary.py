@@ -258,6 +258,51 @@ def summarize(records: list[dict[str, Any]]) -> dict[str, Any]:
         "metrics_totals": dict(sorted(metrics_totals.items())),
     }
 
+    # Performance plane (repro.perf + the cProfile hook): sampled
+    # folded-stack captures, span-attributed cost, and cProfile hotspot
+    # rows, merged across the log (worker captures ship back as extra
+    # perf_profile/perf_span records and sum here).
+    perf_profiles = [r for r in records if r["kind"] == "perf_profile"]
+    perf_stacks: dict[str, int] = {}
+    for record in perf_profiles:
+        stacks = record.get("stacks")
+        if not isinstance(stacks, dict):
+            continue
+        for stack, count in stacks.items():
+            if isinstance(count, (int, float)) and count > 0:
+                perf_stacks[str(stack)] = perf_stacks.get(str(stack), 0) + int(count)
+    perf_spans: dict[str, dict[str, float]] = {}
+    for record in records:
+        if record["kind"] != "perf_span":
+            continue
+        entry = perf_spans.setdefault(
+            str(record["label"]),
+            {"count": 0, "secs": 0.0, "samples": 0, "mem_peak_kb": 0.0,
+             "mem_net_kb": 0.0},
+        )
+        entry["count"] += record.get("count", 1)
+        entry["secs"] += record["secs"]
+        entry["samples"] += record["samples"]
+        entry["mem_peak_kb"] = max(entry["mem_peak_kb"], record.get("mem_peak_kb", 0.0))
+        entry["mem_net_kb"] += record.get("mem_net_kb", 0.0)
+    profile_events = [r for r in records if r["kind"] == "profile"]
+    hotspot_rows: list[dict[str, Any]] = []
+    for record in profile_events:
+        rows = record.get("top")
+        if isinstance(rows, list):
+            for row in rows:
+                if isinstance(row, dict) and "func" in row:
+                    hotspot_rows.append(row)
+    perf = {
+        "profiles": len(perf_profiles),
+        "samples": sum(r["samples"] for r in perf_profiles),
+        "sample_wall_s": sum(r["dur_s"] for r in perf_profiles),
+        "hz": perf_profiles[-1]["hz"] if perf_profiles else None,
+        "stacks": dict(sorted(perf_stacks.items())),
+        "spans": dict(sorted(perf_spans.items())),
+        "hotspots": hotspot_rows,
+    }
+
     return {
         "records": len(records),
         "manifests": manifests,
@@ -275,6 +320,7 @@ def summarize(records: list[dict[str, Any]]) -> dict[str, Any]:
             "timeouts": sum(c.get("timeouts", 0) for c in campaign_ends),
         },
         "fleet": fleet,
+        "perf": perf,
         "last_progress": progress[-1] if progress else None,
     }
 
@@ -404,6 +450,45 @@ def summary_tables(summary: dict[str, Any]) -> list[Table]:
             for name, value in sorted(totals.items()):
                 totals_table.add_row(name, value)
             tables.append(totals_table)
+
+    perf = summary.get("perf") or {}
+    if perf.get("profiles") or perf.get("hotspots"):
+        perf_table = Table(
+            "Perf (sampling profiler)",
+            ["profiles", "samples", "hz", "sample_wall_s", "distinct_stacks"],
+        )
+        perf_table.add_row(
+            perf.get("profiles", 0),
+            perf.get("samples", 0),
+            perf.get("hz") or "-",
+            perf.get("sample_wall_s", 0.0),
+            len(perf.get("stacks", {})),
+        )
+        tables.append(perf_table)
+        spans = perf.get("spans", {})
+        if spans:
+            perf_span_table = Table(
+                "Perf spans (sampled time + traced memory per label)",
+                ["label", "count", "secs", "samples", "mem_peak_kb"],
+            )
+            ranked = sorted(spans.items(), key=lambda kv: (-kv[1]["secs"], kv[0]))
+            for label, entry in ranked:
+                perf_span_table.add_row(
+                    label, entry["count"], entry["secs"], entry["samples"],
+                    entry["mem_peak_kb"],
+                )
+            tables.append(perf_span_table)
+        hotspots = perf.get("hotspots", [])
+        if hotspots:
+            hot_table = Table(
+                "cProfile hotspots", ["func", "calls", "tottime_s", "cumtime_s"]
+            )
+            for row in hotspots[:15]:
+                hot_table.add_row(
+                    row.get("func", "-"), row.get("calls", "-"),
+                    row.get("tottime_s", "-"), row.get("cumtime_s", "-"),
+                )
+            tables.append(hot_table)
 
     return tables
 

@@ -159,3 +159,69 @@ class TestAmbient:
             assert set_registry(second) is first
         finally:
             set_registry(None)
+
+
+class TestHistogramEdgeCases:
+    def test_empty_histogram_exposes_zero_buckets(self):
+        registry = MetricsRegistry()
+        registry.histogram("chunk_seconds", buckets=(0.1, 1.0))
+        text = registry.prometheus_text()
+        assert 'repro_chunk_seconds_bucket{le="0.1"} 0' in text
+        assert 'repro_chunk_seconds_bucket{le="+Inf"} 0' in text
+        assert "repro_chunk_seconds_sum 0" in text
+        assert "repro_chunk_seconds_count 0" in text
+
+    def test_empty_histogram_quantile_is_none(self):
+        registry = MetricsRegistry()
+        h = registry.histogram("lat", buckets=(1.0,))
+        assert h.quantile(0.5) is None
+        assert h.quantile(0.0) is None
+        assert h.quantile(1.0) is None
+
+    def test_quantile_rejects_out_of_range(self):
+        registry = MetricsRegistry()
+        h = registry.histogram("lat", buckets=(1.0,))
+        with pytest.raises(ValueError):
+            h.quantile(1.5)
+        with pytest.raises(ValueError):
+            h.quantile(-0.1)
+
+    def test_single_observation_answers_every_quantile(self):
+        registry = MetricsRegistry()
+        h = registry.histogram("lat", buckets=(1.0, 10.0))
+        h.observe(0.5)
+        for q in (0.0, 0.5, 0.9, 1.0):
+            value = h.quantile(q)
+            assert value is not None
+            assert 0.0 <= value <= 1.0  # bounded by its own bucket
+
+    def test_quantile_interpolates_within_bucket(self):
+        registry = MetricsRegistry()
+        h = registry.histogram("lat", buckets=(10.0, 20.0))
+        for value in (5.0, 12.0, 14.0, 18.0):
+            h.observe(value)
+        # rank 2 of 4 lands in the (10, 20] bucket: 10 + 10 * (2-1)/3
+        assert h.quantile(0.5) == pytest.approx(10.0 + 10.0 / 3.0)
+
+    def test_inf_bucket_clamps_to_highest_finite_bound(self):
+        registry = MetricsRegistry()
+        h = registry.histogram("lat", buckets=(1.0,))
+        h.observe(100.0)
+        assert h.quantile(0.99) == 1.0
+
+
+class TestLabelEscaping:
+    def test_quotes_backslashes_newlines_escaped(self):
+        registry = MetricsRegistry()
+        registry.counter("oddities", path='C:\\tmp\\"x"\nend').inc()
+        text = registry.prometheus_text()
+        assert 'path="C:\\\\tmp\\\\\\"x\\"\\nend"' in text
+        # The exposition still parses line-by-line: no raw newline leaked
+        # into a series line.
+        for line in text.splitlines():
+            assert line.startswith(("#", "repro_"))
+
+    def test_plain_values_untouched(self):
+        registry = MetricsRegistry()
+        registry.counter("commit_total", worker="w0").inc()
+        assert 'worker="w0"' in registry.prometheus_text()

@@ -192,3 +192,69 @@ class TestFleetIngest:
             metrics = store.metrics_for(result.run_id)
         assert not any(name.startswith(("fabric.", "fleet."))
                        for name in metrics)
+
+
+class TestPerfIngest:
+    def _perf_records(self):
+        return _log_records() + [
+            {"kind": "perf_profile", "ts": 1.6, "samples": 40, "hz": 97,
+             "dur_s": 0.5, "stacks": {"engine.run;engine.py:run": 30,
+                                      "main": 10},
+             "stacks_dropped": 0},
+            {"kind": "perf_span", "ts": 1.6, "label": "engine.run",
+             "count": 2, "secs": 0.31, "samples": 30,
+             "mem_peak_kb": 128.5, "mem_net_kb": 1.25},
+            {"kind": "perf_span", "ts": 1.6, "label": "resolve.kernel",
+             "count": 8, "secs": 0.11, "samples": 9,
+             "mem_peak_kb": 0.0, "mem_net_kb": 0.0},
+            {"kind": "profile", "ts": 1.7, "sort": "cumulative", "top": [
+                {"func": "/deep/path/engine.py:100(run)", "calls": 2,
+                 "tottime_s": 0.2, "cumtime_s": 0.4},
+                {"func": "resolve.py:10(_resolve)", "calls": 200,
+                 "tottime_s": 0.15, "cumtime_s": 0.15},
+            ]},
+        ]
+
+    def test_perf_metrics_derived(self, tmp_path):
+        log = _write_log(tmp_path / "run.jsonl", self._perf_records())
+        with RunStore(tmp_path / "runs.db") as store:
+            result = ingest_log(store, log)
+            metrics = store.metrics_for(result.run_id)
+        assert metrics["perf.samples"] == 40
+        assert metrics["perf.sample_wall_s"] == pytest.approx(0.5)
+        assert metrics["perf.span.engine.run.secs"] == pytest.approx(0.31)
+        assert metrics["perf.span.engine.run.samples"] == 30
+        assert metrics["perf.span.engine.run.mem_peak_kb"] == pytest.approx(128.5)
+        # A zero memory peak stays out of the metric namespace.
+        assert "perf.span.resolve.kernel.mem_peak_kb" not in metrics
+        assert metrics["perf.span.resolve.kernel.secs"] == pytest.approx(0.11)
+
+    def test_profile_hotspots_become_metrics(self, tmp_path):
+        log = _write_log(tmp_path / "run.jsonl", self._perf_records())
+        with RunStore(tmp_path / "runs.db") as store:
+            result = ingest_log(store, log)
+            metrics = store.metrics_for(result.run_id)
+        assert metrics["perf.hotspot.rows"] == 2
+        # Long paths collapse to basename; names stay queryable.
+        assert metrics["perf.hotspot.engine.py:100(run).cumtime_s"] == pytest.approx(0.4)
+        assert metrics["perf.hotspot.resolve.py:10(_resolve).tottime_s"] == pytest.approx(0.15)
+
+    def test_perf_overview_query(self, tmp_path):
+        from repro.obs import perf_overview
+
+        log = _write_log(tmp_path / "run.jsonl", self._perf_records())
+        with RunStore(tmp_path / "runs.db") as store:
+            ingest_log(store, log)
+            overview = perf_overview(store)
+        assert overview["samples"] == 40
+        assert overview["spans"][0]["label"] == "engine.run"  # heaviest first
+        assert overview["hotspots"][0]["func"] == "engine.py:100(run)"
+
+    def test_perf_overview_raises_without_perf(self, tmp_path):
+        from repro.obs import perf_overview
+
+        log = _write_log(tmp_path / "run.jsonl", _log_records())
+        with RunStore(tmp_path / "runs.db") as store:
+            ingest_log(store, log)
+            with pytest.raises(ExperimentError, match="no perf metrics"):
+                perf_overview(store)

@@ -1,0 +1,113 @@
+"""Folded-profile algebra and the deterministic flamegraph renderer."""
+
+import json
+
+from repro.perf import (
+    diff_folded,
+    load_stacks,
+    merge_folded,
+    parse_folded,
+    render_flamegraph,
+    top_frames,
+)
+
+STACKS = {
+    "main;engine.run;resolve": 60,
+    "main;engine.run;rng": 30,
+    "main;report": 10,
+}
+
+
+class TestFoldedAlgebra:
+    def test_parse_skips_malformed_lines(self):
+        text = "a;b 3\nnot-a-count x\n\n  c 2  \nd\n"
+        assert parse_folded(text) == {"a;b": 3, "c": 2}
+
+    def test_parse_merges_duplicates(self):
+        assert parse_folded("a;b 1\na;b 2\n") == {"a;b": 3}
+
+    def test_merge_sums_profiles(self):
+        merged = merge_folded({"a": 1, "b": 2}, {"b": 3, "c": 4})
+        assert merged == {"a": 1, "b": 5, "c": 4}
+
+    def test_top_frames_self_vs_total(self):
+        rows = {row["frame"]: row for row in top_frames(STACKS)}
+        assert rows["engine.run"]["total"] == 90
+        assert rows["engine.run"]["self"] == 0
+        assert rows["resolve"]["self"] == 60
+        assert rows["main"]["total"] == 100
+        assert rows["main"]["share"] == 1.0
+
+    def test_top_frames_recursion_counted_once(self):
+        rows = {row["frame"]: row
+                for row in top_frames({"f;f;f": 5, "g": 5})}
+        assert rows["f"]["total"] == 5
+
+    def test_diff_ranks_growth_first(self):
+        before = {"main;fast": 90, "main;slow": 10}
+        after = {"main;fast": 50, "main;slow": 50}
+        rows = diff_folded(before, after)
+        assert rows[0]["frame"] == "slow"
+        assert rows[0]["delta_share"] == 0.4
+        fast = next(row for row in rows if row["frame"] == "fast")
+        assert fast["delta_share"] == -0.4
+
+    def test_diff_normalizes_by_profile_length(self):
+        # Twice the samples with identical shape = no drift.
+        before = {"a;b": 10, "a;c": 10}
+        after = {"a;b": 20, "a;c": 20}
+        assert all(row["delta_share"] == 0.0 for row in diff_folded(before, after))
+
+
+class TestLoadStacks:
+    def test_folded_file(self, tmp_path):
+        path = tmp_path / "p.folded"
+        path.write_text("a;b 3\nc 1\n", encoding="utf-8")
+        assert load_stacks(path) == {"a;b": 3, "c": 1}
+
+    def test_telemetry_log_merges_profiles(self, tmp_path):
+        records = [
+            {"kind": "manifest", "ts": 1.0},
+            {"kind": "perf_profile", "ts": 2.0, "samples": 3, "hz": 97,
+             "dur_s": 1.0, "stacks": {"a;b": 2, "c": 1}},
+            {"kind": "perf_profile", "ts": 3.0, "samples": 4, "hz": 97,
+             "dur_s": 1.0, "stacks": {"a;b": 4}},
+        ]
+        path = tmp_path / "log.jsonl"
+        path.write_text(
+            "".join(json.dumps(r) + "\n" for r in records), encoding="utf-8"
+        )
+        assert load_stacks(path) == {"a;b": 6, "c": 1}
+
+    def test_torn_tail_tolerated(self, tmp_path):
+        path = tmp_path / "log.jsonl"
+        path.write_text(
+            json.dumps({"kind": "perf_profile", "stacks": {"a": 1}})
+            + '\n{"kind": "perf_pro', encoding="utf-8"
+        )
+        assert load_stacks(path) == {"a": 1}
+
+
+class TestFlamegraph:
+    def test_byte_stable_across_renders(self):
+        first = render_flamegraph(STACKS, title="t")
+        second = render_flamegraph(dict(reversed(list(STACKS.items()))), title="t")
+        assert first == second
+
+    def test_self_contained_and_scriptless(self):
+        doc = render_flamegraph(STACKS, title="profile & test")
+        assert doc.startswith("<!doctype html>")
+        assert "<script" not in doc
+        assert "http" not in doc.split("</style>")[1]  # no external fetches
+        assert "profile &amp; test" in doc
+
+    def test_frames_and_counts_present(self):
+        doc = render_flamegraph(STACKS, title="t", subtitle="sub")
+        for frame in ("engine.run", "resolve", "rng", "report"):
+            assert frame in doc
+        assert "100 samples" in doc
+        assert "sub" in doc
+
+    def test_empty_profile_renders(self):
+        doc = render_flamegraph({}, title="empty")
+        assert "empty" in doc

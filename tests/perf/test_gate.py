@@ -1,0 +1,80 @@
+"""The bench perf gate: seeded slowdowns fail --check and the regression
+flamegraph names the injected hot frame."""
+
+import json
+import pathlib
+import sys
+import time
+
+import pytest
+
+sys.path.insert(0, str(pathlib.Path(__file__).resolve().parent.parent.parent / "benchmarks"))
+
+import bench_engine  # noqa: E402
+
+
+def _injected_hotspot(seconds: float = 0.3) -> None:
+    """The seeded slowdown: a busy frame the flamegraph must name."""
+    deadline = time.perf_counter() + seconds
+    while time.perf_counter() < deadline:
+        pass
+
+
+class TestSeededSlowdown:
+    def test_slowdown_fails_gate_and_flamegraph_names_culprit(
+        self, tmp_path, monkeypatch
+    ):
+        # Baseline recorded "fast"; the measured engine then stalls in
+        # _injected_hotspot, so throughput collapses beyond tolerance.
+        baseline = tmp_path / "BENCH_engine.json"
+        baseline.write_text(json.dumps({
+            "schema": "repro-bench-engine/1",
+            "combined_slots_per_sec": 100000.0,
+            "topologies": {name: {} for name, _ in bench_engine.TOPOLOGIES},
+        }), encoding="utf-8")
+
+        def slow_measure(**kwargs):
+            _injected_hotspot()
+            return {"schema": "repro-bench-engine/1",
+                    "combined_slots_per_sec": 10.0}
+
+        monkeypatch.setattr(bench_engine, "measure_slots_per_sec", slow_measure)
+        ok, message = bench_engine.check_against_baseline(baseline)
+        assert not ok
+        assert "REGRESSION" in message
+
+        flame = tmp_path / "gate.html"
+        culprit = bench_engine.profile_regression(flame, message=message)
+        assert culprit is not None
+        assert "_injected_hotspot" in culprit
+        doc = flame.read_text(encoding="utf-8")
+        assert "_injected_hotspot" in doc
+        assert message.split("->")[0].strip()[:40] in doc or "REGRESSION" in doc
+
+    def test_healthy_measurement_passes_gate(self, tmp_path, monkeypatch):
+        baseline = tmp_path / "BENCH_engine.json"
+        baseline.write_text(json.dumps({
+            "schema": "repro-bench-engine/1",
+            "combined_slots_per_sec": 100.0,
+        }), encoding="utf-8")
+        monkeypatch.setattr(
+            bench_engine, "measure_slots_per_sec",
+            lambda **kw: {"schema": "repro-bench-engine/1",
+                          "combined_slots_per_sec": 99.0},
+        )
+        ok, message = bench_engine.check_against_baseline(baseline)
+        assert ok
+
+
+class TestPerfOverheadMeasurement:
+    def test_reports_all_three_legs(self):
+        result = bench_engine.measure_perf_overhead(slots=50, rounds=1)
+        assert result["disabled_slots_per_sec"] > 0
+        assert result["sampled_slots_per_sec"] > 0
+        assert result["traced_slots_per_sec"] > 0
+        assert isinstance(result["sampler_overhead_pct"], float)
+        assert isinstance(result["tracemalloc_overhead_pct"], float)
+        # No session may leak out of the measurement.
+        from repro.perf import core as perf_core
+
+        assert perf_core.get_active() is None

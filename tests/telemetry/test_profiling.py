@@ -1,8 +1,16 @@
 """Tests for the cProfile hooks behind the CLI's ``--profile`` flag."""
 
 from repro.telemetry.core import Telemetry, activate
-from repro.telemetry.profiling import profile_call
+from repro.telemetry.profiling import hotspots, profile_call
 from repro.telemetry.schema import validate_record
+
+
+class _FakeStats:
+    """A pstats.Stats stand-in with hand-picked timing tuples."""
+
+    def __init__(self, rows):
+        # func key -> (cc, nc, tt, ct, callers)
+        self.stats = rows
 
 
 def _workload(n):
@@ -35,3 +43,43 @@ class TestProfileCall:
         rec = Telemetry.buffered()
         profile_call(_workload, 100)
         assert rec.drain() == []
+
+
+class TestHotspotsSort:
+    """Regression tests: hotspots() once sorted by the raw stats tuple
+    (call counts first) instead of the requested time column, so the
+    'top hotspots' were really the most-called functions."""
+
+    ROWS = {
+        ("busy.py", 1, "hot_but_rarely_called"): (1, 1, 9.0, 9.5, {}),
+        ("chatty.py", 2, "called_constantly"): (5000, 5000, 0.1, 0.2, {}),
+        ("parent.py", 3, "thin_wrapper"): (2, 2, 0.05, 12.0, {}),
+    }
+
+    def test_cumulative_sorts_by_cumtime_not_call_count(self):
+        rows = hotspots(_FakeStats(self.ROWS), top=3)
+        assert [row["func"] for row in rows] == [
+            "parent.py:3(thin_wrapper)",
+            "busy.py:1(hot_but_rarely_called)",
+            "chatty.py:2(called_constantly)",
+        ]
+
+    def test_tottime_sort(self):
+        rows = hotspots(_FakeStats(self.ROWS), top=2, sort="tottime")
+        assert rows[0]["func"] == "busy.py:1(hot_but_rarely_called)"
+        assert rows[0]["tottime_s"] == 9.0
+
+    def test_pstats_aliases_accepted(self):
+        by_cum = hotspots(_FakeStats(self.ROWS), sort="cumtime")
+        by_time = hotspots(_FakeStats(self.ROWS), sort="time")
+        assert by_cum[0]["func"] == "parent.py:3(thin_wrapper)"
+        assert by_time[0]["func"] == "busy.py:1(hot_but_rarely_called)"
+
+    def test_unknown_sort_falls_back_to_cumulative(self):
+        rows = hotspots(_FakeStats(self.ROWS), sort="nonsense")
+        assert rows[0]["func"] == "parent.py:3(thin_wrapper)"
+
+    def test_top_truncates_after_sorting(self):
+        rows = hotspots(_FakeStats(self.ROWS), top=1)
+        assert len(rows) == 1
+        assert rows[0]["cumtime_s"] == 12.0
