@@ -711,6 +711,13 @@ def _cmd_obs(args: argparse.Namespace) -> int:
                               + (f" ({entry['detail']})" if entry["detail"] else ""))
                 return 0 if result["found"] else 1
     except ExperimentError as exc:
+        if args.obs_command in ("trend", "perf"):
+            # The --check exit-code contract: 0 = checked and clean,
+            # 1 = regression detected, 2 = bad invocation (unknown
+            # metric/source, invalid threshold, missing store) — so a
+            # CI gate can never mistake a typo for a verdict.
+            print(f"obs {args.obs_command}: {exc}", file=sys.stderr)
+            return 2
         raise SystemExit(f"obs {args.obs_command}: {exc}")
     raise SystemExit(f"unknown obs subcommand {args.obs_command!r}")
 
@@ -990,10 +997,14 @@ def _cmd_fleet(args: argparse.Namespace) -> int:
                         registry_from_snapshot(record["snapshot"], into=registry)
                         snapshots += 1
             if not snapshots:
-                raise SystemExit(
+                # Bad invocation (wrong logs), not a metrics verdict:
+                # exit 2, same contract as obs trend/perf --check.
+                print(
                     "fleet metrics: no 'metrics' snapshot records in the "
-                    "given log(s)"
+                    "given log(s)",
+                    file=sys.stderr,
                 )
+                raise SystemExit(2)
             if args.prom:
                 registry.write_prometheus(args.prom)
                 print(f"wrote {args.prom} ({snapshots} snapshot(s) merged)")
@@ -1126,9 +1137,17 @@ def _cmd_fabric(args: argparse.Namespace) -> int:
             or chrome_trace
         )
         config.prom = getattr(args, "prom", None)
+        config.tower_port = getattr(args, "tower", None)
+        if config.tower_port is not None:
+            # The tower follows <store>.<worker>.telemetry.jsonl logs;
+            # make sure the workers actually write them.
+            config.worker_telemetry = True
 
         result = run_fabric(config)
         print(result.summary())
+        if result.tower_port is not None:
+            print(f"tower: served on http://127.0.0.1:{result.tower_port} "
+                  f"(drained)")
         spec = resolve_spec(config.spec, config.params)
         code = 0
         if spec.summarize is not None:
@@ -1171,6 +1190,31 @@ def _cmd_fabric(args: argparse.Namespace) -> int:
         return code
     except ExperimentError as exc:
         raise SystemExit(f"fabric {args.fabric_command}: {exc}")
+
+
+def _cmd_tower(args: argparse.Namespace) -> int:
+    from pathlib import Path
+
+    from repro.errors import ExperimentError
+    from repro.tower import TowerConfig, run_tower
+
+    try:
+        config = TowerConfig(
+            host=args.host,
+            port=args.port,
+            obs_db=args.tower_obs_db,
+            follow=[Path(p) for p in args.follow],
+            follow_pattern=args.pattern,
+            webhooks=list(args.webhook),
+            dead_letter=args.dead_letter,
+            queue_size=args.queue_size,
+            heartbeat=args.heartbeat,
+            poll_interval=args.poll_interval,
+            port_file=args.port_file,
+        )
+        return run_tower(config)
+    except ExperimentError as exc:
+        raise SystemExit(f"tower: {exc}")
 
 
 def _cmd_report(args: argparse.Namespace) -> int:
@@ -1434,7 +1478,10 @@ def build_parser() -> argparse.ArgumentParser:
     p_trend.add_argument("--check", action="store_true",
                          help="exit 1 when the latest point regressed beyond "
                               "--threshold vs the median of the last "
-                              "--baseline-k points (CI gate)")
+                              "--baseline-k points (CI gate; exit codes: "
+                              "0 = checked and clean, 1 = regression, "
+                              "2 = bad invocation such as an unknown "
+                              "metric/source or invalid threshold)")
     p_trend.add_argument("--threshold", type=float, default=None,
                          help="relative regression threshold (default 0.2 = 20%%)")
     p_trend.add_argument("--baseline-k", type=int, default=None,
@@ -1508,7 +1555,9 @@ def build_parser() -> argparse.ArgumentParser:
     p_obs_perf.add_argument("--check", action="store_true",
                             help="with --metric: exit 1 when the latest point "
                                  "regressed beyond --threshold vs the median "
-                                 "of the last --baseline-k points (CI gate)")
+                                 "of the last --baseline-k points (CI gate; "
+                                 "exit codes: 0 = checked and clean, 1 = "
+                                 "regression, 2 = bad invocation)")
     p_obs_perf.add_argument("--threshold", type=float, default=None,
                             help="relative regression threshold (default 0.2)")
     p_obs_perf.add_argument("--baseline-k", type=int, default=None,
@@ -1624,6 +1673,14 @@ def build_parser() -> argparse.ArgumentParser:
                                 "telemetry logs into one Chrome/Perfetto "
                                 "trace with a process lane per worker "
                                 "(implies --worker-telemetry)")
+    p_fab_run.add_argument("--tower", type=int, default=None, nargs="?",
+                           const=0, metavar="PORT",
+                           help="serve a live observability tower for the "
+                                "campaign's lifetime: SSE /stream over the "
+                                "coordinator bus + worker logs, Prometheus "
+                                "/metrics, /dashboard (PORT omitted or 0 = "
+                                "ephemeral; the bound port lands in "
+                                "<store>.tower.port)")
     p_fab_run.add_argument("--worker-telemetry", action="store_true",
                            help="give each worker its own telemetry log at "
                                 "<store>.<worker>.telemetry.jsonl, stamped "
@@ -1780,6 +1837,57 @@ def build_parser() -> argparse.ArgumentParser:
     p_fleet_metrics.add_argument("--json", action="store_true",
                                  help="emit the merged snapshot as JSON")
     p_fleet_metrics.set_defaults(func=_cmd_fleet)
+
+    p_tower = sub.add_parser(
+        "tower",
+        help="long-running observability gateway: live telemetry over SSE, "
+             "Prometheus /metrics, run history + dashboard from an obs "
+             "store, and alert webhooks with a dead-letter journal",
+    )
+    p_tower.add_argument("--host", default="127.0.0.1",
+                         help="bind address (default 127.0.0.1)")
+    p_tower.add_argument("--port", type=int, default=0,
+                         help="bind port (default 0 = ephemeral; the bound "
+                              "port is printed and written to --port-file)")
+    p_tower.add_argument("--port-file", default=None, metavar="PATH",
+                         help="write the bound port here once listening")
+    # dest dodges the global --obs-db/--telemetry pairing in main():
+    # the tower reads the store, it does not ingest a log into it.
+    p_tower.add_argument("--obs-db", dest="tower_obs_db", default=None,
+                         metavar="DB",
+                         help="obs store backing /runs, /trend and "
+                              "/dashboard (read-only, WAL-safe alongside "
+                              "concurrent ingests)")
+    p_tower.add_argument("--follow", action="append", default=[],
+                         metavar="PATH",
+                         help="telemetry log or directory of logs to tail "
+                              "into /stream (repeatable; directories are "
+                              "rescanned live, so worker logs that appear "
+                              "later are picked up)")
+    p_tower.add_argument("--pattern", default="*.jsonl", metavar="GLOB",
+                         help="log filename glob for --follow directories "
+                              "(default *.jsonl)")
+    p_tower.add_argument("--webhook", action="append", default=[],
+                         metavar="URL",
+                         help="POST every alert record to this http:// URL "
+                              "(repeatable; seeded-jitter retries, failures "
+                              "land in the dead-letter journal)")
+    p_tower.add_argument("--dead-letter", default=None, metavar="PATH",
+                         help="JSONL journal for alerts that exhausted "
+                              "their webhook retries (replayed by POST "
+                              "/webhooks/drain)")
+    p_tower.add_argument("--queue-size", type=int, default=256,
+                         help="per-client SSE queue bound; a slower "
+                              "consumer drops records (with an in-stream "
+                              "gap marker) instead of stalling anyone "
+                              "(default 256)")
+    p_tower.add_argument("--heartbeat", type=float, default=15.0,
+                         help="idle seconds between SSE keepalive comments "
+                              "(default 15)")
+    p_tower.add_argument("--poll-interval", type=float, default=0.2,
+                         help="--follow tail poll interval in seconds "
+                              "(default 0.2)")
+    p_tower.set_defaults(func=_cmd_tower)
 
     p_game = sub.add_parser("game", help="foil a hitting-game strategy")
     add_common(p_game)

@@ -92,6 +92,12 @@ class FabricConfig:
     #: Write the coordinator registry's Prometheus text exposition here
     #: after the campaign.
     prom: str | os.PathLike[str] | None = None
+    #: Serve a :mod:`repro.tower` gateway for the campaign's lifetime on
+    #: this port (0 = ephemeral).  The tower bridges the coordinator's
+    #: recorder bus and tail-follows every worker telemetry log, so the
+    #: campaign is watchable live (SSE, Prometheus, dashboard) from any
+    #: other process.  ``None`` = no tower.
+    tower_port: int | None = None
 
     def __post_init__(self) -> None:
         if self.workers < 0:
@@ -116,6 +122,7 @@ class FabricResult:
     trace_id: str | None = None
     worker_logs: dict[str, Path] = field(default_factory=dict)
     prom: Path | None = None
+    tower_port: int | None = None
 
     def summary(self) -> str:
         return (
@@ -214,6 +221,28 @@ def run_fabric(config: FabricConfig) -> FabricResult:
             chunksize=chunksize,
             fingerprint=fingerprint,
             fault_plan=config.fault_plan.spec() or None,
+        )
+
+    # Live observability gateway: serves this campaign's bus + worker
+    # logs over HTTP for the duration of the run.  The bound port lands
+    # in <store>.tower.port so other processes can discover it.
+    tower_thread = None
+    tower_port: int | None = None
+    if config.tower_port is not None:
+        from repro.tower import TowerConfig, TowerThread
+
+        tower_thread = TowerThread(
+            TowerConfig(
+                port=config.tower_port,
+                recorder=recorder,
+                follow=[store_path.parent],
+                follow_pattern=f"{store_path.name}.*.telemetry.jsonl",
+                port_file=store_path.with_name(f"{store_path.name}.tower.port"),
+            )
+        )
+        tower_port = tower_thread.start()
+        logger.info(
+            "fabric tower serving campaign at http://127.0.0.1:%d", tower_port
         )
 
     drain = threading.Event()
@@ -390,8 +419,13 @@ def run_fabric(config: FabricConfig) -> FabricResult:
             trace_id=trace.trace_id,
             worker_logs=worker_logs,
             prom=prom_path,
+            tower_port=tower_port,
         )
     finally:
+        if tower_thread is not None:
+            # Drain before teardown: attached SSE clients get the
+            # campaign's final records and an eof frame, not a reset.
+            tower_thread.stop()
         for proc in procs.values():
             if proc.poll() is None:
                 proc.kill()

@@ -27,6 +27,7 @@ registry) — heartbeat threads and the worker main loop share one.
 from __future__ import annotations
 
 import contextlib
+import re
 import threading
 from typing import Any, Iterator
 
@@ -35,6 +36,8 @@ __all__ = [
     "Gauge",
     "Histogram",
     "MetricsRegistry",
+    "sanitize_metric_name",
+    "sanitize_label_name",
     "registry_from_snapshot",
     "snapshot_totals",
     "get_registry",
@@ -53,8 +56,47 @@ DEFAULT_BUCKETS = (0.005, 0.01, 0.025, 0.05, 0.1, 0.25, 0.5, 1.0, 2.5, 5.0, 10.0
 _ACTIVE: "MetricsRegistry | None" = None
 
 
+#: Prometheus metric names: ``[a-zA-Z_:][a-zA-Z0-9_:]*``.
+_METRIC_NAME_OK = re.compile(r"[a-zA-Z_:][a-zA-Z0-9_:]*\Z")
+_METRIC_NAME_BAD = re.compile(r"[^a-zA-Z0-9_:]")
+
+#: Prometheus label names: ``[a-zA-Z_][a-zA-Z0-9_]*`` (no colons).
+_LABEL_NAME_OK = re.compile(r"[a-zA-Z_][a-zA-Z0-9_]*\Z")
+_LABEL_NAME_BAD = re.compile(r"[^a-zA-Z0-9_]")
+
+
+def sanitize_metric_name(name: str) -> str:
+    """``name`` made valid for the Prometheus exposition format.
+
+    Characters outside ``[a-zA-Z0-9_:]`` become ``_`` and a leading
+    digit gets a ``_`` prefix, so ``engine.slots/sec`` registers as
+    ``engine_slots_sec`` instead of tearing the scrape.  Valid names
+    (the common case) pass through untouched without allocating.
+    """
+    name = str(name)
+    if _METRIC_NAME_OK.match(name):
+        return name
+    cleaned = _METRIC_NAME_BAD.sub("_", name) or "_"
+    if cleaned[0].isdigit():
+        cleaned = "_" + cleaned
+    return cleaned
+
+
+def sanitize_label_name(name: str) -> str:
+    """``name`` made valid as a Prometheus label name (no colons)."""
+    name = str(name)
+    if _LABEL_NAME_OK.match(name):
+        return name
+    cleaned = _LABEL_NAME_BAD.sub("_", name) or "_"
+    if cleaned[0].isdigit():
+        cleaned = "_" + cleaned
+    return cleaned
+
+
 def _label_key(labels: dict[str, str]) -> tuple[tuple[str, str], ...]:
-    return tuple(sorted((str(k), str(v)) for k, v in labels.items()))
+    return tuple(
+        sorted((sanitize_label_name(k), str(v)) for k, v in labels.items())
+    )
 
 
 def _escape_label_value(value: str) -> str:
@@ -184,6 +226,7 @@ class MetricsRegistry:
     def _instrument(
         self, name: str, kind: str, help_text: str, labels: dict[str, str], factory
     ) -> Any:
+        name = sanitize_metric_name(name)
         key = _label_key(labels)
         with self._lock:
             entry = self._metrics.get(name)
@@ -352,8 +395,11 @@ def registry_from_snapshot(
                 bounds = tuple(
                     float(b) for b, _ in pairs if b != "+Inf"
                 )
+                # An explicit empty bucket list (just +Inf) must round-trip
+                # as-is; only a snapshot with *no* bucket data at all falls
+                # back to the defaults.
                 hist = registry.histogram(
-                    name, buckets=bounds or DEFAULT_BUCKETS, **labels
+                    name, buckets=bounds if pairs else DEFAULT_BUCKETS, **labels
                 )
                 hist.total = float(row.get("sum", 0.0))
                 hist.count = int(row.get("count", 0))

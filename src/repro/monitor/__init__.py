@@ -32,6 +32,7 @@ from repro.monitor.conformance import (
     ConformanceChecker,
     ConformanceMonitor,
     DecaySuccessChecker,
+    FleetLeaseChecker,
     MonitorConfig,
     OmegaFloorChecker,
     RunIndex,
@@ -49,6 +50,7 @@ __all__ = [
     "ConformanceChecker",
     "ConformanceMonitor",
     "DecaySuccessChecker",
+    "FleetLeaseChecker",
     "LiveMonitor",
     "MonitorConfig",
     "MonitorReport",

@@ -1,0 +1,50 @@
+"""``repro.tower`` — the live observability gateway.
+
+Every observability layer the repo has grown (telemetry JSON-lines
+logs, the obs SQLite store, monitor SLO gates, fleet tracing/metrics,
+perf profiles) is pull-after-the-fact: you must be on the box, tailing
+files or running CLIs.  The tower is the *push* half — a long-running,
+stdlib-only asyncio HTTP service that lets a remote scraper or browser
+watch a campaign live:
+
+* ``GET /stream``   — Server-Sent Events over live telemetry, fed by
+  the zero-cost subscriber bus (in-process runs) and by the
+  torn-tail-tolerant :class:`repro.monitor.tail.TailReader` (on-disk
+  fabric worker logs), with ``Last-Event-ID`` resume and a bounded
+  per-client queue whose overflow is *signalled in-stream* as a
+  ``gap`` event instead of ever blocking the telemetry bus;
+* ``GET /metrics``  — Prometheus text exposition merging the fleet
+  metrics registry (ambient or reconstructed from streamed ``metrics``
+  snapshots) with the tower's own client/relay/drop counters;
+* ``GET /runs`` / ``/runs/<id>`` / ``/trend`` / ``/dashboard`` — JSON
+  query and self-contained HTML endpoints over the obs
+  :class:`~repro.obs.store.RunStore` (read-only, WAL-safe concurrent
+  with ingest);
+* alert webhooks — monitor-fired ``alert`` records POSTed to
+  configured URLs with seeded-jitter :func:`repro.parallel.backoff_delay`
+  retries and an on-disk dead-letter journal;
+* ``/healthz`` / ``/readyz`` and a graceful SIGTERM drain.
+
+Everything is hand-rolled HTTP/1.1 over :mod:`asyncio` streams — no
+third-party dependency, matching the rest of the repo.  With no tower
+attached nothing changes anywhere: the telemetry bus fast path stays
+one falsy-tuple check per record (``bench_engine.py --bus-check``).
+
+CLI: ``python -m repro tower [--port --obs-db --follow DIR --webhook
+URL]``; ``python -m repro fabric run --tower PORT`` serves the
+coordinator's own fleet while the campaign runs.
+"""
+
+from repro.tower.app import Tower, TowerConfig, TowerThread, run_tower
+from repro.tower.hub import EventHub, Subscription
+from repro.tower.webhooks import WebhookDispatcher
+
+__all__ = [
+    "Tower",
+    "TowerConfig",
+    "TowerThread",
+    "run_tower",
+    "EventHub",
+    "Subscription",
+    "WebhookDispatcher",
+]

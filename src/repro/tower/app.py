@@ -1,0 +1,483 @@
+"""The tower itself: config, server, routes, and lifecycle.
+
+:class:`Tower` owns the :class:`~repro.tower.hub.EventHub`, the asyncio
+HTTP server, the optional log-follow task and webhook dispatcher, and
+the route table.  Three ways to run one:
+
+* :func:`run_tower` — the blocking CLI entry (``python -m repro
+  tower``): serves until SIGTERM/SIGINT, then drains gracefully
+  (``/readyz`` flips to 503, every SSE stream gets a final ``eof``
+  frame, queued webhooks flush).
+* :class:`TowerThread` — a daemon-thread embedding for ``fabric run
+  --tower`` and for tests: the coordinator keeps its synchronous
+  control flow while the tower serves its recorder's bus live.
+* ``Tower`` directly inside an existing event loop.
+
+Every fixed-length endpoint is a pure function of its inputs — the
+obs store for ``/runs``/``/trend``/``/dashboard``, registry state for
+``/metrics`` — rendered with sorted keys, so identical state is
+identical bytes (``cmp``-testable, like the rest of the repo's
+reports).
+"""
+
+from __future__ import annotations
+
+import asyncio
+import signal
+import threading
+from dataclasses import dataclass, field
+from pathlib import Path
+from typing import Any
+
+from repro.errors import ExperimentError
+from repro.tower.httpd import (
+    HttpError,
+    Request,
+    json_response,
+    read_request,
+    response,
+    sse_preamble,
+)
+from repro.tower.hub import DEFAULT_QUEUE_SIZE, DEFAULT_RING_SIZE, EventHub
+from repro.tower.metrics import SnapshotCache, render_exposition
+from repro.tower.sources import LOG_PATTERN, bridge_recorder, follow_paths
+from repro.tower.sse import (
+    encode_comment,
+    encode_eof,
+    encode_event,
+    encode_gap,
+    parse_last_event_id,
+)
+from repro.tower.webhooks import WebhookDispatcher
+
+__all__ = ["TowerConfig", "Tower", "TowerThread", "run_tower"]
+
+#: Prometheus text exposition content type.
+_PROM_TYPE = "text/plain; version=0.0.4; charset=utf-8"
+
+#: Seconds a client gets to present its request head.
+_REQUEST_TIMEOUT = 10.0
+
+#: Seconds granted to healthy SSE clients to flush their ``eof`` frame
+#: before remaining connections are force-closed during drain.
+_DRAIN_GRACE = 0.25
+
+
+@dataclass
+class TowerConfig:
+    """Everything a tower needs to serve."""
+
+    host: str = "127.0.0.1"
+    port: int = 0  # 0 = ephemeral; the bound port lands in Tower.port
+    obs_db: str | Path | None = None
+    follow: list[Path] = field(default_factory=list)
+    follow_pattern: str = LOG_PATTERN
+    webhooks: list[str] = field(default_factory=list)
+    dead_letter: str | Path | None = None
+    queue_size: int = DEFAULT_QUEUE_SIZE
+    ring_size: int = DEFAULT_RING_SIZE
+    poll_interval: float = 0.2
+    heartbeat: float = 15.0
+    port_file: str | Path | None = None
+    recorder: Any = None  # live Telemetry to bridge (embedded towers)
+
+
+class Tower:
+    """The asyncio HTTP service over the hub, the store, and the registry."""
+
+    def __init__(self, config: TowerConfig) -> None:
+        self.config = config
+        self.hub = EventHub(
+            queue_size=config.queue_size, ring_size=config.ring_size
+        )
+        self.snapshots = SnapshotCache()
+        self.request_counts: dict[str, int] = {}
+        self.webhooks: WebhookDispatcher | None = None
+        if config.webhooks or config.dead_letter:
+            self.webhooks = WebhookDispatcher(
+                list(config.webhooks), dead_letter=config.dead_letter
+            )
+        self.draining = False
+        self.port: int | None = None
+        self._server: asyncio.base_events.Server | None = None
+        self._writers: set[asyncio.StreamWriter] = set()
+        self._follow_task: asyncio.Task | None = None
+        self._follow_stop: asyncio.Event | None = None
+        self._unbridge = None
+
+    # -- lifecycle ------------------------------------------------------
+
+    async def start(self) -> None:
+        """Bind, start serving, and attach every configured source."""
+        loop = asyncio.get_running_loop()
+        self.hub.bind(loop)
+        self.hub.tap(self.snapshots.observe)
+        if self.webhooks is not None:
+            self.webhooks.start()
+            self.hub.tap(self._feed_webhooks)
+        if self.config.recorder is not None:
+            self._unbridge = bridge_recorder(self.hub, self.config.recorder)
+        if self.config.follow:
+            self._follow_stop = asyncio.Event()
+            self._follow_task = loop.create_task(
+                follow_paths(
+                    self.hub,
+                    self.config.follow,
+                    poll_interval=self.config.poll_interval,
+                    pattern=self.config.follow_pattern,
+                    stop=self._follow_stop,
+                )
+            )
+        self._server = await asyncio.start_server(
+            self._handle_client, self.config.host, self.config.port
+        )
+        self.port = self._server.sockets[0].getsockname()[1]
+        if self.config.port_file:
+            Path(self.config.port_file).write_text(
+                f"{self.port}\n", encoding="utf-8"
+            )
+
+    async def stop(self) -> None:
+        """Graceful drain: 503 readiness, ``eof`` streams, flushed hooks."""
+        self.draining = True
+        if self._unbridge is not None:
+            self._unbridge()  # recorder bus back to its zero-cost path
+            self._unbridge = None
+        if self._follow_task is not None:
+            assert self._follow_stop is not None
+            self._follow_stop.set()
+            try:
+                await asyncio.wait_for(self._follow_task, 5.0)
+            except asyncio.TimeoutError:
+                self._follow_task.cancel()
+            self._follow_task = None
+        self.hub.close()
+        await asyncio.sleep(_DRAIN_GRACE)
+        if self._server is not None:
+            self._server.close()
+        for writer in list(self._writers):
+            writer.close()  # unstick anyone blocked in drain()
+        if self.webhooks is not None:
+            await self.webhooks.stop()
+        if self._server is not None:
+            await self._server.wait_closed()
+            self._server = None
+
+    def _feed_webhooks(self, seq: int, record: dict[str, Any]) -> None:
+        if record.get("kind") == "alert" and self.webhooks is not None:
+            self.webhooks.submit(seq, record)
+
+    # -- connection handling --------------------------------------------
+
+    async def _handle_client(
+        self, reader: asyncio.StreamReader, writer: asyncio.StreamWriter
+    ) -> None:
+        self._writers.add(writer)
+        try:
+            try:
+                request = await asyncio.wait_for(
+                    read_request(reader), _REQUEST_TIMEOUT
+                )
+            except asyncio.TimeoutError:
+                writer.write(response(408, "request head timed out\n"))
+                return
+            except HttpError as exc:
+                writer.write(response(exc.status, exc.detail + "\n"))
+                return
+            if request is None:
+                return
+            try:
+                await self._dispatch(request, writer)
+            except HttpError as exc:
+                writer.write(response(exc.status, exc.detail + "\n"))
+            except (ConnectionResetError, BrokenPipeError):
+                pass  # client left mid-response
+            except Exception as exc:  # noqa: BLE001 - one bad handler != downtime
+                try:
+                    writer.write(
+                        response(500, f"{type(exc).__name__}: {exc}\n")
+                    )
+                except (ConnectionResetError, BrokenPipeError):
+                    pass
+        finally:
+            self._writers.discard(writer)
+            try:
+                writer.close()
+                await writer.wait_closed()
+            except (ConnectionResetError, BrokenPipeError, OSError):
+                pass
+
+    def _count(self, route: str) -> None:
+        self.request_counts[route] = self.request_counts.get(route, 0) + 1
+
+    async def _dispatch(
+        self, request: Request, writer: asyncio.StreamWriter
+    ) -> None:
+        path = request.path
+        if path == "/webhooks/drain":
+            self._count(path)
+            if request.method != "POST":
+                raise HttpError(405, "POST /webhooks/drain")
+            writer.write(await self._drain_webhooks())
+            return
+        if request.method != "GET":
+            self._count("other")
+            raise HttpError(405, f"{request.method} not supported")
+        if path == "/stream":
+            self._count(path)
+            await self._stream(request, writer)
+            return
+        if path == "/":
+            self._count(path)
+            writer.write(self._index())
+        elif path == "/healthz":
+            self._count(path)
+            writer.write(json_response(200, {"status": "ok"}))
+        elif path == "/readyz":
+            self._count(path)
+            if self.draining:
+                writer.write(json_response(503, {"status": "draining"}))
+            else:
+                writer.write(json_response(200, {"status": "ready"}))
+        elif path == "/metrics":
+            self._count(path)
+            writer.write(
+                response(200, render_exposition(self), content_type=_PROM_TYPE)
+            )
+        elif path == "/runs":
+            self._count(path)
+            writer.write(self._runs())
+        elif path.startswith("/runs/"):
+            self._count("/runs/{id}")
+            writer.write(self._run_detail(path[len("/runs/"):]))
+        elif path == "/trend":
+            self._count(path)
+            writer.write(self._trend(request))
+        elif path == "/dashboard":
+            self._count(path)
+            writer.write(self._dashboard())
+        else:
+            self._count("other")
+            raise HttpError(404, f"no route {path}")
+        await writer.drain()
+
+    # -- fixed-length endpoints -----------------------------------------
+
+    def _index(self) -> bytes:
+        return json_response(
+            200,
+            {
+                "service": "repro tower",
+                "endpoints": {
+                    "/stream": "live telemetry over SSE "
+                    "(?kinds=alert,lease&last_event_id=N)",
+                    "/metrics": "Prometheus exposition: fleet + tower series",
+                    "/runs": "ingested runs from the obs store",
+                    "/runs/{selector}": "one run (id, fingerprint prefix, "
+                    "latest, prev) with its metrics",
+                    "/trend": "metric trend (?metric=...&source=runs|bench)",
+                    "/dashboard": "byte-stable HTML overview",
+                    "/healthz": "liveness",
+                    "/readyz": "readiness (503 while draining)",
+                    "/webhooks/drain": "POST: replay the dead-letter journal",
+                },
+            },
+        )
+
+    def _store(self):
+        if self.config.obs_db is None:
+            raise HttpError(404, "no obs store attached (start with --obs-db)")
+        from repro.obs import RunStore
+
+        return RunStore(self.config.obs_db)
+
+    def _runs(self) -> bytes:
+        with self._store() as store:
+            runs = store.runs()
+        return json_response(200, {"count": len(runs), "runs": runs})
+
+    def _run_detail(self, selector: str) -> bytes:
+        with self._store() as store:
+            try:
+                run = store.resolve_run(selector)
+            except ExperimentError as exc:
+                return json_response(404, {"error": str(exc)})
+            metrics = store.metrics_for(run["id"])
+        return json_response(200, {"run": run, "metrics": metrics})
+
+    def _trend(self, request: Request) -> bytes:
+        metric = request.param("metric")
+        if not metric:
+            return json_response(
+                400, {"error": "query parameter 'metric' is required"}
+            )
+        source = request.param("source", "runs")
+        from repro.obs import trend_points
+
+        with self._store() as store:
+            try:
+                points = trend_points(store, metric, source=source)
+            except ExperimentError as exc:
+                return json_response(400, {"error": str(exc)})
+        return json_response(
+            200,
+            {
+                "metric": metric,
+                "source": source,
+                "points": [
+                    {
+                        "label": p.label,
+                        "value": p.value,
+                        "run_id": p.run_id,
+                        "created": p.created,
+                    }
+                    for p in points
+                ],
+            },
+        )
+
+    def _dashboard(self) -> bytes:
+        from repro.tower.dashboard import render_dashboard
+
+        if self.config.obs_db is None:
+            page = render_dashboard(None)
+        else:
+            with self._store() as store:
+                page = render_dashboard(store)
+        return response(200, page, content_type="text/html; charset=utf-8")
+
+    async def _drain_webhooks(self) -> bytes:
+        if self.webhooks is None:
+            return json_response(
+                404, {"error": "no webhooks configured on this tower"}
+            )
+        return json_response(200, await self.webhooks.drain_dead_letters())
+
+    # -- the SSE endpoint -----------------------------------------------
+
+    async def _stream(
+        self, request: Request, writer: asyncio.StreamWriter
+    ) -> None:
+        kinds_text = request.param("kinds")
+        kinds = (
+            [k.strip() for k in kinds_text.split(",") if k.strip()]
+            if kinds_text
+            else None
+        )
+        client = self.hub.subscribe(
+            last_event_id=parse_last_event_id(request), kinds=kinds
+        )
+        writer.write(sse_preamble())
+        try:
+            await writer.drain()
+            while True:
+                try:
+                    item = await client.get(timeout=self.config.heartbeat)
+                except asyncio.TimeoutError:
+                    writer.write(encode_comment())
+                    await writer.drain()
+                    continue
+                if item[0] == "event":
+                    writer.write(encode_event(item[1], item[2]))
+                elif item[0] == "gap":
+                    writer.write(encode_gap(item[1]))
+                else:  # ("eof",)
+                    writer.write(encode_eof())
+                    await writer.drain()
+                    return
+                await writer.drain()
+        except (ConnectionResetError, BrokenPipeError, OSError):
+            pass  # client went away; the hub just loses one subscriber
+        finally:
+            self.hub.unsubscribe(client)
+
+
+# -- entry points -------------------------------------------------------
+
+
+async def _serve(config: TowerConfig, stop: asyncio.Event) -> int:
+    tower = Tower(config)
+    await tower.start()
+    print(f"[tower] listening on http://{config.host}:{tower.port}")
+    print(f"[tower] dashboard: http://{config.host}:{tower.port}/dashboard")
+    await stop.wait()
+    print("[tower] draining")
+    await tower.stop()
+    return 0
+
+
+def run_tower(config: TowerConfig) -> int:
+    """Serve until SIGTERM/SIGINT, then drain gracefully (CLI entry)."""
+
+    async def _main() -> int:
+        loop = asyncio.get_running_loop()
+        stop = asyncio.Event()
+        for sig in (signal.SIGTERM, signal.SIGINT):
+            try:
+                loop.add_signal_handler(sig, stop.set)
+            except (NotImplementedError, RuntimeError):
+                pass  # non-Unix loop; Ctrl-C still raises KeyboardInterrupt
+        return await _serve(config, stop)
+
+    try:
+        return asyncio.run(_main())
+    except KeyboardInterrupt:
+        return 0
+
+
+class TowerThread:
+    """A tower on a daemon thread with its own event loop.
+
+    ``fabric run --tower`` embeds one so the coordinator's synchronous
+    drive loop is untouched while its recorder's bus streams out live;
+    tests use it the same way.  ``start()`` blocks until the port is
+    bound (or startup failed); ``stop()`` drains and joins.
+    """
+
+    def __init__(self, config: TowerConfig) -> None:
+        self.config = config
+        self.port: int | None = None
+        self.error: BaseException | None = None
+        self._started = threading.Event()
+        self._loop: asyncio.AbstractEventLoop | None = None
+        self._stop_event: asyncio.Event | None = None
+        self._thread = threading.Thread(
+            target=self._run, name="repro-tower", daemon=True
+        )
+
+    def _run(self) -> None:
+        async def _amain() -> None:
+            self._loop = asyncio.get_running_loop()
+            self._stop_event = asyncio.Event()
+            tower = Tower(self.config)
+            try:
+                await tower.start()
+            except BaseException as exc:  # noqa: BLE001 - report to caller
+                self.error = exc
+                self._started.set()
+                return
+            self.port = tower.port
+            self._started.set()
+            await self._stop_event.wait()
+            await tower.stop()
+
+        asyncio.run(_amain())
+
+    def start(self, *, timeout: float = 10.0) -> int:
+        """Boot the thread; returns the bound port."""
+        self._thread.start()
+        if not self._started.wait(timeout):
+            raise ExperimentError("tower thread did not start in time")
+        if self.error is not None:
+            raise ExperimentError(f"tower failed to start: {self.error}")
+        assert self.port is not None
+        return self.port
+
+    def stop(self, *, timeout: float = 10.0) -> None:
+        """Drain the tower and join the thread (idempotent)."""
+        if self._loop is not None and self._stop_event is not None:
+            try:
+                self._loop.call_soon_threadsafe(self._stop_event.set)
+            except RuntimeError:
+                pass  # loop already gone
+        self._thread.join(timeout)

@@ -1,0 +1,162 @@
+"""Minimal hand-rolled HTTP/1.1 over asyncio streams.
+
+Just enough protocol for the tower's endpoints — request-line +
+headers + optional ``Content-Length`` body in, fixed-length responses
+or an unbounded SSE stream out, one request per connection
+(``Connection: close``).  No chunked transfer, no keep-alive
+pipelining, no TLS: the tower fronts a trusted lab network, and every
+byte of protocol it does speak is std-library and auditable.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import json
+from dataclasses import dataclass, field
+from typing import Any
+from urllib.parse import parse_qs, unquote, urlsplit
+
+__all__ = [
+    "Request",
+    "HttpError",
+    "read_request",
+    "response",
+    "json_response",
+    "sse_preamble",
+]
+
+#: Reason phrases for the statuses the tower actually emits.
+REASONS = {
+    200: "OK",
+    204: "No Content",
+    400: "Bad Request",
+    404: "Not Found",
+    405: "Method Not Allowed",
+    408: "Request Timeout",
+    413: "Payload Too Large",
+    500: "Internal Server Error",
+    503: "Service Unavailable",
+}
+
+#: Upper bound on request head (request line + headers) and body bytes.
+MAX_HEAD = 32 * 1024
+MAX_BODY = 1024 * 1024
+
+
+class HttpError(Exception):
+    """A protocol-level failure mapped straight to a status code."""
+
+    def __init__(self, status: int, detail: str = "") -> None:
+        super().__init__(detail or REASONS.get(status, "error"))
+        self.status = status
+        self.detail = detail or REASONS.get(status, "error")
+
+
+@dataclass
+class Request:
+    """One parsed HTTP request."""
+
+    method: str
+    target: str
+    path: str
+    query: dict[str, list[str]] = field(default_factory=dict)
+    headers: dict[str, str] = field(default_factory=dict)
+    body: bytes = b""
+
+    def param(self, name: str, default: str | None = None) -> str | None:
+        """First value of a query parameter, or ``default``."""
+        values = self.query.get(name)
+        return values[0] if values else default
+
+
+async def read_request(reader: asyncio.StreamReader) -> Request | None:
+    """Parse one request off the stream; ``None`` on a clean EOF."""
+    try:
+        head = await reader.readuntil(b"\r\n\r\n")
+    except asyncio.IncompleteReadError as exc:
+        if not exc.partial:
+            return None  # client connected and left: not an error
+        raise HttpError(400, "truncated request head")
+    except asyncio.LimitOverrunError:
+        raise HttpError(413, f"request head exceeds {MAX_HEAD} bytes")
+    if len(head) > MAX_HEAD:
+        raise HttpError(413, f"request head exceeds {MAX_HEAD} bytes")
+    lines = head.decode("latin-1").split("\r\n")
+    parts = lines[0].split()
+    if len(parts) != 3 or not parts[2].startswith("HTTP/1."):
+        raise HttpError(400, f"malformed request line {lines[0]!r}")
+    method, target = parts[0].upper(), parts[1]
+    headers: dict[str, str] = {}
+    for line in lines[1:]:
+        if not line:
+            continue
+        name, sep, value = line.partition(":")
+        if not sep:
+            raise HttpError(400, f"malformed header {line!r}")
+        headers[name.strip().lower()] = value.strip()
+    if "chunked" in headers.get("transfer-encoding", "").lower():
+        raise HttpError(400, "chunked request bodies are not supported")
+    body = b""
+    length_text = headers.get("content-length")
+    if length_text:
+        try:
+            length = int(length_text)
+        except ValueError:
+            raise HttpError(400, f"bad Content-Length {length_text!r}")
+        if length > MAX_BODY:
+            raise HttpError(413, f"request body exceeds {MAX_BODY} bytes")
+        if length:
+            try:
+                body = await reader.readexactly(length)
+            except asyncio.IncompleteReadError:
+                raise HttpError(400, "request body shorter than Content-Length")
+    split = urlsplit(target)
+    return Request(
+        method=method,
+        target=target,
+        path=unquote(split.path) or "/",
+        query=parse_qs(split.query, keep_blank_values=True),
+        headers=headers,
+        body=body,
+    )
+
+
+def response(
+    status: int,
+    body: bytes | str = b"",
+    *,
+    content_type: str = "text/plain; charset=utf-8",
+    extra_headers: dict[str, str] | None = None,
+) -> bytes:
+    """A complete fixed-length HTTP/1.1 response as bytes."""
+    if isinstance(body, str):
+        body = body.encode("utf-8")
+    reason = REASONS.get(status, "Unknown")
+    lines = [
+        f"HTTP/1.1 {status} {reason}",
+        f"Content-Type: {content_type}",
+        f"Content-Length: {len(body)}",
+        "Connection: close",
+    ]
+    for name, value in (extra_headers or {}).items():
+        lines.append(f"{name}: {value}")
+    return ("\r\n".join(lines) + "\r\n\r\n").encode("latin-1") + body
+
+
+def json_response(status: int, payload: Any) -> bytes:
+    """A JSON response; keys sorted so identical payloads are identical
+    bytes (the tower's endpoints aim for ``cmp``-testable output)."""
+    body = json.dumps(payload, indent=2, sort_keys=True, default=repr) + "\n"
+    return response(status, body, content_type="application/json")
+
+
+def sse_preamble() -> bytes:
+    """Response head opening an unbounded ``text/event-stream`` flow."""
+    return (
+        "HTTP/1.1 200 OK\r\n"
+        "Content-Type: text/event-stream\r\n"
+        "Cache-Control: no-store\r\n"
+        "Connection: close\r\n"
+        "X-Accel-Buffering: no\r\n"
+        "\r\n"
+    ).encode("latin-1")

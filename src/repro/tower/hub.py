@@ -1,0 +1,234 @@
+"""The event hub: telemetry records fanned out to bounded client queues.
+
+The hub is the tower's heart and the reason a slow (or stalled) SSE
+client can never hurt a campaign: records are *published* into the hub
+— from the telemetry subscriber bus (any thread) or from log-follow
+tasks (the event loop) — and *consumed* from per-client
+:class:`asyncio.Queue` instances with a hard ``maxsize``.  A full
+queue drops the record for that client only, counts the drop, and the
+next record that fits is preceded by an in-stream ``gap`` event naming
+how many records that client missed.  Publishing never awaits and
+never blocks.
+
+Every published record gets a monotone sequence number; a bounded ring
+of recent ``(seq, record)`` pairs backs ``Last-Event-ID`` resume: a
+reconnecting client replays everything after its last-seen id, or — if
+the ring has already forgotten that far back — starts with a ``gap``
+event counting the loss, so resumption is *exact or explicitly lossy*,
+never silently wrong.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import collections
+from typing import Any, Callable, Iterable
+
+__all__ = ["EventHub", "Subscription", "DEFAULT_QUEUE_SIZE", "DEFAULT_RING_SIZE"]
+
+#: Per-client queue bound: how far a consumer may lag before dropping.
+DEFAULT_QUEUE_SIZE = 256
+
+#: Recent-event ring bound: how far back ``Last-Event-ID`` can resume.
+DEFAULT_RING_SIZE = 1024
+
+
+class Subscription:
+    """One client's bounded view of the hub's event flow.
+
+    Queue items are tuples:
+
+    * ``("event", seq, record)`` — one relayed telemetry record;
+    * ``("gap", dropped)``       — ``dropped`` records were lost to
+      this client (queue overflow or ring-expired resume);
+    * ``("eof",)``               — the hub is draining; no more events.
+    """
+
+    def __init__(
+        self, queue: asyncio.Queue, kinds: frozenset[str] | None
+    ) -> None:
+        self.queue = queue
+        self.kinds = kinds
+        self.dropped = 0  # records this client missed, lifetime
+        self._gap = 0  # drops not yet announced in-stream
+
+    async def get(self, timeout: float | None = None) -> tuple:
+        """Next queue item; raises :class:`asyncio.TimeoutError` on idle."""
+        if timeout is None:
+            return await self.queue.get()
+        return await asyncio.wait_for(self.queue.get(), timeout)
+
+
+class EventHub:
+    """Monotone-sequenced fan-out with bounded queues and a resume ring."""
+
+    def __init__(
+        self,
+        *,
+        queue_size: int = DEFAULT_QUEUE_SIZE,
+        ring_size: int = DEFAULT_RING_SIZE,
+    ) -> None:
+        if queue_size < 2:
+            # One slot must always be reservable for the gap marker.
+            raise ValueError("queue_size must be >= 2")
+        self.queue_size = queue_size
+        self.seq = 0
+        self.ring: collections.deque[tuple[int, dict[str, Any]]] = (
+            collections.deque(maxlen=ring_size)
+        )
+        self.relayed = 0  # (seq, record) items enqueued across clients
+        self.dropped = 0  # items lost to full client queues, all clients
+        self.published = 0  # records that entered the hub
+        self.closed = False
+        self._clients: list[Subscription] = []
+        self._taps: list[Callable[[int, dict[str, Any]], None]] = []
+        self._loop: asyncio.AbstractEventLoop | None = None
+
+    # -- lifecycle ------------------------------------------------------
+
+    def bind(self, loop: asyncio.AbstractEventLoop) -> None:
+        """Attach the hub to its serving loop (set once, at startup)."""
+        self._loop = loop
+
+    @property
+    def clients(self) -> int:
+        return len(self._clients)
+
+    # -- publishing -----------------------------------------------------
+
+    def publish(self, record: dict[str, Any]) -> None:
+        """Enqueue one record for every client; never blocks, any thread.
+
+        Called from the telemetry writer's thread (bus subscriber) or
+        from follow tasks on the loop itself.  Off-loop calls hop over
+        via ``call_soon_threadsafe``; a closed/unbound loop silently
+        drops — the tower must never propagate trouble into the
+        recorder that is feeding it.
+        """
+        loop = self._loop
+        if loop is None or self.closed:
+            return
+        try:
+            running = asyncio.get_running_loop()
+        except RuntimeError:
+            running = None
+        if running is loop:
+            self._publish_local(record)
+        else:
+            try:
+                loop.call_soon_threadsafe(self._publish_local, record)
+            except RuntimeError:
+                pass  # loop shut down mid-publish: drop, never raise
+
+    def _publish_local(self, record: dict[str, Any]) -> None:
+        if self.closed:
+            return
+        self.seq += 1
+        seq = self.seq
+        self.published += 1
+        self.ring.append((seq, record))
+        for tap in self._taps:
+            try:
+                tap(seq, record)
+            except Exception:  # noqa: BLE001 - taps are internal, isolate anyway
+                pass
+        for client in self._clients:
+            if client.kinds is not None and record.get("kind") not in client.kinds:
+                continue
+            self._offer(client, seq, record)
+
+    def _offer(self, client: Subscription, seq: int, record: dict[str, Any]) -> None:
+        """Non-blocking delivery with drop-and-count + gap signalling."""
+        queue = client.queue
+        if client._gap:
+            # A gap is pending: the marker needs a slot *and* the record
+            # needs one, or this record joins the gap.
+            if queue.maxsize - queue.qsize() >= 2:
+                queue.put_nowait(("gap", client._gap))
+                client._gap = 0
+                queue.put_nowait(("event", seq, record))
+                self.relayed += 1
+            else:
+                client._gap += 1
+                client.dropped += 1
+                self.dropped += 1
+            return
+        try:
+            queue.put_nowait(("event", seq, record))
+            self.relayed += 1
+        except asyncio.QueueFull:
+            client._gap = 1
+            client.dropped += 1
+            self.dropped += 1
+
+    # -- taps (server-internal, loop-thread observers) -------------------
+
+    def tap(self, callback: Callable[[int, dict[str, Any]], None]) -> Callable[[], None]:
+        """Observe every published ``(seq, record)`` synchronously on the
+        loop thread (webhook feed, metrics-snapshot cache).  Returns an
+        un-tap callable."""
+        self._taps.append(callback)
+        return lambda: self._taps.remove(callback)
+
+    # -- subscriptions --------------------------------------------------
+
+    def subscribe(
+        self,
+        *,
+        last_event_id: int | None = None,
+        kinds: Iterable[str] | None = None,
+    ) -> Subscription:
+        """Attach a client; replay ring events after ``last_event_id``.
+
+        A resume id older than the ring start yields an initial ``gap``
+        item counting the unrecoverable records, so the client knows
+        the resumption was lossy instead of silently missing history.
+        """
+        queue: asyncio.Queue = asyncio.Queue(maxsize=self.queue_size)
+        client = Subscription(
+            queue, frozenset(kinds) if kinds is not None else None
+        )
+        if last_event_id is not None:
+            oldest = self.ring[0][0] if self.ring else self.seq + 1
+            if last_event_id + 1 < oldest:
+                lost = oldest - 1 - last_event_id
+                client.dropped += lost
+                self.dropped += lost
+                queue.put_nowait(("gap", lost))
+            for seq, record in self.ring:
+                if seq <= last_event_id:
+                    continue
+                if client.kinds is not None and record.get("kind") not in client.kinds:
+                    continue
+                self._offer(client, seq, record)
+        self._clients.append(client)
+        return client
+
+    def unsubscribe(self, client: Subscription) -> None:
+        if client in self._clients:
+            self._clients.remove(client)
+
+    # -- shutdown -------------------------------------------------------
+
+    def close(self) -> None:
+        """Drain mode: tell every client the flow is over.
+
+        A full queue sheds its oldest item to make room — the ``eof``
+        must land even on a stalled consumer, or its handler would hang
+        the graceful shutdown.
+        """
+        if self.closed:
+            return
+        self.closed = True
+        for client in self._clients:
+            queue = client.queue
+            if queue.full():
+                try:
+                    queue.get_nowait()
+                except asyncio.QueueEmpty:
+                    pass
+            try:
+                queue.put_nowait(("eof",))
+            except asyncio.QueueFull:
+                pass
+        self._clients.clear()

@@ -1,0 +1,103 @@
+"""The ``/metrics`` exposition: fleet registry + tower internals.
+
+Two registries are merged into one Prometheus text body:
+
+* the **fleet** registry — the ambient
+  :class:`~repro.fleet.metrics.MetricsRegistry` when the tower runs
+  inside a coordinator process, plus every ``metrics`` snapshot record
+  seen on the relay (fabric workers and finished campaigns emit these
+  into their telemetry logs), rebuilt with
+  :func:`~repro.fleet.metrics.registry_from_snapshot` exactly like
+  ``python -m repro fleet metrics`` does offline;
+* the **tower** registry — the gateway's own operational counters
+  (connected clients, events relayed, slow-consumer drops, HTTP
+  requests per path, webhook deliveries/failures), rebuilt from hub
+  state at scrape time so there is no double bookkeeping.
+
+Both renderings are deterministically ordered; identical state is
+identical bytes.
+"""
+
+from __future__ import annotations
+
+from typing import TYPE_CHECKING, Any
+
+from repro.fleet.metrics import (
+    MetricsRegistry,
+    get_registry,
+    registry_from_snapshot,
+)
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from repro.tower.app import Tower
+
+__all__ = ["SnapshotCache", "tower_registry", "render_exposition"]
+
+
+class SnapshotCache:
+    """Latest ``metrics`` snapshot per emitting stream.
+
+    Keyed by the record's worker/log identity so N processes' snapshots
+    merge the way ``fleet metrics`` merges logs: later snapshots from
+    the same stream replace earlier ones, distinct streams coexist.
+    """
+
+    def __init__(self) -> None:
+        self._latest: dict[str, dict[str, Any]] = {}
+
+    def observe(self, seq: int, record: dict[str, Any]) -> None:
+        """Hub tap signature: ``(seq, record)``."""
+        if record.get("kind") != "metrics":
+            return
+        snapshot = record.get("snapshot")
+        if not isinstance(snapshot, dict):
+            return
+        key = str(record.get("worker") or record.get("log") or record.get("span") or "main")
+        self._latest[key] = snapshot
+
+    def merged(self, into: MetricsRegistry) -> MetricsRegistry:
+        for key in sorted(self._latest):
+            registry_from_snapshot(self._latest[key], into=into)
+        return into
+
+
+def tower_registry(tower: "Tower") -> MetricsRegistry:
+    """The gateway's own metrics, rebuilt from live state."""
+    registry = MetricsRegistry()
+    hub = tower.hub
+    registry.gauge(
+        "tower_clients_connected", "SSE clients currently attached"
+    ).set(float(hub.clients))
+    registry.counter(
+        "tower_events_published_total", "records that entered the hub"
+    ).value = float(hub.published)
+    registry.counter(
+        "tower_events_relayed_total", "record deliveries across all clients"
+    ).value = float(hub.relayed)
+    registry.counter(
+        "tower_dropped_slow_consumer_total",
+        "records dropped because a client queue was full",
+    ).value = float(hub.dropped)
+    for path in sorted(tower.request_counts):
+        registry.counter(
+            "tower_http_requests_total", "HTTP requests served", path=path
+        ).value = float(tower.request_counts[path])
+    if tower.webhooks is not None:
+        registry.counter(
+            "tower_webhook_delivered_total", "webhook POSTs acknowledged 2xx"
+        ).value = float(tower.webhooks.delivered)
+        registry.counter(
+            "tower_webhook_dead_letter_total",
+            "alerts journalled after exhausting retries",
+        ).value = float(tower.webhooks.failed)
+    return registry
+
+
+def render_exposition(tower: "Tower") -> str:
+    """The full ``/metrics`` body: fleet series then tower series."""
+    fleet = MetricsRegistry()
+    ambient = get_registry()
+    if ambient is not None:
+        registry_from_snapshot(ambient.snapshot(), into=fleet)
+    tower.snapshots.merged(fleet)
+    return fleet.prometheus_text() + tower_registry(tower).prometheus_text()

@@ -1,0 +1,98 @@
+"""Feed the hub: the telemetry-bus bridge and on-disk log followers.
+
+Two ways records enter the tower:
+
+* :func:`bridge_recorder` — subscribe to a live in-process
+  :class:`~repro.telemetry.core.Telemetry` recorder.  The subscriber
+  callback runs synchronously under the recorder's write lock on
+  whatever thread emitted the record, so it must be O(1) and must
+  never block: it shallow-copies the record and hands it to
+  :meth:`~repro.tower.hub.EventHub.publish`, which hops onto the
+  serving loop via ``call_soon_threadsafe``.  Detaching restores the
+  bus to its zero-cost (falsy-tuple check) fast path.
+
+* :func:`follow_paths` — an asyncio task polling telemetry JSON-lines
+  logs on disk with the torn-tail-tolerant
+  :class:`~repro.monitor.tail.TailReader` (rotation- and
+  truncation-safe).  Directories are rescanned every poll so logs that
+  appear later (fabric workers starting up) are picked up live.
+"""
+
+from __future__ import annotations
+
+import asyncio
+from pathlib import Path
+from typing import Any, Callable, Iterable
+
+from repro.monitor.tail import TailReader
+from repro.tower.hub import EventHub
+
+__all__ = ["bridge_recorder", "follow_paths", "discover_logs"]
+
+#: Glob for telemetry logs when following a directory.
+LOG_PATTERN = "*.jsonl"
+
+
+def bridge_recorder(hub: EventHub, recorder: Any) -> Callable[[], None]:
+    """Relay every record the recorder writes into the hub.
+
+    Returns the unsubscribe callable.  The copy matters: the hub hands
+    records to taps and SSE encoders on another thread's loop, and the
+    emitting side must stay free to do whatever it likes with its dict
+    after ``emit`` returns.
+    """
+
+    def _relay(record: dict[str, Any]) -> None:
+        hub.publish(dict(record))
+
+    return recorder.subscribe(_relay)
+
+
+def discover_logs(target: Path, *, pattern: str = LOG_PATTERN) -> list[Path]:
+    """The telemetry logs a ``--follow`` target currently names.
+
+    A file is itself; a directory is globbed (sorted, so follower
+    start order is deterministic); a missing path is empty *for now* —
+    follow targets may be created after the tower boots.
+    """
+    if target.is_dir():
+        return sorted(p for p in target.glob(pattern) if p.is_file())
+    if target.exists():
+        return [target]
+    return []
+
+
+async def follow_paths(
+    hub: EventHub,
+    targets: Iterable[Path],
+    *,
+    poll_interval: float = 0.2,
+    pattern: str = LOG_PATTERN,
+    stop: asyncio.Event | None = None,
+) -> None:
+    """Tail every log under ``targets`` into the hub until ``stop``.
+
+    Each record is stamped with a ``log`` field naming its source file
+    (unless the record already carries one), so a merged stream of N
+    worker logs stays attributable — the same convention the fleet
+    board uses for its per-worker lanes.
+    """
+    targets = [Path(t) for t in targets]
+    readers: dict[Path, TailReader] = {}
+    while True:
+        for target in targets:
+            for path in discover_logs(target, pattern=pattern):
+                if path not in readers:
+                    readers[path] = TailReader(path)
+        for path, reader in readers.items():
+            for record in reader.poll():
+                record.setdefault("log", path.name)
+                hub.publish(record)
+        if stop is not None and stop.is_set():
+            # Final drain pass so records racing the stop signal land.
+            for path, reader in readers.items():
+                for record in reader.poll():
+                    record.setdefault("log", path.name)
+                    hub.publish(record)
+            return
+        await asyncio.sleep(poll_interval)

@@ -1,0 +1,79 @@
+"""Server-Sent Events framing for relayed telemetry records.
+
+One telemetry record becomes one SSE event: ``id:`` carries the hub's
+monotone sequence number (the ``Last-Event-ID`` resume key), ``event:``
+carries the record's telemetry ``kind`` so browsers can
+``addEventListener("alert", ...)`` without parsing every payload, and
+``data:`` carries the record as one line of sorted-key JSON.  Dropped
+records surface as ``event: gap`` with the count, and a draining tower
+says goodbye with ``event: eof`` — a client never has to infer loss or
+shutdown from silence.
+"""
+
+from __future__ import annotations
+
+import json
+from typing import Any
+
+from repro.tower.httpd import Request
+
+__all__ = [
+    "encode_event",
+    "encode_gap",
+    "encode_eof",
+    "encode_comment",
+    "parse_last_event_id",
+]
+
+#: SSE ``event:`` names must not collide with telemetry kinds; ``gap``
+#: and ``eof`` are tower-reserved (no telemetry kind uses them).
+GAP_EVENT = "gap"
+EOF_EVENT = "eof"
+
+
+def _frame(event: str, event_id: int | None, data: str) -> bytes:
+    lines = []
+    if event_id is not None:
+        lines.append(f"id: {event_id}")
+    lines.append(f"event: {event}")
+    for chunk in data.split("\n"):  # JSON is one line, but stay correct
+        lines.append(f"data: {chunk}")
+    return ("\n".join(lines) + "\n\n").encode("utf-8")
+
+
+def encode_event(seq: int, record: dict[str, Any]) -> bytes:
+    """One relayed record as an SSE frame (id = hub sequence)."""
+    kind = str(record.get("kind") or "record")
+    data = json.dumps(record, sort_keys=True, default=repr)
+    return _frame(kind, seq, data)
+
+
+def encode_gap(dropped: int) -> bytes:
+    """An in-stream loss marker: this client missed ``dropped`` records."""
+    return _frame(GAP_EVENT, None, json.dumps({"dropped": dropped}))
+
+
+def encode_eof(reason: str = "drain") -> bytes:
+    """The tower is shutting down; the stream ends after this frame."""
+    return _frame(EOF_EVENT, None, json.dumps({"reason": reason}))
+
+
+def encode_comment(text: str = "keepalive") -> bytes:
+    """An SSE comment line — the idle heartbeat that keeps proxies and
+    clients convinced the connection is alive."""
+    return f": {text}\n\n".encode("utf-8")
+
+
+def parse_last_event_id(request: Request) -> int | None:
+    """The client's resume position: ``Last-Event-ID`` header (what
+    ``EventSource`` sends on reconnect) or a ``last_event_id`` query
+    parameter (curl-friendly).  Unparseable values mean "from now" —
+    a malformed resume must not take the stream down."""
+    raw = request.headers.get("last-event-id") or request.param("last_event_id")
+    if raw is None:
+        return None
+    try:
+        value = int(raw)
+    except ValueError:
+        return None
+    return value if value >= 0 else None

@@ -6,6 +6,8 @@ import pytest
 
 from repro.fleet.metrics import (
     MetricsRegistry,
+    sanitize_label_name,
+    sanitize_metric_name,
     activate_metrics,
     counter,
     gauge,
@@ -225,3 +227,50 @@ class TestLabelEscaping:
         registry = MetricsRegistry()
         registry.counter("commit_total", worker="w0").inc()
         assert 'worker="w0"' in registry.prometheus_text()
+
+
+class TestPrometheusHygiene:
+    """Exposition edge cases: empty histograms and charset sanitization."""
+
+    def test_empty_histogram_renders_inf_bucket_and_zero_count(self):
+        # A registered-but-never-observed histogram must still be a
+        # valid exposition: the +Inf bucket, _sum and _count all render
+        # (as zeros), not a truncated metric family.
+        registry = MetricsRegistry()
+        registry.histogram("idle_seconds", buckets=(0.5, 1.0))
+        text = registry.prometheus_text()
+        assert 'repro_idle_seconds_bucket{le="+Inf"} 0' in text
+        assert "repro_idle_seconds_sum 0" in text
+        assert "repro_idle_seconds_count 0" in text
+
+    def test_empty_bounds_histogram_round_trips(self):
+        # An explicit empty bucket list (just the implicit +Inf) must
+        # survive snapshot -> registry_from_snapshot without being
+        # silently replaced by DEFAULT_BUCKETS.
+        original = MetricsRegistry()
+        original.histogram("lat", buckets=()).observe(3.0)
+        rebuilt = registry_from_snapshot(original.snapshot())
+        assert rebuilt.histogram("lat").bounds == ()
+        assert rebuilt.prometheus_text() == original.prometheus_text()
+
+    def test_metric_names_sanitized_at_registration(self):
+        registry = MetricsRegistry()
+        registry.counter("engine.slots/sec").inc()
+        registry.counter("9lives").inc()
+        text = registry.prometheus_text()
+        assert "repro_engine_slots_sec 1" in text
+        assert "repro__9lives 1" in text
+        # Both spellings resolve to the same instrument.
+        assert registry.counter("engine.slots/sec").sample() == 1.0
+        assert registry.counter("engine_slots_sec").sample() == 1.0
+
+    def test_label_names_sanitized_at_registration(self):
+        registry = MetricsRegistry()
+        registry.counter("hits", **{"worker-id": "w0"}).inc()
+        assert 'repro_hits{worker_id="w0"} 1' in registry.prometheus_text()
+
+    def test_sanitizers_pass_valid_names_through(self):
+        assert sanitize_metric_name("chunk_seconds:rate") == "chunk_seconds:rate"
+        assert sanitize_label_name("worker") == "worker"
+        # Colons are metric-only; label names reject them.
+        assert sanitize_label_name("a:b") == "a_b"

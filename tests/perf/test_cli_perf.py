@@ -164,6 +164,8 @@ class TestObsPerf:
         code = main(["gap", "--quick", "--reps", "2", "--seed", "1",
                      "--telemetry", str(log), "--obs-db", str(db)])
         assert code == 0
-        with pytest.raises(SystemExit) as excinfo:
-            main(["obs", "perf", str(db)])
-        assert "no perf metrics" in str(excinfo.value)
+        # Bad invocation (no perf data to inspect) is exit code 2 —
+        # distinct from 1, the regression verdict of --check.
+        code = main(["obs", "perf", str(db)])
+        assert code == 2
+        assert "no perf metrics" in capsys.readouterr().err

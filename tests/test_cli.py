@@ -344,6 +344,57 @@ class TestObsCommands:
         assert "combined_slots_per_sec" in out
 
 
+class TestGateExitCodeContract:
+    """The documented CI-gate contract: 0 = checked and clean,
+    1 = regression verdict, 2 = bad invocation.  A typo in a gate must
+    never read as a pass (0) or as a regression (1)."""
+
+    def test_trend_check_bad_threshold_exits_2(self, capsys, tmp_path):
+        db = tmp_path / "runs.db"
+        code = main(["obs", "trend", str(db), "--metric", "slots_per_sec",
+                     "--check", "--threshold", "-1"])
+        err = capsys.readouterr().err
+        assert code == 2
+        assert "obs trend" in err
+
+    def test_trend_bad_baseline_exits_2(self, capsys, tmp_path):
+        db = tmp_path / "runs.db"
+        code = main(["obs", "trend", str(db), "--metric", "slots_per_sec",
+                     "--check", "--baseline-k", "0"])
+        assert code == 2
+
+    def test_perf_check_bad_threshold_exits_2(self, capsys, tmp_path):
+        db = tmp_path / "runs.db"
+        code = main(["obs", "perf", str(db), "--metric", "perf.samples",
+                     "--check", "--threshold", "-1"])
+        err = capsys.readouterr().err
+        assert code == 2
+        assert "obs perf" in err
+
+    def test_fleet_metrics_without_snapshots_exits_2(self, capsys, tmp_path):
+        log = tmp_path / "plain.jsonl"
+        log.write_text('{"kind": "event", "ts": 1.0, "name": "x"}\n',
+                       encoding="utf-8")
+        with pytest.raises(SystemExit) as excinfo:
+            main(["fleet", "metrics", str(log)])
+        assert excinfo.value.code == 2
+
+    def test_fleet_metrics_json_round_trips(self, capsys, tmp_path):
+        import json as json_mod
+
+        from repro.fleet.metrics import MetricsRegistry
+        from repro.telemetry import Telemetry
+
+        log = tmp_path / "metrics.jsonl"
+        registry = MetricsRegistry()
+        registry.counter("commit_total", worker="w0").inc(4)
+        with Telemetry.to_path(log) as tel:
+            registry.emit(tel)
+        assert main(["fleet", "metrics", str(log), "--json"]) == 0
+        payload = json_mod.loads(capsys.readouterr().out)
+        assert payload["commit_total"]["series"][0]["value"] == 4.0
+
+
 class TestTelemetryValidateRobustness:
     def test_reports_all_bad_lines_with_numbers(self, capsys, tmp_path):
         log = tmp_path / "mixed.jsonl"

@@ -1,0 +1,256 @@
+"""The event hub: bounded fan-out, gap signalling, resume semantics."""
+
+import asyncio
+import threading
+import time
+
+import pytest
+
+from repro.telemetry import Telemetry
+from repro.tower.hub import EventHub
+from repro.tower.sources import bridge_recorder
+
+
+def run(coro):
+    return asyncio.run(coro)
+
+
+class TestFanOut:
+    def test_publish_reaches_every_client(self):
+        async def main():
+            hub = EventHub()
+            hub.bind(asyncio.get_running_loop())
+            a = hub.subscribe()
+            b = hub.subscribe()
+            hub.publish({"kind": "event", "n": 1})
+            assert await a.get(timeout=1) == ("event", 1, {"kind": "event", "n": 1})
+            assert await b.get(timeout=1) == ("event", 1, {"kind": "event", "n": 1})
+
+        run(main())
+
+    def test_kind_filter_selects_subscribed_kinds_only(self):
+        async def main():
+            hub = EventHub()
+            hub.bind(asyncio.get_running_loop())
+            client = hub.subscribe(kinds=["alert"])
+            hub.publish({"kind": "lease", "event": "claim"})
+            hub.publish({"kind": "alert", "rule": "x"})
+            kind, _seq, record = await client.get(timeout=1)
+            assert kind == "event"
+            assert record["kind"] == "alert"
+            assert client.queue.empty()
+
+        run(main())
+
+    def test_queue_size_below_two_rejected(self):
+        with pytest.raises(ValueError):
+            EventHub(queue_size=1)
+
+
+class TestSlowConsumer:
+    """A stalled client loses records (counted, gap-marked) — it never
+    stalls the publisher or other clients."""
+
+    def test_stalled_client_drops_while_healthy_client_sees_all(self):
+        async def main():
+            hub = EventHub(queue_size=4)
+            hub.bind(asyncio.get_running_loop())
+            stalled = hub.subscribe()
+            healthy = hub.subscribe()
+            for n in range(50):
+                hub.publish({"kind": "event", "n": n})
+                # The healthy client keeps consuming; the stalled one
+                # never calls get().
+                kind, _seq, record = await healthy.get(timeout=1)
+                assert (kind, record["n"]) == ("event", n)
+            assert stalled.dropped == 50 - 4
+            assert hub.dropped == 50 - 4
+            assert hub.relayed == 50 + 4
+
+        run(main())
+
+    def test_gap_marker_precedes_resumed_flow(self):
+        async def main():
+            hub = EventHub(queue_size=4)
+            hub.bind(asyncio.get_running_loop())
+            client = hub.subscribe()
+            for n in range(10):  # 4 land, 6 drop
+                hub.publish({"kind": "event", "n": n})
+            for n in range(4):
+                kind, _seq, record = await client.get(timeout=1)
+                assert (kind, record["n"]) == ("event", n)
+            # Queue has room again: the next publish must announce the
+            # loss before resuming the flow.
+            hub.publish({"kind": "event", "n": 10})
+            assert await client.get(timeout=1) == ("gap", 6)
+            kind, _seq, record = await client.get(timeout=1)
+            assert (kind, record["n"]) == ("event", 10)
+            assert client.dropped == 6
+
+        run(main())
+
+    def test_gap_needs_two_slots_or_keeps_counting(self):
+        async def main():
+            hub = EventHub(queue_size=2)
+            hub.bind(asyncio.get_running_loop())
+            client = hub.subscribe()
+            for n in range(5):
+                hub.publish({"kind": "event", "n": n})
+            # 2 queued, 3 dropped.  Draining one slot is not enough for
+            # gap + record; the hub keeps dropping rather than emit a
+            # gap marker that would itself fill the queue.
+            await client.get(timeout=1)
+            hub.publish({"kind": "event", "n": 5})
+            assert client.dropped == 4
+            # Draining the second slot leaves 2 free: gap + record fit.
+            await client.get(timeout=1)
+            hub.publish({"kind": "event", "n": 6})
+            assert await client.get(timeout=1) == ("gap", 4)
+            kind, _seq, record = await client.get(timeout=1)
+            assert record["n"] == 6
+
+        run(main())
+
+    def test_publishing_never_blocks_the_emitting_thread(self):
+        async def main():
+            hub = EventHub(queue_size=2)
+            hub.bind(asyncio.get_running_loop())
+            hub.subscribe()  # never consumed
+            started = time.perf_counter()
+            for n in range(5000):
+                hub.publish({"kind": "event", "n": n})
+            return time.perf_counter() - started
+
+        # 5000 publishes into a full queue are pure drop-and-count:
+        # far under a second even on a loaded CI box.
+        assert run(main()) < 2.0
+
+
+class TestResume:
+    def test_resume_replays_after_last_event_id_exactly(self):
+        async def main():
+            hub = EventHub()
+            hub.bind(asyncio.get_running_loop())
+            for n in range(10):
+                hub.publish({"kind": "event", "n": n})
+            client = hub.subscribe(last_event_id=4)
+            got = []
+            while not client.queue.empty():
+                item = await client.get(timeout=1)
+                got.append(item)
+            assert [kind for kind, *_ in got] == ["event"] * 6
+            assert [record["n"] for _k, _s, record in got] == [4, 5, 6, 7, 8, 9]
+            assert [seq for _k, seq, _r in got] == [5, 6, 7, 8, 9, 10]
+
+        run(main())
+
+    def test_resume_past_ring_start_is_explicitly_lossy(self):
+        async def main():
+            hub = EventHub(ring_size=4)
+            hub.bind(asyncio.get_running_loop())
+            for n in range(20):
+                hub.publish({"kind": "event", "n": n})
+            # Ring holds seqs 17..20; resuming from 2 lost 3..16.
+            client = hub.subscribe(last_event_id=2)
+            assert await client.get(timeout=1) == ("gap", 14)
+            seqs = []
+            while not client.queue.empty():
+                _kind, seq, _record = await client.get(timeout=1)
+                seqs.append(seq)
+            assert seqs == [17, 18, 19, 20]
+
+        run(main())
+
+    def test_resume_at_head_replays_nothing(self):
+        async def main():
+            hub = EventHub()
+            hub.bind(asyncio.get_running_loop())
+            for n in range(3):
+                hub.publish({"kind": "event", "n": n})
+            client = hub.subscribe(last_event_id=3)
+            assert client.queue.empty()
+
+        run(main())
+
+
+class TestLifecycle:
+    def test_close_delivers_eof_even_to_a_full_queue(self):
+        async def main():
+            hub = EventHub(queue_size=2)
+            hub.bind(asyncio.get_running_loop())
+            client = hub.subscribe()
+            for n in range(5):
+                hub.publish({"kind": "event", "n": n})
+            hub.close()
+            items = []
+            while not client.queue.empty():
+                items.append(await client.get(timeout=1))
+            assert items[-1] == ("eof",)
+            # Publishing after close is a silent no-op.
+            hub.publish({"kind": "event", "n": 99})
+            assert client.queue.empty()
+
+        run(main())
+
+    def test_taps_are_exception_isolated(self):
+        async def main():
+            hub = EventHub()
+            hub.bind(asyncio.get_running_loop())
+            seen = []
+
+            def bad_tap(seq, record):
+                raise RuntimeError("tap bug")
+
+            hub.tap(bad_tap)
+            hub.tap(lambda seq, record: seen.append(seq))
+            client = hub.subscribe()
+            hub.publish({"kind": "event"})
+            assert await client.get(timeout=1) == ("event", 1, {"kind": "event"})
+            assert seen == [1]
+
+        run(main())
+
+
+class TestRecorderBridge:
+    def test_bus_emits_cross_threads_into_the_loop(self):
+        """The telemetry subscriber (recorder write lock, arbitrary
+        thread) hands off via call_soon_threadsafe; the loop sees every
+        record and the emitting thread never needs the loop."""
+
+        async def main():
+            hub = EventHub()
+            hub.bind(asyncio.get_running_loop())
+            client = hub.subscribe()
+            with Telemetry.buffered() as recorder:
+                unbridge = bridge_recorder(hub, recorder)
+                thread = threading.Thread(
+                    target=lambda: [
+                        recorder.emit("event", n=n) for n in range(20)
+                    ]
+                )
+                thread.start()
+                thread.join()
+                got = []
+                while len(got) < 20:
+                    _kind, _seq, record = await client.get(timeout=2)
+                    got.append(record["n"])
+                assert got == list(range(20))
+                unbridge()
+                recorder.emit("event", n=99)
+                await asyncio.sleep(0.05)
+                assert client.queue.empty()
+
+        run(main())
+
+    def test_detached_bridge_restores_zero_cost_bus(self):
+        async def main():
+            hub = EventHub()
+            hub.bind(asyncio.get_running_loop())
+            with Telemetry.buffered() as recorder:
+                assert not recorder._subscribers
+                unbridge = bridge_recorder(hub, recorder)
+                assert len(recorder._subscribers) == 1
+                unbridge()
+                assert not recorder._subscribers
+
+        run(main())

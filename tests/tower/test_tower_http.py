@@ -1,0 +1,329 @@
+"""The tower over real sockets: SSE streams, resume, endpoints, drain."""
+
+import json
+import socket
+import threading
+import time
+import urllib.error
+import urllib.request
+
+import pytest
+
+from repro.telemetry import Telemetry
+from repro.tower import TowerConfig, TowerThread
+
+
+def http_get(port, path):
+    """(status, body bytes) — 4xx/5xx returned, not raised."""
+    try:
+        with urllib.request.urlopen(
+            f"http://127.0.0.1:{port}{path}", timeout=10
+        ) as response:
+            return response.status, response.read()
+    except urllib.error.HTTPError as exc:
+        return exc.code, exc.read()
+
+
+def sse_connect(port, path="/stream", headers=None):
+    """An open socket with the request sent and the preamble consumed."""
+    sock = socket.create_connection(("127.0.0.1", port), timeout=10)
+    head = f"GET {path} HTTP/1.1\r\nHost: tower\r\n"
+    for name, value in (headers or {}).items():
+        head += f"{name}: {value}\r\n"
+    sock.sendall((head + "\r\n").encode())
+    buffer = b""
+    while b"\r\n\r\n" not in buffer:
+        buffer += sock.recv(4096)
+    assert b"200 OK" in buffer
+    assert b"text/event-stream" in buffer
+    return sock, buffer.split(b"\r\n\r\n", 1)[1]
+
+
+def read_frames(sock, initial=b"", *, until=None, timeout=10.0):
+    """Parse SSE frames off ``sock`` until ``until(frames)`` or timeout.
+
+    Frames are ``{"id": int | None, "event": str, "data": dict}``.
+    """
+    sock.settimeout(0.2)
+    deadline = time.monotonic() + timeout
+    buffer = initial
+    frames = []
+
+    def drain_buffer():
+        nonlocal buffer
+        while b"\n\n" in buffer:
+            raw, buffer = buffer.split(b"\n\n", 1)
+            frame = {"id": None, "event": None, "data": None}
+            for line in raw.decode().splitlines():
+                if line.startswith("id: "):
+                    frame["id"] = int(line[4:])
+                elif line.startswith("event: "):
+                    frame["event"] = line[7:]
+                elif line.startswith("data: "):
+                    frame["data"] = json.loads(line[6:])
+            if frame["event"] is not None:  # skip keepalive comments
+                frames.append(frame)
+
+    while time.monotonic() < deadline:
+        drain_buffer()
+        if until is not None and until(frames):
+            return frames
+        try:
+            chunk = sock.recv(65536)
+        except socket.timeout:
+            continue
+        if not chunk:
+            drain_buffer()
+            return frames
+        buffer += chunk
+    return frames
+
+
+@pytest.fixture()
+def tower_with_recorder():
+    recorder = Telemetry.buffered()
+    recorder.__enter__()
+    thread = TowerThread(
+        TowerConfig(recorder=recorder, queue_size=8, heartbeat=30.0)
+    )
+    port = thread.start()
+    yield port, recorder
+    thread.stop()
+    recorder.__exit__(None, None, None)
+
+
+class TestSlowConsumer:
+    def test_stalled_client_never_blocks_bus_or_other_clients(
+        self, tower_with_recorder
+    ):
+        port, recorder = tower_with_recorder
+        stalled, _ = sse_connect(port)  # connected, never read again
+        healthy, healthy_initial = sse_connect(port)
+        # Wait until both subscriptions are registered.
+        deadline = time.monotonic() + 5
+        while time.monotonic() < deadline:
+            _status, body = http_get(port, "/metrics")
+            if b"repro_tower_clients_connected 2" in body:
+                break
+            time.sleep(0.05)
+
+        collected = []
+        reader = threading.Thread(
+            target=lambda: collected.extend(
+                read_frames(
+                    healthy,
+                    healthy_initial,
+                    until=lambda fs: any(
+                        f["data"].get("n") == "sentinel" for f in fs
+                    ),
+                    timeout=20.0,
+                )
+            )
+        )
+        reader.start()
+
+        # A burst far past the stalled client's queue + TCP buffers.
+        # The emitting side must complete promptly: publishing is
+        # drop-and-count, never backpressure into the recorder bus.
+        started = time.perf_counter()
+        for n in range(2000):
+            recorder.emit("event", n=n, pad="x" * 200)
+        elapsed = time.perf_counter() - started
+        assert elapsed < 10.0
+        time.sleep(0.3)  # let queues drain so the sentinel can't drop
+        recorder.emit("event", n="sentinel")
+        reader.join(timeout=20)
+        assert not reader.is_alive()
+        assert any(f["data"].get("n") == "sentinel" for f in collected)
+
+        # The stalled client's losses are counted on /metrics.
+        _status, body = http_get(port, "/metrics")
+        dropped = [
+            line
+            for line in body.decode().splitlines()
+            if line.startswith("repro_tower_dropped_slow_consumer_total")
+        ]
+        assert dropped and float(dropped[0].split()[-1]) > 0
+
+        # When the stalled client finally reads, the loss is announced
+        # in-stream as a gap frame, never papered over.
+        recorder.emit("event", n="post-gap")
+        frames = read_frames(
+            stalled,
+            until=lambda fs: any(f["event"] == "gap" for f in fs),
+            timeout=10.0,
+        )
+        gaps = [f for f in frames if f["event"] == "gap"]
+        assert gaps and gaps[0]["data"]["dropped"] > 0
+        stalled.close()
+        healthy.close()
+
+    def test_stream_kind_filter(self, tower_with_recorder):
+        port, recorder = tower_with_recorder
+        sock, initial = sse_connect(port, "/stream?kinds=alert")
+        time.sleep(0.2)
+        recorder.emit("event", n=1)
+        recorder.emit("alert", rule="slo", severity="warning", message="x")
+        frames = read_frames(
+            sock, initial, until=lambda fs: len(fs) >= 1, timeout=10.0
+        )
+        assert [f["event"] for f in frames] == ["alert"]
+        sock.close()
+
+
+class TestResumeOnLiveLog:
+    def test_last_event_id_reconnect_no_duplication(self, tmp_path):
+        """A client that disconnects mid-campaign and reconnects with
+        Last-Event-ID sees every later record exactly once."""
+        logdir = tmp_path / "logs"
+        logdir.mkdir()
+        thread = TowerThread(
+            TowerConfig(follow=[logdir], poll_interval=0.05, heartbeat=30.0)
+        )
+        port = thread.start()
+        try:
+            first, initial = sse_connect(port)
+            log = logdir / "worker.jsonl"
+            with log.open("w", encoding="utf-8") as stream:
+                for n in range(5):
+                    stream.write(json.dumps({"kind": "event", "n": n}) + "\n")
+            frames = read_frames(
+                first, initial, until=lambda fs: len(fs) >= 5, timeout=10.0
+            )
+            assert [f["data"]["n"] for f in frames] == [0, 1, 2, 3, 4]
+            last_id = frames[-1]["id"]
+            first.close()  # client goes away mid-campaign
+
+            with log.open("a", encoding="utf-8") as stream:
+                for n in range(5, 10):
+                    stream.write(json.dumps({"kind": "event", "n": n}) + "\n")
+            time.sleep(0.3)  # the tower keeps following; client is gone
+
+            second, initial = sse_connect(
+                port, headers={"Last-Event-ID": str(last_id)}
+            )
+            frames = read_frames(
+                second, initial, until=lambda fs: len(fs) >= 5, timeout=10.0
+            )
+            # Exactly the records after last_id: no duplicates, no holes,
+            # no gap frame (the ring still held everything).
+            assert [f["event"] for f in frames] == ["event"] * 5
+            assert [f["data"]["n"] for f in frames] == [5, 6, 7, 8, 9]
+            assert [f["id"] for f in frames] == list(
+                range(last_id + 1, last_id + 6)
+            )
+            second.close()
+        finally:
+            thread.stop()
+
+    def test_malformed_last_event_id_streams_from_now(self, tmp_path):
+        thread = TowerThread(TowerConfig(heartbeat=30.0))
+        port = thread.start()
+        try:
+            sock, initial = sse_connect(
+                port, headers={"Last-Event-ID": "not-a-number"}
+            )
+            # Connection established; nothing replayed, nothing torn.
+            frames = read_frames(sock, initial, timeout=0.5)
+            assert frames == []
+            sock.close()
+        finally:
+            thread.stop()
+
+
+class TestEndpoints:
+    @pytest.fixture()
+    def tower(self, tmp_path):
+        thread = TowerThread(
+            TowerConfig(obs_db=tmp_path / "runs.db", heartbeat=30.0)
+        )
+        port = thread.start()
+        yield port
+        thread.stop()
+
+    def test_index_lists_routes(self, tower):
+        status, body = http_get(tower, "/")
+        assert status == 200
+        payload = json.loads(body)
+        assert "/stream" in payload["endpoints"]
+
+    def test_health_and_readiness(self, tower):
+        assert http_get(tower, "/healthz")[0] == 200
+        assert http_get(tower, "/readyz")[0] == 200
+
+    def test_unknown_route_404(self, tower):
+        assert http_get(tower, "/nope")[0] == 404
+
+    def test_trend_requires_metric(self, tower):
+        status, body = http_get(tower, "/trend")
+        assert status == 400
+        assert b"metric" in body
+
+    def test_trend_unknown_source_400(self, tower):
+        status, _body = http_get(tower, "/trend?metric=slots_per_sec&source=nope")
+        assert status == 400
+
+    def test_runs_on_empty_store(self, tower):
+        status, body = http_get(tower, "/runs")
+        assert status == 200
+        assert json.loads(body) == {"count": 0, "runs": []}
+
+    def test_run_detail_unknown_selector_404(self, tower):
+        assert http_get(tower, "/runs/latest")[0] == 404
+
+    def test_dashboard_byte_stable_across_fetches(self, tower):
+        first = http_get(tower, "/dashboard")
+        second = http_get(tower, "/dashboard")
+        assert first == second
+        assert b"<html" in first[1]
+
+    def test_metrics_exposition_counts_requests(self, tower):
+        http_get(tower, "/healthz")
+        _status, body = http_get(tower, "/metrics")
+        text = body.decode()
+        assert "# TYPE repro_tower_http_requests_total counter" in text
+        assert 'repro_tower_http_requests_total{path="/healthz"}' in text
+
+    def test_relayed_metrics_snapshot_lands_on_metrics_page(self):
+        """A ``metrics`` record seen on the relay merges its fleet
+        series into the exposition (the snapshot tap regression)."""
+        recorder = Telemetry.buffered()
+        recorder.__enter__()
+        thread = TowerThread(TowerConfig(recorder=recorder, heartbeat=30.0))
+        port = thread.start()
+        try:
+            recorder.emit(
+                "metrics",
+                worker="w7",
+                snapshot={
+                    "fence_reject_total": {
+                        "kind": "counter",
+                        "series": [
+                            {"labels": {"worker": "w7"}, "value": 3.0}
+                        ],
+                    }
+                },
+            )
+            deadline = time.monotonic() + 5
+            text = ""
+            while time.monotonic() < deadline:
+                _status, body = http_get(port, "/metrics")
+                text = body.decode()
+                if 'repro_fence_reject_total{worker="w7"} 3' in text:
+                    break
+                time.sleep(0.05)
+            assert 'repro_fence_reject_total{worker="w7"} 3' in text
+        finally:
+            thread.stop()
+            recorder.__exit__(None, None, None)
+
+    def test_post_to_get_route_405(self, tower):
+        request = urllib.request.Request(
+            f"http://127.0.0.1:{tower}/healthz", data=b"{}", method="POST"
+        )
+        try:
+            urllib.request.urlopen(request, timeout=10)
+        except urllib.error.HTTPError as exc:
+            assert exc.code == 405
+        else:  # pragma: no cover - the request must not succeed
+            pytest.fail("POST /healthz unexpectedly succeeded")

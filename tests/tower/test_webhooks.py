@@ -1,0 +1,184 @@
+"""Webhook delivery: retries, the dead-letter journal, and its drain."""
+
+import asyncio
+import json
+import socket
+import threading
+from http.server import BaseHTTPRequestHandler, HTTPServer
+
+import pytest
+
+from repro.errors import ExperimentError
+from repro.tower.webhooks import WebhookDispatcher
+
+
+class _Receiver:
+    """A stdlib HTTP receiver capturing POST bodies on a background thread."""
+
+    def __init__(self, port=0, status=200):
+        captured = self.captured = []
+
+        class Handler(BaseHTTPRequestHandler):
+            def do_POST(self):
+                length = int(self.headers.get("Content-Length", 0))
+                captured.append(json.loads(self.rfile.read(length)))
+                self.send_response(status)
+                self.send_header("Content-Length", "0")
+                self.end_headers()
+
+            def log_message(self, *args):
+                pass
+
+        self.server = HTTPServer(("127.0.0.1", port), Handler)
+        self.port = self.server.server_address[1]
+        self.thread = threading.Thread(
+            target=self.server.serve_forever, daemon=True
+        )
+        self.thread.start()
+
+    @property
+    def url(self):
+        return f"http://127.0.0.1:{self.port}/hook"
+
+    def close(self):
+        self.server.shutdown()
+        self.server.server_close()
+        self.thread.join(timeout=5)
+
+
+def free_port():
+    """A port with no listener (reserved briefly, then released)."""
+    sock = socket.socket()
+    sock.bind(("127.0.0.1", 0))
+    port = sock.getsockname()[1]
+    sock.close()
+    return port
+
+
+class TestDelivery:
+    def test_alert_posted_to_every_url(self):
+        first, second = _Receiver(), _Receiver()
+        try:
+
+            async def main():
+                dispatcher = WebhookDispatcher([first.url, second.url])
+                dispatcher.start()
+                dispatcher.submit(7, {"kind": "alert", "rule": "slo"})
+                await dispatcher.stop(flush_timeout=10)
+                return dispatcher
+
+            dispatcher = asyncio.run(main())
+            assert dispatcher.delivered == 2
+            assert dispatcher.failed == 0
+            assert first.captured == [{"kind": "alert", "rule": "slo"}]
+            assert second.captured == [{"kind": "alert", "rule": "slo"}]
+        finally:
+            first.close()
+            second.close()
+
+    def test_non_2xx_retries_then_dead_letters(self, tmp_path):
+        receiver = _Receiver(status=500)
+        journal = tmp_path / "dead.jsonl"
+        try:
+
+            async def main():
+                dispatcher = WebhookDispatcher(
+                    [receiver.url],
+                    dead_letter=journal,
+                    attempts=2,
+                    base_delay=0.01,
+                )
+                dispatcher.start()
+                dispatcher.submit(1, {"kind": "alert", "rule": "slo"})
+                await dispatcher.stop(flush_timeout=10)
+                return dispatcher
+
+            dispatcher = asyncio.run(main())
+            assert dispatcher.failed == 1
+            assert len(receiver.captured) == 2  # both attempts hit the wire
+            entries = [
+                json.loads(line)
+                for line in journal.read_text().splitlines()
+            ]
+            assert len(entries) == 1
+            assert entries[0]["error"] == "HTTP 500"
+            assert entries[0]["record"]["rule"] == "slo"
+        finally:
+            receiver.close()
+
+    def test_non_http_url_rejected(self):
+        with pytest.raises(ExperimentError):
+            WebhookDispatcher(["https://example.com/hook"])
+        with pytest.raises(ExperimentError):
+            WebhookDispatcher(["not a url"])
+
+
+class TestDeadLetterDrain:
+    def test_unreachable_receiver_journals_then_drains(self, tmp_path):
+        """A receiver outage dead-letters the alert; once the receiver is
+        back, one drain redelivers it and empties the journal."""
+        port = free_port()
+        journal = tmp_path / "dead.jsonl"
+
+        async def deliver():
+            dispatcher = WebhookDispatcher(
+                [f"http://127.0.0.1:{port}/hook"],
+                dead_letter=journal,
+                attempts=2,
+                base_delay=0.01,
+                timeout=2.0,
+            )
+            dispatcher.start()
+            dispatcher.submit(3, {"kind": "alert", "rule": "fleet-takeover"})
+            await dispatcher.stop(flush_timeout=10)
+            return dispatcher.failed
+
+        assert asyncio.run(deliver()) == 1
+        assert len(journal.read_text().splitlines()) == 1
+
+        receiver = _Receiver(port=port)
+        try:
+
+            async def drain():
+                dispatcher = WebhookDispatcher([], dead_letter=journal)
+                return await dispatcher.drain_dead_letters()
+
+            outcome = asyncio.run(drain())
+            assert outcome == {"redelivered": 1, "remaining": 0}
+            assert journal.read_text() == ""
+            assert receiver.captured[0]["rule"] == "fleet-takeover"
+        finally:
+            receiver.close()
+
+    def test_drain_keeps_what_still_fails(self, tmp_path):
+        journal = tmp_path / "dead.jsonl"
+        dead_port = free_port()
+        journal.write_text(
+            json.dumps(
+                {
+                    "url": f"http://127.0.0.1:{dead_port}/hook",
+                    "seq": 1,
+                    "record": {"kind": "alert", "rule": "x"},
+                    "error": "ConnectionRefusedError",
+                    "attempts": 3,
+                }
+            )
+            + "\n"
+        )
+
+        async def drain():
+            dispatcher = WebhookDispatcher(
+                [], dead_letter=journal, timeout=2.0
+            )
+            return await dispatcher.drain_dead_letters()
+
+        outcome = asyncio.run(drain())
+        assert outcome == {"redelivered": 0, "remaining": 1}
+        assert len(journal.read_text().splitlines()) == 1
+
+    def test_drain_without_journal_is_a_noop(self, tmp_path):
+        async def drain():
+            dispatcher = WebhookDispatcher([])
+            return await dispatcher.drain_dead_letters()
+
+        assert asyncio.run(drain()) == {"redelivered": 0, "remaining": 0}
